@@ -1,0 +1,45 @@
+"""Ablation benchmarks: the model's two new factors and its miss curve.
+
+These are the "design choices called out in DESIGN.md": removing the
+concurrency factor or the capacity-bounded problem size must visibly
+change the optimal design, or the paper's C^2 coupling would be
+superfluous.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import (
+    run_factor_ablation,
+    run_miss_curve_ablation,
+)
+
+
+def test_ablation_factors(benchmark, results_dir):
+    table = benchmark(run_factor_ablation)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "ablation_factors.csv")
+    rows = {v: (case, n) for v, case, n in zip(
+        table.column("variant"), table.column("case"), table.column("N*"))}
+    # Removing capacity scaling flips the optimization case: a fixed
+    # problem size has a finite time-optimal core count (case II),
+    # while the scalable workload maximizes throughput (case I).
+    assert rows["full (C2-Bound)"][0] == "maximize-throughput"
+    assert rows["no capacity scaling (g=1)"][0] == "minimize-time"
+    # Removing concurrency changes the optimal core count of the
+    # fixed-size variants (the stall term dominates differently).
+    n_fixed_c = rows["no capacity scaling (g=1)"][1]
+    n_fixed_noc = rows["neither (Amdahl+AMAT)"][1]
+    assert n_fixed_c != n_fixed_noc
+
+
+def test_ablation_miss_curve(benchmark, results_dir):
+    table = benchmark(run_miss_curve_ablation)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "ablation_miss_curve.csv")
+    ns = table.column("N*")
+    caches = table.column("A1+A2")
+    # A steeper miss curve (higher alpha) makes capacity more valuable:
+    # the optimizer buys more cache area per core.
+    assert caches[-1] > caches[0]
+    # And the optimum is genuinely sensitive to the exponent.
+    assert len(set(ns)) > 1 or caches[-1] / caches[0] > 1.2

@@ -1,0 +1,26 @@
+"""Section IV benchmark: APS accuracy vs the full design-space sweep.
+
+Paper: the APS pick is within 5.96% of the full 10^6-point sweep's
+optimum (error attributed to Pollack's rule being empirical).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.aps_accuracy import run_aps_accuracy
+
+
+def test_aps_accuracy_vs_full_sweep(benchmark, results_dir):
+    table, accuracy = run_once(benchmark, run_aps_accuracy)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "aps_accuracy.csv")
+    # Full-size surrogate space: APS error in the paper's single-digit
+    # to low-tens percent band, with 10^4x fewer evaluations.
+    assert accuracy.surrogate_error < 0.25
+    assert accuracy.surrogate_sims == 100
+    assert accuracy.surrogate_space == 10 ** 6
+    # Real-simulator reduced space: APS stays competitive while
+    # simulating only the microarchitecture grid.
+    assert accuracy.simulator_sims < accuracy.simulator_space
+    assert accuracy.simulator_error < 0.6

@@ -1,0 +1,18 @@
+"""Section V benchmark: on-chip-memory-bounded problem size."""
+
+from __future__ import annotations
+
+from repro.experiments.capacity_bound import run_capacity_bound
+
+
+def test_capacity_bounded_problem_size(benchmark, results_dir):
+    table = benchmark(run_capacity_bound)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "capacity_bound.csv")
+    cases = table.column("case")
+    bounded = table.column("bounded_Z_flops")
+    # Bounded size grows with capacity; the application crosses from
+    # memory-bound to processor-bound once its working set fits.
+    assert all(b2 > b1 for b1, b2 in zip(bounded, bounded[1:]))
+    assert cases[0] == "memory-bound"
+    assert cases[-1] == "processor-bound"

@@ -1,0 +1,70 @@
+"""Component performance benchmarks (pytest-benchmark proper).
+
+Not paper artifacts — these track the library's own hot paths so
+regressions in the analyzer, the detector, the simulator or the
+optimizer are visible in CI-style runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.camat import AccessTrace, TraceAnalyzer
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.detector import CAMATDetector
+from repro.sim import CMPSimulator, SimulatedChip
+from repro.workloads import parsec_like
+
+
+@pytest.fixture(scope="module")
+def big_trace() -> AccessTrace:
+    rng = np.random.default_rng(0)
+    n = 20000
+    starts = np.cumsum(rng.integers(0, 4, n)).astype(np.int64)
+    hits = rng.integers(1, 4, n).astype(np.int64)
+    penalties = np.where(rng.random(n) < 0.1,
+                         rng.integers(50, 300, n), 0).astype(np.int64)
+    return AccessTrace.from_arrays(starts, hits, penalties)
+
+
+def test_trace_analyzer_throughput(benchmark, big_trace):
+    analyzer = TraceAnalyzer()
+    stats = benchmark(analyzer.analyze, big_trace)
+    assert stats.accesses == len(big_trace)
+
+
+def test_detector_throughput(benchmark, big_trace):
+    ordered = sorted(big_trace, key=lambda a: a.start)
+
+    def run():
+        det = CAMATDetector(window=1 << 14)
+        for a in ordered:
+            det.observe(a.start, a.hit_cycles, a.miss_penalty)
+        return det.report()
+
+    report = benchmark(run)
+    assert report.accesses == len(big_trace)
+
+
+def test_simulator_throughput(benchmark):
+    workload = parsec_like("ocean", n_ops=4000)
+    chip = SimulatedChip(n_cores=2)
+
+    def run():
+        rng = np.random.default_rng(1)
+        return CMPSimulator(chip).run(workload.streams(2, rng))
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert result.exec_cycles > 0
+
+
+def test_optimizer_throughput(benchmark):
+    app = ApplicationProfile(f_seq=0.02, f_mem=0.3, concurrency=4.0)
+    machine = MachineParameters()
+
+    def run():
+        return C2BoundOptimizer(app, machine).optimize(n_max=1000)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert result.best.n >= 1

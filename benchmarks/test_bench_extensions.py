@@ -1,0 +1,76 @@
+"""Extension benchmarks: asymmetric CMP and energy-aware design.
+
+Paper Section VII names both as the model's natural extensions ("The
+extension of C2-Bound to asymmetric CMP DSE is straightforward";
+"energy consumption and temperature can be considered for
+multi-objective exploration").  These benches regenerate the comparison
+a follow-up paper would lead with.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.core.asymmetric import AsymmetricOptimizer
+from repro.core.energy import EnergyAwareOptimizer
+from repro.io.results import ResultTable
+from repro.laws.gfunction import PowerLawG
+
+
+def sweep_asymmetric() -> ResultTable:
+    machine = MachineParameters(total_area=200.0, shared_area=20.0)
+    table = ResultTable(
+        ["f_seq", "sym_T", "asym_T", "asym_speedup", "big_core_area",
+         "n_small"],
+        title="Symmetric vs asymmetric CMP across sequential fractions")
+    for f_seq in (0.05, 0.2, 0.4):
+        app = ApplicationProfile(f_seq=f_seq, f_mem=0.3, concurrency=2.0,
+                                 g=PowerLawG(0.0))
+        sym = C2BoundOptimizer(app, machine).optimize(n_max=128).best
+        asym = AsymmetricOptimizer(app, machine).optimize(n_max=128)
+        table.add_row(f_seq, sym.execution_time, asym.execution_time,
+                      sym.execution_time / asym.execution_time,
+                      asym.big.per_core_area, asym.n_small)
+    return table
+
+
+def sweep_energy() -> ResultTable:
+    machine = MachineParameters()
+    app = ApplicationProfile(f_seq=0.05, f_mem=0.35, concurrency=4.0,
+                             g=PowerLawG(0.5))
+    opt = EnergyAwareOptimizer(app, machine)
+    table = ResultTable(
+        ["time_weight", "N*", "time", "energy"],
+        title="Energy/performance trade-off (E * T^w optima)")
+    for w in (0.0, 1.0, 2.0):
+        point, report = opt.optimize(time_weight=w, n_max=256)
+        table.add_row(w, point.n, report.execution_time,
+                      report.total_energy)
+    return table
+
+
+def test_asymmetric_extension(benchmark, results_dir):
+    table = run_once(benchmark, sweep_asymmetric)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "extension_asymmetric.csv")
+    speedups = table.column("asym_speedup")
+    big_areas = table.column("big_core_area")
+    # The asymmetric design never loses (it can always degenerate to a
+    # symmetric one), and the silicon it devotes to the big core grows
+    # with the sequential fraction — the Hill & Marty intuition with
+    # the C2-Bound memory terms included.
+    assert all(s >= 0.999 for s in speedups)
+    assert big_areas[-1] >= big_areas[0]
+
+
+def test_energy_extension(benchmark, results_dir):
+    table = run_once(benchmark, sweep_energy)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "extension_energy.csv")
+    times = table.column("time")
+    energies = table.column("energy")
+    # Raising the time weight must not lengthen execution, and the
+    # pure-energy point must be the cheapest in energy.
+    assert times[-1] <= times[0] * (1 + 1e-9)
+    assert energies[0] == min(energies)

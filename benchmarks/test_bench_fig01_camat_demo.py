@@ -1,0 +1,13 @@
+"""Fig. 1 benchmark: the C-AMAT worked example (exact reproduction)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig01_camat_demo import run_fig1
+
+
+def test_fig01_camat_demo(benchmark, results_dir):
+    table = benchmark(run_fig1)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig01_camat_demo.csv")
+    # Every parameter must match the paper exactly.
+    assert all(table.column("match"))

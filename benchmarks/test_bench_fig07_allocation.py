@@ -1,0 +1,15 @@
+"""Fig. 7 benchmark: core allocation across three application archetypes."""
+
+from __future__ import annotations
+
+from repro.experiments.fig07_allocation import run_fig7
+
+
+def test_fig07_allocation(benchmark, results_dir):
+    table = benchmark(run_fig7, 64)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig07_allocation.csv")
+    cores = table.column("cores")
+    # Paper ordering: the sequential/low-C app gets the fewest cores,
+    # the parallel/high-C app the most, the middle app in between.
+    assert cores[0] < cores[2] < cores[1]

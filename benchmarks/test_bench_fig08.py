@@ -1,0 +1,23 @@
+"""Fig. 8 benchmark: W and T vs N (g = N^{3/2}, f_mem = 0.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figs08_11_scaling import run_scaling_figure
+
+
+def test_fig08_memory_bounded_scaling(benchmark, results_dir):
+    table = benchmark(run_scaling_figure, f_mem=0.3, quantity="WT")
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig08_WT_fmem03.csv")
+    ns = np.array(table.column("N"), dtype=float)
+    w = np.array(table.column("W"))
+    t1 = np.array(table.column("T(C=1)"))
+    t8 = np.array(table.column("T(C=8)"))
+    # Problem size follows g(N) = N^{3/2} exactly.
+    assert np.allclose(w, ns ** 1.5, rtol=1e-9)
+    # Higher memory concurrency lowers execution time at every N, and
+    # the T(C=8)/T(C=1) gap at N=1000 is significant (paper Section IV).
+    assert np.all(t8 < t1)
+    assert t1[-1] / t8[-1] > 2.0

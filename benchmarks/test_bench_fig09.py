@@ -1,0 +1,26 @@
+"""Fig. 9 benchmark: W and T vs N (g = N^{3/2}, f_mem = 0.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.experiments.figs08_11_scaling import run_scaling_figure
+
+
+def test_fig09_memory_bounded_scaling(benchmark, results_dir):
+    table = benchmark(run_scaling_figure, f_mem=0.9, quantity="WT")
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig09_WT_fmem09.csv")
+    t1 = np.array(table.column("T(C=1)"))
+    t4 = np.array(table.column("T(C=4)"))
+    t8 = np.array(table.column("T(C=8)"))
+    assert np.all(t8 < t4) and np.all(t4 < t1)
+    # Cross-figure claim: execution time increases with f_mem
+    # (compare un-normalized absolute times at N = 200).
+    m = MachineParameters()
+    t_low = C2BoundOptimizer(ApplicationProfile(
+        f_seq=0.02, f_mem=0.3), m).evaluate(200).execution_time
+    t_high = C2BoundOptimizer(ApplicationProfile(
+        f_seq=0.02, f_mem=0.9), m).evaluate(200).execution_time
+    assert t_high > t_low

@@ -1,0 +1,27 @@
+"""Fig. 10 benchmark: throughput W/T vs N (f_mem = 0.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figs08_11_scaling import run_scaling_figure
+
+
+def test_fig10_throughput(benchmark, results_dir):
+    table = benchmark(run_scaling_figure, f_mem=0.3, quantity="throughput")
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig10_WT_ratio_fmem03.csv")
+    ns = np.array(table.column("N"), dtype=float)
+    wt1 = np.array(table.column("W/T(C=1)"))
+    wt4 = np.array(table.column("W/T(C=4)"))
+    wt8 = np.array(table.column("W/T(C=8)"))
+    # Higher memory concurrency -> higher throughput everywhere.
+    assert np.all(wt8 > wt4) and np.all(wt4 > wt1)
+    # C=1 saturates past ~100 cores: the log-log slope beyond N=100
+    # collapses relative to the early slope (paper: "about one hundred
+    # cores are enough to achieve the best throughput").
+    early = (ns >= 1) & (ns <= 100)
+    late = ns >= 100
+    slope_early = np.polyfit(np.log(ns[early]), np.log(wt1[early]), 1)[0]
+    slope_late = np.polyfit(np.log(ns[late]), np.log(wt1[late]), 1)[0]
+    assert slope_late < 0.55 * slope_early

@@ -1,0 +1,25 @@
+"""Fig. 11 benchmark: throughput W/T vs N (f_mem = 0.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.experiments.figs08_11_scaling import run_scaling_figure
+
+
+def test_fig11_throughput(benchmark, results_dir):
+    table = benchmark(run_scaling_figure, f_mem=0.9, quantity="throughput")
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig11_WT_ratio_fmem09.csv")
+    wt1 = np.array(table.column("W/T(C=1)"))
+    wt8 = np.array(table.column("W/T(C=8)"))
+    assert np.all(wt8 > wt1)
+    # Cross-figure claim: throughput decreases with f_mem
+    # (compare un-normalized throughput at N = 200).
+    m = MachineParameters()
+    th_low = C2BoundOptimizer(ApplicationProfile(
+        f_seq=0.02, f_mem=0.3), m).evaluate(200).throughput
+    th_high = C2BoundOptimizer(ApplicationProfile(
+        f_seq=0.02, f_mem=0.9), m).evaluate(200).throughput
+    assert th_high < th_low

@@ -1,0 +1,31 @@
+"""Fig. 12 benchmark: simulations needed by each DSE method.
+
+Paper numbers (fluidanimate, 10^6-point space): full sweep 10^6,
+ANN 613, APS 100 — APS uses 16.3% of ANN's simulations at matched
+accuracy and narrows the space by four orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig12_aps import run_fig12
+
+
+def test_fig12_simulation_counts(benchmark, results_dir):
+    table, outcome = run_once(benchmark, run_fig12)
+    print("\n" + table.render())
+    print(f"APS/ANN simulation ratio: {outcome.aps_vs_ann_ratio:.3f} "
+          f"(paper: 0.163)")
+    table.save_csv(results_dir / "fig12_simulation_counts.csv")
+    # Full space is 10^6 (six parameters, ten values each).
+    assert outcome.space_size == 10 ** 6
+    # APS simulates only the issue-width x ROB grid: 10^2 points —
+    # the paper's four-orders-of-magnitude narrowing.
+    assert outcome.aps_sims == 100
+    assert outcome.space_size / outcome.aps_sims == 10 ** 4
+    # ANN needs several times more simulations to match (paper: 6.1x).
+    assert outcome.ann_sims > 2 * outcome.aps_sims
+    assert outcome.ann_sims < outcome.space_size // 100
+    # APS lands near the true optimum (paper reports 5.96% error).
+    assert outcome.aps_error < 0.25

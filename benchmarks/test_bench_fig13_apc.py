@@ -1,0 +1,27 @@
+"""Fig. 13 benchmark: APC at each layer of the memory hierarchy.
+
+Paper claim: APC falls from L1 to LLC to DRAM for every benchmark —
+the performance gap justifying the *on-chip* memory bound of Section V.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig13_apc import run_fig13
+
+
+def test_fig13_apc_per_layer(benchmark, results_dir):
+    table = run_once(benchmark, run_fig13, n_ops=12000)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "fig13_apc_layers.csv")
+    l1 = table.column("APC_L1")
+    llc = table.column("APC_LLC")
+    dram = table.column("APC_DRAM")
+    names = table.column("benchmark")
+    for name, a, b, c in zip(names, l1, llc, dram):
+        assert a > b > c, f"APC ordering violated for {name}"
+    # The on-chip/off-chip gap is substantial on average.
+    import numpy as np
+    gaps = np.array(l1) / np.array(dram)
+    assert gaps.mean() > 3.0

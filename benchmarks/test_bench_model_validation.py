@@ -1,0 +1,26 @@
+"""Validation benchmark: analytic model vs cycle-level simulation.
+
+The paper's Section IV exists "to verify [the model's] correctness and
+effectiveness"; operationally, APS is sound iff the analytic objective
+*ranks* designs like the simulator does.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.validation import run_model_validation
+
+
+def test_model_ranks_like_simulator(benchmark, results_dir):
+    table, rho = run_once(benchmark, run_model_validation)
+    print("\n" + table.render())
+    print(f"Spearman rank correlation: {rho:.3f}")
+    table.save_csv(results_dir / "model_validation.csv")
+    # Strong rank agreement across core counts and cache splits.
+    assert rho > 0.7
+    # Directions agree: both costs fall with more cores at fixed split.
+    model = table.column("model_cpi")
+    sim = table.column("sim_cpi")
+    assert model[0] > model[3] > model[6]
+    assert sim[0] > sim[3] > sim[6]

@@ -1,0 +1,19 @@
+"""Table I benchmark: g(N) factors of the four kernels."""
+
+from __future__ import annotations
+
+from repro.experiments.table1_gfactors import run_table1
+
+
+def test_table1_gfactors(benchmark, results_dir):
+    table = benchmark(run_table1)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "table1_gfactors.csv")
+    derived = dict(zip(table.column("application"),
+                       table.column("derived_g")))
+    assert derived["Tiled matrix multiplication"] == "N^1.5"
+    assert derived["Band sparse matrix multiplication"] == "N^1"
+    assert derived["Stencil"] == "N^1"
+    # Every kernel is at least linearly scalable (case I).
+    assert all(r in ("linear", "superlinear")
+               for r in table.column("regime"))

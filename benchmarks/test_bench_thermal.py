@@ -1,0 +1,45 @@
+"""Benchmark: thermally constrained design (paper §VII future work)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import ApplicationProfile, MachineParameters
+from repro.core.thermal import ThermallyConstrainedOptimizer
+from repro.io.results import ResultTable
+from repro.laws.gfunction import PowerLawG
+
+
+def sweep_thermal_limits() -> ResultTable:
+    machine = MachineParameters(total_area=200.0, shared_area=20.0)
+    app = ApplicationProfile(f_seq=0.05, f_mem=0.3, concurrency=2.0,
+                             g=PowerLawG(0.5))
+    table = ResultTable(
+        ["t_max", "N*", "A0", "hottest_tile", "execution_time"],
+        title="Thermally constrained C2-Bound designs")
+    for t_max in (1e6, 95.0, 80.0, 70.0):
+        opt = ThermallyConstrainedOptimizer(app, machine, t_max=t_max)
+        try:
+            point, rep = opt.optimize(n_max=256)
+        except Exception:
+            continue
+        table.add_row(t_max, point.n, point.config.a0,
+                      rep.hottest_tile, point.execution_time)
+    return table
+
+
+def test_thermal_constrained_design(benchmark, results_dir):
+    table = run_once(benchmark, sweep_thermal_limits)
+    print("\n" + table.render())
+    table.save_csv(results_dir / "extension_thermal.csv")
+    assert len(table) >= 2
+    temps = table.column("hottest_tile")
+    times = table.column("execution_time")
+    ns = table.column("N*")
+    a0s = table.column("A0")
+    # Tighter limits force cooler designs at a performance cost, by
+    # shrinking the big hot cores (more, smaller cores).
+    assert temps[-1] <= temps[0]
+    assert times[-1] >= times[0]
+    assert a0s[-1] <= a0s[0]
+    assert ns[-1] >= ns[0]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Energy-aware CMP design (paper Section VII future work).
+
+Extends the C2-Bound objective with an area-proportional power model
+and sweeps the energy/performance trade-off: pure-energy (w=0), EDP
+(w=1) and ED^2P (w=2) optima versus the pure-performance design.
+
+Run:  python examples/energy_aware_design.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.core.energy import EnergyAwareOptimizer, PowerModel
+from repro.laws.gfunction import PowerLawG
+
+
+def main() -> None:
+    app = ApplicationProfile(name="mixed", f_seq=0.05, f_mem=0.35,
+                             concurrency=4.0, g=PowerLawG(0.5))
+    machine = MachineParameters(total_area=400.0, shared_area=40.0)
+    power = PowerModel(dynamic_per_area=1.0, static_per_area=0.15,
+                       idle_leakage=0.2, shared_power=10.0)
+
+    perf = C2BoundOptimizer(app, machine).optimize(n_max=512)
+    print("pure performance (Eq. 13):")
+    print(f"  N* = {perf.best.n}, T = {perf.best.execution_time:.3e}\n")
+
+    opt = EnergyAwareOptimizer(app, machine, power)
+    print(f"{'objective':10s} {'N*':>5s} {'T':>12s} {'E':>12s} "
+          f"{'avg power':>10s}")
+    for label, w in (("energy", 0.0), ("EDP", 1.0), ("ED^2P", 2.0)):
+        point, report = opt.optimize(time_weight=w, n_max=512)
+        print(f"{label:10s} {point.n:5d} {report.execution_time:12.3e} "
+              f"{report.total_energy:12.3e} {report.average_power:10.2f}")
+    print("\nWith a fixed die the chip's peak power is roughly constant,")
+    print("so the energy lever is the *serial* phase: smaller cores burn")
+    print("less while one core works.  The energy optimum therefore uses")
+    print("more, smaller cores than the performance optimum, and raising")
+    print("the time weight (EDP -> ED^2P) walks monotonically back toward")
+    print("the performance design.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Memory-bounded scaling sweeps (paper Figs. 8-11).
+
+Regenerates the four scaling figures as aligned tables: problem size W,
+execution time T, and throughput W/T versus core count for three memory
+concurrency levels, at two memory intensities.
+
+Run:  python examples/memory_bounded_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_scaling_figure
+
+
+def main() -> None:
+    for f_mem, fig_wt, fig_tp in ((0.3, 8, 10), (0.9, 9, 11)):
+        table = run_scaling_figure(f_mem=f_mem, quantity="WT")
+        print(f"--- Fig. {fig_wt} ---")
+        print(table.render())
+        print()
+        table = run_scaling_figure(f_mem=f_mem, quantity="throughput")
+        print(f"--- Fig. {fig_tp} ---")
+        print(table.render())
+        print()
+    print("Read the tables like the paper's figures: T(C=1) tracks W;")
+    print("higher C lowers T everywhere; W/T for C=1 flattens past ~100")
+    print("cores while C=8 keeps earning to a higher optimum; raising")
+    print("f_mem raises T and lowers W/T.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Multi-application resource management (paper Fig. 7).
+
+Three applications with different sequential fractions and memory
+concurrencies share one CMP.  The C2-Bound utilities drive:
+
+1. core allocation (water-filling on marginal throughput), and
+2. shared-cache partitioning (utility-based, per miss-rate curves).
+
+Run:  python examples/multi_app_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.alloc import allocate_cores, partition_cache
+from repro.capacity.missrate import PowerLawMissRate
+from repro.core import ApplicationProfile, MachineParameters
+from repro.laws.gfunction import PowerLawG
+
+
+def main() -> None:
+    machine = MachineParameters(total_area=400.0, shared_area=40.0)
+    g = PowerLawG(1.0)
+    apps = [
+        ApplicationProfile(name="app1 (seq-heavy, C=1)", f_seq=0.40,
+                           f_mem=0.4, concurrency=1.0, g=g),
+        ApplicationProfile(name="app2 (parallel, C=8)", f_seq=0.01,
+                           f_mem=0.4, concurrency=8.0, g=g),
+        ApplicationProfile(name="app3 (middle, C=4)", f_seq=0.10,
+                           f_mem=0.4, concurrency=4.0, g=g),
+    ]
+
+    print("=== Core allocation (Fig. 7) ===")
+    for total in (16, 64, 256):
+        result = allocate_cores(apps, machine, total)
+        parts = ", ".join(f"{app.name}: {c}"
+                          for app, c in zip(apps, result.cores))
+        print(f"{total:4d} cores -> {parts}")
+    print("\nThe sequential/low-concurrency app saturates immediately; the"
+          "\nparallel/high-concurrency app absorbs almost everything —"
+          "\nexactly the paper's Fig. 7 narrative.\n")
+
+    print("=== Shared LLC partitioning ===")
+    curves = [
+        PowerLawMissRate(base_miss_rate=0.30, base_capacity_kib=256.0),
+        PowerLawMissRate(base_miss_rate=0.10, base_capacity_kib=256.0),
+        PowerLawMissRate(base_miss_rate=0.02, base_capacity_kib=256.0),
+    ]
+    intensities = [0.4 * 1.0, 0.4 * 8.0, 0.4 * 4.0]  # f_mem * activity
+    result = partition_cache(curves, intensities,
+                             total_kib=8192.0, n_ways=16)
+    for app, ways, cap in zip(apps, result.ways, result.capacities_kib):
+        print(f"{app.name:24s} {ways:2d} ways  ({cap:7.0f} KiB)")
+    print(f"total miss traffic: {result.miss_traffic:.4f} misses/op "
+          "(weighted)")
+
+
+if __name__ == "__main__":
+    main()

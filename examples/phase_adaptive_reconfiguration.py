@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Phase-adaptive reconfiguration (paper Sections IV-V).
+
+"Applications may move between these two cases phase by phase ...
+reconfigurable hardware or management software is called for to achieve
+the dynamic matching between application and underlying hardware."
+
+This example builds a two-phase workload (compute-bound, then
+memory-bound), simulates it, detects the phase change with the epoch
+detector's lightweight counters, re-characterizes each phase, and shows
+that the C2-Bound optimizer prescribes *different* chip configurations
+for the two phases — the adaptive loop the paper describes.
+
+Run:  python examples/phase_adaptive_reconfiguration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.camat import TraceAnalyzer
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.detector import EpochDetector
+from repro.laws.gfunction import PowerLawG
+from repro.sim import CMPSimulator, SimulatedChip
+from repro.workloads import PhasedWorkload, SyntheticWorkload
+
+
+def main() -> None:
+    compute_phase = SyntheticWorkload(
+        name="compute-phase", n_ops=6000, working_set_kib=256.0,
+        hot_fraction=0.9, hot_set_kib=16.0, stream_fraction=0.05,
+        f_mem=0.15, f_seq=0.02, burst_length=2.0)
+    memory_phase = SyntheticWorkload(
+        name="memory-phase", n_ops=6000, working_set_kib=64 * 1024,
+        hot_fraction=0.2, hot_set_kib=16.0, stream_fraction=0.2,
+        f_mem=0.5, f_seq=0.02, burst_length=6.0)
+    workload = PhasedWorkload([compute_phase, memory_phase])
+
+    rng = np.random.default_rng(42)
+    chip = SimulatedChip(n_cores=1)
+    result = CMPSimulator(chip).run(workload.streams(1, rng))
+    trace = result.core_trace(0)
+    print(f"simulated two-phase workload: {result.exec_cycles} cycles, "
+          f"IPC {result.ipc:.3f}\n")
+
+    # --- 1. Detect the phase change online. ------------------------------
+    detector = EpochDetector(epoch_cycles=max(result.exec_cycles // 10, 1),
+                             change_threshold=0.4, window=1 << 18)
+    for a in sorted(trace, key=lambda x: x.start):
+        detector.observe(a.start, a.hit_cycles, a.miss_penalty)
+    epochs = detector.finish()
+    print("epoch C-AMAT trace (phase boundary flagged by the detector):")
+    boundary_epoch = None
+    for e in epochs:
+        if e.report.accesses == 0:
+            continue
+        flag = ""
+        if e.phase_change and boundary_epoch is None:
+            boundary_epoch = e.index
+            flag = "  <- phase change detected"
+        print(f"  epoch {e.index}: C-AMAT {e.report.camat:8.2f}{flag}")
+
+    # --- 2. Re-characterize each phase from its trace half. --------------
+    analyzer = TraceAnalyzer()
+    ordered = sorted(trace, key=lambda x: x.start)
+    half = len(ordered) // 2
+    from repro.camat import AccessTrace
+    phases = {
+        "compute-bound phase": analyzer.analyze(AccessTrace(ordered[:half])),
+        "memory-bound phase": analyzer.analyze(AccessTrace(ordered[half:])),
+    }
+
+    # --- 3. Re-optimize the chip per phase. -------------------------------
+    machine = MachineParameters()
+    print("\nper-phase optimal configurations (C2-Bound):")
+    for label, stats in phases.items():
+        app = ApplicationProfile(
+            name=label, f_seq=0.02,
+            f_mem=0.15 if "compute" in label else 0.5,
+            concurrency=max(stats.concurrency, 1.0),
+            g=PowerLawG(1.0))
+        best = C2BoundOptimizer(app, machine).optimize(n_max=256).best
+        cache = best.config.a1 + best.config.a2
+        print(f"  {label:22s} measured C={stats.concurrency:5.2f}  ->  "
+              f"N*={best.n:4d}, core area {best.config.a0:.3f}, "
+              f"cache area {cache:.3f}")
+    print("\nThe memory-bound phase earns a different core/cache balance —")
+    print("the reconfiguration (or scheduling) decision the paper's")
+    print("online C-AMAT detector exists to trigger.")
+
+
+if __name__ == "__main__":
+    main()

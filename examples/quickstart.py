@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: the C2-Bound model in five minutes.
+
+1. Reproduce the paper's Fig. 1 C-AMAT example from a raw trace.
+2. Describe an application and a chip, and solve the Eq. 13
+   optimization for the optimal core count and area split.
+3. Show the case split: a superlinearly scalable workload maximizes
+   throughput; a fixed-size one minimizes time.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ApplicationProfile,
+    C2BoundOptimizer,
+    MachineParameters,
+    PowerLawG,
+    TraceAnalyzer,
+    fig1_trace,
+)
+
+
+def analyze_fig1() -> None:
+    print("=== 1. C-AMAT from a trace (paper Fig. 1) ===")
+    stats = TraceAnalyzer().analyze(fig1_trace())
+    print(f"AMAT   = {stats.amat:.2f} cycles/access  "
+          f"(H={stats.hit_time:.0f}, MR={stats.miss_rate:.1f}, "
+          f"AMP={stats.avg_miss_penalty:.0f})")
+    print(f"C-AMAT = {stats.camat:.2f} cycles/access  "
+          f"(C_H={stats.hit_concurrency:.2f}, pMR={stats.pure_miss_rate:.1f}, "
+          f"pAMP={stats.pure_avg_miss_penalty:.0f}, "
+          f"C_M={stats.miss_concurrency:.2f})")
+    print(f"concurrency C = AMAT/C-AMAT = {stats.concurrency:.3f}\n")
+
+
+def optimize_chip() -> None:
+    print("=== 2. Optimal CMP design for a scalable workload ===")
+    app = ApplicationProfile(
+        name="tmm-like",
+        f_seq=0.02,          # 2% sequential portion
+        f_mem=0.30,          # 30% of instructions touch memory
+        concurrency=4.0,     # measured C = AMAT / C-AMAT
+        g=PowerLawG(1.5),    # problem size scales as N^{3/2} (Table I)
+    )
+    machine = MachineParameters(total_area=400.0, shared_area=40.0)
+    result = C2BoundOptimizer(app, machine).optimize(n_max=1000)
+    best = result.best
+    print(f"regime: g(N) is {result.regime} -> case: {result.case}")
+    print(f"optimal cores N* = {best.n}")
+    print(f"per-core areas   A0={best.config.a0:.3f} "
+          f"A1={best.config.a1:.3f} A2={best.config.a2:.3f}")
+    print(f"CPI_exe={best.cpi_exe:.2f}  AMAT={best.amat:.1f}  "
+          f"C-AMAT={best.camat:.1f}")
+    print(f"throughput W/T = {best.throughput:.1f} "
+          f"(x{result.evaluations} analytic evaluations, zero simulations)\n")
+
+
+def case_split() -> None:
+    print("=== 3. The g(N) case split (paper Fig. 6) ===")
+    machine = MachineParameters()
+    for exponent in (1.5, 0.5):
+        app = ApplicationProfile(f_seq=0.05, f_mem=0.4,
+                                 concurrency=2.0, g=PowerLawG(exponent))
+        res = C2BoundOptimizer(app, machine).optimize(n_max=512)
+        print(f"g(N) = N^{exponent}: {res.case:22s} -> N* = {res.best.n}")
+    print()
+
+
+if __name__ == "__main__":
+    analyze_fig1()
+    optimize_chip()
+    case_split()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs (which require ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""Shared-cache partitioning by marginal miss-rate utility.
+
+Complementary to core allocation: given per-application miss-rate curves
+(:class:`repro.capacity.missrate.MissRateCurve`) and access intensities,
+the shared LLC capacity is divided in fixed-size ways so that total
+miss *traffic* is minimized — greedy on marginal utility, the classic
+utility-based cache partitioning formulation, which the paper's
+"partitioning" use case calls for.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.capacity.missrate import MissRateCurve
+from repro.errors import InvalidParameterError
+
+__all__ = ["PartitionResult", "partition_cache"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of a cache partitioning.
+
+    Attributes
+    ----------
+    ways:
+        Ways per application.
+    capacities_kib:
+        Capacity per application.
+    miss_traffic:
+        Expected misses/op summed over applications, weighted by their
+        access intensities (the minimized objective).
+    """
+
+    ways: tuple[int, ...]
+    capacities_kib: tuple[float, ...]
+    miss_traffic: float
+
+
+def partition_cache(
+    curves: Sequence[MissRateCurve],
+    intensities: Sequence[float],
+    total_kib: float,
+    n_ways: int,
+    *,
+    min_ways_per_app: int = 1,
+) -> PartitionResult:
+    """Greedy utility-based partitioning of ``total_kib`` into ways.
+
+    Parameters
+    ----------
+    curves:
+        Miss-rate-vs-capacity curve per application.
+    intensities:
+        Relative access rates (misses are weighted by these).
+    total_kib:
+        Shared capacity.
+    n_ways:
+        Allocation granularity (``total_kib / n_ways`` per way).
+    min_ways_per_app:
+        Floor per application.
+    """
+    if len(curves) != len(intensities):
+        raise InvalidParameterError("curves and intensities differ in length")
+    if not curves:
+        raise InvalidParameterError("need at least one application")
+    if total_kib <= 0 or n_ways < 1:
+        raise InvalidParameterError("capacity and way count must be positive")
+    if any(w <= 0 for w in intensities):
+        raise InvalidParameterError("intensities must be positive")
+    if n_ways < len(curves) * min_ways_per_app:
+        raise InvalidParameterError(
+            f"{n_ways} ways cannot satisfy the per-app floor")
+    way_kib = total_kib / n_ways
+
+    def weighted_miss(i: int, ways: int) -> float:
+        if ways == 0:
+            return intensities[i] * 1.0  # no cache: every access misses
+        return intensities[i] * float(curves[i].miss_rate(ways * way_kib))
+
+    counts = [min_ways_per_app] * len(curves)
+    remaining = n_ways - sum(counts)
+    heap: list[tuple[float, int]] = []
+    for i in range(len(curves)):
+        gain = weighted_miss(i, counts[i]) - weighted_miss(i, counts[i] + 1)
+        heapq.heappush(heap, (-gain, i))
+    while remaining > 0 and heap:
+        neg_gain, i = heapq.heappop(heap)
+        counts[i] += 1
+        remaining -= 1
+        gain = weighted_miss(i, counts[i]) - weighted_miss(i, counts[i] + 1)
+        heapq.heappush(heap, (-gain, i))
+    traffic = sum(weighted_miss(i, counts[i]) for i in range(len(curves)))
+    return PartitionResult(
+        ways=tuple(counts),
+        capacities_kib=tuple(c * way_kib for c in counts),
+        miss_traffic=float(traffic),
+    )

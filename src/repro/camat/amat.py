@@ -1,0 +1,54 @@
+"""Conventional AMAT (paper Eq. 1): ``AMAT = H + MR * AMP``.
+
+AMAT assumes sequential data accesses; it is the ``C = 1`` special case of
+C-AMAT where ``C_H = C_M = 1``, ``pMR = MR`` and ``pAMP = AMP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["AMATParameters", "amat"]
+
+
+@dataclass(frozen=True)
+class AMATParameters:
+    """Parameters of Eq. 1.
+
+    Attributes
+    ----------
+    hit_time:
+        ``H``, cache hit time in cycles, ``> 0``.
+    miss_rate:
+        ``MR``, conventional miss rate in ``[0, 1]``.
+    avg_miss_penalty:
+        ``AMP``, average miss penalty in cycles, ``>= 0``; defined as the
+        sum of all miss latencies divided by the number of misses.
+    """
+
+    hit_time: float
+    miss_rate: float
+    avg_miss_penalty: float
+
+    def __post_init__(self) -> None:
+        if self.hit_time <= 0:
+            raise InvalidParameterError(
+                f"hit time must be positive, got {self.hit_time}")
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise InvalidParameterError(
+                f"miss rate must be in [0, 1], got {self.miss_rate}")
+        if self.avg_miss_penalty < 0:
+            raise InvalidParameterError(
+                f"miss penalty must be >= 0, got {self.avg_miss_penalty}")
+
+    @property
+    def value(self) -> float:
+        """``H + MR * AMP`` in cycles per access."""
+        return self.hit_time + self.miss_rate * self.avg_miss_penalty
+
+
+def amat(hit_time: float, miss_rate: float, avg_miss_penalty: float) -> float:
+    """Evaluate Eq. 1 directly."""
+    return AMATParameters(hit_time, miss_rate, avg_miss_penalty).value

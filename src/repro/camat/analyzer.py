@@ -1,0 +1,175 @@
+"""Offline trace analyzer: every AMAT and C-AMAT parameter from a trace.
+
+Implements the paper's Fig. 1 semantics exactly:
+
+- ``H``        mean hit-window length over *all* accesses;
+- ``MR``       conventional miss rate;
+- ``AMP``      total miss-penalty cycles / number of misses;
+- ``C_H``      hit access-cycles / hit-active wall cycles;
+- pure miss cycle: a wall cycle with >= 1 outstanding miss and zero hit
+  activity;
+- pure miss access: a miss owning >= 1 pure miss cycle;
+- ``pMR``      pure misses / accesses;
+- ``pAMP``     per-access pure-miss cycles / pure misses;
+- ``C_M``      per-access pure-miss cycles / pure-miss wall cycles.
+
+These definitions satisfy the fundamental identity
+
+    C-AMAT = H/C_H + pMR*pAMP/C_M = memory-active wall cycles / accesses
+
+because ``H/C_H`` telescopes to hit-active wall cycles per access and the
+pure-miss term telescopes to pure-miss wall cycles per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.camat.amat import AMATParameters
+from repro.camat.camat import CAMATParameters, concurrency_ratio
+from repro.camat.phases import hit_activity_timeline, miss_activity_timeline
+from repro.camat.trace import AccessTrace
+
+__all__ = ["TraceStatistics", "TraceAnalyzer"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate statistics of one analyzed trace.
+
+    All counts are exact integers from the cycle timeline; derived metrics
+    are exposed as properties so they stay mutually consistent.
+    """
+
+    accesses: int
+    misses: int
+    pure_misses: int
+    total_hit_access_cycles: int
+    total_miss_penalty_cycles: int
+    total_pure_miss_access_cycles: int
+    hit_active_wall_cycles: int
+    pure_miss_wall_cycles: int
+    memory_active_wall_cycles: int
+    span_cycles: int
+
+    # ----- Eq. 1 parameters -------------------------------------------------
+    @property
+    def hit_time(self) -> float:
+        """``H``: mean hit-window length per access."""
+        return self.total_hit_access_cycles / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        """``MR``: conventional miss rate."""
+        return self.misses / self.accesses
+
+    @property
+    def avg_miss_penalty(self) -> float:
+        """``AMP``: mean penalty per miss (0 if there are no misses)."""
+        if self.misses == 0:
+            return 0.0
+        return self.total_miss_penalty_cycles / self.misses
+
+    @property
+    def amat_params(self) -> AMATParameters:
+        """Eq. 1 parameter bundle."""
+        return AMATParameters(self.hit_time, self.miss_rate,
+                              self.avg_miss_penalty)
+
+    @property
+    def amat(self) -> float:
+        """Eq. 1 value."""
+        return self.amat_params.value
+
+    # ----- Eq. 2 parameters -------------------------------------------------
+    @property
+    def hit_concurrency(self) -> float:
+        """``C_H``: hit access-cycles per hit-active wall cycle."""
+        if self.hit_active_wall_cycles == 0:
+            return 1.0
+        return self.total_hit_access_cycles / self.hit_active_wall_cycles
+
+    @property
+    def pure_miss_rate(self) -> float:
+        """``pMR``: pure misses per access."""
+        return self.pure_misses / self.accesses
+
+    @property
+    def pure_avg_miss_penalty(self) -> float:
+        """``pAMP``: per-access pure-miss cycles per pure miss."""
+        if self.pure_misses == 0:
+            return 0.0
+        return self.total_pure_miss_access_cycles / self.pure_misses
+
+    @property
+    def miss_concurrency(self) -> float:
+        """``C_M``: per-access pure-miss cycles per pure-miss wall cycle."""
+        if self.pure_miss_wall_cycles == 0:
+            return 1.0
+        return (self.total_pure_miss_access_cycles
+                / self.pure_miss_wall_cycles)
+
+    @property
+    def camat_params(self) -> CAMATParameters:
+        """Eq. 2 parameter bundle."""
+        return CAMATParameters(
+            hit_time=self.hit_time,
+            hit_concurrency=self.hit_concurrency,
+            pure_miss_rate=self.pure_miss_rate,
+            pure_avg_miss_penalty=self.pure_avg_miss_penalty,
+            miss_concurrency=self.miss_concurrency,
+        )
+
+    @property
+    def camat(self) -> float:
+        """Eq. 2 value; equals active wall cycles per access."""
+        return self.camat_params.value
+
+    @property
+    def concurrency(self) -> float:
+        """``C = AMAT / C-AMAT`` (Eq. 3)."""
+        return concurrency_ratio(self.amat, self.camat)
+
+
+class TraceAnalyzer:
+    """Compute :class:`TraceStatistics` from an :class:`AccessTrace`.
+
+    The analyzer is stateless; :meth:`analyze` may be called on any number
+    of traces.  Runtime is O(accesses + span-cycles) using difference-array
+    interval counting.
+    """
+
+    def analyze(self, trace: AccessTrace) -> TraceStatistics:
+        """Analyze one trace."""
+        origin, hit_counts = hit_activity_timeline(trace)
+        _, miss_counts = miss_activity_timeline(trace)
+        pure_cycle_mask = (hit_counts == 0) & (miss_counts > 0)
+
+        # Per-access pure-miss cycle counts, via a prefix sum over the
+        # pure-cycle indicator so each access's window is O(1).
+        pure_prefix = np.concatenate(
+            ([0], np.cumsum(pure_cycle_mask.astype(np.int64))))
+        miss_mask = trace.miss_penalties > 0
+        lo = trace.hit_ends - origin
+        hi = trace.miss_ends - origin
+        per_access_pure = np.where(
+            miss_mask, pure_prefix[hi] - pure_prefix[lo], 0)
+
+        pure_miss_mask = per_access_pure > 0
+        memory_active = int(np.count_nonzero(
+            (hit_counts > 0) | (miss_counts > 0)))
+
+        return TraceStatistics(
+            accesses=len(trace),
+            misses=int(np.count_nonzero(miss_mask)),
+            pure_misses=int(np.count_nonzero(pure_miss_mask)),
+            total_hit_access_cycles=int(trace.hit_lengths.sum()),
+            total_miss_penalty_cycles=int(trace.miss_penalties.sum()),
+            total_pure_miss_access_cycles=int(per_access_pure.sum()),
+            hit_active_wall_cycles=int(np.count_nonzero(hit_counts > 0)),
+            pure_miss_wall_cycles=int(np.count_nonzero(pure_cycle_mask)),
+            memory_active_wall_cycles=memory_active,
+            span_cycles=trace.span,
+        )

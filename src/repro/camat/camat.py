@@ -1,0 +1,102 @@
+"""C-AMAT formula (paper Eq. 2) and the concurrency ratio (Eq. 3).
+
+``C-AMAT = H/C_H + pMR * pAMP/C_M`` where
+
+- ``C_H``: average hit concurrency (accesses in their hit window per
+  hit-active cycle),
+- ``pMR``: pure miss rate — fraction of accesses that are *pure* misses
+  (own at least one miss cycle with no concurrent hit activity),
+- ``pAMP``: average number of pure-miss cycles per pure miss,
+- ``C_M``: average pure-miss concurrency.
+
+The concurrency ``C = AMAT / C-AMAT`` (Eq. 3) is >= 1 in well-formed
+systems; ``C = 1`` recovers sequential AMAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.camat.amat import AMATParameters
+from repro.errors import InvalidParameterError
+
+__all__ = ["CAMATParameters", "camat", "concurrency_ratio"]
+
+
+@dataclass(frozen=True)
+class CAMATParameters:
+    """Parameters of Eq. 2.
+
+    Attributes
+    ----------
+    hit_time:
+        ``H``, cycles, ``> 0`` (same meaning as in AMAT).
+    hit_concurrency:
+        ``C_H >= 1`` (multi-port / multi-bank / pipelined caches).
+    pure_miss_rate:
+        ``pMR`` in ``[0, 1]``; always ``<= MR``.
+    pure_avg_miss_penalty:
+        ``pAMP >= 0``, pure-miss cycles per pure miss.
+    miss_concurrency:
+        ``C_M >= 1`` (non-blocking caches / MSHRs), defined whenever there
+        is at least one pure miss cycle.
+    """
+
+    hit_time: float
+    hit_concurrency: float
+    pure_miss_rate: float
+    pure_avg_miss_penalty: float
+    miss_concurrency: float
+
+    def __post_init__(self) -> None:
+        if self.hit_time <= 0:
+            raise InvalidParameterError(
+                f"hit time must be positive, got {self.hit_time}")
+        if self.hit_concurrency < 1.0:
+            raise InvalidParameterError(
+                f"C_H must be >= 1, got {self.hit_concurrency}")
+        if not 0.0 <= self.pure_miss_rate <= 1.0:
+            raise InvalidParameterError(
+                f"pMR must be in [0, 1], got {self.pure_miss_rate}")
+        if self.pure_avg_miss_penalty < 0:
+            raise InvalidParameterError(
+                f"pAMP must be >= 0, got {self.pure_avg_miss_penalty}")
+        if self.miss_concurrency < 1.0:
+            raise InvalidParameterError(
+                f"C_M must be >= 1, got {self.miss_concurrency}")
+
+    @property
+    def value(self) -> float:
+        """``H/C_H + pMR * pAMP / C_M`` in cycles per access."""
+        return (self.hit_time / self.hit_concurrency
+                + self.pure_miss_rate * self.pure_avg_miss_penalty
+                / self.miss_concurrency)
+
+    @classmethod
+    def sequential(cls, params: AMATParameters) -> "CAMATParameters":
+        """The no-concurrency special case (``C = 1``) of a given AMAT.
+
+        Sets ``C_H = C_M = 1``, ``pMR = MR`` and ``pAMP = AMP`` so that
+        ``value == AMAT`` (paper Section II-A).
+        """
+        return cls(hit_time=params.hit_time,
+                   hit_concurrency=1.0,
+                   pure_miss_rate=params.miss_rate,
+                   pure_avg_miss_penalty=params.avg_miss_penalty,
+                   miss_concurrency=1.0)
+
+
+def camat(hit_time: float, hit_concurrency: float, pure_miss_rate: float,
+          pure_avg_miss_penalty: float, miss_concurrency: float) -> float:
+    """Evaluate Eq. 2 directly."""
+    return CAMATParameters(hit_time, hit_concurrency, pure_miss_rate,
+                           pure_avg_miss_penalty, miss_concurrency).value
+
+
+def concurrency_ratio(amat_value: float, camat_value: float) -> float:
+    """Data access concurrency ``C = AMAT / C-AMAT`` (Eq. 3)."""
+    if amat_value <= 0 or camat_value <= 0:
+        raise InvalidParameterError(
+            f"AMAT and C-AMAT must be positive, got "
+            f"{amat_value} and {camat_value}")
+    return amat_value / camat_value

@@ -1,0 +1,176 @@
+"""Cycle-level memory access traces.
+
+A :class:`MemoryAccess` occupies a *hit window* of ``hit_cycles`` cycles
+starting at ``start`` (the cache lookup), followed for misses by a *miss
+window* of ``miss_penalty`` cycles.  Overlap between accesses is what
+creates hit concurrency (``C_H``) and hides miss cycles (the pure-miss
+semantics of C-AMAT, paper Fig. 1).
+
+:func:`fig1_trace` reconstructs the exact example of the paper's Fig. 1:
+five accesses, ``H = 3``; accesses 3 and 4 miss with penalties 3 and 1;
+access 4's single miss cycle is hidden by access 5's hit window, so only
+access 3 is a pure miss, with two pure miss cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = ["MemoryAccess", "AccessTrace", "fig1_trace"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory access on the cycle timeline.
+
+    Attributes
+    ----------
+    start:
+        First cycle of the hit window (cycles are integers; any origin).
+    hit_cycles:
+        Length of the hit window, ``>= 1`` (the hit time ``H`` of this
+        access).
+    miss_penalty:
+        Length of the miss window immediately following the hit window;
+        ``0`` means the access is a hit.
+    address:
+        Optional address tag (used by the simulator and workload
+        generators; ignored by the analyzer).
+    """
+
+    start: int
+    hit_cycles: int
+    miss_penalty: int = 0
+    address: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hit_cycles < 1:
+            raise TraceError(
+                f"hit window must last >= 1 cycle, got {self.hit_cycles}")
+        if self.miss_penalty < 0:
+            raise TraceError(
+                f"miss penalty must be >= 0, got {self.miss_penalty}")
+
+    @property
+    def is_miss(self) -> bool:
+        """Whether the access is a (conventional) miss."""
+        return self.miss_penalty > 0
+
+    @property
+    def hit_end(self) -> int:
+        """One past the last hit-window cycle."""
+        return self.start + self.hit_cycles
+
+    @property
+    def miss_end(self) -> int:
+        """One past the last miss-window cycle (== hit_end for hits)."""
+        return self.hit_end + self.miss_penalty
+
+    @property
+    def latency(self) -> int:
+        """Total cycles the access is outstanding."""
+        return self.hit_cycles + self.miss_penalty
+
+
+class AccessTrace:
+    """An ordered collection of :class:`MemoryAccess` objects.
+
+    The trace also exposes vectorized views (``starts``, ``hit_ends`` …)
+    used by :class:`repro.camat.analyzer.TraceAnalyzer` for O(cycles)
+    interval counting.
+    """
+
+    def __init__(self, accesses: Iterable[MemoryAccess]) -> None:
+        self._accesses: tuple[MemoryAccess, ...] = tuple(accesses)
+        if not self._accesses:
+            raise TraceError("trace must contain at least one access")
+        self.starts = np.array([a.start for a in self._accesses], dtype=np.int64)
+        self.hit_lengths = np.array(
+            [a.hit_cycles for a in self._accesses], dtype=np.int64)
+        self.miss_penalties = np.array(
+            [a.miss_penalty for a in self._accesses], dtype=np.int64)
+        self.hit_ends = self.starts + self.hit_lengths
+        self.miss_ends = self.hit_ends + self.miss_penalties
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._accesses)
+
+    def __getitem__(self, idx: int) -> MemoryAccess:
+        return self._accesses[idx]
+
+    @property
+    def accesses(self) -> Sequence[MemoryAccess]:
+        """The accesses, in construction order."""
+        return self._accesses
+
+    @property
+    def first_cycle(self) -> int:
+        """Earliest cycle touched by any access."""
+        return int(self.starts.min())
+
+    @property
+    def last_cycle(self) -> int:
+        """One past the latest cycle touched by any access."""
+        return int(self.miss_ends.max())
+
+    @property
+    def span(self) -> int:
+        """Number of cycles between the first and last activity."""
+        return self.last_cycle - self.first_cycle
+
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: np.ndarray,
+        hit_cycles: np.ndarray,
+        miss_penalties: np.ndarray,
+        addresses: "np.ndarray | None" = None,
+    ) -> "AccessTrace":
+        """Build a trace from parallel arrays (fast path for generators)."""
+        starts = np.asarray(starts, dtype=np.int64)
+        hits = np.asarray(hit_cycles, dtype=np.int64)
+        penalties = np.asarray(miss_penalties, dtype=np.int64)
+        if not (starts.shape == hits.shape == penalties.shape):
+            raise TraceError("parallel arrays must have identical shapes")
+        if addresses is None:
+            addresses = np.zeros_like(starts)
+        return cls(
+            MemoryAccess(int(s), int(h), int(p), int(a))
+            for s, h, p, a in zip(starts, hits, penalties, addresses))
+
+
+def fig1_trace() -> AccessTrace:
+    """The exact 5-access example of the paper's Fig. 1.
+
+    Layout (cycles 1..8):
+
+    ========  ===========  ============  =========================
+    access    hit window   miss window   notes
+    ========  ===========  ============  =========================
+    1         1-3          —             hit
+    2         1-3          —             hit
+    3         3-5          6-8           pure miss (cycles 7-8 pure)
+    4         3-5          6             hidden by access 5's hit
+    5         4-6          —             hit
+    ========  ===========  ============  =========================
+
+    Hit phases: concurrency (2, 4, 3, 1) lasting (2, 1, 2, 1) cycles, so
+    ``C_H = 15/6 = 5/2``; one pure-miss phase of concurrency 1 lasting 2
+    cycles, so ``C_M = 1``, ``pMR = 1/5``, ``pAMP = 2``.  C-AMAT = 1.6,
+    AMAT = 3.8.
+    """
+    return AccessTrace([
+        MemoryAccess(start=1, hit_cycles=3, miss_penalty=0),
+        MemoryAccess(start=1, hit_cycles=3, miss_penalty=0),
+        MemoryAccess(start=3, hit_cycles=3, miss_penalty=3),
+        MemoryAccess(start=3, hit_cycles=3, miss_penalty=1),
+        MemoryAccess(start=4, hit_cycles=3, miss_penalty=0),
+    ])

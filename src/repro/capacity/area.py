@@ -1,0 +1,57 @@
+"""Silicon area <-> cache capacity conversion.
+
+The paper's constraint (Eq. 12) is expressed in area units; the miss-rate
+curves are expressed in capacity.  :class:`AreaModel` performs the linear
+conversion (SRAM density), giving the optimizer a single consistent unit
+system.  Area is measured in the paper's abstract "area units" (the unit
+in which a baseline core has area ``A0``); we adopt mm^2-like units with a
+configurable density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["AreaModel"]
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Linear SRAM area/capacity model.
+
+    Attributes
+    ----------
+    kib_per_area_unit:
+        Cache capacity (KiB) per unit of silicon area.  The default (64)
+        roughly matches 45 nm SRAM density where a 1 mm^2 macro holds
+        ~64 KiB; any consistent value works because the optimizer only
+        depends on the product with the miss-rate curve's reference
+        capacity.
+    """
+
+    kib_per_area_unit: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.kib_per_area_unit <= 0:
+            raise InvalidParameterError(
+                f"density must be positive, got {self.kib_per_area_unit}")
+
+    def capacity_kib(self, area: "float | np.ndarray") -> "float | np.ndarray":
+        """Capacity of a cache occupying ``area`` area units."""
+        a = np.asarray(area, dtype=float)
+        if np.any(a < 0):
+            raise InvalidParameterError("area must be non-negative")
+        out = a * self.kib_per_area_unit
+        return float(out) if np.isscalar(area) else out
+
+    def area_for_capacity(self, capacity_kib: "float | np.ndarray") -> "float | np.ndarray":
+        """Area required for ``capacity_kib`` of cache."""
+        c = np.asarray(capacity_kib, dtype=float)
+        if np.any(c < 0):
+            raise InvalidParameterError("capacity must be non-negative")
+        out = c / self.kib_per_area_unit
+        return float(out) if np.isscalar(capacity_kib) else out

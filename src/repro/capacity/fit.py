@@ -1,0 +1,103 @@
+"""Empirical miss-rate curves measured from address streams.
+
+The analytic model assumes power-law miss curves; this module *measures*
+them: replay an address stream through tag stores of increasing capacity
+(our set-associative cache model) and fit ``MR(cap) = MR0 *
+(cap/cap0)^{-alpha}`` by least squares in log space.  This is how a
+practitioner calibrates :class:`repro.capacity.missrate.PowerLawMissRate`
+for a real workload, and how the test suite validates that the sqrt-2
+default is in the right regime for the synthetic suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.capacity.missrate import PowerLawMissRate
+from repro.errors import InvalidParameterError
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import CacheConfig
+
+__all__ = ["MissCurvePoint", "measure_miss_curve", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class MissCurvePoint:
+    """One measured (capacity, miss-rate) sample."""
+
+    capacity_kib: float
+    miss_rate: float
+
+
+def measure_miss_curve(
+    addresses: np.ndarray,
+    capacities_kib: "tuple[float, ...] | list[float]" = (
+        4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+    *,
+    assoc: int = 8,
+    line_bytes: int = 64,
+    warmup_fraction: float = 0.25,
+) -> list[MissCurvePoint]:
+    """Replay ``addresses`` at each capacity; return cold-excluded MRs.
+
+    The first ``warmup_fraction`` of the stream warms the tag store; the
+    miss rate is measured over the remainder (compulsory misses of the
+    warm region excluded, as in standard cache characterization).
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.ndim != 1 or addresses.size < 10:
+        raise InvalidParameterError("need a 1-D stream of >= 10 addresses")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise InvalidParameterError(
+            f"warmup fraction must be in [0,1), got {warmup_fraction}")
+    split = int(addresses.size * warmup_fraction)
+    points: list[MissCurvePoint] = []
+    for cap in capacities_kib:
+        if cap <= 0:
+            raise InvalidParameterError(f"capacity must be > 0, got {cap}")
+        cache = SetAssociativeCache(CacheConfig(
+            size_kib=cap, assoc=assoc, line_bytes=line_bytes))
+        for a in addresses[:split]:
+            cache.access(int(a))
+        cache.reset_stats()
+        for a in addresses[split:]:
+            cache.access(int(a))
+        points.append(MissCurvePoint(capacity_kib=float(cap),
+                                     miss_rate=cache.miss_rate))
+    return points
+
+
+def fit_power_law(
+    points: "list[MissCurvePoint]",
+    *,
+    compulsory_floor: float = 1e-4,
+) -> PowerLawMissRate:
+    """Least-squares log-log fit of a power-law miss curve.
+
+    Samples at zero miss rate (fully resident) are excluded from the fit
+    but lower-bound the compulsory floor.  Raises if fewer than two
+    nonzero samples remain or the fitted exponent is non-positive
+    (capacity-insensitive stream).
+    """
+    nz = [p for p in points if p.miss_rate > 0.0]
+    if len(nz) < 2:
+        raise InvalidParameterError(
+            "need >= 2 nonzero miss-rate samples to fit")
+    caps = np.array([p.capacity_kib for p in nz])
+    mrs = np.array([p.miss_rate for p in nz])
+    slope, intercept = np.polyfit(np.log(caps), np.log(mrs), 1)
+    alpha = -float(slope)
+    if alpha <= 1e-6:
+        raise InvalidParameterError(
+            f"fitted exponent {alpha:.3f} <= 0: stream is not "
+            "capacity-sensitive in this range")
+    base_cap = float(np.exp(np.mean(np.log(caps))))
+    base_mr = float(np.exp(intercept + slope * np.log(base_cap)))
+    return PowerLawMissRate(
+        base_miss_rate=min(max(base_mr, 1e-6), 1.0),
+        base_capacity_kib=base_cap,
+        alpha=alpha,
+        compulsory_floor=min(compulsory_floor, base_mr),
+    )

@@ -1,0 +1,94 @@
+"""Miss-rate-vs-capacity curves.
+
+The C2-Bound optimizer needs C-AMAT as a function of cache areas
+``A1, A2``; the link is a miss-rate curve.  We use the classical power law
+``MR(cap) = MR0 * (cap/cap0)^{-alpha}`` (alpha ~ 0.5 is the "sqrt-2
+rule": doubling the cache cuts misses by sqrt(2)), floored at a compulsory
+miss rate and capped at 1.  The curve is exactly what makes the paper's
+throughput curves (Figs. 10-11) peak at a finite core count: more cores
+mean smaller per-core caches, higher miss rate and higher C-AMAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["MissRateCurve", "PowerLawMissRate"]
+
+
+class MissRateCurve:
+    """Interface: map cache capacity (KiB) to a miss rate in ``[0, 1]``."""
+
+    def miss_rate(self, capacity_kib: "float | np.ndarray") -> "float | np.ndarray":
+        """Miss rate at the given capacity."""
+        raise NotImplementedError
+
+    def derivative(self, capacity_kib: float, *, step: float = 1e-4) -> float:
+        """d(miss rate)/d(capacity); central difference by default."""
+        h = step * max(abs(capacity_kib), 1.0)
+        up = float(self.miss_rate(capacity_kib + h))
+        dn = float(self.miss_rate(max(capacity_kib - h, 1e-12)))
+        return (up - dn) / (2.0 * h)
+
+
+@dataclass(frozen=True)
+class PowerLawMissRate(MissRateCurve):
+    """``MR(cap) = clip(MR0 * (cap/cap0)^{-alpha}, floor, 1)``.
+
+    Attributes
+    ----------
+    base_miss_rate:
+        ``MR0``, miss rate at the reference capacity, in ``(0, 1]``.
+    base_capacity_kib:
+        ``cap0``, reference capacity in KiB, ``> 0``.
+    alpha:
+        Power-law exponent, ``> 0`` (0.5 is the sqrt-2 rule).
+    compulsory_floor:
+        Lower bound modeling compulsory misses, in ``[0, base_miss_rate]``.
+    """
+
+    base_miss_rate: float = 0.05
+    base_capacity_kib: float = 256.0
+    alpha: float = 0.5
+    compulsory_floor: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_miss_rate <= 1.0:
+            raise InvalidParameterError(
+                f"base miss rate must be in (0, 1], got {self.base_miss_rate}")
+        if self.base_capacity_kib <= 0:
+            raise InvalidParameterError(
+                f"base capacity must be positive, got {self.base_capacity_kib}")
+        if self.alpha <= 0:
+            raise InvalidParameterError(
+                f"alpha must be positive, got {self.alpha}")
+        if not 0.0 <= self.compulsory_floor <= self.base_miss_rate:
+            raise InvalidParameterError(
+                "compulsory floor must be in [0, base miss rate], got "
+                f"{self.compulsory_floor}")
+
+    def miss_rate(self, capacity_kib: "float | np.ndarray") -> "float | np.ndarray":
+        cap = np.asarray(capacity_kib, dtype=float)
+        if np.any(cap <= 0):
+            raise InvalidParameterError("capacity must be positive")
+        raw = self.base_miss_rate * (cap / self.base_capacity_kib) ** (-self.alpha)
+        out = np.clip(raw, self.compulsory_floor, 1.0)
+        return float(out) if np.isscalar(capacity_kib) else out
+
+    def capacity_for_miss_rate(self, target: float) -> float:
+        """Invert the (unclipped) power law: capacity achieving ``target``.
+
+        Raises if the target is below the compulsory floor (unreachable).
+        """
+        if not 0.0 < target <= 1.0:
+            raise InvalidParameterError(
+                f"target miss rate must be in (0, 1], got {target}")
+        if target < self.compulsory_floor:
+            raise InvalidParameterError(
+                f"target {target} is below the compulsory floor "
+                f"{self.compulsory_floor}")
+        return self.base_capacity_kib * (target / self.base_miss_rate) ** (-1.0 / self.alpha)

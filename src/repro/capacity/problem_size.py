@@ -1,0 +1,120 @@
+"""On-chip-memory-bounded problem size (paper Section V).
+
+With on-chip memory size ``X``, working-set size ``Y(Z)`` (a function of
+the problem size ``Z``), the LLC-bounded problem size is
+
+    max Z  s.t.  Y(Z) <= X.
+
+If the real problem size ``b`` is at most the bounded size ``a`` the
+application is *processor-bound* (case 1: insensitive to on-chip capacity
+and concurrency); otherwise it is *memory-bound* (case 2: performance
+limited by the processor-DRAM transfer rate).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["BoundednessCase", "CapacityBound", "max_bounded_problem_size",
+           "classify_boundedness"]
+
+
+class BoundednessCase(enum.Enum):
+    """Section V's two cases."""
+
+    PROCESSOR_BOUND = "processor-bound"
+    MEMORY_BOUND = "memory-bound"
+
+
+def max_bounded_problem_size(
+    working_set_of: Callable[[float], float],
+    on_chip_capacity: float,
+    *,
+    z_hi: float = 1e18,
+    tol: float = 1e-9,
+) -> float:
+    """Solve ``max Z s.t. working_set_of(Z) <= on_chip_capacity``.
+
+    ``working_set_of`` must be non-decreasing in ``Z`` (more work touches
+    at least as much data); the solution is found by bisection after an
+    exponential bracketing pass.
+
+    Returns
+    -------
+    float
+        The largest feasible ``Z`` (0 if even Z -> 0+ is infeasible).
+    """
+    if on_chip_capacity <= 0:
+        raise InvalidParameterError(
+            f"on-chip capacity must be positive, got {on_chip_capacity}")
+    lo = 0.0
+    if working_set_of(tol) > on_chip_capacity:
+        return 0.0
+    # Exponential search for an infeasible upper bracket.
+    hi = 1.0
+    while working_set_of(hi) <= on_chip_capacity:
+        lo = hi
+        hi *= 2.0
+        if hi > z_hi:
+            return z_hi  # unbounded within the search range
+    # Bisection on the boundary.
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if working_set_of(mid) <= on_chip_capacity:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * max(1.0, lo):
+            break
+    return lo
+
+
+@dataclass(frozen=True)
+class CapacityBound:
+    """Result of the Section V boundedness analysis.
+
+    Attributes
+    ----------
+    bounded_problem_size:
+        ``a``: largest problem size whose working set fits on chip.
+    actual_problem_size:
+        ``b``: the application's real problem size.
+    case:
+        Processor-bound (``b <= a``) or memory-bound (``b > a``).
+    utilization:
+        ``b / a`` (how far past the capacity bound the problem is);
+        ``inf`` when ``a == 0``.
+    """
+
+    bounded_problem_size: float
+    actual_problem_size: float
+    case: BoundednessCase
+
+    @property
+    def utilization(self) -> float:
+        if self.bounded_problem_size == 0.0:
+            return math.inf
+        return self.actual_problem_size / self.bounded_problem_size
+
+
+def classify_boundedness(
+    working_set_of: Callable[[float], float],
+    on_chip_capacity: float,
+    actual_problem_size: float,
+) -> CapacityBound:
+    """Classify an application per Section V's two cases."""
+    if actual_problem_size <= 0:
+        raise InvalidParameterError(
+            f"problem size must be positive, got {actual_problem_size}")
+    bounded = max_bounded_problem_size(working_set_of, on_chip_capacity)
+    case = (BoundednessCase.PROCESSOR_BOUND
+            if actual_problem_size <= bounded
+            else BoundednessCase.MEMORY_BOUND)
+    return CapacityBound(bounded_problem_size=bounded,
+                         actual_problem_size=actual_problem_size,
+                         case=case)

@@ -1,0 +1,85 @@
+"""Denning's working-set model (paper §V, refs [28][29]).
+
+The working set ``W(t, tau)`` is the set of distinct addresses referenced
+in the window ``(t - tau, t]``.  Section V uses the *working set size* to
+decide whether an application is processor-bound (working set fits
+on-chip) or memory-bound.
+
+Implementation: a sliding-window distinct counter over an address stream,
+vectorized with the classic "last previous occurrence" trick — address
+``a`` at position ``i`` is *new within the window* iff its previous
+occurrence is at distance >= tau — which turns per-window distinct
+counting into a single prefix sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["working_set_sizes", "working_set_size"]
+
+
+def working_set_sizes(addresses: np.ndarray, window: int) -> np.ndarray:
+    """Working-set size at every reference position.
+
+    Parameters
+    ----------
+    addresses:
+        1-D integer address stream (block/page identifiers).
+    window:
+        Window length ``tau`` in references, ``>= 1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``ws[i]`` = number of distinct addresses among
+        ``addresses[max(0, i - window + 1) : i + 1]``.
+    """
+    addr = np.asarray(addresses)
+    if addr.ndim != 1 or addr.size == 0:
+        raise InvalidParameterError("addresses must be a non-empty 1-D array")
+    if window < 1:
+        raise InvalidParameterError(f"window must be >= 1, got {window}")
+    n = addr.size
+    # prev[i]: index of the previous occurrence of addr[i], or -1.
+    _, inverse = np.unique(addr, return_inverse=True)
+    last_seen = np.full(int(inverse.max()) + 1, -1, dtype=np.int64)
+    prev = np.empty(n, dtype=np.int64)
+    for i in range(n):  # tight loop, but single pass; fine for trace sizes
+        a = inverse[i]
+        prev[i] = last_seen[a]
+        last_seen[a] = i
+    # addr[i] starts a "distinct interval" [i, next occurrence).  Position
+    # i contributes +1 to windows ending in [i, i + gap) where gap is the
+    # distance to the next occurrence (or n).  Equivalently, the window
+    # ending at j counts position i as distinct iff i is the last
+    # occurrence of its address within the window:
+    #   distinct(j) = #{ i in (j - window, j] : next_occ(i) > j }
+    # Build next occurrence from prev.
+    next_occ = np.full(n, n, dtype=np.int64)
+    has_prev = prev >= 0
+    next_occ[prev[has_prev]] = np.flatnonzero(has_prev)
+    # For window ending at j: count i in [j-window+1, j] with next_occ[i] > j.
+    # Do it with a difference array: position i is counted in windows
+    # j in [i, min(next_occ[i], i + window) - 1].
+    idx = np.arange(n, dtype=np.int64)
+    hi = np.minimum(next_occ, idx + window)  # exclusive end
+    diff = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(diff, idx, 1)
+    np.add.at(diff, hi, -1)
+    return np.cumsum(diff[:-1])
+
+
+def working_set_size(addresses: np.ndarray, window: "int | None" = None) -> int:
+    """Peak working-set size of a stream.
+
+    With ``window=None`` the whole stream is one window (total footprint).
+    """
+    addr = np.asarray(addresses)
+    if addr.ndim != 1 or addr.size == 0:
+        raise InvalidParameterError("addresses must be a non-empty 1-D array")
+    if window is None:
+        return int(np.unique(addr).size)
+    return int(working_set_sizes(addr, window).max())

@@ -1,0 +1,156 @@
+"""Application characterization: the first step of APS (paper Fig. 5).
+
+"For each application, using tools to measure f_mem, C-AMAT, and other
+parameters" — the paper uses PAPI/HPCToolkit on hardware and GEM5 +
+DRAMSim2 in simulation.  Here the measurement substrate is our CMP
+simulator plus the HCD/MCD detector:
+
+- ``f_mem``          from the executed instruction mix,
+- ``C-AMAT`` and ``C`` from the per-core traces (cross-checked against
+  the online detector),
+- the working set  from the address stream (Denning),
+- ``g``             from the workload's declared complexity, or fitted
+  empirically from two problem scales,
+- ``f_seq``         from the workload's declared profile (a dynamic
+  sequential-fraction measurement needs program structure a trace does
+  not carry).
+
+The result is an :class:`repro.core.params.ApplicationProfile` ready for
+the optimizer — closing the characterize -> optimize -> simulate loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.camat.analyzer import TraceAnalyzer, TraceStatistics
+from repro.capacity.workingset import working_set_size
+from repro.core.params import ApplicationProfile
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import GFunction, PowerLawG
+from repro.sim.cmp import CMPSimulator, SimulationResult
+from repro.sim.config import SimulatedChip
+from repro.workloads.base import Workload
+
+__all__ = ["CharacterizationReport", "characterize", "fit_g_exponent"]
+
+
+@dataclass(frozen=True)
+class CharacterizationReport:
+    """Measured inputs for the C2-Bound model.
+
+    Attributes
+    ----------
+    profile:
+        The assembled :class:`ApplicationProfile`.
+    per_core:
+        Per-core trace statistics (C-AMAT parameters).
+    simulation:
+        The raw simulation result the measurement came from.
+    working_set_kib:
+        Measured footprint of the address streams.
+    """
+
+    profile: ApplicationProfile
+    per_core: tuple[TraceStatistics, ...]
+    simulation: SimulationResult
+    working_set_kib: float
+
+    @property
+    def mean_concurrency(self) -> float:
+        """Access-weighted mean ``C`` across cores."""
+        total = sum(s.accesses for s in self.per_core)
+        return sum(s.concurrency * s.accesses for s in self.per_core) / total
+
+    @property
+    def mean_camat(self) -> float:
+        """Access-weighted mean C-AMAT across cores."""
+        total = sum(s.accesses for s in self.per_core)
+        return sum(s.camat * s.accesses for s in self.per_core) / total
+
+
+def characterize(
+    workload: Workload,
+    chip: "SimulatedChip | None" = None,
+    *,
+    seed: int = 42,
+    g: "GFunction | None" = None,
+    line_bytes: int = 64,
+) -> CharacterizationReport:
+    """Measure a workload on the simulator and assemble its profile.
+
+    Parameters
+    ----------
+    workload:
+        The workload to characterize.
+    chip:
+        Measurement platform (a default 4-core chip if omitted) — the
+        paper stresses that C-AMAT parameters are platform-dependent,
+        which is why APS re-simulates candidate designs afterwards.
+    seed:
+        Stream generation seed.
+    g:
+        Override for the scale function; defaults to the workload's
+        declared ``g``.
+    line_bytes:
+        Granularity for the working-set measurement.
+    """
+    chip = chip if chip is not None else SimulatedChip(n_cores=4)
+    rng = np.random.default_rng(seed)
+    streams = workload.streams(chip.n_cores, rng)
+    if not streams:
+        raise InvalidParameterError("workload produced no streams")
+    result = CMPSimulator(chip).run(streams)
+    analyzer = TraceAnalyzer()
+    per_core = tuple(analyzer.analyze(core.trace())
+                     for core in result.cores if core.mem_ops > 0)
+    if not per_core:
+        raise InvalidParameterError("workload executed no memory accesses")
+    declared = workload.characteristics()
+    all_lines = np.concatenate([stream[0] // line_bytes
+                                for stream in streams])
+    ws_kib = working_set_size(all_lines) * line_bytes / 1024.0
+    total_acc = sum(s.accesses for s in per_core)
+    c_mean = sum(s.concurrency * s.accesses for s in per_core) / total_acc
+    f_mem = (sum(c.mem_ops for c in result.cores)
+             / max(result.total_instructions, 1))
+    profile = ApplicationProfile(
+        name=workload.name,
+        f_seq=declared.f_seq,
+        f_mem=float(np.clip(f_mem, 1e-6, 1.0)),
+        g=g if g is not None else declared.g,
+        concurrency=max(c_mean, 1.0),
+        ic0=float(result.total_instructions),
+        base_working_set_kib=max(ws_kib, 1e-3),
+    )
+    return CharacterizationReport(
+        profile=profile,
+        per_core=per_core,
+        simulation=result,
+        working_set_kib=ws_kib,
+    )
+
+
+def fit_g_exponent(
+    small_scale: tuple[float, float],
+    large_scale: tuple[float, float],
+) -> PowerLawG:
+    """Fit a power-law ``g`` from two (memory, work) measurements.
+
+    ``W = h(M) = a * M^b`` gives ``g(N) = N^b`` with
+    ``b = log(W2/W1) / log(M2/M1)`` — the empirical version of the
+    Table I derivation for applications without known complexity.
+    """
+    m1, w1 = small_scale
+    m2, w2 = large_scale
+    if min(m1, w1, m2, w2) <= 0:
+        raise InvalidParameterError("measurements must be positive")
+    if m2 == m1:
+        raise InvalidParameterError("need two distinct memory scales")
+    b = float(np.log(w2 / w1) / np.log(m2 / m1))
+    if b < 0:
+        raise InvalidParameterError(
+            f"work decreased with memory (b={b:.3f}); not a power law")
+    return PowerLawG(exponent=b, name="fitted")

@@ -1,0 +1,207 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    c2bound list
+    c2bound fig1
+    c2bound fig8 [--out results/]
+    c2bound all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.io.results import ResultTable
+
+__all__ = ["main"]
+
+
+def _fig8() -> ResultTable:
+    from repro.experiments import run_scaling_figure
+    return run_scaling_figure(f_mem=0.3, quantity="WT")
+
+
+def _fig9() -> ResultTable:
+    from repro.experiments import run_scaling_figure
+    return run_scaling_figure(f_mem=0.9, quantity="WT")
+
+
+def _fig10() -> ResultTable:
+    from repro.experiments import run_scaling_figure
+    return run_scaling_figure(f_mem=0.3, quantity="throughput")
+
+
+def _fig11() -> ResultTable:
+    from repro.experiments import run_scaling_figure
+    return run_scaling_figure(f_mem=0.9, quantity="throughput")
+
+
+def _fig12() -> ResultTable:
+    from repro.experiments import run_fig12
+    table, _ = run_fig12()
+    return table
+
+
+def _fig1() -> ResultTable:
+    from repro.experiments import run_fig1
+    return run_fig1()
+
+
+def _table1() -> ResultTable:
+    from repro.experiments import run_table1
+    return run_table1()
+
+
+def _fig7() -> ResultTable:
+    from repro.experiments import run_fig7
+    return run_fig7()
+
+
+def _fig13() -> ResultTable:
+    from repro.experiments import run_fig13
+    return run_fig13()
+
+
+def _capacity() -> ResultTable:
+    from repro.experiments import run_capacity_bound
+    return run_capacity_bound()
+
+
+def _aps_accuracy() -> ResultTable:
+    from repro.experiments import run_aps_accuracy
+    table, _ = run_aps_accuracy()
+    return table
+
+
+def _calibration() -> ResultTable:
+    from repro.experiments.calibration import run_calibration
+    table, rho = run_calibration()
+    print(f"[fitted-vs-simulated miss-rate rank correlation: {rho:.3f}]")
+    return table
+
+
+def _mechanisms() -> ResultTable:
+    from repro.experiments.mechanisms import run_mechanism_sweep
+    return run_mechanism_sweep()
+
+
+def _validation() -> ResultTable:
+    from repro.experiments.validation import run_model_validation
+    table, rho = run_model_validation()
+    print(f"[Spearman rank correlation: {rho:.3f}]")
+    return table
+
+
+def _ablation_factors() -> ResultTable:
+    from repro.experiments.ablation import run_factor_ablation
+    return run_factor_ablation()
+
+
+def _ablation_miss_curve() -> ResultTable:
+    from repro.experiments.ablation import run_miss_curve_ablation
+    return run_miss_curve_ablation()
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], ResultTable]]] = {
+    "fig1": ("C-AMAT worked example (exact match)", _fig1),
+    "table1": ("g(N) factors of Table I", _table1),
+    "fig7": ("core allocation for multiple tasks", _fig7),
+    "fig8": ("W and T vs N, f_mem=0.3", _fig8),
+    "fig9": ("W and T vs N, f_mem=0.9", _fig9),
+    "fig10": ("throughput W/T vs N, f_mem=0.3", _fig10),
+    "fig11": ("throughput W/T vs N, f_mem=0.9", _fig11),
+    "fig12": ("simulation counts: APS vs ANN vs full sweep", _fig12),
+    "fig13": ("APC per memory layer", _fig13),
+    "capacity": ("Section V capacity-bounded problem size", _capacity),
+    "aps-accuracy": ("Section IV APS error vs full sweep", _aps_accuracy),
+    "validation": ("analytic model vs simulator rank agreement",
+                   _validation),
+    "mechanisms": ("concurrency mechanisms vs C-AMAT parameters",
+                   _mechanisms),
+    "calibration": ("fitted miss curves vs simulation", _calibration),
+    "ablation-factors": ("ablate the concurrency/capacity factors",
+                         _ablation_factors),
+    "ablation-miss-curve": ("ablate the miss-curve exponent",
+                            _ablation_miss_curve),
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for the ``c2bound`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="c2bound",
+        description="Regenerate tables/figures of the C2-Bound paper "
+                    "(Liu & Sun, SC'15).")
+    parser.add_argument("experiment",
+                        help="experiment id, 'list', 'all', or "
+                             "'characterize'")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for CSV output (optional)")
+    parser.add_argument("--workload", default="fluidanimate",
+                        help="workload name for 'characterize' "
+                             "(a PARSEC-like profile)")
+    parser.add_argument("--n-ops", type=int, default=8000,
+                        help="memory operations for 'characterize'")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (desc, _fn) in EXPERIMENTS.items():
+            print(f"{key:20s} {desc}")
+        print(f"{'characterize':20s} measure a workload's C2-Bound profile "
+              "(--workload, --n-ops)")
+        return 0
+
+    if args.experiment == "characterize":
+        return _characterize_command(args)
+
+    keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [k for k in keys if k not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try 'c2bound list'", file=sys.stderr)
+        return 2
+    for key in keys:
+        _desc, fn = EXPERIMENTS[key]
+        table = fn()
+        print(table.render())
+        print()
+        if args.out is not None:
+            path = table.save_csv(args.out / f"{key}.csv")
+            print(f"[saved {path}]")
+    return 0
+
+
+def _characterize_command(args) -> int:
+    """Measure a workload's profile and print the model inputs."""
+    from repro.characterize import characterize
+    from repro.workloads.parsec import PARSEC_LIKE, parsec_like
+
+    if args.workload not in PARSEC_LIKE:
+        print(f"unknown workload {args.workload!r}; "
+              f"available: {', '.join(sorted(PARSEC_LIKE))}",
+              file=sys.stderr)
+        return 2
+    workload = parsec_like(args.workload, n_ops=args.n_ops)
+    report = characterize(workload)
+    profile = report.profile
+    table = ResultTable(["parameter", "value"],
+                        title=f"Characterization: {args.workload}")
+    table.add_row("f_mem", profile.f_mem)
+    table.add_row("concurrency C", profile.concurrency)
+    table.add_row("C-AMAT (cycles/access)", report.mean_camat)
+    table.add_row("working set (KiB)", report.working_set_kib)
+    table.add_row("instructions", profile.ic0)
+    table.add_row("g(N) regime", profile.g.regime())
+    print(table.render())
+    if args.out is not None:
+        path = table.save_csv(args.out / f"characterize_{args.workload}.csv")
+        print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Chip configurations — the decision variables of Eq. 13.
+
+A :class:`ChipConfig` is the symmetric-CMP skeleton the paper optimizes:
+core count ``N`` and the per-core silicon split ``(A0, A1, A2)``.  The
+remaining microarchitecture parameters refined by simulation in the APS
+flow (issue width, ROB size) live in
+:class:`repro.sim.config.CoreMicroConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ChipConfig"]
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A symmetric CMP design point.
+
+    Attributes
+    ----------
+    n:
+        Number of cores, ``>= 1``.
+    a0:
+        Core-logic area per core (excluding caches), ``> 0``.
+    a1:
+        Private (L1) cache area per core, ``> 0``.
+    a2:
+        L2 cache area allocated per core, ``> 0``.
+    """
+
+    n: int
+    a0: float
+    a1: float
+    a2: float
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise InvalidParameterError(f"core count must be >= 1, got {self.n}")
+        if self.a0 <= 0 or self.a1 <= 0 or self.a2 <= 0:
+            raise InvalidParameterError(
+                f"areas must be positive, got ({self.a0}, {self.a1}, {self.a2})")
+
+    @property
+    def per_core_area(self) -> float:
+        """``A0 + A1 + A2``."""
+        return self.a0 + self.a1 + self.a2
+
+    @property
+    def cores_area(self) -> float:
+        """``N * (A0 + A1 + A2)`` — the variable part of Eq. 12."""
+        return self.n * self.per_core_area
+
+    def total_area(self, shared_area: float) -> float:
+        """Eq. 12's left-hand side: ``N(A0+A1+A2) + Ac``."""
+        if shared_area < 0:
+            raise InvalidParameterError(
+                f"shared area must be >= 0, got {shared_area}")
+        return self.cores_area + shared_area

@@ -1,0 +1,86 @@
+"""Physical constraints of the optimization (paper Section III-B).
+
+- Pollack's rule (Eq. 11): core performance grows with the square root of
+  its complexity (area), so ``CPI_exe = k0 * A0^{-1/2} + phi0``.
+- The silicon budget (Eq. 12): ``A = N(A0 + A1 + A2) + Ac``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chip import ChipConfig
+from repro.core.params import MachineParameters
+from repro.errors import InvalidParameterError
+
+__all__ = ["pollack_cpi", "pollack_core_area", "AreaBudget"]
+
+
+def pollack_cpi(
+    a0: "float | np.ndarray",
+    k0: float = 1.0,
+    phi0: float = 0.2,
+) -> "float | np.ndarray":
+    """Eq. 11: ``CPI_exe = k0 * A0^{-1/2} + phi0``.
+
+    Parameters
+    ----------
+    a0:
+        Core-logic area (scalar or array), ``> 0``.
+    k0, phi0:
+        Microarchitecture constants (``k0 > 0``, ``phi0 >= 0``).
+    """
+    a = np.asarray(a0, dtype=float)
+    if np.any(a <= 0):
+        raise InvalidParameterError("core area must be positive")
+    if k0 <= 0:
+        raise InvalidParameterError(f"k0 must be positive, got {k0}")
+    if phi0 < 0:
+        raise InvalidParameterError(f"phi0 must be >= 0, got {phi0}")
+    out = k0 / np.sqrt(a) + phi0
+    return float(out) if np.isscalar(a0) else out
+
+
+def pollack_core_area(cpi_exe: float, k0: float = 1.0, phi0: float = 0.2) -> float:
+    """Invert Eq. 11: the core area achieving a target ``CPI_exe``."""
+    if cpi_exe <= phi0:
+        raise InvalidParameterError(
+            f"CPI_exe={cpi_exe} unreachable (floor is phi0={phi0})")
+    return (k0 / (cpi_exe - phi0)) ** 2
+
+
+@dataclass(frozen=True)
+class AreaBudget:
+    """The Eq. 12 constraint ``N(A0+A1+A2) + Ac <= A``.
+
+    The paper treats it as an equality at the optimum (the Lagrangian
+    multiplier is active); this class provides both the residual used by
+    the Newton solver and feasibility checks used by grid methods.
+    """
+
+    machine: MachineParameters
+
+    def residual(self, config: ChipConfig) -> float:
+        """``N(A0+A1+A2) + Ac - A`` (zero at an active constraint)."""
+        return (config.total_area(self.machine.shared_area)
+                - self.machine.total_area)
+
+    def is_feasible(self, config: ChipConfig, *, tol: float = 1e-9) -> bool:
+        """Whether the configuration fits the chip (with minimum sizes)."""
+        m = self.machine
+        return (self.residual(config) <= tol
+                and config.a0 >= m.min_core_area - tol
+                and config.a1 >= m.min_cache_area - tol
+                and config.a2 >= m.min_cache_area - tol)
+
+    def per_core_budget(self, n: int) -> float:
+        """``(A - Ac) / N`` — per-core area when the constraint is active."""
+        if n < 1:
+            raise InvalidParameterError(f"core count must be >= 1, got {n}")
+        return self.machine.core_budget_area / n
+
+    def max_feasible_cores(self) -> int:
+        """Largest ``N`` for which minimum-sized cores fit."""
+        return self.machine.max_cores

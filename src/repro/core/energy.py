@@ -1,0 +1,177 @@
+"""Energy extension (paper Section VII future work).
+
+"The object function in Eq. 10 can be reshaped to achieve a balance
+among performance, power, energy and temperature."  This module supplies
+the standard CMOS-style chip power model used by the Amdahl's-law energy
+corollaries the paper cites (Woo & Lee; Cho & Melhem):
+
+- dynamic power proportional to active silicon area,
+- static (leakage) power proportional to *all* powered area,
+- idle cores burn only leakage (fraction ``idle_leakage``).
+
+The energy of a run is ``E = P_active * T_busy + P_idle * T_idle``
+evaluated over the serial and parallel phases of the Eq. 10 schedule,
+and the multi-objective knob is the classic ``E * T^w`` family
+(``w = 0`` minimizes energy, ``w = 1`` EDP, ``w = 2`` ED²P).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import ChipConfig
+from repro.core.optimizer import C2BoundOptimizer, DesignPoint
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.solvers import integer_minimize
+
+__all__ = ["PowerModel", "EnergyReport", "energy_of_design",
+           "EnergyAwareOptimizer"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Area-proportional chip power model.
+
+    Attributes
+    ----------
+    dynamic_per_area:
+        Dynamic power per active area unit (W/unit).
+    static_per_area:
+        Leakage per powered area unit (W/unit).
+    idle_leakage:
+        Fraction of dynamic power an idle-but-powered core still burns
+        (clock/gating inefficiency), in ``[0, 1]``.
+    shared_power:
+        Constant power of the shared uncore (NoC, memory controllers).
+    """
+
+    dynamic_per_area: float = 1.0
+    static_per_area: float = 0.1
+    idle_leakage: float = 0.1
+    shared_power: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.dynamic_per_area < 0 or self.static_per_area < 0:
+            raise InvalidParameterError("power densities must be >= 0")
+        if not 0.0 <= self.idle_leakage <= 1.0:
+            raise InvalidParameterError(
+                f"idle leakage must be in [0,1], got {self.idle_leakage}")
+        if self.shared_power < 0:
+            raise InvalidParameterError("shared power must be >= 0")
+
+    def core_power(self, config: ChipConfig, active: bool) -> float:
+        """Power of one core (logic + private caches)."""
+        area = config.per_core_area
+        static = self.static_per_area * area
+        dynamic = self.dynamic_per_area * area
+        return static + (dynamic if active else self.idle_leakage * dynamic)
+
+    def chip_power(self, config: ChipConfig, active_cores: int) -> float:
+        """Total chip power with ``active_cores`` of ``config.n`` busy."""
+        if not 0 <= active_cores <= config.n:
+            raise InvalidParameterError(
+                f"active cores {active_cores} outside [0, {config.n}]")
+        busy = active_cores * self.core_power(config, True)
+        idle = (config.n - active_cores) * self.core_power(config, False)
+        return busy + idle + self.shared_power
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy decomposition of one design point's run.
+
+    Attributes
+    ----------
+    serial_energy:
+        Energy of the serial phase (one core busy, rest idle).
+    parallel_energy:
+        Energy of the parallel phase (all cores busy).
+    execution_time:
+        Total time (== the design point's Eq. 10 value).
+    """
+
+    serial_energy: float
+    parallel_energy: float
+    execution_time: float
+
+    @property
+    def total_energy(self) -> float:
+        return self.serial_energy + self.parallel_energy
+
+    @property
+    def average_power(self) -> float:
+        if self.execution_time == 0:
+            return 0.0
+        return self.total_energy / self.execution_time
+
+    def objective(self, time_weight: float = 1.0) -> float:
+        """``E * T^w``: 0 = energy, 1 = EDP, 2 = ED^2P."""
+        if time_weight < 0:
+            raise InvalidParameterError(
+                f"time weight must be >= 0, got {time_weight}")
+        return self.total_energy * self.execution_time ** time_weight
+
+
+def energy_of_design(point: DesignPoint, app: ApplicationProfile,
+                     machine: MachineParameters,
+                     power: PowerModel) -> EnergyReport:
+    """Energy of executing ``app`` on a design point.
+
+    The Eq. 10 schedule splits into a serial phase (duration
+    ``f_seq``-share of the time scaling) and a parallel phase; the power
+    model integrates over both.
+    """
+    n = point.config.n
+    g_n = point.problem_size / app.ic0
+    scale = app.f_seq + g_n * (1.0 - app.f_seq) / n
+    if scale <= 0:
+        raise InvalidParameterError("degenerate time scaling")
+    serial_frac = app.f_seq / scale
+    t_serial = point.execution_time * serial_frac
+    t_parallel = point.execution_time - t_serial
+    p_serial = power.chip_power(point.config, active_cores=1)
+    p_parallel = power.chip_power(point.config, active_cores=n)
+    return EnergyReport(
+        serial_energy=p_serial * t_serial,
+        parallel_energy=p_parallel * t_parallel,
+        execution_time=point.execution_time,
+    )
+
+
+class EnergyAwareOptimizer:
+    """Minimize ``E * T^w`` over the core count (Eq. 10 + power model).
+
+    Reuses the C2-Bound area-split machinery per candidate ``N``; the
+    energy objective replaces the paper's pure-performance case split
+    (an energy-optimal design exists even for case-I workloads because
+    leakage grows with core count).
+    """
+
+    def __init__(self, app: ApplicationProfile, machine: MachineParameters,
+                 power: "PowerModel | None" = None) -> None:
+        self.app = app
+        self.machine = machine
+        self.power = power if power is not None else PowerModel()
+        self._inner = C2BoundOptimizer(app, machine)
+
+    def evaluate(self, n: int) -> tuple[DesignPoint, EnergyReport]:
+        """Design point + energy report for ``n`` cores."""
+        point = self._inner.evaluate(n)
+        report = energy_of_design(point, self.app, self.machine, self.power)
+        return point, report
+
+    def optimize(self, *, time_weight: float = 1.0, n_min: int = 1,
+                 n_max: "int | None" = None) -> tuple[DesignPoint, EnergyReport]:
+        """Search the integer ``N`` axis for the ``E * T^w`` optimum."""
+        if n_max is None:
+            n_max = self._inner.budget.max_feasible_cores()
+        cache: dict[int, tuple[DesignPoint, EnergyReport]] = {}
+
+        def objective(n: int) -> float:
+            if n not in cache:
+                cache[n] = self.evaluate(n)
+            return cache[n][1].objective(time_weight)
+
+        res = integer_minimize(objective, n_min, n_max)
+        return cache[int(res.x)]

@@ -1,0 +1,147 @@
+"""Execution-time formulas and the optimization objective (Eqs. 5-10).
+
+Chain of refinements, exactly as in the paper:
+
+- Eq. 5  ``CPU-time = IC * (CPI_exe + data-stall) * cycle-time``
+- Eq. 6  ``data-stall = f_mem * AMAT``          (locality only)
+- Eq. 7  ``T = IC * (CPI_exe + f_mem * C-AMAT * (1 - overlap)) * cycle``
+- Eq. 8  ``J_D = T_1 + g(N) * T_N / N``          (Sun-Ni scaling)
+- Eq. 10 the combined objective used for optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import GFunction
+
+__all__ = [
+    "cpu_time",
+    "data_stall_time_amat",
+    "data_stall_time_camat",
+    "execution_time",
+    "objective_jd",
+    "generalized_objective",
+]
+
+
+def data_stall_time_amat(f_mem: float, amat_value: float) -> float:
+    """Eq. 6: per-instruction stall cycles under the sequential model."""
+    _check_fraction("f_mem", f_mem)
+    if amat_value < 0:
+        raise InvalidParameterError(f"AMAT must be >= 0, got {amat_value}")
+    return f_mem * amat_value
+
+
+def data_stall_time_camat(f_mem: float, camat_value: float,
+                          overlap_ratio: float = 0.0) -> float:
+    """Concurrency-aware stall: ``f_mem * C-AMAT * (1 - overlapRatio)``.
+
+    ``overlap_ratio`` is the Eq. 7 compute/memory overlap
+    (``overlapRatio_{c-m}``): the fraction of memory-active cycles hidden
+    under useful computation.
+    """
+    _check_fraction("f_mem", f_mem)
+    if not 0.0 <= overlap_ratio < 1.0:
+        raise InvalidParameterError(
+            f"overlap ratio must be in [0,1), got {overlap_ratio}")
+    if camat_value < 0:
+        raise InvalidParameterError(f"C-AMAT must be >= 0, got {camat_value}")
+    return f_mem * camat_value * (1.0 - overlap_ratio)
+
+
+def cpu_time(ic: float, cpi_exe: float, data_stall: float,
+             cycle_time: float = 1.0) -> float:
+    """Eq. 5: sequential CPU time from per-instruction components."""
+    if ic <= 0:
+        raise InvalidParameterError(f"IC must be positive, got {ic}")
+    if cpi_exe <= 0:
+        raise InvalidParameterError(f"CPI_exe must be positive, got {cpi_exe}")
+    if data_stall < 0:
+        raise InvalidParameterError(f"stall must be >= 0, got {data_stall}")
+    if cycle_time <= 0:
+        raise InvalidParameterError(
+            f"cycle time must be positive, got {cycle_time}")
+    return ic * (cpi_exe + data_stall) * cycle_time
+
+
+def execution_time(ic: float, cpi_exe: float, f_mem: float,
+                   camat_value: float, overlap_ratio: float = 0.0,
+                   cycle_time: float = 1.0) -> float:
+    """Eq. 7: single-processor execution time with C-AMAT stalls."""
+    stall = data_stall_time_camat(f_mem, camat_value, overlap_ratio)
+    return cpu_time(ic, cpi_exe, stall, cycle_time)
+
+
+def objective_jd(
+    ic0: float,
+    cpi_exe: "float | np.ndarray",
+    f_mem: float,
+    camat_value: "float | np.ndarray",
+    f_seq: float,
+    g: "GFunction | float | np.ndarray",
+    n: "int | float | np.ndarray",
+    overlap_ratio: float = 0.0,
+    cycle_time: float = 1.0,
+) -> "float | np.ndarray":
+    """Eq. 10: the execution-time objective ``J_D``.
+
+    ``J_D = IC0 * (CPI_exe + f_mem*C-AMAT*(1-ov)) *
+    (f_seq + g(N)*(1-f_seq)/N) * cycle-time``.
+
+    Broadcasts over arrays of ``n`` / ``cpi_exe`` / ``camat_value`` for
+    sweep-style evaluation (Figs. 8-9).
+    """
+    if ic0 <= 0:
+        raise InvalidParameterError(f"IC0 must be positive, got {ic0}")
+    _check_fraction("f_mem", f_mem)
+    _check_fraction("f_seq", f_seq)
+    if not 0.0 <= overlap_ratio < 1.0:
+        raise InvalidParameterError(
+            f"overlap ratio must be in [0,1), got {overlap_ratio}")
+    if cycle_time <= 0:
+        raise InvalidParameterError(
+            f"cycle time must be positive, got {cycle_time}")
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 1):
+        raise InvalidParameterError("N must be >= 1")
+    g_vals = np.asarray(g(n_arr) if callable(g) else g, dtype=float)
+    per_instr = (np.asarray(cpi_exe, dtype=float)
+                 + f_mem * np.asarray(camat_value, dtype=float)
+                 * (1.0 - overlap_ratio))
+    if np.any(per_instr <= 0):
+        raise InvalidParameterError("per-instruction time must be positive")
+    scaling = f_seq + g_vals * (1.0 - f_seq) / n_arr
+    out = ic0 * per_instr * scaling * cycle_time
+    if np.isscalar(n) and out.ndim == 0:
+        return float(out)
+    return out
+
+
+def generalized_objective(
+    times_by_degree: Sequence[float],
+    g: GFunction,
+) -> float:
+    """The paper's generalized form ``J_D = sum_i g(i) * T_i / i``.
+
+    ``times_by_degree[i-1]`` is ``T_i``: the *sequential* execution time
+    of the workload portion whose parallel degree is ``i``.  Eq. 8 is the
+    special case where only ``T_1`` and ``T_N`` are nonzero, with the
+    serial portion unscaled (``g(1) = 1``).
+    """
+    times = np.asarray(list(times_by_degree), dtype=float)
+    if times.ndim != 1 or times.size == 0:
+        raise InvalidParameterError("need at least one degree")
+    if np.any(times < 0):
+        raise InvalidParameterError("portion times must be >= 0")
+    degrees = np.arange(1, times.size + 1, dtype=float)
+    g_vals = np.asarray(g(degrees), dtype=float)
+    return float(np.sum(g_vals * times / degrees))
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must be in [0,1], got {value}")

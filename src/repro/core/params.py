@@ -1,0 +1,147 @@
+"""Input parameter bundles for the C2-Bound model.
+
+The paper's APS flow (Fig. 5) starts from application characterization:
+``f_mem``, ``C-AMAT`` (or the concurrency ``C``), ``f_seq`` and the scale
+function ``g`` are measured from traces (our
+:class:`repro.camat.TraceAnalyzer` / :mod:`repro.detector`) or supplied
+directly for analytic sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import GFunction, PowerLawG
+
+__all__ = ["ApplicationProfile", "MachineParameters"]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Application-side inputs of the model.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    f_seq:
+        Sequential fraction of the dynamic instruction count, ``[0, 1]``.
+    f_mem:
+        Fraction of instructions that access memory, ``[0, 1]``.
+    g:
+        Problem-size scale function (Sun-Ni's ``g(N)``).
+    concurrency:
+        Data-access concurrency ``C = AMAT / C-AMAT`` (Eq. 3), ``>= 1``.
+        The paper sweeps C in {1, 4, 8} for Figs. 8-11; when
+        characterizing from traces it is measured.
+    overlap_ratio:
+        ``overlapRatio_{c-m}`` of Eq. 7: the fraction of C-AMAT stall
+        cycles hidden under computation, ``[0, 1)``.
+    ic0:
+        Baseline dynamic instruction count (problem size at ``N = 1``).
+    base_working_set_kib:
+        Working-set size at the baseline problem size (used by the
+        Section V boundedness analysis and the workload generators).
+    """
+
+    name: str = "app"
+    f_seq: float = 0.05
+    f_mem: float = 0.3
+    g: GFunction = field(default_factory=lambda: PowerLawG(1.5, name="tmm"))
+    concurrency: float = 1.0
+    overlap_ratio: float = 0.0
+    ic0: float = 1e9
+    base_working_set_kib: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f_seq <= 1.0:
+            raise InvalidParameterError(f"f_seq must be in [0,1], got {self.f_seq}")
+        if not 0.0 <= self.f_mem <= 1.0:
+            raise InvalidParameterError(f"f_mem must be in [0,1], got {self.f_mem}")
+        if self.concurrency < 1.0:
+            raise InvalidParameterError(
+                f"concurrency C must be >= 1, got {self.concurrency}")
+        if not 0.0 <= self.overlap_ratio < 1.0:
+            raise InvalidParameterError(
+                f"overlap ratio must be in [0,1), got {self.overlap_ratio}")
+        if self.ic0 <= 0:
+            raise InvalidParameterError(f"ic0 must be positive, got {self.ic0}")
+        if self.base_working_set_kib <= 0:
+            raise InvalidParameterError(
+                "base working set must be positive, got "
+                f"{self.base_working_set_kib}")
+
+    def with_concurrency(self, c: float) -> "ApplicationProfile":
+        """Copy of this profile with a different concurrency ``C``."""
+        return replace(self, concurrency=c)
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """Machine-side inputs of the model.
+
+    Attributes
+    ----------
+    total_area:
+        ``A`` of Eq. 12: total chip area in area units.
+    shared_area:
+        ``Ac``: area reserved for shared functions (NoC, memory
+        controllers, test/debug).
+    pollack_k0:
+        ``k0`` of Eq. 11: CPI scale of the core microarchitecture.
+    pollack_phi0:
+        ``phi0`` of Eq. 11: asymptotic CPI floor of an infinitely large
+        core.
+    cycle_time:
+        Clock period in seconds (only scales absolute times).
+    min_core_area:
+        Smallest manufacturable core, in area units (keeps Eq. 11 finite).
+    min_cache_area:
+        Smallest cache allocation considered per level.
+    kib_per_area_unit:
+        SRAM density used to convert cache area to capacity.
+    """
+
+    total_area: float = 400.0
+    shared_area: float = 40.0
+    pollack_k0: float = 1.0
+    pollack_phi0: float = 0.2
+    cycle_time: float = 1.0
+    min_core_area: float = 0.05
+    min_cache_area: float = 0.01
+    kib_per_area_unit: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.total_area <= 0:
+            raise InvalidParameterError(
+                f"total area must be positive, got {self.total_area}")
+        if not 0.0 <= self.shared_area < self.total_area:
+            raise InvalidParameterError(
+                f"shared area must be in [0, total), got {self.shared_area}")
+        if self.pollack_k0 <= 0:
+            raise InvalidParameterError(
+                f"pollack k0 must be positive, got {self.pollack_k0}")
+        if self.pollack_phi0 < 0:
+            raise InvalidParameterError(
+                f"pollack phi0 must be >= 0, got {self.pollack_phi0}")
+        if self.cycle_time <= 0:
+            raise InvalidParameterError(
+                f"cycle time must be positive, got {self.cycle_time}")
+        if self.min_core_area <= 0 or self.min_cache_area <= 0:
+            raise InvalidParameterError("minimum areas must be positive")
+
+    @property
+    def core_budget_area(self) -> float:
+        """Area available to cores and their caches: ``A - Ac``."""
+        return self.total_area - self.shared_area
+
+    @property
+    def max_cores(self) -> int:
+        """Largest ``N`` whose per-core budget strictly exceeds the
+        minimum core footprint (the area split needs interior room)."""
+        per_core_min = self.min_core_area + 2.0 * self.min_cache_area
+        n = max(int(self.core_budget_area / per_core_min), 1)
+        while n > 1 and self.core_budget_area / n <= per_core_min:
+            n -= 1
+        return n

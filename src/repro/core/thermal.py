@@ -1,0 +1,168 @@
+"""Thermal extension (paper Section VII: "energy consumption and
+temperature can be considered for multi-objective exploration").
+
+A steady-state lumped thermal model in the style the paper's ref [35]
+(Huang et al., "Exploring the thermal impact on manycore processor
+performance") argues for:
+
+- a core's dynamic power grows superlinearly with its area
+  (``P_dyn = p0 * A0^gamma``, gamma > 1: aggressive cores spend
+  disproportionate power on speculation and wide issue), so *big cores
+  run hotter per mm^2*;
+- tile temperature is ambient plus thermal resistance times local power
+  density, plus a chip-level heat-spreading term;
+- a design is thermally feasible iff its hottest tile stays below
+  ``t_max``.
+
+:class:`ThermallyConstrainedOptimizer` layers the constraint onto the
+C2-Bound optimization: candidate designs whose hottest tile exceeds the
+limit are rejected, which caps the big-core area and pushes optima
+toward more, cooler cores — the many-core thermal argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chip import ChipConfig
+from repro.core.optimizer import C2BoundOptimizer, DesignPoint
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.solvers import integer_minimize
+
+__all__ = ["ThermalModel", "ThermalReport", "ThermallyConstrainedOptimizer"]
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Steady-state lumped thermal model.
+
+    Attributes
+    ----------
+    ambient:
+        Ambient/package temperature (deg C).
+    r_local:
+        Thermal resistance of a tile to the spreader
+        (deg C per W/area-unit of local density).
+    r_chip:
+        Chip-wide resistance (deg C per W/area-unit of average density).
+    p0:
+        Core dynamic power coefficient (W at A0 = 1).
+    gamma:
+        Superlinearity of core power in area (> 1: big cores hotter).
+    cache_power_density:
+        SRAM power per area unit (W/unit) — far below core logic.
+    """
+
+    ambient: float = 45.0
+    r_local: float = 18.0
+    r_chip: float = 6.0
+    p0: float = 1.0
+    gamma: float = 1.3
+    cache_power_density: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1.0:
+            raise InvalidParameterError(
+                f"gamma must exceed 1 (superlinear power), got {self.gamma}")
+        if min(self.r_local, self.r_chip, self.p0) <= 0:
+            raise InvalidParameterError(
+                "thermal resistances and p0 must be positive")
+        if self.cache_power_density < 0:
+            raise InvalidParameterError("cache power density must be >= 0")
+
+    # ----- power ----------------------------------------------------------
+    def core_power(self, a0: float) -> float:
+        """Dynamic power of one core's logic (W)."""
+        if a0 <= 0:
+            raise InvalidParameterError(f"core area must be positive, got {a0}")
+        return self.p0 * a0 ** self.gamma
+
+    def tile_power(self, config: ChipConfig) -> float:
+        """Power of one core tile (logic + private caches)."""
+        return (self.core_power(config.a0)
+                + self.cache_power_density * (config.a1 + config.a2))
+
+    def chip_power(self, config: ChipConfig) -> float:
+        """Total core-tile power across the chip."""
+        return config.n * self.tile_power(config)
+
+    # ----- temperature ------------------------------------------------------
+    def tile_temperature(self, config: ChipConfig,
+                         total_area: float) -> float:
+        """Steady-state temperature of the hottest (core) tile."""
+        if total_area <= 0:
+            raise InvalidParameterError(
+                f"total area must be positive, got {total_area}")
+        local_density = self.tile_power(config) / config.per_core_area
+        chip_density = self.chip_power(config) / total_area
+        return (self.ambient + self.r_local * local_density
+                + self.r_chip * chip_density)
+
+
+@dataclass(frozen=True)
+class ThermalReport:
+    """Thermal evaluation of one design point."""
+
+    hottest_tile: float
+    chip_power: float
+    feasible: bool
+
+
+class ThermallyConstrainedOptimizer:
+    """C2-Bound optimization under a peak-temperature constraint."""
+
+    def __init__(self, app: ApplicationProfile, machine: MachineParameters,
+                 thermal: "ThermalModel | None" = None, *,
+                 t_max: float = 95.0) -> None:
+        if t_max <= 0:
+            raise InvalidParameterError(f"t_max must be positive, got {t_max}")
+        self.app = app
+        self.machine = machine
+        self.thermal = thermal if thermal is not None else ThermalModel()
+        self.t_max = t_max
+        self._inner = C2BoundOptimizer(app, machine)
+
+    def report(self, point: DesignPoint) -> ThermalReport:
+        """Thermal evaluation of a design point."""
+        temp = self.thermal.tile_temperature(point.config,
+                                             self.machine.total_area)
+        return ThermalReport(
+            hottest_tile=temp,
+            chip_power=self.thermal.chip_power(point.config),
+            feasible=temp <= self.t_max,
+        )
+
+    def evaluate(self, n: int) -> tuple[DesignPoint, ThermalReport]:
+        """Design point + thermal report for ``n`` cores."""
+        point = self._inner.evaluate(n)
+        return point, self.report(point)
+
+    def optimize(self, *, n_min: int = 1,
+                 n_max: "int | None" = None) -> tuple[DesignPoint, ThermalReport]:
+        """Best thermally feasible design (case split as in Fig. 6).
+
+        Raises :class:`InvalidParameterError` if no feasible design
+        exists in the range.
+        """
+        if n_max is None:
+            n_max = self._inner.budget.max_feasible_cores()
+        maximize_throughput = self.app.g.at_least_linear()
+        cache: dict[int, tuple[DesignPoint, ThermalReport]] = {}
+
+        def objective(n: int) -> float:
+            if n not in cache:
+                cache[n] = self.evaluate(n)
+            point, rep = cache[n]
+            if not rep.feasible:
+                return float("inf")
+            return (-point.throughput if maximize_throughput
+                    else point.execution_time)
+
+        res = integer_minimize(objective, n_min, n_max)
+        point, rep = cache[int(res.x)]
+        if not rep.feasible:
+            raise InvalidParameterError(
+                f"no thermally feasible design in N = [{n_min}, {n_max}] "
+                f"under t_max = {self.t_max} C")
+        return point, rep

@@ -1,0 +1,150 @@
+"""The combined C-AMAT detector (paper Fig. 4).
+
+:class:`CAMATDetector` coordinates an HCD and an MCD over a shared
+cycle-sealing frontier: accesses stream in roughly time order (as emitted
+by a core pipeline or the simulator's event loop), buckets older than the
+reordering window are sealed in lockstep, and the HCD's per-cycle hit
+concurrency is forwarded to the MCD — exactly the notification wire in
+the paper's block diagram.
+
+Fed a complete trace and drained, the detector reproduces the offline
+:class:`repro.camat.TraceAnalyzer` parameters exactly (tested in
+``tests/detector``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.camat.camat import CAMATParameters
+from repro.camat.trace import AccessTrace
+from repro.detector.hcd import HitConcurrencyDetector
+from repro.detector.mcd import MissConcurrencyDetector
+from repro.errors import InvalidParameterError
+
+__all__ = ["CAMATDetector", "DetectorReport"]
+
+
+@dataclass(frozen=True)
+class DetectorReport:
+    """Snapshot of the detector's running measurements.
+
+    Mirrors :class:`repro.camat.TraceStatistics`'s Eq.-2 parameters, plus
+    the conventional miss counters the MSHR side provides.
+    """
+
+    accesses: int
+    misses: int
+    pure_misses: int
+    hit_time: float
+    hit_concurrency: float
+    pure_miss_rate: float
+    pure_avg_miss_penalty: float
+    miss_concurrency: float
+    total_miss_penalty_cycles: int
+
+    @property
+    def camat(self) -> float:
+        """Eq. 2 value from the running counters."""
+        return self.as_params().value
+
+    @property
+    def miss_rate(self) -> float:
+        """Conventional ``MR``."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def avg_miss_penalty(self) -> float:
+        """Conventional ``AMP``."""
+        if self.misses == 0:
+            return 0.0
+        return self.total_miss_penalty_cycles / self.misses
+
+    @property
+    def amat(self) -> float:
+        """Eq. 1 value from the running counters."""
+        return self.hit_time + self.miss_rate * self.avg_miss_penalty
+
+    @property
+    def concurrency(self) -> float:
+        """``C = AMAT / C-AMAT`` (Eq. 3)."""
+        camat = self.camat
+        return self.amat / camat if camat > 0 else 1.0
+
+    def as_params(self) -> CAMATParameters:
+        """Eq. 2 parameter bundle."""
+        return CAMATParameters(
+            hit_time=max(self.hit_time, 1e-12),
+            hit_concurrency=max(self.hit_concurrency, 1.0),
+            pure_miss_rate=self.pure_miss_rate,
+            pure_avg_miss_penalty=self.pure_avg_miss_penalty,
+            miss_concurrency=max(self.miss_concurrency, 1.0),
+        )
+
+
+class CAMATDetector:
+    """HCD + MCD behind one streaming interface.
+
+    Parameters
+    ----------
+    window:
+        Reordering tolerance in cycles (ring depth of both detectors).
+        Events older than the sealing frontier are rejected, so the
+        window must cover the maximum in-flight reordering of the event
+        source (the simulator's heap guarantees near-chronological order;
+        the default is generous).
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        self.hcd = HitConcurrencyDetector(window)
+        self.mcd = MissConcurrencyDetector(window)
+        self.window = window
+        self.total_miss_penalty_cycles = 0
+
+    def observe(self, start: int, hit_cycles: int, miss_penalty: int) -> None:
+        """Record one access (same triple as a trace record)."""
+        if start < 0:
+            raise InvalidParameterError(f"start must be >= 0, got {start}")
+        # Seal everything that can no longer receive events.
+        frontier = max(start + hit_cycles + miss_penalty,
+                       self.hcd.max_event_end, self.mcd.max_event_end)
+        self._seal_to(frontier - self.window)
+        self.hcd.observe(start, hit_cycles)
+        if miss_penalty > 0:
+            self.total_miss_penalty_cycles += miss_penalty
+            self.mcd.observe(start + hit_cycles, miss_penalty)
+
+    def observe_trace(self, trace: AccessTrace) -> None:
+        """Stream a whole trace through the detector, oldest first."""
+        order = sorted(range(len(trace)), key=lambda i: trace[i].start)
+        for i in order:
+            a = trace[i]
+            self.observe(a.start, a.hit_cycles, a.miss_penalty)
+
+    def _seal_to(self, cycle: int) -> None:
+        target = max(cycle, 0)
+        while self.hcd.sealed_until < target:
+            c = self.hcd.sealed_until
+            hit_count = self.hcd.seal_cycle(c)
+            self.mcd.seal_cycle(c, hit_count)
+
+    def drain(self) -> None:
+        """Seal all buffered cycles (end of measurement/epoch)."""
+        self._seal_to(max(self.hcd.max_event_end, self.mcd.max_event_end))
+
+    def report(self, *, drain: bool = True) -> DetectorReport:
+        """Current measurements (draining first by default)."""
+        if drain:
+            self.drain()
+        return DetectorReport(
+            accesses=self.hcd.accesses,
+            misses=self.mcd.misses,
+            pure_misses=self.mcd.pure_misses,
+            hit_time=self.hcd.mean_hit_time,
+            hit_concurrency=self.hcd.hit_concurrency,
+            pure_miss_rate=(self.mcd.pure_misses / self.hcd.accesses
+                            if self.hcd.accesses else 0.0),
+            pure_avg_miss_penalty=self.mcd.pure_avg_miss_penalty(),
+            miss_concurrency=self.mcd.miss_concurrency,
+            total_miss_penalty_cycles=self.total_miss_penalty_cycles,
+        )

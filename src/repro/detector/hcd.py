@@ -1,0 +1,93 @@
+"""Hit Concurrency Detector (HCD).
+
+Hardware model: a ring of per-cycle counters covering a bounded window of
+recent cycles.  Each access reports its hit window ``[start, start +
+hit_cycles)``; the HCD increments the covered cycle buckets.  The
+coordinating :class:`repro.detector.analyzer_hw.CAMATDetector` *seals*
+cycles as the window slides: a sealed bucket's count is folded into the
+running totals (total hit access-cycles, hit-active cycles) and its value
+— the cycle's hit concurrency — is handed to the MCD (paper Fig. 4:
+"The HCD also notifies the MCD whether a current cycle has a hit
+access").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, TraceError
+
+__all__ = ["HitConcurrencyDetector"]
+
+
+class HitConcurrencyDetector:
+    """Cycle-bucketed hit-activity counters.
+
+    Parameters
+    ----------
+    window:
+        Ring depth in cycles; events may arrive at most ``window`` cycles
+        behind the newest sealed cycle.
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 2:
+            raise InvalidParameterError(f"window must be >= 2, got {window}")
+        self.window = window
+        self._ring = np.zeros(window, dtype=np.int64)
+        self.sealed_until = 0
+        self.total_hit_access_cycles = 0
+        self.hit_active_cycles = 0
+        self.accesses = 0
+        self.max_event_end = 0
+
+    def observe(self, start: int, hit_cycles: int) -> None:
+        """Record one access's hit window."""
+        if hit_cycles < 1:
+            raise TraceError(f"hit window must be >= 1 cycle, got {hit_cycles}")
+        if start < self.sealed_until:
+            raise TraceError(
+                f"event at cycle {start} arrived after that cycle was "
+                f"sealed (window {self.window} too small)")
+        end = start + hit_cycles
+        if end - self.sealed_until > self.window:
+            raise TraceError(
+                f"hit window [{start}, {end}) exceeds the {self.window}-cycle "
+                "detector ring; increase the window")
+        self.accesses += 1
+        self.total_hit_access_cycles += hit_cycles
+        for c in range(start, end):
+            self._ring[c % self.window] += 1
+        self.max_event_end = max(self.max_event_end, end)
+
+    def seal_cycle(self, cycle: int) -> int:
+        """Fold one cycle into the totals; returns its hit concurrency.
+
+        Must be called with consecutive cycle numbers starting at 0 (the
+        coordinator guarantees this).
+        """
+        if cycle != self.sealed_until:
+            raise TraceError(
+                f"cycles must be sealed in order; expected "
+                f"{self.sealed_until}, got {cycle}")
+        slot = cycle % self.window
+        count = int(self._ring[slot])
+        self._ring[slot] = 0
+        if count > 0:
+            self.hit_active_cycles += 1
+        self.sealed_until = cycle + 1
+        return count
+
+    @property
+    def hit_concurrency(self) -> float:
+        """Running ``C_H`` over sealed cycles."""
+        if self.hit_active_cycles == 0:
+            return 1.0
+        return self.total_hit_access_cycles / self.hit_active_cycles
+
+    @property
+    def mean_hit_time(self) -> float:
+        """Running ``H`` (mean hit cycles per access)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_hit_access_cycles / self.accesses

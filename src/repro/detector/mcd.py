@@ -1,0 +1,104 @@
+"""Miss Concurrency Detector (MCD).
+
+Hardware model: a ring of per-cycle outstanding-miss counters plus a
+small table of outstanding misses (mirroring the MSHR file, paper Fig. 4:
+"with the hit information from HCD and the miss information from MSHR,
+MCD is able to obtain the total number of pure miss cycles").
+
+On each sealed cycle the coordinator supplies the HCD's hit concurrency;
+if it is zero and misses are outstanding, the cycle is a *pure miss
+cycle*: the wall count increments, the per-access pure-cycle total grows
+by the number of outstanding misses, and every covering miss is flagged
+pure (for the pure-miss-rate numerator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, TraceError
+
+__all__ = ["MissConcurrencyDetector"]
+
+
+class MissConcurrencyDetector:
+    """Cycle-bucketed miss activity + pure-miss accounting.
+
+    Parameters
+    ----------
+    window:
+        Ring depth in cycles (must match the coordinating HCD's).
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 2:
+            raise InvalidParameterError(f"window must be >= 2, got {window}")
+        self.window = window
+        self._ring = np.zeros(window, dtype=np.int64)
+        self.sealed_until = 0
+        # Outstanding miss windows: id -> (start, end, pure_flag).
+        self._live: dict[int, list] = {}
+        self._next_id = 0
+        self.misses = 0
+        self.pure_misses = 0
+        self.pure_miss_wall_cycles = 0
+        self.total_pure_miss_access_cycles = 0
+        self.max_event_end = 0
+
+    def observe(self, miss_start: int, penalty: int) -> None:
+        """Record one miss window ``[miss_start, miss_start + penalty)``."""
+        if penalty < 1:
+            raise TraceError(f"miss penalty must be >= 1, got {penalty}")
+        if miss_start < self.sealed_until:
+            raise TraceError(
+                f"miss at cycle {miss_start} arrived after sealing "
+                f"(window {self.window} too small)")
+        end = miss_start + penalty
+        if end - self.sealed_until > self.window:
+            raise TraceError(
+                f"miss window [{miss_start}, {end}) exceeds the "
+                f"{self.window}-cycle detector ring; increase the window")
+        self.misses += 1
+        for c in range(miss_start, end):
+            self._ring[c % self.window] += 1
+        self._live[self._next_id] = [miss_start, end, False]
+        self._next_id += 1
+        self.max_event_end = max(self.max_event_end, end)
+
+    def seal_cycle(self, cycle: int, hit_concurrency: int) -> None:
+        """Classify one cycle given the HCD's hit activity."""
+        if cycle != self.sealed_until:
+            raise TraceError(
+                f"cycles must be sealed in order; expected "
+                f"{self.sealed_until}, got {cycle}")
+        slot = cycle % self.window
+        count = int(self._ring[slot])
+        self._ring[slot] = 0
+        self.sealed_until = cycle + 1
+        if count > 0 and hit_concurrency == 0:
+            self.pure_miss_wall_cycles += 1
+            self.total_pure_miss_access_cycles += count
+            for entry in self._live.values():
+                if entry[0] <= cycle < entry[1]:
+                    entry[2] = True
+        # Retire misses fully behind the sealing frontier.
+        done = [mid for mid, (s, e, _p) in self._live.items()
+                if e <= self.sealed_until]
+        for mid in done:
+            if self._live[mid][2]:
+                self.pure_misses += 1
+            del self._live[mid]
+
+    @property
+    def miss_concurrency(self) -> float:
+        """Running ``C_M`` over sealed pure-miss cycles."""
+        if self.pure_miss_wall_cycles == 0:
+            return 1.0
+        return (self.total_pure_miss_access_cycles
+                / self.pure_miss_wall_cycles)
+
+    def pure_avg_miss_penalty(self) -> float:
+        """Running ``pAMP`` (0 until a pure miss retires)."""
+        if self.pure_misses == 0:
+            return 0.0
+        return self.total_pure_miss_access_cycles / self.pure_misses

@@ -1,0 +1,175 @@
+"""The APS (Analysis Plus Simulation) algorithm (paper Fig. 6).
+
+Flow, exactly as the paper's pseudocode:
+
+1. *Characterize*: the application profile (``f_mem``, C-AMAT/``C``,
+   ``f_seq``, ``g``) is given — measured by the detector or the trace
+   analyzer.
+2. *Optimize*: solve Eq. 13 analytically, with the case split on
+   ``g(N)`` vs ``O(N)``, producing the skeleton ``(A0, A1, A2, N)``.
+3. *Simulate*: snap the skeleton to the design grid and simulate only
+   the adjacent region — the remaining microarchitecture parameters
+   (issue width, ROB size) over their full grids, optionally +-
+   ``radius`` grid steps of slack on the analytic parameters.
+
+The number of simulations is therefore ``(grid of simulated params) x
+(neighborhood of analytic params)`` — 10^2 out of 10^6 in the paper's
+case study, the four-orders-of-magnitude narrowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.camat_model import CAMATModel
+from repro.core.optimizer import C2BoundOptimizer, DesignPoint
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.dse.evaluate import BudgetedEvaluator, Evaluator
+from repro.dse.space import DesignSpace
+from repro.errors import DesignSpaceError
+
+__all__ = ["APSResult", "APSExplorer"]
+
+
+@dataclass(frozen=True)
+class APSResult:
+    """Outcome of an APS exploration.
+
+    Attributes
+    ----------
+    analytic:
+        The analytic optimum (step 2's output).
+    best_config:
+        Best simulated configuration in the narrowed region.
+    best_cost:
+        Its evaluator cost.
+    simulations:
+        Simulations spent in step 3.
+    candidates:
+        Size of the narrowed region (== simulations when all are run).
+    space_size:
+        Size of the full design space, for the Fig. 12 comparison.
+    """
+
+    analytic: DesignPoint
+    best_config: dict
+    best_cost: float
+    simulations: int
+    candidates: int
+    space_size: int
+
+    @property
+    def narrowing_factor(self) -> float:
+        """Full-space size over simulations (Fig. 12's headline ratio)."""
+        if self.simulations == 0:
+            return float("inf")
+        return self.space_size / self.simulations
+
+
+class APSExplorer:
+    """Run APS over a design space.
+
+    Parameters
+    ----------
+    app, machine:
+        Model inputs (step 1's characterization).
+    space:
+        The discrete design space; must contain parameters named
+        ``a0, a1, a2, n`` (analytic) — remaining parameters are the
+        simulated ones.
+    camat_model:
+        Optional cache model shared with the optimizer.
+    """
+
+    ANALYTIC_PARAMS = ("a0", "a1", "a2", "n")
+
+    def __init__(self, app: ApplicationProfile, machine: MachineParameters,
+                 space: DesignSpace,
+                 camat_model: "CAMATModel | None" = None) -> None:
+        missing = [p for p in self.ANALYTIC_PARAMS if p not in space.names]
+        if missing:
+            raise DesignSpaceError(
+                f"design space lacks analytic parameters {missing}")
+        self.app = app
+        self.machine = machine
+        self.space = space
+        self.optimizer = C2BoundOptimizer(app, machine, camat_model)
+
+    def analytic_skeleton(self) -> DesignPoint:
+        """Step 2: the Eq. 13 optimum (continuous)."""
+        n_values = [int(v) for v in
+                    self.space.parameters[self.space.names.index("n")].values]
+        return self.optimizer.optimize(
+            n_min=min(n_values), n_max=max(n_values)).best
+
+    def _feasible_center(self, analytic) -> dict:
+        """Snap the continuous optimum to the grid without violating Eq. 12.
+
+        ``n`` snaps to the nearest grid value; the three areas snap
+        *downward* (largest grid value not exceeding the continuous
+        optimum) so that ``n * (a0 + a1 + a2) + Ac <= A`` is preserved —
+        snapping areas upward could silently leave the feasible region
+        and make every neighborhood candidate infeasible.
+        """
+        params = {p.name: p for p in self.space.parameters}
+        n = params["n"].snap(float(analytic.config.n))
+        center = {
+            "n": n,
+            "a0": params["a0"].snap_down(analytic.config.a0),
+            "a1": params["a1"].snap_down(analytic.config.a1),
+            "a2": params["a2"].snap_down(analytic.config.a2),
+        }
+        budget_area = self.machine.total_area - self.machine.shared_area
+        # If the snapped n is larger than the analytic n, the per-core
+        # budget shrank: re-snap the areas against the actual budget.
+        per_core = budget_area / float(n)
+        while (center["a0"] + center["a1"] + center["a2"]) > per_core:
+            # Shrink the largest area one grid step at a time.
+            name = max(("a0", "a1", "a2"), key=lambda k: center[k])
+            values = params[name].values
+            idx = values.index(center[name])
+            if idx == 0:
+                break  # cannot shrink further; leave as-is
+            center[name] = values[idx - 1]
+        return center
+
+    def explore(self, evaluator: Evaluator, *, radius: int = 0,
+                simulated_params: "Sequence[str] | None" = None) -> APSResult:
+        """Steps 2-3: optimize, then simulate the adjacent region.
+
+        Parameters
+        ----------
+        evaluator:
+            The simulator (wrapped with budget accounting if not already).
+        radius:
+            Grid slack on the analytic parameters (0 = paper's pure APS).
+        simulated_params:
+            Parameters swept by simulation; defaults to every non-analytic
+            parameter of the space.
+        """
+        budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
+                  else BudgetedEvaluator(evaluator))
+        analytic = self.analytic_skeleton()
+        center = self._feasible_center(analytic)
+        if simulated_params is None:
+            simulated_params = [name for name in self.space.names
+                                if name not in self.ANALYTIC_PARAMS]
+        candidates = self.space.neighborhood(
+            center, free=simulated_params, radius=radius)
+        start = budget.evaluations
+        best_cost = float("inf")
+        best_config: dict = {}
+        for config in candidates:
+            cost = budget.evaluate(config)
+            if cost < best_cost:
+                best_cost = cost
+                best_config = config
+        return APSResult(
+            analytic=analytic,
+            best_config=best_config,
+            best_cost=best_cost,
+            simulations=budget.evaluations - start,
+            candidates=len(candidates),
+            space_size=self.space.size,
+        )

@@ -1,0 +1,286 @@
+"""Design-point evaluators with simulation-budget accounting.
+
+Two evaluators are provided:
+
+- :class:`SimulatorEvaluator` runs the real event-driven CMP simulator on
+  a workload — the honest but expensive path (used for the scaled-down
+  validation experiments).
+- :class:`SurrogateEvaluator` is a calibrated analytic stand-in for the
+  paper's ground-truth full sweep (128 Xeons for 4 weeks, which we cannot
+  re-run): the C2-Bound per-instruction time extended with issue-width
+  and ROB effects, plus a small deterministic per-configuration
+  perturbation emulating cycle-accurate simulation variability.  It is
+  cheap enough to evaluate a 10^6-point space exactly.
+
+Both are wrapped by :class:`BudgetedEvaluator`, whose counter is the
+"number of simulations" reported in Fig. 12.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.camat_model import CAMATModel
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.errors import DesignSpaceError
+from repro.sim.cmp import CMPSimulator
+from repro.sim.config import CoreMicroConfig, SimulatedChip
+from repro.workloads.base import Workload
+
+__all__ = ["Evaluator", "BudgetedEvaluator", "SurrogateEvaluator",
+           "SimulatorEvaluator"]
+
+
+class Evaluator(Protocol):
+    """Maps a configuration dict to a performance cost (lower = better)."""
+
+    def evaluate(self, config: dict) -> float:
+        """Execution-time-like cost of one design point."""
+        ...
+
+
+def is_feasible(evaluator, config: dict) -> bool:
+    """Design-rule feasibility of a configuration, without simulating.
+
+    Evaluators may expose ``is_feasible(config)`` (e.g. the silicon-area
+    budget of Eq. 12, which a practitioner checks before ever submitting
+    a simulation).  Evaluators without the hook treat everything as
+    feasible.
+    """
+    hook = getattr(evaluator, "is_feasible", None)
+    if hook is None:
+        return True
+    return bool(hook(config))
+
+
+class BudgetedEvaluator:
+    """Counting/caching wrapper — the Fig. 12 simulation meter.
+
+    Repeated evaluations of the same configuration are cached and counted
+    once (a stored simulation result is free to reread).
+    """
+
+    def __init__(self, inner: Evaluator) -> None:
+        self.inner = inner
+        self.evaluations = 0
+        self._cache: dict[tuple, float] = {}
+
+    def evaluate(self, config: dict) -> float:
+        key = tuple(sorted(config.items()))
+        if key not in self._cache:
+            self._cache[key] = float(self.inner.evaluate(config))
+            self.evaluations += 1
+        return self._cache[key]
+
+    def is_feasible(self, config: dict) -> bool:
+        """Delegates to the wrapped evaluator's design-rule check."""
+        return is_feasible(self.inner, config)
+
+    def reset(self) -> None:
+        """Zero the budget and drop the cache."""
+        self.evaluations = 0
+        self._cache.clear()
+
+
+class SurrogateEvaluator:
+    """Analytic ground-truth stand-in for exhaustive sweeps.
+
+    Cost model (per scaled instruction, times the Sun-Ni scaling):
+
+    - Pollack CPI from ``a0``, floored at ``1/issue_width`` (a narrow
+      core cannot exceed its issue bandwidth even with large area);
+    - C-AMAT from the cache areas with *effective* concurrency
+      ``C_eff = 1 + (C_app - 1) * rob_factor`` where the ROB factor
+      saturates as the window grows (memory-level parallelism needs ROB
+      reach);
+    - a deterministic pseudo-random perturbation of ``noise`` relative
+      magnitude derived from the configuration hash (simulation
+      "measurement error").
+
+    Parameters
+    ----------
+    app, machine:
+        The analytic model inputs.
+    camat_model:
+        Cache-area-to-latency model (defaults shared with the optimizer).
+    noise:
+        Relative perturbation amplitude (0 disables).
+    rob_half:
+        ROB size at which half the application concurrency is exposed.
+    """
+
+    def __init__(self, app: ApplicationProfile, machine: MachineParameters,
+                 camat_model: "CAMATModel | None" = None, *,
+                 noise: float = 0.02, rob_half: float = 48.0,
+                 objective: str = "auto") -> None:
+        if noise < 0:
+            raise DesignSpaceError(f"noise must be >= 0, got {noise}")
+        if objective not in ("auto", "time", "time_per_work"):
+            raise DesignSpaceError(
+                "objective must be 'auto', 'time' or 'time_per_work', "
+                f"got {objective!r}")
+        self.app = app
+        self.machine = machine
+        self.camat_model = camat_model if camat_model is not None else CAMATModel()
+        self.noise = noise
+        self.rob_half = rob_half
+        if objective == "auto":
+            # Match the paper's case split: scalable workloads are judged
+            # by throughput (time per unit work), fixed/sublinear ones by
+            # raw time — the same objective the analytic optimizer uses,
+            # so every DSE method competes on one metric.
+            objective = ("time_per_work" if app.g.at_least_linear()
+                         else "time")
+        self.objective = objective
+
+    def is_feasible(self, config: dict) -> bool:
+        """Eq. 12 area budget plus positivity — checkable pre-simulation."""
+        a0 = float(config["a0"])
+        a1 = float(config["a1"])
+        a2 = float(config["a2"])
+        n = int(config["n"])
+        if min(a0, a1, a2) <= 0 or n < 1:
+            return False
+        total = n * (a0 + a1 + a2) + self.machine.shared_area
+        return total <= self.machine.total_area * (1.0 + 1e-9)
+
+    def evaluate(self, config: dict) -> float:
+        a0 = float(config["a0"])
+        a1 = float(config["a1"])
+        a2 = float(config["a2"])
+        n = int(config["n"])
+        issue = int(config.get("issue_width", 4))
+        rob = int(config.get("rob_size", 128))
+        if issue < 1 or rob < 1 or not self.is_feasible(config):
+            return math.inf
+        m = self.machine
+        cpi = max(m.pollack_k0 / math.sqrt(a0) + m.pollack_phi0, 1.0 / issue)
+        rob_factor = rob / (rob + self.rob_half)
+        c_eff = 1.0 + (self.app.concurrency - 1.0) * rob_factor
+        amat = float(self.camat_model.amat(a1, a2))
+        stall = (self.app.f_mem * (amat / c_eff)
+                 * (1.0 - self.app.overlap_ratio))
+        g_n = float(self.app.g(float(n)))
+        scale = self.app.f_seq + g_n * (1.0 - self.app.f_seq) / n
+        time = self.app.ic0 * (cpi + stall) * scale * m.cycle_time
+        if self.objective == "time_per_work":
+            time /= g_n
+        if self.noise:
+            time *= 1.0 + self.noise * float(_value_noise(
+                a0, a1, a2, n, issue, rob))
+        return time
+
+    def evaluate_grid(self, space) -> "np.ndarray":
+        """Vectorized evaluation of an entire design space.
+
+        Returns costs in the space's mixed-radix enumeration order —
+        ``costs[i] == evaluate(space.config_at(i))`` (exactly: the scalar
+        and vectorized paths share the same noise function).  This is
+        what makes the paper's 10^6-point "full sweep" affordable as a
+        ground truth.
+        """
+        names = space.names
+        required = ("a0", "a1", "a2", "n", "issue_width", "rob_size")
+        missing = [r for r in required if r not in names]
+        if missing:
+            raise DesignSpaceError(
+                f"surrogate grid evaluation needs parameters {missing}")
+        grids = [np.asarray(p.values, dtype=float)
+                 for p in space.parameters]
+        mesh = np.meshgrid(*grids, indexing="ij")
+        values = {name: m.ravel() for name, m in zip(names, mesh)}
+        a0 = values["a0"]
+        a1 = values["a1"]
+        a2 = values["a2"]
+        n = values["n"]
+        issue = values["issue_width"]
+        rob = values["rob_size"]
+        m = self.machine
+        cpi = np.maximum(m.pollack_k0 / np.sqrt(a0) + m.pollack_phi0,
+                         1.0 / issue)
+        rob_factor = rob / (rob + self.rob_half)
+        c_eff = 1.0 + (self.app.concurrency - 1.0) * rob_factor
+        amat = np.asarray(self.camat_model.amat(a1, a2), dtype=float)
+        stall = (self.app.f_mem * (amat / c_eff)
+                 * (1.0 - self.app.overlap_ratio))
+        g_n = np.asarray(self.app.g(n), dtype=float)
+        scale = self.app.f_seq + g_n * (1.0 - self.app.f_seq) / n
+        time = self.app.ic0 * (cpi + stall) * scale * m.cycle_time
+        if self.objective == "time_per_work":
+            time = time / g_n
+        if self.noise:
+            time = time * (1.0 + self.noise * _value_noise(
+                a0, a1, a2, n, issue, rob))
+        total = n * (a0 + a1 + a2) + m.shared_area
+        time = np.where(total > m.total_area * (1.0 + 1e-9), np.inf, time)
+        return time
+
+
+class SimulatorEvaluator:
+    """Evaluate configurations with the event-driven CMP simulator.
+
+    The configuration dict supplies ``n``, ``a1``/``a2`` (cache areas,
+    converted to capacities) or direct ``l1_kib``/``l2_kib``, and the
+    microarchitecture parameters ``issue_width``/``rob_size``.  The cost
+    is execution cycles per (simulated) instruction so different core
+    counts are comparable.
+
+    ``a0`` (core-logic area) is accepted but has no simulated effect of
+    its own: in simulation a core's area is *expressed* through the
+    issue-width/ROB axes (which the paper's 6-parameter space sweeps
+    separately), while ``a0`` feeds the analytic Pollack term and the
+    Eq. 12 feasibility check.
+    """
+
+    def __init__(self, workload: Workload, *, seed: int = 1234,
+                 base_chip: "SimulatedChip | None" = None,
+                 kib_per_area_unit: float = 64.0) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.base_chip = base_chip if base_chip is not None else SimulatedChip()
+        self.kib_per_area_unit = kib_per_area_unit
+
+    def evaluate(self, config: dict) -> float:
+        from dataclasses import replace
+
+        n = int(config.get("n", self.base_chip.n_cores))
+        issue = int(config.get("issue_width", self.base_chip.core.issue_width))
+        rob = int(config.get("rob_size", self.base_chip.core.rob_size))
+        l1_kib = float(config.get(
+            "l1_kib", config.get("a1", 0.5) * self.kib_per_area_unit))
+        l2_kib = float(config.get(
+            "l2_kib", config.get("a2", 8.0) * self.kib_per_area_unit))
+        chip = replace(
+            self.base_chip,
+            n_cores=n,
+            core=CoreMicroConfig(issue_width=issue, rob_size=rob),
+            l1=replace(self.base_chip.l1, size_kib=max(l1_kib, 1.0)),
+            l2_slice=replace(self.base_chip.l2_slice,
+                             size_kib=max(l2_kib, 2.0)),
+        )
+        rng = np.random.default_rng(self.seed)
+        result = CMPSimulator(chip).run(self.workload.streams(n, rng))
+        instr = result.total_instructions
+        if instr == 0:
+            return math.inf
+        return result.exec_cycles / instr
+
+
+def _value_noise(a0, a1, a2, n, issue, rob):
+    """Deterministic pseudo-noise in [-1, 1] from the parameter values.
+
+    A shader-style sin hash: identical for scalar and array inputs, so
+    :meth:`SurrogateEvaluator.evaluate` and
+    :meth:`SurrogateEvaluator.evaluate_grid` agree bit-for-bit.
+    """
+    x = (np.asarray(a0, dtype=float) * 12.9898
+         + np.asarray(a1, dtype=float) * 78.233
+         + np.asarray(a2, dtype=float) * 37.719
+         + np.asarray(n, dtype=float) * 4.581
+         + np.asarray(issue, dtype=float) * 93.989
+         + np.asarray(rob, dtype=float) * 0.5318)
+    u = np.mod(np.sin(x) * 43758.5453123, 1.0)
+    return 2.0 * u - 1.0

@@ -1,0 +1,101 @@
+"""Genetic-algorithm DSE baseline (related work, paper ref [31]).
+
+A standard generational GA over the discrete design grid: tournament
+selection, uniform crossover, per-gene mutation, elitism.  Every distinct
+fitness evaluation is a simulation; the budgeted evaluator's counter
+provides the comparison axis of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
+from repro.dse.space import DesignSpace
+from repro.errors import DesignSpaceError
+
+__all__ = ["GAResult", "genetic_search"]
+
+
+@dataclass(frozen=True)
+class GAResult:
+    """Outcome of a GA run.
+
+    Attributes
+    ----------
+    best_config / best_cost:
+        Best individual found.
+    evaluations:
+        Distinct simulations performed.
+    generations:
+        Generations executed.
+    """
+
+    best_config: dict
+    best_cost: float
+    evaluations: int
+    generations: int
+
+
+def genetic_search(
+    space: DesignSpace,
+    evaluator: Evaluator,
+    *,
+    population: int = 24,
+    generations: int = 20,
+    mutation_rate: float = 0.15,
+    tournament: int = 3,
+    elite: int = 2,
+    seed: int = 0,
+) -> GAResult:
+    """Run the GA; returns the best configuration found."""
+    if population < 4:
+        raise DesignSpaceError(f"population must be >= 4, got {population}")
+    if elite >= population:
+        raise DesignSpaceError("elite count must be below the population")
+    budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
+              else BudgetedEvaluator(evaluator))
+    rng = np.random.default_rng(seed)
+    radixes = [len(p.values) for p in space.parameters]
+
+    def decode(genome: np.ndarray) -> dict:
+        return {p.name: p.values[int(g)]
+                for p, g in zip(space.parameters, genome)}
+
+    def fitness(genome: np.ndarray) -> float:
+        config = decode(genome)
+        if not is_feasible(budget, config):
+            return float("inf")  # design-rule reject: no simulation spent
+        return budget.evaluate(config)
+
+    pop = np.stack([
+        np.array([rng.integers(0, r) for r in radixes])
+        for _ in range(population)])
+    costs = np.array([fitness(g) for g in pop])
+    gens_done = 0
+    for gen in range(generations):
+        gens_done = gen + 1
+        order = np.argsort(costs)
+        new_pop = [pop[i].copy() for i in order[:elite]]
+        while len(new_pop) < population:
+            parents = []
+            for _ in range(2):
+                contenders = rng.integers(0, population, tournament)
+                parents.append(pop[contenders[np.argmin(costs[contenders])]])
+            mask = rng.random(len(radixes)) < 0.5
+            child = np.where(mask, parents[0], parents[1])
+            mut = rng.random(len(radixes)) < mutation_rate
+            for i in np.flatnonzero(mut):
+                child[i] = rng.integers(0, radixes[i])
+            new_pop.append(child)
+        pop = np.stack(new_pop)
+        costs = np.array([fitness(g) for g in pop])
+    best = int(np.argmin(costs))
+    return GAResult(
+        best_config=decode(pop[best]),
+        best_cost=float(costs[best]),
+        evaluations=budget.evaluations,
+        generations=gens_done,
+    )

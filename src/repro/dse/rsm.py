@@ -1,0 +1,113 @@
+"""Response-surface-model DSE baseline (related work, paper ref [32]).
+
+Fits a quadratic response surface (full second-order polynomial in the
+normalized features) to simulated samples by least squares, predicts the
+whole space, and iteratively refines around the predicted optimum —
+the ReSPIR-style pareto/refinement loop reduced to the single-objective
+case used in Fig. 12's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
+from repro.dse.space import DesignSpace
+from repro.errors import DesignSpaceError
+
+__all__ = ["RSMResult", "response_surface_search"]
+
+
+@dataclass(frozen=True)
+class RSMResult:
+    """Outcome of the RSM search.
+
+    Attributes
+    ----------
+    best_config / best_cost:
+        Best *simulated* configuration found.
+    evaluations:
+        Distinct simulations performed.
+    rounds:
+        Refinement iterations executed.
+    """
+
+    best_config: dict
+    best_cost: float
+    evaluations: int
+    rounds: int
+
+
+def _quad_features(x: np.ndarray) -> np.ndarray:
+    """[1, x_i, x_i*x_j (i<=j)] feature expansion."""
+    x = np.atleast_2d(x)
+    n, d = x.shape
+    cols = [np.ones((n, 1)), x]
+    for i in range(d):
+        for j in range(i, d):
+            cols.append((x[:, i] * x[:, j])[:, None])
+    return np.hstack(cols)
+
+
+def response_surface_search(
+    space: DesignSpace,
+    evaluator: Evaluator,
+    *,
+    initial_samples: int = 60,
+    rounds: int = 4,
+    refine_samples: int = 20,
+    predict_sample: int = 20000,
+    seed: int = 0,
+) -> RSMResult:
+    """Quadratic-RSM search with local refinement."""
+    if initial_samples < 8:
+        raise DesignSpaceError(
+            f"initial sample count must be >= 8, got {initial_samples}")
+    budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
+              else BudgetedEvaluator(evaluator))
+    rng = np.random.default_rng(seed)
+    xs: list[np.ndarray] = []
+    ys: list[float] = []
+
+    def simulate(configs: list[dict]) -> None:
+        for c in configs:
+            if not is_feasible(budget, c):
+                continue  # design-rule reject: no simulation spent
+            cost = budget.evaluate(c)
+            if np.isfinite(cost):
+                xs.append(space.as_features(c))
+                ys.append(np.log(cost))
+
+    simulate(space.sample(initial_samples, rng))
+    best_config: dict = {}
+    best_cost = float("inf")
+    rounds_done = 0
+    for r in range(rounds):
+        rounds_done = r + 1
+        if len(ys) < 8:
+            simulate(space.sample(initial_samples, rng))
+            continue
+        phi = _quad_features(np.vstack(xs))
+        coef, *_ = np.linalg.lstsq(phi, np.asarray(ys), rcond=None)
+        if space.size <= predict_sample:
+            candidates = list(space)
+        else:
+            candidates = space.sample(predict_sample, rng)
+        candidates = [c for c in candidates if is_feasible(budget, c)]
+        feats = _quad_features(
+            np.vstack([space.as_features(c) for c in candidates]))
+        pred = feats @ coef
+        order = np.argsort(pred)
+        # Simulate the top predictions plus fresh exploration samples.
+        top = [candidates[int(i)] for i in order[:refine_samples]]
+        simulate(top)
+        simulate(space.sample(max(refine_samples // 2, 1), rng))
+        for c in top:
+            cost = budget.evaluate(c)
+            if cost < best_cost:
+                best_cost = cost
+                best_config = c
+    return RSMResult(best_config=best_config, best_cost=best_cost,
+                     evaluations=budget.evaluations, rounds=rounds_done)

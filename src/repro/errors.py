@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the C2-Bound library."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical solver failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Norm of the final residual (``nan`` if unavailable).
+    """
+
+    def __init__(self, message: str, *, iterations: int = 0,
+                 residual: float = float("nan")) -> None:
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A model or configuration parameter is out of its valid domain."""
+
+
+class TraceError(ReproError, ValueError):
+    """A memory access trace is malformed or internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The CMP simulator reached an inconsistent state."""
+
+
+class DesignSpaceError(ReproError, ValueError):
+    """A design-space definition or query is invalid."""

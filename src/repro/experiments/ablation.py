@@ -1,0 +1,103 @@
+"""Ablations of the C2-Bound model's two new factors.
+
+The paper's core claim: "memory bound factors significantly impact the
+optimal number of cores as well as their optimal silicon area
+allocations".  The ablation removes each factor in turn:
+
+- **full**      — C2-Bound as proposed (concurrency C, capacity-scaled
+  problem size g);
+- **no-C**      — concurrency forced to 1 (AMAT-based stall: the
+  Cassidy/Andreou-style locality-only model);
+- **no-g**      — problem size fixed (g = 1: the Hill & Marty
+  assumption);
+- **neither**   — both removed (Amdahl + AMAT).
+
+Each variant solves the same silicon-constrained optimization; the
+output compares optimal core counts and area splits.  A second ablation
+sweeps the miss-curve exponent alpha (the sqrt-2-rule design choice) to
+show the optimum's sensitivity to the capacity model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.capacity.missrate import PowerLawMissRate
+from repro.core.camat_model import CAMATModel
+from repro.core.optimizer import C2BoundOptimizer, DesignPoint
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.io.results import ResultTable
+from repro.laws.gfunction import PowerLawG
+
+__all__ = ["run_factor_ablation", "run_miss_curve_ablation"]
+
+
+def _variant_profiles(app: ApplicationProfile) -> dict[str, ApplicationProfile]:
+    fixed_g = PowerLawG(0.0, name="fixed")
+    return {
+        "full (C2-Bound)": app,
+        "no concurrency (C=1)": app.with_concurrency(1.0),
+        "no capacity scaling (g=1)": dc_replace(app, g=fixed_g),
+        "neither (Amdahl+AMAT)": dc_replace(
+            app.with_concurrency(1.0), g=fixed_g),
+    }
+
+
+def run_factor_ablation(
+    *,
+    app: "ApplicationProfile | None" = None,
+    machine: "MachineParameters | None" = None,
+    n_max: int = 1000,
+) -> ResultTable:
+    """Optimal designs from the four model variants."""
+    app = app if app is not None else ApplicationProfile(
+        name="tmm-like", f_seq=0.02, f_mem=0.3, concurrency=4.0,
+        g=PowerLawG(1.5))
+    machine = machine if machine is not None else MachineParameters()
+    table = ResultTable(
+        ["variant", "case", "N*", "A0", "A1", "A2", "objective"],
+        title="Ablation: impact of the concurrency and capacity factors")
+    for name, profile in _variant_profiles(app).items():
+        res = C2BoundOptimizer(profile, machine).optimize(n_max=n_max)
+        best: DesignPoint = res.best
+        objective = (best.throughput if res.case == "maximize-throughput"
+                     else best.execution_time)
+        table.add_row(name, res.case, best.n, best.config.a0,
+                      best.config.a1, best.config.a2, objective)
+    return table
+
+
+def run_miss_curve_ablation(
+    *,
+    alphas: tuple[float, ...] = (0.3, 0.5, 0.7),
+    n_max: int = 1000,
+) -> ResultTable:
+    """Sensitivity of the optimum to the miss-curve exponent."""
+    app = ApplicationProfile(name="tmm-like", f_seq=0.02, f_mem=0.3,
+                             concurrency=4.0, g=PowerLawG(0.5, name="sub"))
+    machine = MachineParameters()
+    table = ResultTable(
+        ["alpha", "N*", "A0", "A1+A2", "execution_time"],
+        title="Ablation: miss-curve exponent (sqrt-2 rule = 0.5)")
+    base = CAMATModel()
+    for alpha in alphas:
+        model = CAMATModel(
+            latencies=base.latencies,
+            l1_curve=PowerLawMissRate(
+                base_miss_rate=base.l1_curve.base_miss_rate,
+                base_capacity_kib=base.l1_curve.base_capacity_kib,
+                alpha=alpha,
+                compulsory_floor=base.l1_curve.compulsory_floor),
+            l2_curve=PowerLawMissRate(
+                base_miss_rate=base.l2_curve.base_miss_rate,
+                base_capacity_kib=base.l2_curve.base_capacity_kib,
+                alpha=alpha,
+                compulsory_floor=base.l2_curve.compulsory_floor),
+            area_model=base.area_model,
+        )
+        res = C2BoundOptimizer(app, machine, model).optimize(n_max=n_max)
+        best = res.best
+        table.add_row(alpha, best.n, best.config.a0,
+                      best.config.a1 + best.config.a2,
+                      best.execution_time)
+    return table

@@ -1,0 +1,49 @@
+"""Section V reproduction: on-chip-memory-bounded problem size.
+
+For a kernel with working set ``Y(Z)`` (here TMM: ``Y = 3 Z^{2/3}``-like
+in elements, derived from its computation/memory complexity pair) the
+bounded problem size is ``max Z s.t. Y(Z) <= X``.  The experiment sweeps
+the on-chip capacity ``X``, reports the bounded size, and classifies a
+fixed real problem as processor-bound or memory-bound per capacity —
+applications cross from memory-bound to processor-bound exactly when the
+bound passes their size.
+"""
+
+from __future__ import annotations
+
+from repro.capacity.problem_size import classify_boundedness
+from repro.io.results import ResultTable
+
+__all__ = ["run_capacity_bound", "tmm_working_set_kib"]
+
+
+def tmm_working_set_kib(z_flops: float, element_bytes: int = 8) -> float:
+    """Working set (KiB) of a ``2n^3``-flop matrix multiply.
+
+    ``Z = 2 n^3`` flops needs ``3 n^2`` elements resident, so
+    ``Y(Z) = 3 (Z/2)^{2/3}`` elements.
+    """
+    if z_flops <= 0:
+        return 0.0
+    n_cubed = z_flops / 2.0
+    elements = 3.0 * n_cubed ** (2.0 / 3.0)
+    return elements * element_bytes / 1024.0
+
+
+def run_capacity_bound(
+    *,
+    capacities_kib: tuple = (256.0, 1024.0, 4096.0, 16384.0, 65536.0),
+    actual_problem_flops: float = 2e9,
+) -> ResultTable:
+    """Sweep on-chip capacity; classify a fixed TMM problem."""
+    table = ResultTable(
+        ["on_chip_kib", "bounded_Z_flops", "actual_Z_flops", "case",
+         "utilization"],
+        title="Section V: LLC-bounded problem size (TMM working set)")
+    for x in capacities_kib:
+        result = classify_boundedness(
+            tmm_working_set_kib, x, actual_problem_flops)
+        table.add_row(x, result.bounded_problem_size,
+                      actual_problem_flops, result.case.value,
+                      result.utilization)
+    return table

@@ -1,0 +1,97 @@
+"""Figs. 8-11 reproduction: memory-bounded scaling sweeps.
+
+The paper sweeps core count N with ``g(N) = N^{3/2}`` and three memory
+concurrency levels C in {1, 4, 8}:
+
+- Figs. 8-9: problem size ``W`` and execution time ``T`` vs N for
+  ``f_mem`` = 0.3 / 0.9;
+- Figs. 10-11: throughput ``W/T`` vs N for the same ``f_mem`` values.
+
+``W`` is normalized to ``W(1) = 1`` and ``T`` to ``T(1, C=1) = 1`` so the
+series are directly comparable to the paper's axes.  Expected shape
+(paper Section IV): ``T`` tracks ``W`` when C = 1; higher C lowers T at
+every N; W/T saturates near ~100 cores for C = 1 while higher C keeps
+earning to larger N and a higher level; larger ``f_mem`` raises T and
+lowers W/T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimizer import C2BoundOptimizer
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.io.results import ResultTable
+from repro.laws.gfunction import PowerLawG
+
+__all__ = ["run_scaling_figure", "default_ns"]
+
+
+def default_ns(n_max: int = 1000, points: int = 25) -> np.ndarray:
+    """Geometric N axis, 1..n_max."""
+    return np.unique(np.round(np.geomspace(1, n_max, points)).astype(int))
+
+
+def run_scaling_figure(
+    *,
+    f_mem: float,
+    quantity: str,
+    concurrencies: tuple[float, ...] = (1.0, 4.0, 8.0),
+    ns: "np.ndarray | None" = None,
+    f_seq: float = 0.02,
+    machine: "MachineParameters | None" = None,
+) -> ResultTable:
+    """Sweep one of the four figures.
+
+    Parameters
+    ----------
+    f_mem:
+        0.3 for Figs. 8/10, 0.9 for Figs. 9/11.
+    quantity:
+        ``"WT"`` (Figs. 8-9: problem size and execution time) or
+        ``"throughput"`` (Figs. 10-11: W/T).
+    concurrencies:
+        The C values swept (paper: 1, 4, 8).
+    ns:
+        Core-count axis; defaults to a geometric 1..1000 grid.
+    f_seq:
+        Sequential fraction of the workload.
+    machine:
+        Machine parameters (defaults shared with the optimizer).
+    """
+    if quantity not in ("WT", "throughput"):
+        raise ValueError(f"quantity must be 'WT' or 'throughput', got {quantity!r}")
+    ns = default_ns() if ns is None else np.asarray(ns, dtype=int)
+    machine = machine if machine is not None else MachineParameters()
+    g = PowerLawG(1.5, name="tmm")
+    base_app = ApplicationProfile(name="fig8-11", f_seq=f_seq, f_mem=f_mem, g=g)
+
+    sweeps: dict[float, list] = {}
+    t_ref: "float | None" = None
+    for c in concurrencies:
+        opt = C2BoundOptimizer(base_app.with_concurrency(c), machine)
+        points = opt.sweep(list(ns))
+        sweeps[c] = points
+        if t_ref is None:
+            t_ref = points[0].execution_time
+    assert t_ref is not None
+
+    if quantity == "WT":
+        columns = ["N", "W"] + [f"T(C={c:g})" for c in concurrencies]
+        title = f"Figs. 8/9: W and T of memory-bounded scaling (f_mem={f_mem})"
+    else:
+        columns = ["N"] + [f"W/T(C={c:g})" for c in concurrencies]
+        title = f"Figs. 10/11: throughput W/T (f_mem={f_mem})"
+    table = ResultTable(columns, title=title)
+    w0 = sweeps[concurrencies[0]][0].problem_size
+    for i, n in enumerate(ns):
+        if quantity == "WT":
+            row = [int(n), sweeps[concurrencies[0]][i].problem_size / w0]
+            row += [sweeps[c][i].execution_time / t_ref
+                    for c in concurrencies]
+        else:
+            row = [int(n)]
+            row += [sweeps[c][i].throughput * t_ref / w0
+                    for c in concurrencies]
+        table.add_row(*row)
+    return table

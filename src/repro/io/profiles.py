@@ -1,0 +1,95 @@
+"""JSON (de)serialization of application profiles.
+
+Characterization is expensive (it runs the simulator); persisting the
+measured :class:`repro.core.params.ApplicationProfile` lets the
+characterize -> optimize pipeline span processes, exactly how the
+paper's APS tool would be used in practice.
+
+Scale functions serialize by type: power laws by exponent, FFT-like by
+``m_ref``.  Custom ``GFunction`` subclasses are rejected with a clear
+error rather than pickled (profiles are meant to be portable, diffable
+JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.params import ApplicationProfile
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import FFTLikeG, GFunction, PowerLawG
+
+__all__ = ["profile_to_dict", "profile_from_dict", "save_profile",
+           "load_profile"]
+
+_FORMAT_VERSION = 1
+
+
+def _g_to_dict(g: GFunction) -> dict:
+    if isinstance(g, PowerLawG):
+        return {"type": "power", "exponent": g.exponent, "name": g.name}
+    if isinstance(g, FFTLikeG):
+        return {"type": "fft", "m_ref": g.m_ref, "name": g.name}
+    raise InvalidParameterError(
+        f"cannot serialize scale function of type {type(g).__name__}; "
+        "use PowerLawG or FFTLikeG for portable profiles")
+
+
+def _g_from_dict(data: dict) -> GFunction:
+    kind = data.get("type")
+    if kind == "power":
+        return PowerLawG(exponent=float(data["exponent"]),
+                         name=str(data.get("name", "power")))
+    if kind == "fft":
+        return FFTLikeG(m_ref=float(data["m_ref"]))
+    raise InvalidParameterError(f"unknown scale-function type {kind!r}")
+
+
+def profile_to_dict(profile: ApplicationProfile) -> dict:
+    """Portable dict form of a profile."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": profile.name,
+        "f_seq": profile.f_seq,
+        "f_mem": profile.f_mem,
+        "g": _g_to_dict(profile.g),
+        "concurrency": profile.concurrency,
+        "overlap_ratio": profile.overlap_ratio,
+        "ic0": profile.ic0,
+        "base_working_set_kib": profile.base_working_set_kib,
+    }
+
+
+def profile_from_dict(data: dict) -> ApplicationProfile:
+    """Inverse of :func:`profile_to_dict` (validates on construction)."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"unsupported profile format version {version!r}")
+    return ApplicationProfile(
+        name=str(data["name"]),
+        f_seq=float(data["f_seq"]),
+        f_mem=float(data["f_mem"]),
+        g=_g_from_dict(data["g"]),
+        concurrency=float(data["concurrency"]),
+        overlap_ratio=float(data["overlap_ratio"]),
+        ic0=float(data["ic0"]),
+        base_working_set_kib=float(data["base_working_set_kib"]),
+    )
+
+
+def save_profile(profile: ApplicationProfile, path: "str | Path") -> Path:
+    """Write a profile as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile_to_dict(profile), indent=2) + "\n")
+    return path
+
+
+def load_profile(path: "str | Path") -> ApplicationProfile:
+    """Read a profile written by :func:`save_profile`."""
+    path = Path(path)
+    if not path.exists():
+        raise InvalidParameterError(f"profile file {path} does not exist")
+    return profile_from_dict(json.loads(path.read_text()))

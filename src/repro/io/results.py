@@ -1,0 +1,96 @@
+"""Tabular experiment results: aligned text rendering + CSV export.
+
+The environment has no plotting backend, so every figure reproduction
+emits its series as a :class:`ResultTable` — the same rows/columns the
+paper's axes show — renderable as aligned text and saved as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """A column-ordered table of experiment results.
+
+    Parameters
+    ----------
+    columns:
+        Column names, in display order.
+    title:
+        Optional heading used by :meth:`render`.
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str = "") -> None:
+        if not columns:
+            raise InvalidParameterError("table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise InvalidParameterError(f"duplicate columns in {columns}")
+        self.columns = tuple(columns)
+        self.title = title
+        self.rows: list[tuple] = []
+
+    def add_row(self, *values, **named) -> None:
+        """Append a row given positionally or by column name."""
+        if values and named:
+            raise InvalidParameterError(
+                "pass values positionally or by name, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            if missing:
+                raise InvalidParameterError(f"missing columns {sorted(missing)}")
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise InvalidParameterError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError as exc:
+            raise InvalidParameterError(f"no column {name!r}") from exc
+        return [row[idx] for row in self.rows]
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0 or 1e-3 <= abs(value) < 1e6:
+                return f"{value:.4g}"
+            return f"{value:.3e}"
+        return str(value)
+
+    def render(self) -> str:
+        """Aligned-text rendering (the 'figure' for terminal output)."""
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+                  for i, c in enumerate(self.columns)]
+        def line(parts: Sequence[str]) -> str:
+            return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.columns))
+        out.append(line(["-" * w for w in widths]))
+        out.extend(line(r) for r in cells)
+        return "\n".join(out)
+
+    def save_csv(self, path: "str | Path") -> Path:
+        """Write the table to a CSV file; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,50 @@
+"""Persist access traces as compressed NumPy archives.
+
+Traces are the interface between workload generation, simulation and
+analysis; saving them makes experiments replayable without regenerating.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.camat.trace import AccessTrace
+from repro.errors import TraceError
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: AccessTrace, path: "str | Path") -> Path:
+    """Write a trace to ``path`` (.npz); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        starts=trace.starts,
+        hit_cycles=trace.hit_lengths,
+        miss_penalties=trace.miss_penalties,
+        addresses=np.array([a.address for a in trace], dtype=np.int64),
+    )
+    # numpy appends .npz when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_trace(path: "str | Path") -> AccessTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {version}")
+        return AccessTrace.from_arrays(
+            data["starts"], data["hit_cycles"], data["miss_penalties"],
+            data["addresses"])

@@ -1,0 +1,42 @@
+"""Amdahl's law (fixed problem size speedup).
+
+Amdahl's law is the ``g(N) = 1`` special case of Sun-Ni's law (paper
+Section II-B): the workload does not grow with the machine, so speedup is
+limited by the sequential fraction ``f_seq``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["amdahl_speedup"]
+
+
+def amdahl_speedup(f_seq: float, n: "float | np.ndarray") -> "float | np.ndarray":
+    """Fixed-size speedup ``1 / (f_seq + (1 - f_seq)/N)``.
+
+    Parameters
+    ----------
+    f_seq:
+        Sequential fraction of the workload, in ``[0, 1]``.
+    n:
+        Number of processors (scalar or array), ``>= 1``.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        Speedup with the same shape as ``n``.
+    """
+    _validate(f_seq, n)
+    n_arr = np.asarray(n, dtype=float)
+    speedup = 1.0 / (f_seq + (1.0 - f_seq) / n_arr)
+    return float(speedup) if np.isscalar(n) else speedup
+
+
+def _validate(f_seq: float, n) -> None:
+    if not 0.0 <= f_seq <= 1.0:
+        raise InvalidParameterError(f"f_seq must be in [0, 1], got {f_seq}")
+    if np.any(np.asarray(n, dtype=float) < 1.0):
+        raise InvalidParameterError("processor count must be >= 1")

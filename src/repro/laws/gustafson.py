@@ -1,0 +1,33 @@
+"""Gustafson's law (fixed-time, linearly scaled speedup).
+
+Gustafson's law is the ``g(N) = N`` special case of Sun-Ni's law (paper
+Section II-B): the parallel part of the workload grows linearly with the
+machine so the speedup is ``f_seq + (1 - f_seq) * N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["gustafson_speedup"]
+
+
+def gustafson_speedup(f_seq: float, n: "float | np.ndarray") -> "float | np.ndarray":
+    """Scaled speedup ``f_seq + (1 - f_seq) * N``.
+
+    Parameters
+    ----------
+    f_seq:
+        Sequential fraction of the (scaled) workload, in ``[0, 1]``.
+    n:
+        Number of processors (scalar or array), ``>= 1``.
+    """
+    if not 0.0 <= f_seq <= 1.0:
+        raise InvalidParameterError(f"f_seq must be in [0, 1], got {f_seq}")
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 1.0):
+        raise InvalidParameterError("processor count must be >= 1")
+    speedup = f_seq + (1.0 - f_seq) * n_arr
+    return float(speedup) if np.isscalar(n) else speedup

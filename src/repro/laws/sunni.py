@@ -1,0 +1,113 @@
+"""Sun-Ni's law: memory-bounded speedup (paper Section II-B, Eq. 4).
+
+When the machine grows to ``N`` processor-memory pairs, the available
+memory grows ``N`` times and the problem size scales by
+``g(N) = h(N*M)/h(M)`` where ``W = h(M)`` relates problem size to memory.
+The resulting speedup
+
+    S(N) = (f_seq + (1 - f_seq) * g(N)) / (f_seq + (1 - f_seq) * g(N) / N)
+
+reduces to Amdahl's law when ``g(N) = 1`` and Gustafson's law when
+``g(N) = N``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["sun_ni_speedup", "memory_bounded_speedup", "scaled_problem_size"]
+
+
+def sun_ni_speedup(
+    f_seq: float,
+    n: "float | np.ndarray",
+    g: "Callable[[np.ndarray], np.ndarray] | float | np.ndarray",
+) -> "float | np.ndarray":
+    """Memory-bounded speedup, Eq. 4.
+
+    Parameters
+    ----------
+    f_seq:
+        Sequential fraction of the original workload, in ``[0, 1]``.
+    n:
+        Number of processor-memory nodes (scalar or array), ``>= 1``.
+    g:
+        The problem-size scale function.  Either a callable ``g(N)``
+        (e.g. a :class:`repro.laws.GFunction`), or a precomputed scalar /
+        array of ``g`` values matching ``n``.
+
+    Returns
+    -------
+    float or numpy.ndarray
+    """
+    if not 0.0 <= f_seq <= 1.0:
+        raise InvalidParameterError(f"f_seq must be in [0, 1], got {f_seq}")
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 1.0):
+        raise InvalidParameterError("node count must be >= 1")
+    g_vals = np.asarray(g(n_arr) if callable(g) else g, dtype=float)
+    if np.any(g_vals <= 0.0):
+        raise InvalidParameterError("g(N) must be positive")
+    scaled = (1.0 - f_seq) * g_vals
+    speedup = (f_seq + scaled) / (f_seq + scaled / n_arr)
+    return float(speedup) if np.isscalar(n) else speedup
+
+
+def scaled_problem_size(
+    w: float,
+    n: "float | np.ndarray",
+    h: Callable[[np.ndarray], np.ndarray],
+    h_inv: Callable[[float], float],
+) -> "float | np.ndarray":
+    """Scaled problem size ``W' = h(N * h^{-1}(W))``.
+
+    Parameters
+    ----------
+    w:
+        Original (single-node) problem size, ``> 0``.
+    n:
+        Memory scale factor (number of nodes).
+    h:
+        Problem-size-from-memory function ``W = h(M)``.
+    h_inv:
+        Its inverse ``M = h^{-1}(W)``.
+    """
+    if w <= 0:
+        raise InvalidParameterError(f"problem size must be positive, got {w}")
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr < 1.0):
+        raise InvalidParameterError("node count must be >= 1")
+    m = float(h_inv(w))
+    if m <= 0:
+        raise InvalidParameterError("h_inv(W) must be positive")
+    scaled = np.asarray(h(n_arr * m), dtype=float)
+    return float(scaled) if np.isscalar(n) else scaled
+
+
+def memory_bounded_speedup(
+    f_seq: float,
+    w: float,
+    n: "float | np.ndarray",
+    h: Callable[[np.ndarray], np.ndarray],
+    h_inv: Callable[[float], float],
+) -> "float | np.ndarray":
+    """Sun-Ni speedup in its general (pre-Eq.-4) form.
+
+    Uses the raw definition
+    ``S = (f_seq*W + (1-f_seq)*W') / (f_seq*W + (1-f_seq)*W'/N)`` with
+    ``W' = h(N*h^{-1}(W))``.  For power-law ``h`` this equals
+    :func:`sun_ni_speedup` with ``g(N) = W'/W`` (the paper's derivation);
+    for non-power-law ``h`` it is the exact statement of the law.
+    """
+    if not 0.0 <= f_seq <= 1.0:
+        raise InvalidParameterError(f"f_seq must be in [0, 1], got {f_seq}")
+    n_arr = np.asarray(n, dtype=float)
+    w_scaled = np.asarray(scaled_problem_size(w, n_arr, h, h_inv), dtype=float)
+    num = f_seq * w + (1.0 - f_seq) * w_scaled
+    den = f_seq * w + (1.0 - f_seq) * w_scaled / n_arr
+    speedup = num / den
+    return float(speedup) if np.isscalar(n) else speedup

@@ -1,0 +1,109 @@
+"""APC: data Accesses Per memory-active Cycle (Wang & Sun, used in §V).
+
+``APC = accesses / memory-active cycles`` for a given memory layer, where
+a cycle is memory-active iff at least one access to that layer is
+outstanding.  The paper uses the identity ``C-AMAT = 1/APC`` and Fig. 13's
+observation ``APC(L1) >> APC(LLC) >> APC(DRAM)`` to argue the relevant
+capacity bound is the *on-chip* memory bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.camat.analyzer import TraceAnalyzer
+from repro.camat.trace import AccessTrace
+from repro.errors import InvalidParameterError
+
+__all__ = ["APCMeasurement", "LayerAPC", "apc_from_counts",
+           "apc_from_camat", "apc_from_trace"]
+
+
+@dataclass(frozen=True)
+class APCMeasurement:
+    """An APC measurement for one memory layer.
+
+    Attributes
+    ----------
+    accesses:
+        Number of accesses serviced by the layer.
+    active_cycles:
+        Number of cycles in which the layer had >= 1 outstanding access.
+    """
+
+    accesses: int
+    active_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.accesses < 0 or self.active_cycles < 0:
+            raise InvalidParameterError("counts must be non-negative")
+        if self.accesses > 0 and self.active_cycles == 0:
+            raise InvalidParameterError(
+                "accesses imply at least one active cycle")
+
+    @property
+    def apc(self) -> float:
+        """Accesses per memory-active cycle (0 for an idle layer)."""
+        if self.active_cycles == 0:
+            return 0.0
+        return self.accesses / self.active_cycles
+
+    @property
+    def camat(self) -> float:
+        """The layer's C-AMAT via the identity ``C-AMAT = 1/APC``."""
+        if self.accesses == 0:
+            raise InvalidParameterError("C-AMAT undefined for idle layer")
+        return self.active_cycles / self.accesses
+
+
+@dataclass(frozen=True)
+class LayerAPC:
+    """APC across a memory hierarchy (Fig. 13's three layers).
+
+    Attributes
+    ----------
+    l1, llc, dram:
+        Per-layer measurements.  ``l1`` counts all processor-issued
+        accesses; ``llc`` the L1 misses; ``dram`` the LLC misses.
+    """
+
+    l1: APCMeasurement
+    llc: APCMeasurement
+    dram: APCMeasurement
+
+    def as_dict(self) -> dict[str, float]:
+        """Layer-name -> APC value, in hierarchy order."""
+        return {"L1": self.l1.apc, "LLC": self.llc.apc, "DRAM": self.dram.apc}
+
+    def gap_ratios(self) -> dict[str, float]:
+        """Performance gaps between adjacent layers (Fig. 13 discussion)."""
+        out: dict[str, float] = {}
+        if self.llc.apc > 0:
+            out["L1/LLC"] = self.l1.apc / self.llc.apc
+        if self.dram.apc > 0:
+            out["LLC/DRAM"] = self.llc.apc / self.dram.apc
+        return out
+
+
+def apc_from_counts(accesses: int, active_cycles: int) -> float:
+    """APC directly from counter values."""
+    return APCMeasurement(accesses, active_cycles).apc
+
+
+def apc_from_camat(camat_value: float) -> float:
+    """``APC = 1 / C-AMAT`` (paper Section V)."""
+    if camat_value <= 0:
+        raise InvalidParameterError(
+            f"C-AMAT must be positive, got {camat_value}")
+    return 1.0 / camat_value
+
+
+def apc_from_trace(trace: AccessTrace) -> APCMeasurement:
+    """Measure APC of the layer that serviced ``trace``.
+
+    Uses the analyzer's memory-active cycle count, so
+    ``apc_from_trace(t).camat == TraceAnalyzer().analyze(t).camat``.
+    """
+    stats = TraceAnalyzer().analyze(trace)
+    return APCMeasurement(accesses=stats.accesses,
+                          active_cycles=stats.memory_active_wall_cycles)

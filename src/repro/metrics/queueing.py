@@ -1,0 +1,69 @@
+"""Queueing formulas for memory-contention analysis.
+
+The event-driven DRAM model produces contention *behaviour*; these
+closed forms predict it.  A DRAM bank serving fixed-latency requests is
+an M/D/1 queue (Poisson arrivals, deterministic service); its mean wait
+is the Pollaczek-Khinchine value
+
+    W_q = rho / (2 * mu * (1 - rho)),        rho = lambda / mu
+
+and the banked device is approximated as ``k`` independent M/D/1 queues
+under random interleaving.  The test suite checks the simulator's
+measured DRAM latency inflation against these curves — the analytic
+model's bandwidth-saturation sanity check.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["utilization", "mm1_wait", "md1_wait", "banked_dram_latency"]
+
+
+def utilization(arrival_rate: float, service_rate: float) -> float:
+    """``rho = lambda / mu`` with domain checks (must be < 1)."""
+    if arrival_rate < 0:
+        raise InvalidParameterError(
+            f"arrival rate must be >= 0, got {arrival_rate}")
+    if service_rate <= 0:
+        raise InvalidParameterError(
+            f"service rate must be positive, got {service_rate}")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        raise InvalidParameterError(
+            f"queue is unstable: rho = {rho:.3f} >= 1")
+    return rho
+
+
+def mm1_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean queueing delay of an M/M/1 queue (exponential service)."""
+    rho = utilization(arrival_rate, service_rate)
+    return rho / (service_rate * (1.0 - rho))
+
+
+def md1_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean queueing delay of an M/D/1 queue (deterministic service).
+
+    Exactly half the M/M/1 wait (Pollaczek-Khinchine with zero service
+    variance) — the right model for a DRAM bank's fixed-latency
+    accesses.
+    """
+    return 0.5 * mm1_wait(arrival_rate, service_rate)
+
+
+def banked_dram_latency(arrival_rate: float, service_cycles: float,
+                        banks: int) -> float:
+    """Predicted mean DRAM latency under load.
+
+    Requests arrive at ``arrival_rate`` (per cycle, aggregate), spread
+    uniformly over ``banks`` independent banks each taking
+    ``service_cycles`` per request; returns service + M/D/1 wait.
+    """
+    if banks < 1:
+        raise InvalidParameterError(f"banks must be >= 1, got {banks}")
+    if service_cycles <= 0:
+        raise InvalidParameterError(
+            f"service time must be positive, got {service_cycles}")
+    per_bank_rate = arrival_rate / banks
+    mu = 1.0 / service_cycles
+    return service_cycles + md1_wait(per_bank_rate, mu)

@@ -1,0 +1,36 @@
+"""Throughput ``W/T`` — the case-I objective (paper Figs. 10-11).
+
+When the workload is linearly or super-linearly scalable
+(``g(N) >= O(N)``) there is no finite ``N`` minimizing execution time, so
+the optimizer maximizes the ratio of (scaled) problem size to execution
+time instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["throughput"]
+
+
+def throughput(
+    problem_size: "float | np.ndarray",
+    execution_time: "float | np.ndarray",
+) -> "float | np.ndarray":
+    """``W / T``; broadcasts over arrays.
+
+    Raises
+    ------
+    InvalidParameterError
+        If any execution time is non-positive.
+    """
+    w = np.asarray(problem_size, dtype=float)
+    t = np.asarray(execution_time, dtype=float)
+    if np.any(t <= 0):
+        raise InvalidParameterError("execution time must be positive")
+    out = w / t
+    if np.isscalar(problem_size) and np.isscalar(execution_time):
+        return float(out)
+    return out

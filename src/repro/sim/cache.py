@@ -1,0 +1,195 @@
+"""Set-associative cache with true-LRU replacement.
+
+The tag store is kept in NumPy arrays (one row per set) so lookups are
+O(assoc) with no Python object churn — the cache is on the hot path of
+every simulated access.  Banking is modeled by the owning component
+(:class:`repro.sim.core.CoreModel` for L1 hit concurrency); this class is
+purely the hit/miss/replacement state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.config import CacheConfig
+
+__all__ = ["SetAssociativeCache"]
+
+
+class SetAssociativeCache:
+    """Tag store of one cache (or one slice of a shared cache).
+
+    Parameters
+    ----------
+    config:
+        Geometry and latency parameters.
+
+    Notes
+    -----
+    Addresses are byte addresses; the line and set index are derived from
+    ``config.line_bytes`` and ``config.num_sets``.  ``access`` combines
+    lookup and fill (allocate-on-miss, true LRU), which is the standard
+    trace-driven idiom.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        sets = config.num_sets
+        assoc = max(config.num_lines // sets, 1)
+        self._assoc = assoc
+        self._sets = sets
+        self._tags = np.full((sets, assoc), -1, dtype=np.int64)
+        self._lru = np.zeros((sets, assoc), dtype=np.int64)
+        self._dirty = np.zeros((sets, assoc), dtype=bool)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the tag store."""
+        return self._sets
+
+    @property
+    def assoc(self) -> int:
+        """Effective associativity (ways per set)."""
+        return self._assoc
+
+    def line_of(self, address: int) -> int:
+        """Line (block) number of a byte address."""
+        if address < 0:
+            raise InvalidParameterError(f"address must be >= 0, got {address}")
+        return address // self.config.line_bytes
+
+    def bank_of(self, address: int) -> int:
+        """Bank servicing this address (line-interleaved)."""
+        return self.line_of(address) % self.config.banks
+
+    def access(self, address: int) -> bool:
+        """Look up ``address``; allocate on miss.  Returns hit?."""
+        hit, _ = self.access_rw(address, write=False)
+        return hit
+
+    def access_rw(self, address: int,
+                  write: bool = False) -> "tuple[bool, int | None]":
+        """Look up with read/write semantics (writeback-aware).
+
+        Returns ``(hit, writeback_line)``: ``writeback_line`` is the line
+        number of a dirty victim evicted by this fill (``None``
+        otherwise).  Writes set the dirty bit on the (filled) line.
+        """
+        line = self.line_of(address)
+        set_idx = line % self._sets
+        tag = line // self._sets
+        self._tick += 1
+        row = self._tags[set_idx]
+        way = int(np.argmax(row == tag)) if (row == tag).any() else -1
+        if way >= 0:
+            self._lru[set_idx, way] = self._tick
+            if write:
+                self._dirty[set_idx, way] = True
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        victim = int(np.argmin(self._lru[set_idx]))
+        writeback: "int | None" = None
+        if self._dirty[set_idx, victim] and self._tags[set_idx, victim] >= 0:
+            self.writebacks += 1
+            writeback = int(self._tags[set_idx, victim]) * self._sets + set_idx
+        self._tags[set_idx, victim] = tag
+        self._lru[set_idx, victim] = self._tick
+        self._dirty[set_idx, victim] = write
+        return False, writeback
+
+    def probe(self, address: int) -> bool:
+        """Non-allocating lookup (no LRU update, no fill)."""
+        line = self.line_of(address)
+        set_idx = line % self._sets
+        tag = line // self._sets
+        return bool((self._tags[set_idx] == tag).any())
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present; returns whether it was present.
+
+        A dirty invalidated line counts as a writeback (its data must
+        reach the next level — the coherence protocol's responsibility).
+        """
+        line = self.line_of(address)
+        set_idx = line % self._sets
+        tag = line // self._sets
+        row = self._tags[set_idx]
+        mask = row == tag
+        if not mask.any():
+            return False
+        way = int(np.argmax(mask))
+        if self._dirty[set_idx, way]:
+            self.writebacks += 1
+        self._tags[set_idx, way] = -1
+        self._lru[set_idx, way] = 0
+        self._dirty[set_idx, way] = False
+        return True
+
+    def fill(self, address: int) -> "int | None":
+        """Install a line without touching demand hit/miss statistics.
+
+        Used by prefetchers: a prefetch fill is not an architectural
+        access.  Returns the line number of a dirty victim (which must
+        be written back), or ``None``.  No-op if the line is present.
+        """
+        line = self.line_of(address)
+        set_idx = line % self._sets
+        tag = line // self._sets
+        self._tick += 1
+        row = self._tags[set_idx]
+        if (row == tag).any():
+            return None
+        victim = int(np.argmin(self._lru[set_idx]))
+        writeback: "int | None" = None
+        if self._dirty[set_idx, victim] and self._tags[set_idx, victim] >= 0:
+            self.writebacks += 1
+            writeback = int(self._tags[set_idx, victim]) * self._sets + set_idx
+        self._tags[set_idx, victim] = tag
+        # Insert at LRU-adjacent priority: an untouched prefetch should
+        # be the first victim if it turns out useless.
+        self._lru[set_idx, victim] = max(self._tick - self._assoc, 1)
+        self._dirty[set_idx, victim] = False
+        return writeback
+
+    def set_dirty(self, address: int) -> bool:
+        """Mark the (present) line dirty without touching hit/miss stats.
+
+        Used for writes that merge into an in-flight fill: the line was
+        already allocated by the primary miss.  Returns present?.
+        """
+        line = self.line_of(address)
+        set_idx = line % self._sets
+        tag = line // self._sets
+        mask = self._tags[set_idx] == tag
+        if not mask.any():
+            return False
+        self._dirty[set_idx, int(np.argmax(mask))] = True
+        return True
+
+    def is_dirty(self, address: int) -> bool:
+        """Whether the (present) line holding ``address`` is dirty."""
+        line = self.line_of(address)
+        set_idx = line % self._sets
+        tag = line // self._sets
+        mask = self._tags[set_idx] == tag
+        if not mask.any():
+            return False
+        return bool(self._dirty[set_idx, int(np.argmax(mask))])
+
+    @property
+    def miss_rate(self) -> float:
+        """Observed miss rate so far (0 before any access)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/writeback counters (state is kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0

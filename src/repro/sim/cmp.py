@@ -1,0 +1,185 @@
+"""The CMP simulator: globally time-ordered multi-core execution.
+
+Cores are advanced one memory operation at a time through a min-heap
+keyed on each core's next issue time, so requests reach the shared L2
+slices and DRAM banks in (approximately) chronological order and
+contention is modeled faithfully.  The result bundles per-core traces,
+per-layer traces and the aggregate statistics consumed by the C2-Bound
+validation experiments (Figs. 12-13).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.camat.analyzer import TraceAnalyzer, TraceStatistics
+from repro.camat.trace import AccessTrace
+from repro.errors import SimulationError
+from repro.metrics.apc import APCMeasurement, LayerAPC
+from repro.sim.config import SimulatedChip
+from repro.sim.core import CoreModel, CoreResult
+from repro.sim.hierarchy import MemoryHierarchy
+
+__all__ = ["CMPSimulator", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one CMP simulation.
+
+    Attributes
+    ----------
+    chip:
+        The simulated configuration.
+    cores:
+        Per-core results (length ``n_cores``).
+    exec_cycles:
+        Chip-level execution time: the slowest core's finish cycle.
+    l2_trace, dram_trace:
+        Cycle-level traces of the shared layers (``None`` if unused).
+    """
+
+    chip: SimulatedChip
+    cores: tuple[CoreResult, ...]
+    exec_cycles: int
+    l2_trace: "AccessTrace | None"
+    dram_trace: "AccessTrace | None"
+    l1_writebacks: int = 0
+    invalidations: int = 0
+    upgrades: int = 0
+    dram_writes: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions summed over cores."""
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def ipc(self) -> float:
+        """Chip-level instructions per cycle."""
+        if self.exec_cycles == 0:
+            return 0.0
+        return self.total_instructions / self.exec_cycles
+
+    def core_trace(self, core_id: int) -> AccessTrace:
+        """L1-level access trace of one core."""
+        return self.cores[core_id].trace()
+
+    def summary(self):
+        """One-glance result table (chip stats + per-core highlights)."""
+        from repro.io.results import ResultTable
+        table = ResultTable(["metric", "value"],
+                            title="Simulation summary")
+        table.add_row("cores", self.chip.n_cores)
+        table.add_row("instructions", self.total_instructions)
+        table.add_row("cycles", self.exec_cycles)
+        table.add_row("IPC", self.ipc)
+        mem_ops = sum(c.mem_ops for c in self.cores)
+        table.add_row("memory ops", mem_ops)
+        if mem_ops:
+            misses = sum(c.l1_misses for c in self.cores)
+            table.add_row("L1 miss rate", misses / mem_ops)
+        table.add_row("L1 writebacks", self.l1_writebacks)
+        table.add_row("coherence invalidations", self.invalidations)
+        table.add_row("coherence upgrades", self.upgrades)
+        table.add_row("DRAM writes", self.dram_writes)
+        return table
+
+    def core_stats(self, core_id: int) -> TraceStatistics:
+        """Full C-AMAT statistics of one core's trace."""
+        return TraceAnalyzer().analyze(self.core_trace(core_id))
+
+    def layer_apc(self) -> LayerAPC:
+        """APC for L1 / LLC / DRAM (the paper's Fig. 13 measurement).
+
+        L1 counts all processor accesses across cores; active cycles are
+        measured per core and summed (each core's L1 is a separate
+        device, matching the per-layer APC definition).
+        """
+        analyzer = TraceAnalyzer()
+        l1_acc = 0
+        l1_active = 0
+        for core in self.cores:
+            stats = analyzer.analyze(core.trace())
+            l1_acc += stats.accesses
+            l1_active += stats.memory_active_wall_cycles
+        def layer(trace: "AccessTrace | None") -> APCMeasurement:
+            if trace is None:
+                return APCMeasurement(accesses=0, active_cycles=0)
+            stats = analyzer.analyze(trace)
+            return APCMeasurement(accesses=stats.accesses,
+                                  active_cycles=stats.memory_active_wall_cycles)
+        return LayerAPC(
+            l1=APCMeasurement(accesses=l1_acc, active_cycles=l1_active),
+            llc=layer(self.l2_trace),
+            dram=layer(self.dram_trace),
+        )
+
+
+class CMPSimulator:
+    """Run per-core instruction streams through a shared hierarchy."""
+
+    def __init__(self, chip: SimulatedChip, *, coherent: bool = True) -> None:
+        self.chip = chip
+        self.coherent = coherent
+
+    def run(self, streams: "list[tuple]") -> SimulationResult:
+        """Simulate the chip on per-core streams.
+
+        Each stream is ``(addresses, gaps)`` or
+        ``(addresses, gaps, writes)`` with a boolean write mask.  With
+        single-threaded cores the list supplies one stream per core;
+        with SMT (``chip.core.smt_threads > 1``) it supplies
+        ``n_cores * smt_threads`` streams, grouped consecutively per
+        core.  With ``coherent=True`` (default) the per-core L1s
+        participate in the MSI-lite directory at the shared L2 (the
+        paper's "coherent ... L2 cache" variant).
+        """
+        smt = self.chip.core.smt_threads
+        expected = self.chip.n_cores * smt
+        if len(streams) != expected:
+            raise SimulationError(
+                f"need {expected} streams "
+                f"({self.chip.n_cores} cores x {smt} threads), "
+                f"got {len(streams)}")
+        hierarchy = MemoryHierarchy(self.chip)
+        if smt == 1:
+            cores = [
+                CoreModel(i, self.chip.core, self.chip.l1, *stream)
+                for i, stream in enumerate(streams)
+            ]
+        else:
+            from repro.sim.smt import SMTCoreModel
+            cores = [
+                SMTCoreModel(i, self.chip.core, self.chip.l1,
+                             streams[i * smt:(i + 1) * smt])
+                for i in range(self.chip.n_cores)
+            ]
+        if self.coherent:
+            hierarchy.register_l1s([core.l1 for core in cores])
+        heap: list[tuple[int, int]] = []
+        for core in cores:
+            if not core.done:
+                heapq.heappush(heap, (core.peek_issue_time(), core.core_id))
+        while heap:
+            _, cid = heapq.heappop(heap)
+            core = cores[cid]
+            core.step(hierarchy)
+            if not core.done:
+                heapq.heappush(heap, (core.peek_issue_time(), cid))
+        results = tuple(core.result() for core in cores)
+        exec_cycles = max((r.finish_cycle for r in results), default=0)
+        return SimulationResult(
+            chip=self.chip,
+            cores=results,
+            exec_cycles=exec_cycles,
+            l2_trace=hierarchy.l2_trace(),
+            dram_trace=hierarchy.dram_trace(),
+            l1_writebacks=sum(core.l1.writebacks for core in cores),
+            invalidations=hierarchy.invalidations,
+            upgrades=hierarchy.upgrades,
+            dram_writes=hierarchy.dram_writes,
+        )

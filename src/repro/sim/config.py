@@ -1,0 +1,252 @@
+"""Simulator configuration dataclasses.
+
+:class:`SimulatedChip` is the simulator-side view of a design point.  The
+analytic :class:`repro.core.chip.ChipConfig` fixes ``(N, A0, A1, A2)``;
+:meth:`SimulatedChip.from_chip_config` converts areas to cache capacities
+(via the shared :class:`repro.capacity.area.AreaModel`) and core area to
+microarchitecture width (Pollack-style: issue width grows with the square
+root of core area), so APS can hand analytic skeletons to the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.capacity.area import AreaModel
+from repro.core.chip import ChipConfig
+from repro.errors import InvalidParameterError
+
+__all__ = ["CacheConfig", "CoreMicroConfig", "DRAMConfig", "NoCConfig",
+           "SimulatedChip"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level.
+
+    Attributes
+    ----------
+    size_kib:
+        Capacity in KiB (> 0).
+    assoc:
+        Associativity (ways), ``>= 1``.
+    line_bytes:
+        Cache line size, a power of two.
+    hit_latency:
+        Lookup latency in cycles, ``>= 1``.
+    mshr_entries:
+        Miss-status holding registers — outstanding misses supported
+        (non-blocking cache).  1 models a blocking cache.
+    banks:
+        Independent banks; lookups to distinct banks in the same cycle
+        proceed in parallel (hit concurrency).
+    prefetch:
+        Prefetcher attached to this cache: ``"none"``, ``"nextline"`` or
+        ``"stride"``.
+    prefetch_degree:
+        Lines fetched ahead per trigger.
+    """
+
+    size_kib: float = 32.0
+    assoc: int = 8
+    line_bytes: int = 64
+    hit_latency: int = 3
+    mshr_entries: int = 8
+    banks: int = 2
+    prefetch: str = "none"
+    prefetch_degree: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_kib <= 0:
+            raise InvalidParameterError(f"cache size must be > 0, got {self.size_kib}")
+        if self.assoc < 1:
+            raise InvalidParameterError(f"assoc must be >= 1, got {self.assoc}")
+        if self.line_bytes < 1 or (self.line_bytes & (self.line_bytes - 1)):
+            raise InvalidParameterError(
+                f"line size must be a power of two, got {self.line_bytes}")
+        if self.hit_latency < 1:
+            raise InvalidParameterError(
+                f"hit latency must be >= 1, got {self.hit_latency}")
+        if self.mshr_entries < 1:
+            raise InvalidParameterError(
+                f"MSHR entries must be >= 1, got {self.mshr_entries}")
+        if self.banks < 1:
+            raise InvalidParameterError(f"banks must be >= 1, got {self.banks}")
+        if self.prefetch not in ("none", "nextline", "stride"):
+            raise InvalidParameterError(
+                f"prefetch must be none/nextline/stride, got {self.prefetch!r}")
+        if self.prefetch_degree < 1:
+            raise InvalidParameterError(
+                f"prefetch degree must be >= 1, got {self.prefetch_degree}")
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines (at least one set)."""
+        return max(int(self.size_kib * 1024) // self.line_bytes, self.assoc)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return max(self.num_lines // self.assoc, 1)
+
+
+@dataclass(frozen=True)
+class CoreMicroConfig:
+    """Core microarchitecture (the APS-refined parameters).
+
+    Attributes
+    ----------
+    issue_width:
+        Instructions issued per cycle, ``>= 1`` (paper models 4-wide).
+    rob_size:
+        Reorder-buffer entries, ``>= 1`` (paper models 128).
+    smt_threads:
+        Hardware threads per core (paper Section II-A lists SMT among
+        the mechanisms that raise ``C_H`` and ``C_M``).  Threads share
+        the L1, its MSHRs and the issue bandwidth; each has a private
+        ROB partition.
+    """
+
+    issue_width: int = 4
+    rob_size: int = 128
+    smt_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise InvalidParameterError(
+                f"issue width must be >= 1, got {self.issue_width}")
+        if self.rob_size < 1:
+            raise InvalidParameterError(
+                f"ROB size must be >= 1, got {self.rob_size}")
+        if self.smt_threads < 1:
+            raise InvalidParameterError(
+                f"SMT threads must be >= 1, got {self.smt_threads}")
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DRAMSim2-lite timing parameters (in CPU cycles).
+
+    Attributes
+    ----------
+    banks:
+        Independent DRAM banks.
+    row_hit:
+        Latency when the row buffer already holds the row (CAS).
+    row_miss:
+        Latency for activate+CAS after a precharged bank.
+    row_conflict:
+        Latency for precharge+activate+CAS when another row is open.
+    row_bytes:
+        Row-buffer size in bytes.
+    bus_cycles:
+        Data-bus occupancy per transfer (serializes a bank's responses).
+    """
+
+    banks: int = 8
+    row_hit: int = 100
+    row_miss: int = 200
+    row_conflict: int = 300
+    row_bytes: int = 4096
+    bus_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.banks < 1:
+            raise InvalidParameterError(f"banks must be >= 1, got {self.banks}")
+        if not 0 < self.row_hit <= self.row_miss <= self.row_conflict:
+            raise InvalidParameterError(
+                "need 0 < row_hit <= row_miss <= row_conflict, got "
+                f"({self.row_hit}, {self.row_miss}, {self.row_conflict})")
+        if self.row_bytes < 64 or (self.row_bytes & (self.row_bytes - 1)):
+            raise InvalidParameterError(
+                f"row size must be a power of two >= 64, got {self.row_bytes}")
+        if self.bus_cycles < 0:
+            raise InvalidParameterError(
+                f"bus cycles must be >= 0, got {self.bus_cycles}")
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Mesh network-on-chip latency model.
+
+    Attributes
+    ----------
+    hop_latency:
+        Cycles per mesh hop.
+    router_latency:
+        Fixed injection/ejection overhead per traversal.
+    """
+
+    hop_latency: int = 2
+    router_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hop_latency < 0 or self.router_latency < 0:
+            raise InvalidParameterError("NoC latencies must be >= 0")
+
+
+@dataclass(frozen=True)
+class SimulatedChip:
+    """Full simulator configuration for one design point.
+
+    Attributes
+    ----------
+    n_cores:
+        Number of cores.
+    core:
+        Per-core microarchitecture.
+    l1:
+        Private L1 configuration (one instance per core).
+    l2_slice:
+        Per-core slice of the shared L2 (address-interleaved).
+    dram:
+        Memory configuration.
+    noc:
+        Interconnect configuration.
+    """
+
+    n_cores: int = 4
+    core: CoreMicroConfig = field(default_factory=CoreMicroConfig)
+    l1: CacheConfig = field(default_factory=CacheConfig)
+    l2_slice: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_kib=512.0, assoc=16, hit_latency=15, mshr_entries=16, banks=4))
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    noc: NoCConfig = field(default_factory=NoCConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise InvalidParameterError(
+                f"core count must be >= 1, got {self.n_cores}")
+
+    @classmethod
+    def from_chip_config(
+        cls,
+        config: ChipConfig,
+        *,
+        area_model: "AreaModel | None" = None,
+        micro: "CoreMicroConfig | None" = None,
+        reference_core_area: float = 1.0,
+    ) -> "SimulatedChip":
+        """Translate an analytic skeleton into a simulator configuration.
+
+        Cache areas become capacities through ``area_model``; if ``micro``
+        is not given, issue width scales with ``sqrt(A0)`` relative to a
+        4-wide core at ``reference_core_area`` (Pollack's rule) and the
+        ROB is sized at 32 entries per issue slot.
+        """
+        am = area_model if area_model is not None else AreaModel()
+        if micro is None:
+            width = max(1, round(4.0 * math.sqrt(
+                config.a0 / reference_core_area)))
+            micro = CoreMicroConfig(issue_width=width, rob_size=32 * width)
+        base = cls()
+        return cls(
+            n_cores=config.n,
+            core=micro,
+            l1=replace(base.l1, size_kib=max(am.capacity_kib(config.a1), 1.0)),
+            l2_slice=replace(base.l2_slice,
+                             size_kib=max(am.capacity_kib(config.a2), 2.0)),
+            dram=base.dram,
+            noc=base.noc,
+        )

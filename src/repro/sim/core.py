@@ -1,0 +1,281 @@
+"""Out-of-order core model (interval style).
+
+A core executes an instruction stream given as parallel arrays
+``(addresses, gaps)``: access ``j`` touches ``addresses[j]`` after
+``gaps[j]`` non-memory instructions.  The model captures exactly the
+mechanisms that create C-AMAT's concurrency parameters:
+
+- *issue bandwidth*: instructions issue at ``issue_width`` per cycle;
+- *ROB reach*: access ``j`` cannot issue until the instruction
+  ``rob_size`` older has committed (in-order commit), which bounds how
+  many misses can overlap (memory-level parallelism);
+- *L1 banking*: same-cycle lookups to distinct banks proceed in
+  parallel (hit concurrency), same-bank lookups serialize by one cycle;
+- *MSHRs*: outstanding line misses are bounded by the L1 MSHR file, with
+  secondary misses merging.
+
+Each access produces a :class:`repro.camat.MemoryAccess`-shaped record,
+so a finished core yields a genuine :class:`repro.camat.AccessTrace`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.camat.trace import AccessTrace, MemoryAccess
+from repro.errors import SimulationError
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import CacheConfig, CoreMicroConfig
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.mshr import MSHRFile
+from repro.sim.prefetch import NextLinePrefetcher, StridePrefetcher
+
+__all__ = ["CoreModel", "CoreResult"]
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Summary of one core's execution.
+
+    Attributes
+    ----------
+    core_id:
+        Index of the core.
+    instructions:
+        Total instructions executed (memory + compute).
+    mem_ops:
+        Memory operations executed.
+    finish_cycle:
+        Cycle at which the last instruction committed.
+    l1_hits, l1_misses:
+        L1 outcome counts.
+    records:
+        Per-access ``(start, hit_cycles, miss_penalty)`` tuples.
+    """
+
+    core_id: int
+    instructions: int
+    mem_ops: int
+    finish_cycle: int
+    l1_hits: int
+    l1_misses: int
+    records: tuple[tuple[int, int, int], ...]
+    prefetches_issued: int = 0
+    prefetches_useful: int = 0
+
+    @property
+    def f_mem(self) -> float:
+        """Fraction of instructions that access memory."""
+        return self.mem_ops / self.instructions if self.instructions else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """Observed L1 miss rate."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction over the whole run."""
+        if self.instructions == 0:
+            return 0.0
+        return self.finish_cycle / self.instructions
+
+    def trace(self) -> AccessTrace:
+        """The core's L1-level access trace (for C-AMAT analysis)."""
+        if not self.records:
+            raise SimulationError("core executed no memory operations")
+        return AccessTrace(
+            MemoryAccess(start=s, hit_cycles=h, miss_penalty=p)
+            for s, h, p in self.records)
+
+
+class CoreModel:
+    """Stepwise executor for one core (driven by the CMP event loop)."""
+
+    def __init__(self, core_id: int, micro: CoreMicroConfig,
+                 l1_config: CacheConfig,
+                 addresses: np.ndarray, gaps: np.ndarray,
+                 writes: "np.ndarray | None" = None, *,
+                 shared_l1: "SetAssociativeCache | None" = None,
+                 shared_mshr: "MSHRFile | None" = None,
+                 shared_banks: "list[int] | None" = None,
+                 issue_width_override: "int | None" = None) -> None:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        gaps = np.asarray(gaps, dtype=np.int64)
+        if addresses.shape != gaps.shape or addresses.ndim != 1:
+            raise SimulationError("addresses and gaps must be equal 1-D arrays")
+        if np.any(gaps < 0) or np.any(addresses < 0):
+            raise SimulationError("addresses and gaps must be non-negative")
+        if writes is None:
+            writes = np.zeros(addresses.shape, dtype=bool)
+        writes = np.asarray(writes, dtype=bool)
+        if writes.shape != addresses.shape:
+            raise SimulationError("write mask must match the address array")
+        self.core_id = core_id
+        self.micro = micro
+        self.l1 = (shared_l1 if shared_l1 is not None
+                   else SetAssociativeCache(l1_config))
+        self.mshr = (shared_mshr if shared_mshr is not None
+                     else MSHRFile(l1_config.mshr_entries))
+        self._issue_width = (issue_width_override
+                             if issue_width_override is not None
+                             else micro.issue_width)
+        self.addresses = addresses
+        self.gaps = gaps
+        self.writes = writes
+        # Instruction index of each memory op: gaps before it plus earlier ops.
+        self.instr_index = (np.cumsum(gaps)
+                            + np.arange(addresses.size, dtype=np.int64))
+        self._next = 0
+        self._bank_free = (shared_banks if shared_banks is not None
+                           else [0] * l1_config.banks)
+        self._outstanding: deque[tuple[int, int]] = deque()  # (instr idx, done)
+        self._records: list[tuple[int, int, int]] = []
+        self._last_done = 0
+        # Structural stall: when the MSHR file fills, the pipeline blocks
+        # until an entry frees, so younger ops cannot issue past this cycle.
+        self._issue_barrier = 0
+        if l1_config.prefetch == "nextline":
+            self._prefetcher = NextLinePrefetcher(l1_config.prefetch_degree)
+        elif l1_config.prefetch == "stride":
+            self._prefetcher = StridePrefetcher(l1_config.prefetch_degree)
+        else:
+            self._prefetcher = None
+        self._prefetched_lines: set[int] = set()
+        self.prefetches_issued = 0
+        self.prefetches_useful = 0
+
+    # ----- event-loop interface -------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether all memory ops have been processed."""
+        return self._next >= self.addresses.size
+
+    def peek_issue_time(self) -> int:
+        """Lower bound on the next op's issue cycle (for event ordering)."""
+        if self.done:
+            raise SimulationError("core already finished")
+        idx = int(self.instr_index[self._next])
+        t = max(idx // self._issue_width, self._issue_barrier)
+        # ROB: the op cannot issue before the instruction rob_size older
+        # has committed; memory ops are the only long-latency entries.
+        bound = idx - self.micro.rob_size
+        for instr, done_t in self._outstanding:
+            if instr <= bound:
+                t = max(t, done_t)
+            else:
+                break
+        return t
+
+    def step(self, hierarchy: MemoryHierarchy) -> int:
+        """Process one memory op; returns its completion cycle."""
+        if self.done:
+            raise SimulationError("core already finished")
+        j = self._next
+        self._next += 1
+        idx = int(self.instr_index[j])
+        address = int(self.addresses[j])
+        is_write = bool(self.writes[j])
+        issue = max(idx // self._issue_width, self._issue_barrier)
+        # In-order commit / ROB occupancy.
+        bound = idx - self.micro.rob_size
+        while self._outstanding and self._outstanding[0][0] <= bound:
+            instr, done_t = self._outstanding.popleft()
+            issue = max(issue, done_t)
+        # L1 bank port (1-cycle pipelined occupancy per bank).
+        cfg = self.l1.config
+        bank = self.l1.bank_of(address)
+        issue = max(issue, self._bank_free[bank])
+        self._bank_free[bank] = issue + 1
+        hit_lat = cfg.hit_latency
+        line = self.l1.line_of(address)
+        outstanding_fill = self.mshr.lookup(line, issue)
+        if outstanding_fill is not None:
+            # Secondary miss: ride the in-flight fill (counts as a miss).
+            self.l1.misses += 1
+            self.mshr.merge(line, issue)
+            if is_write:
+                self.l1.set_dirty(address)
+            done = max(int(outstanding_fill), issue + hit_lat)
+        else:
+            hit, victim = self.l1.access_rw(address, write=is_write)
+            if victim is not None:
+                hierarchy.writeback(self.core_id,
+                                    victim * cfg.line_bytes, issue)
+            if hit:
+                done = issue + hit_lat
+                if is_write:
+                    # Coherence upgrade: gain ownership if shared.
+                    done = max(done, hierarchy.upgrade(
+                        self.core_id, address, issue) + hit_lat)
+            else:
+                alloc = max(issue + hit_lat,
+                            int(self.mshr.earliest_free_time(issue)))
+                if alloc > issue + hit_lat:
+                    # The file was full: the pipeline blocks until the
+                    # entry frees; no younger instruction issues earlier.
+                    self._issue_barrier = max(self._issue_barrier, alloc)
+                done = hierarchy.service_miss(self.core_id, address, alloc,
+                                              write=is_write)
+                self.mshr.allocate(line, done, alloc)
+        penalty = max(done - issue - hit_lat, 0)
+        self._records.append((issue, hit_lat, penalty))
+        self._outstanding.append((idx, done))
+        self._last_done = max(self._last_done, done)
+        if self._prefetcher is not None:
+            was_hit = penalty == 0 and outstanding_fill is None
+            if was_hit and line in self._prefetched_lines:
+                self.prefetches_useful += 1
+                self._prefetched_lines.discard(line)
+            targets = (self._prefetcher.on_hit(line) if was_hit
+                       else self._prefetcher.on_miss(line))
+            self._issue_prefetches(hierarchy, targets, issue + hit_lat)
+        return done
+
+    def _issue_prefetches(self, hierarchy: MemoryHierarchy,
+                          lines: "list[int]", time: int) -> None:
+        """Fire-and-forget prefetch fills, bounded by spare MSHRs.
+
+        Prefetches never steal the last MSHR entry from demand misses
+        and never stall the pipeline; a dirty victim displaced by a
+        prefetch fill is written back like any other.
+        """
+        cfg = self.l1.config
+        for line in lines:
+            if self.mshr.outstanding(time) >= cfg.mshr_entries - 1:
+                break
+            address = line * cfg.line_bytes
+            if (self.l1.probe(address)
+                    or self.mshr.lookup(line, time) is not None):
+                continue
+            fill_time = hierarchy.service_miss(self.core_id, address, time)
+            self.mshr.allocate(line, fill_time, time)
+            victim = self.l1.fill(address)
+            if victim is not None:
+                hierarchy.writeback(self.core_id,
+                                    victim * cfg.line_bytes, time)
+            self._prefetched_lines.add(line)
+            self.prefetches_issued += 1
+
+    # ----- results --------------------------------------------------------
+    def result(self) -> CoreResult:
+        """Finalize and summarize (call after the event loop drains)."""
+        if not self.done:
+            raise SimulationError("core has unprocessed memory ops")
+        total_instr = (int(self.gaps.sum()) + self.addresses.size)
+        bw_finish = total_instr // max(self._issue_width, 1)
+        return CoreResult(
+            core_id=self.core_id,
+            instructions=total_instr,
+            mem_ops=int(self.addresses.size),
+            finish_cycle=max(self._last_done, bw_finish),
+            l1_hits=self.l1.hits,
+            l1_misses=self.l1.misses,
+            records=tuple(self._records),
+            prefetches_issued=self.prefetches_issued,
+            prefetches_useful=self.prefetches_useful,
+        )

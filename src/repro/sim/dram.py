@@ -1,0 +1,81 @@
+"""DRAMSim2-lite: banked DRAM with row-buffer state and bank queueing.
+
+Each bank keeps its open row and its next-free time.  A request pays
+
+- ``row_hit`` cycles if its row is open,
+- ``row_miss`` cycles if the bank is precharged (first touch),
+- ``row_conflict`` cycles if another row is open,
+
+serialized behind earlier requests to the same bank plus a data-bus
+occupancy per transfer.  This reproduces the two DRAM behaviours the
+C2-Bound analysis needs: locality-dependent latency and bandwidth
+saturation under concurrent misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.config import DRAMConfig
+
+__all__ = ["DRAMModel"]
+
+
+class DRAMModel:
+    """Shared DRAM device model."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._open_row = np.full(config.banks, -1, dtype=np.int64)
+        self._bank_free = np.zeros(config.banks, dtype=np.float64)
+        self.requests = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.busy_cycles = 0.0
+        self._last_end = 0.0
+
+    def bank_of(self, address: int) -> int:
+        """Bank servicing an address (row-interleaved)."""
+        if address < 0:
+            raise InvalidParameterError(f"address must be >= 0, got {address}")
+        return (address // self.config.row_bytes) % self.config.banks
+
+    def row_of(self, address: int) -> int:
+        """Row number within the bank."""
+        return address // (self.config.row_bytes * self.config.banks)
+
+    def access(self, address: int, time: float) -> float:
+        """Service a request arriving at ``time``; returns completion time."""
+        cfg = self.config
+        bank = self.bank_of(address)
+        row = self.row_of(address)
+        start = max(time, float(self._bank_free[bank]))
+        open_row = int(self._open_row[bank])
+        if open_row == row:
+            latency = cfg.row_hit
+            self.row_hits += 1
+        elif open_row < 0:
+            latency = cfg.row_miss
+            self.row_misses += 1
+        else:
+            latency = cfg.row_conflict
+            self.row_conflicts += 1
+        finish = start + latency + cfg.bus_cycles
+        self._open_row[bank] = row
+        self._bank_free[bank] = finish
+        self.requests += 1
+        self.busy_cycles += finish - start
+        self._last_end = max(self._last_end, finish)
+        return finish
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests hitting an open row."""
+        return self.row_hits / self.requests if self.requests else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero counters (bank state is kept)."""
+        self.requests = self.row_hits = self.row_misses = self.row_conflicts = 0
+        self.busy_cycles = 0.0

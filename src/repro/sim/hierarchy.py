@@ -1,0 +1,196 @@
+"""Shared memory hierarchy: address-interleaved L2 slices + DRAM + NoC.
+
+The L2 is physically distributed (one slice per core, line-interleaved,
+as in the paper's Fig. 3 schematic) but logically shared: any core may
+hit in any slice, paying the NoC round trip.  Each slice has its own tag
+store, banks and MSHRs; misses go to the shared banked DRAM.
+
+The hierarchy also records per-layer access intervals so that APC
+(Fig. 13) and per-layer C-AMAT can be measured after the run via the
+standard :class:`repro.camat.TraceAnalyzer`.
+"""
+
+from __future__ import annotations
+
+from repro.camat.trace import AccessTrace, MemoryAccess
+from repro.errors import SimulationError
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import SimulatedChip
+from repro.sim.dram import DRAMModel
+from repro.sim.mshr import MSHRFile
+from repro.sim.noc import MeshNoC
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """Shared L2 + DRAM servicing L1 misses from all cores."""
+
+    def __init__(self, chip: SimulatedChip,
+                 l1_caches: "list[SetAssociativeCache] | None" = None) -> None:
+        self.chip = chip
+        n = chip.n_cores
+        self.slices = [SetAssociativeCache(chip.l2_slice) for _ in range(n)]
+        self.slice_mshrs = [MSHRFile(chip.l2_slice.mshr_entries)
+                            for _ in range(n)]
+        # Per-slice, per-bank next-free times (pipelined lookups).
+        self._bank_free = [[0] * chip.l2_slice.banks for _ in range(n)]
+        self.dram = DRAMModel(chip.dram)
+        self.noc = MeshNoC(n, chip.noc)
+        self.l2_accesses = 0
+        self.l2_hits = 0
+        self._l2_records: list[tuple[int, int, int]] = []
+        self._dram_records: list[tuple[int, int]] = []
+        # MSI-lite directory: L1 line number -> set of sharer core ids.
+        # Active only when the per-core L1s register themselves (the CMP
+        # simulator wires this up); a None registry means non-coherent
+        # private L1s, the paper's other Fig. 3 variant.
+        self._l1_caches = l1_caches
+        self._sharers: dict[int, set[int]] = {}
+        self.invalidations = 0
+        self.upgrades = 0
+        self.dram_writes = 0
+
+    def slice_of(self, line: int) -> int:
+        """Home slice of a cache line (line-interleaved)."""
+        return line % self.chip.n_cores
+
+    def register_l1s(self, caches: "list[SetAssociativeCache]") -> None:
+        """Attach the per-core L1s (enables the coherence directory)."""
+        if len(caches) != self.chip.n_cores:
+            raise SimulationError(
+                f"need {self.chip.n_cores} L1s, got {len(caches)}")
+        self._l1_caches = caches
+
+    # ----- MSI-lite coherence -------------------------------------------
+    def _invalidate_sharers(self, core_id: int, address: int,
+                            l1_line: int) -> int:
+        """Invalidate every other sharer's L1 copy; returns extra cycles.
+
+        The writer pays one NoC round trip to the furthest sharer
+        (invalidations travel in parallel); a dirty remote copy's
+        writeback is accounted by the victim cache itself.
+        """
+        if self._l1_caches is None:
+            return 0
+        sharers = self._sharers.get(l1_line)
+        if not sharers:
+            self._sharers[l1_line] = {core_id}
+            return 0
+        extra = 0
+        for other in list(sharers):
+            if other == core_id:
+                continue
+            if self._l1_caches[other].invalidate(address):
+                self.invalidations += 1
+            extra = max(extra, self.noc.round_trip(core_id, other))
+        self._sharers[l1_line] = {core_id}
+        return extra
+
+    def upgrade(self, core_id: int, address: int, time: int) -> int:
+        """Write hit on a (possibly shared) line: gain ownership.
+
+        Returns the cycle at which the write may retire — ``time`` when
+        the line is already exclusive, later when other sharers must be
+        invalidated first.
+        """
+        if self._l1_caches is None:
+            return time
+        l1_line = address // self.chip.l2_slice.line_bytes
+        sharers = self._sharers.get(l1_line)
+        if sharers is None or sharers == {core_id}:
+            self._sharers[l1_line] = {core_id}
+            return time
+        self.upgrades += 1
+        return time + self._invalidate_sharers(core_id, address, l1_line)
+
+    def writeback(self, core_id: int, address: int, time: int) -> None:
+        """Accept a dirty L1 victim into its home L2 slice."""
+        cfg = self.chip.l2_slice
+        line = address // cfg.line_bytes
+        home = self.slice_of(line)
+        arrive = time + self.noc.latency(core_id, home)
+        bank = line % cfg.banks
+        start = max(arrive, self._bank_free[home][bank])
+        self._bank_free[home][bank] = start + 1
+        _, l2_victim = self.slices[home].access_rw(address, write=True)
+        if l2_victim is not None:
+            # Dirty L2 victim drains to DRAM (fire-and-forget write).
+            self.dram.access(l2_victim * cfg.line_bytes, start)
+            self.dram_writes += 1
+        self._sharers.pop(line, None)
+
+    def service_miss(self, core_id: int, address: int, time: int,
+                     write: bool = False) -> int:
+        """Service an L1 miss issued by ``core_id`` at ``time``.
+
+        Returns the cycle at which the fill reaches the requesting L1.
+        Write misses additionally gain ownership (invalidating other
+        sharers) when coherence is enabled.
+        """
+        if time < 0:
+            raise SimulationError(f"negative request time {time}")
+        cfg = self.chip.l2_slice
+        line = address // cfg.line_bytes
+        home = self.slice_of(line)
+        arrive = time + self.noc.latency(core_id, home)
+        if self._l1_caches is not None:
+            if write:
+                arrive += self._invalidate_sharers(core_id, address, line)
+            else:
+                self._sharers.setdefault(line, set()).add(core_id)
+        bank = line % cfg.banks
+        start = max(arrive, self._bank_free[home][bank])
+        self._bank_free[home][bank] = start + 1
+        self.l2_accesses += 1
+        slice_cache = self.slices[home]
+        mshr = self.slice_mshrs[home]
+        outstanding = mshr.lookup(line, start)
+        if outstanding is not None:
+            # Secondary miss at L2: ride the in-flight fill.
+            done = int(outstanding)
+            penalty = max(done - start - cfg.hit_latency, 0)
+            self._l2_records.append((start, cfg.hit_latency, penalty))
+        else:
+            l2_hit, l2_victim = slice_cache.access_rw(address, write=False)
+            if l2_victim is not None:
+                self.dram.access(l2_victim * cfg.line_bytes, start)
+                self.dram_writes += 1
+            if l2_hit:
+                self.l2_hits += 1
+                done = start + cfg.hit_latency
+                self._l2_records.append((start, cfg.hit_latency, 0))
+            else:
+                alloc = max(start + cfg.hit_latency,
+                            int(mshr.earliest_free_time(start)))
+                dram_done = int(self.dram.access(address, alloc))
+                self._dram_records.append((alloc, dram_done - alloc))
+                mshr.allocate(line, dram_done, alloc)
+                done = dram_done
+                self._l2_records.append(
+                    (start, cfg.hit_latency, done - start - cfg.hit_latency))
+        return done + self.noc.latency(home, core_id)
+
+    # ----- per-layer traces (for APC / C-AMAT measurement) -----------------
+    def l2_trace(self) -> "AccessTrace | None":
+        """Cycle-level trace of all L2 accesses (None if there were none)."""
+        if not self._l2_records:
+            return None
+        return AccessTrace(
+            MemoryAccess(start=s, hit_cycles=h, miss_penalty=p)
+            for s, h, p in self._l2_records)
+
+    def dram_trace(self) -> "AccessTrace | None":
+        """Cycle-level trace of all DRAM accesses (None if there were none)."""
+        if not self._dram_records:
+            return None
+        return AccessTrace(
+            MemoryAccess(start=s, hit_cycles=max(d, 1), miss_penalty=0)
+            for s, d in self._dram_records)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Observed shared-L2 miss rate."""
+        if self.l2_accesses == 0:
+            return 0.0
+        return 1.0 - self.l2_hits / self.l2_accesses

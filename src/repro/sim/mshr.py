@@ -1,0 +1,81 @@
+"""Miss-status holding registers (non-blocking cache support).
+
+MSHRs are what create *miss concurrency* (``C_M`` in C-AMAT): a cache
+with ``k`` MSHRs can overlap up to ``k`` outstanding line misses.
+Requests to a line that is already outstanding merge into the existing
+entry (secondary misses) instead of consuming a new one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["MSHRFile"]
+
+
+class MSHRFile:
+    """A fixed-size file of outstanding line misses.
+
+    Entries are keyed by line number and store the fill completion time.
+    The file is time-driven: entries whose fill time has passed are
+    retired lazily on each call.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise InvalidParameterError(f"MSHR entries must be >= 1, got {entries}")
+        self.capacity = entries
+        self._pending: dict[int, float] = {}
+        self.primary_misses = 0
+        self.secondary_merges = 0
+        self.stall_events = 0
+
+    def _retire(self, now: float) -> None:
+        done = [line for line, t in self._pending.items() if t <= now]
+        for line in done:
+            del self._pending[line]
+
+    def outstanding(self, now: float) -> int:
+        """Number of live entries at ``now``."""
+        self._retire(now)
+        return len(self._pending)
+
+    def lookup(self, line: int, now: float) -> "float | None":
+        """Fill time of an outstanding miss to ``line``, if any."""
+        self._retire(now)
+        return self._pending.get(line)
+
+    def earliest_free_time(self, now: float) -> float:
+        """Earliest time a new entry can be allocated.
+
+        ``now`` if an entry is free; otherwise the smallest fill time
+        among outstanding entries (allocation stalls until then).
+        """
+        self._retire(now)
+        if len(self._pending) < self.capacity:
+            return now
+        self.stall_events += 1
+        return min(self._pending.values())
+
+    def allocate(self, line: int, fill_time: float, now: float) -> None:
+        """Record a new outstanding miss (primary).
+
+        Raises if the file is full — callers must first consult
+        :meth:`earliest_free_time` and delay allocation accordingly.
+        """
+        self._retire(now)
+        if line in self._pending:
+            raise InvalidParameterError(
+                f"line {line} already outstanding; merge instead")
+        if len(self._pending) >= self.capacity:
+            raise InvalidParameterError("MSHR file full at allocation time")
+        self._pending[line] = fill_time
+        self.primary_misses += 1
+
+    def merge(self, line: int, now: float) -> float:
+        """Attach to an outstanding miss; returns its fill time."""
+        self._retire(now)
+        if line not in self._pending:
+            raise InvalidParameterError(f"no outstanding miss to line {line}")
+        self.secondary_merges += 1
+        return self._pending[line]

@@ -1,0 +1,64 @@
+"""Mesh network-on-chip latency model.
+
+Cores and L2 slices sit on a ``k x k`` mesh (``k = ceil(sqrt(N))``);
+a request from core ``i`` to slice ``j`` pays router overhead plus
+``hop_latency`` per Manhattan hop each way.  This is a latency-only model
+(no link contention): contention effects the C2-Bound analysis cares
+about are concentrated at the L2 banks and DRAM, which are modeled
+explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.sim.config import NoCConfig
+
+__all__ = ["MeshNoC"]
+
+
+class MeshNoC:
+    """Latency oracle for a square mesh of ``n_nodes`` tiles."""
+
+    def __init__(self, n_nodes: int, config: NoCConfig) -> None:
+        if n_nodes < 1:
+            raise InvalidParameterError(f"need >= 1 node, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.config = config
+        self.side = max(int(math.ceil(math.sqrt(n_nodes))), 1)
+        self.traversals = 0
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        """(x, y) position of a tile."""
+        if not 0 <= node < self.n_nodes:
+            raise InvalidParameterError(
+                f"node {node} outside [0, {self.n_nodes})")
+        return node % self.side, node // self.side
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two tiles."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way latency in cycles."""
+        self.traversals += 1
+        return (self.config.router_latency
+                + self.config.hop_latency * self.hops(src, dst))
+
+    def round_trip(self, src: int, dst: int) -> int:
+        """Request + response latency."""
+        return 2 * self.latency(src, dst)
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop count over uniformly random (src, dst) pairs.
+
+        Closed form for a full ``k x k`` mesh: ``2*(k^2-1)/(3k)``; used by
+        the analytic model to estimate remote-L2 latency without
+        enumerating pairs.
+        """
+        k = self.side
+        return 2.0 * (k * k - 1.0) / (3.0 * k)

@@ -1,0 +1,63 @@
+"""Finite-difference Jacobians for nonlinear systems.
+
+Central differences give second-order accuracy which matters for the poorly
+scaled KKT systems produced by the Lagrangian in :mod:`repro.core.lagrange`
+(area terms are O(1e2), CPI terms O(1e-1)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["numeric_jacobian"]
+
+
+def numeric_jacobian(
+    func: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    *,
+    rel_step: float = 1e-6,
+    abs_step: float = 1e-8,
+) -> np.ndarray:
+    """Central-difference Jacobian of ``func`` at ``x``.
+
+    Parameters
+    ----------
+    func:
+        Maps an ``(n,)`` vector to an ``(m,)`` residual vector.
+    x:
+        Point of linearization, shape ``(n,)``.
+    rel_step, abs_step:
+        Per-component step is ``rel_step * |x_i| + abs_step``, which keeps
+        the stencil well conditioned for components spanning several orders
+        of magnitude.
+
+    Returns
+    -------
+    numpy.ndarray
+        Jacobian of shape ``(m, n)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise InvalidParameterError(f"x must be 1-D, got shape {x.shape}")
+    f0 = np.asarray(func(x), dtype=float)
+    if f0.ndim != 1:
+        raise InvalidParameterError(
+            f"func must return a 1-D residual, got shape {f0.shape}")
+    n = x.size
+    m = f0.size
+    jac = np.empty((m, n), dtype=float)
+    for i in range(n):
+        h = rel_step * abs(x[i]) + abs_step
+        xp = x.copy()
+        xm = x.copy()
+        xp[i] += h
+        xm[i] -= h
+        fp = np.asarray(func(xp), dtype=float)
+        fm = np.asarray(func(xm), dtype=float)
+        jac[:, i] = (fp - fm) / (2.0 * h)
+    return jac

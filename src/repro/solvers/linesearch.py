@@ -1,0 +1,65 @@
+"""Backtracking (Armijo) line search on the residual norm.
+
+Used to globalize Newton's method: a full Newton step on the KKT system of
+Eq. 13 can overshoot when the cache-area variables approach zero, so steps
+are shortened until the merit function ``0.5 * ||F||^2`` decreases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["backtracking_line_search"]
+
+
+def backtracking_line_search(
+    func: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    step: np.ndarray,
+    f0_norm2: float,
+    *,
+    shrink: float = 0.5,
+    c1: float = 1e-4,
+    max_backtracks: int = 30,
+) -> tuple[np.ndarray, np.ndarray, float, float]:
+    """Shrink ``step`` until the squared residual norm decreases.
+
+    Parameters
+    ----------
+    func:
+        Residual function.
+    x:
+        Current iterate.
+    step:
+        Proposed (Newton) step.
+    f0_norm2:
+        ``||func(x)||^2`` at the current iterate.
+    shrink:
+        Multiplicative backtracking factor in ``(0, 1)``.
+    c1:
+        Sufficient-decrease constant (Armijo).
+    max_backtracks:
+        Bound on the number of halvings.
+
+    Returns
+    -------
+    tuple
+        ``(x_new, f_new, f_new_norm2, alpha)``.  If no step length gives a
+        decrease, the smallest trial step is returned (the caller's
+        convergence test will then terminate the outer loop).
+    """
+    alpha = 1.0
+    best = None
+    for _ in range(max_backtracks):
+        x_trial = x + alpha * step
+        f_trial = np.asarray(func(x_trial), dtype=float)
+        norm2 = float(f_trial @ f_trial)
+        if np.isfinite(norm2) and norm2 <= (1.0 - c1 * alpha) * f0_norm2:
+            return x_trial, f_trial, norm2, alpha
+        if best is None or (np.isfinite(norm2) and norm2 < best[2]):
+            best = (x_trial, f_trial, norm2, alpha)
+        alpha *= shrink
+    assert best is not None
+    return best

@@ -1,0 +1,127 @@
+"""Damped Newton's method for nonlinear systems.
+
+This is the solver the APS flow (paper Fig. 5, "the solution of the
+nonlinear equations can be found using Newton's method") uses to find
+stationary points of the Lagrangian in Eq. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.solvers.jacobian import numeric_jacobian
+from repro.solvers.linesearch import backtracking_line_search
+
+__all__ = ["NewtonResult", "newton_solve"]
+
+
+@dataclass(frozen=True)
+class NewtonResult:
+    """Outcome of a Newton solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    residual_norm:
+        Infinity norm of the residual at ``x``.
+    iterations:
+        Newton iterations performed.
+    converged:
+        Whether the tolerance was met.
+    """
+
+    x: np.ndarray
+    residual_norm: float
+    iterations: int
+    converged: bool
+
+
+def newton_solve(
+    func: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    *,
+    jacobian: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    tol: float = 1e-10,
+    max_iter: int = 100,
+    damping: float = 0.0,
+    raise_on_failure: bool = True,
+) -> NewtonResult:
+    """Solve ``func(x) = 0`` by damped Newton iteration.
+
+    Parameters
+    ----------
+    func:
+        Residual function mapping ``(n,)`` to ``(n,)``.
+    x0:
+        Initial guess.
+    jacobian:
+        Analytic Jacobian; falls back to central differences when omitted.
+    tol:
+        Convergence tolerance on the infinity norm of the residual.
+    max_iter:
+        Iteration budget.
+    damping:
+        Tikhonov damping added to ``J^T J`` when the Jacobian is singular
+        or ill conditioned; ``0`` first attempts a plain solve.
+    raise_on_failure:
+        When ``True`` (default), raise :class:`ConvergenceError` if the
+        budget is exhausted; otherwise return a result with
+        ``converged=False``.
+
+    Returns
+    -------
+    NewtonResult
+
+    Raises
+    ------
+    ConvergenceError
+        If the method fails to converge and ``raise_on_failure`` is set.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 1:
+        raise InvalidParameterError(f"x0 must be 1-D, got shape {x.shape}")
+    f = np.asarray(func(x), dtype=float)
+    if f.shape != x.shape:
+        raise InvalidParameterError(
+            f"residual shape {f.shape} does not match x shape {x.shape}")
+    norm2 = float(f @ f)
+    for iteration in range(1, max_iter + 1):
+        res_inf = float(np.max(np.abs(f))) if f.size else 0.0
+        if res_inf <= tol:
+            return NewtonResult(x=x, residual_norm=res_inf,
+                                iterations=iteration - 1, converged=True)
+        jac = (np.asarray(jacobian(x), dtype=float) if jacobian is not None
+               else numeric_jacobian(func, x))
+        step = _solve_step(jac, f, damping)
+        x, f, norm2, _alpha = backtracking_line_search(func, x, step, norm2)
+    res_inf = float(np.max(np.abs(f))) if f.size else 0.0
+    if res_inf <= tol:
+        return NewtonResult(x=x, residual_norm=res_inf,
+                            iterations=max_iter, converged=True)
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"Newton did not converge in {max_iter} iterations "
+            f"(residual {res_inf:.3e} > tol {tol:.3e})",
+            iterations=max_iter, residual=res_inf)
+    return NewtonResult(x=x, residual_norm=res_inf,
+                        iterations=max_iter, converged=False)
+
+
+def _solve_step(jac: np.ndarray, f: np.ndarray, damping: float) -> np.ndarray:
+    """Compute the Newton step ``-J^{-1} f`` with regularized fallbacks."""
+    try:
+        step = np.linalg.solve(jac, -f)
+        if np.all(np.isfinite(step)):
+            return step
+    except np.linalg.LinAlgError:
+        pass
+    # Levenberg-style fallback: (J^T J + mu I) s = -J^T f
+    jtj = jac.T @ jac
+    mu = max(damping, 1e-12) * (1.0 + float(np.trace(jtj)) / max(jtj.shape[0], 1))
+    step = np.linalg.solve(jtj + mu * np.eye(jtj.shape[0]), -jac.T @ f)
+    return step

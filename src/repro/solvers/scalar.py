@@ -1,0 +1,128 @@
+"""Derivative-free scalar minimizers.
+
+The C2-Bound optimizer reduces the area allocation to a nested problem:
+for each candidate core count ``N`` it minimizes the objective over the
+cache-area split, then searches over ``N``.  The inner continuous searches
+use golden-section / Brent; the outer integer search lives in
+:mod:`repro.solvers.grid`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["golden_section_minimize", "brent_minimize"]
+
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/phi
+_INVPHI2 = (3.0 - math.sqrt(5.0)) / 2.0  # 1/phi^2
+
+
+def golden_section_minimize(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+) -> tuple[float, float]:
+    """Minimize a unimodal ``func`` on ``[lo, hi]`` by golden-section search.
+
+    Returns ``(x_min, f_min)``.  For non-unimodal functions the result is a
+    local minimum within the bracket.
+    """
+    if not (hi > lo):
+        raise InvalidParameterError(f"need hi > lo, got [{lo}, {hi}]")
+    a, b = float(lo), float(hi)
+    h = b - a
+    c = a + _INVPHI2 * h
+    d = a + _INVPHI * h
+    fc = func(c)
+    fd = func(d)
+    for _ in range(max_iter):
+        if h <= tol:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            h = b - a
+            c = a + _INVPHI2 * h
+            fc = func(c)
+        else:
+            a, c, fc = c, d, fd
+            h = b - a
+            d = a + _INVPHI * h
+            fd = func(d)
+    if fc < fd:
+        return c, fc
+    return d, fd
+
+
+def brent_minimize(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> tuple[float, float]:
+    """Brent's method: golden-section with parabolic acceleration.
+
+    Faster than pure golden section on the smooth objectives produced by
+    Eq. 10; falls back to golden-section steps whenever the parabolic step
+    is not trustworthy.
+    """
+    if not (hi > lo):
+        raise InvalidParameterError(f"need hi > lo, got [{lo}, {hi}]")
+    a, b = float(lo), float(hi)
+    x = w = v = a + _INVPHI2 * (b - a)
+    fx = fw = fv = func(x)
+    d = e = b - a
+    for _ in range(max_iter):
+        m = 0.5 * (a + b)
+        tol1 = tol * abs(x) + 1e-15
+        tol2 = 2.0 * tol1
+        if abs(x - m) <= tol2 - 0.5 * (b - a):
+            break
+        use_golden = True
+        if abs(e) > tol1:
+            # Parabolic fit through (x, fx), (w, fw), (v, fv).
+            r = (x - w) * (fx - fv)
+            q = (x - v) * (fx - fw)
+            p = (x - v) * q - (x - w) * r
+            q = 2.0 * (q - r)
+            if q > 0.0:
+                p = -p
+            q = abs(q)
+            e_old = e
+            e = d
+            if (abs(p) < abs(0.5 * q * e_old) and q * (a - x) < p < q * (b - x)):
+                d = p / q
+                u = x + d
+                if (u - a) < tol2 or (b - u) < tol2:
+                    d = tol1 if x < m else -tol1
+                use_golden = False
+        if use_golden:
+            e = (b - x) if x < m else (a - x)
+            d = _INVPHI2 * e
+        u = x + (d if abs(d) >= tol1 else (tol1 if d > 0 else -tol1))
+        fu = func(u)
+        if fu <= fx:
+            if u < x:
+                b = x
+            else:
+                a = x
+            v, w, x = w, x, u
+            fv, fw, fx = fw, fx, fu
+        else:
+            if u < x:
+                a = u
+            else:
+                b = u
+            if fu <= fw or w == x:
+                v, w = w, u
+                fv, fw = fw, fu
+            elif fu <= fv or v == x or v == w:
+                v, fv = u, fu
+    return x, fx

@@ -1,0 +1,128 @@
+"""Workload interface shared by all generators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import GFunction, LinearG
+
+__all__ = ["WorkloadCharacteristics", "Workload", "interleave_gaps",
+           "partition_round_robin"]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Analytic profile of a workload (inputs to the C2-Bound model).
+
+    Attributes
+    ----------
+    f_seq:
+        Sequential fraction of the dynamic instruction count.
+    f_mem:
+        Memory-instruction fraction.
+    g:
+        Problem-size scale function.
+    working_set_kib:
+        Footprint of the generated streams (KiB).
+    """
+
+    f_seq: float
+    f_mem: float
+    g: GFunction
+    working_set_kib: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.f_seq <= 1.0:
+            raise InvalidParameterError(f"f_seq must be in [0,1], got {self.f_seq}")
+        if not 0.0 < self.f_mem <= 1.0:
+            raise InvalidParameterError(f"f_mem must be in (0,1], got {self.f_mem}")
+        if self.working_set_kib <= 0:
+            raise InvalidParameterError(
+                f"working set must be positive, got {self.working_set_kib}")
+
+
+class Workload(abc.ABC):
+    """A generator of per-core instruction streams.
+
+    Subclasses implement :meth:`address_stream` (the single-threaded
+    reference pattern) and may override :meth:`streams` for a bespoke
+    parallel decomposition; the default decomposition deals addresses
+    round-robin, which keeps per-core footprints overlapping like a
+    shared-memory parallelization.
+    """
+
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        """Byte addresses of the workload's memory operations, in order."""
+
+    @abc.abstractmethod
+    def characteristics(self) -> WorkloadCharacteristics:
+        """Analytic profile used by the C2-Bound model."""
+
+    def write_mask(self, n_ops: int) -> "np.ndarray | None":
+        """Boolean store mask aligned with :meth:`address_stream`.
+
+        ``None`` (the default) means read-only traffic; kernels with a
+        known loop structure override this with their exact store
+        positions so the simulator's writeback/coherence machinery sees
+        realistic write traffic.
+        """
+        return None
+
+    def streams(
+        self, n_cores: int, rng: np.random.Generator,
+    ) -> "list[tuple]":
+        """Per-core ``(addresses, gaps[, writes])`` streams.
+
+        The default implementation splits :meth:`address_stream` (and
+        the write mask, when defined) across cores round-robin and draws
+        i.i.d. geometric compute gaps to realize the workload's
+        ``f_mem``.
+        """
+        if n_cores < 1:
+            raise InvalidParameterError(f"need >= 1 core, got {n_cores}")
+        addresses = self.address_stream(rng)
+        parts = partition_round_robin(addresses, n_cores)
+        f_mem = self.characteristics().f_mem
+        mask = self.write_mask(addresses.size)
+        if mask is None:
+            return [(part, interleave_gaps(part.size, f_mem, rng))
+                    for part in parts]
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != addresses.shape:
+            raise InvalidParameterError(
+                "write mask must match the address stream")
+        mask_parts = [np.ascontiguousarray(mask[i::n_cores])
+                      for i in range(n_cores)]
+        return [(part, interleave_gaps(part.size, f_mem, rng), wpart)
+                for part, wpart in zip(parts, mask_parts)]
+
+
+def interleave_gaps(n_ops: int, f_mem: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Draw compute gaps realizing a memory-instruction fraction.
+
+    Gap lengths are geometric with mean ``(1 - f_mem)/f_mem`` so that the
+    expected fraction of memory instructions equals ``f_mem``.
+    """
+    if not 0.0 < f_mem <= 1.0:
+        raise InvalidParameterError(f"f_mem must be in (0,1], got {f_mem}")
+    if n_ops == 0:
+        return np.zeros(0, dtype=np.int64)
+    if f_mem >= 1.0:
+        return np.zeros(n_ops, dtype=np.int64)
+    # numpy's geometric counts trials to first success (>= 1); the number
+    # of compute instructions before a memory op is that minus one.
+    return (rng.geometric(f_mem, size=n_ops) - 1).astype(np.int64)
+
+
+def partition_round_robin(addresses: np.ndarray, n_cores: int) -> list[np.ndarray]:
+    """Deal a reference stream across cores, preserving per-core order."""
+    addresses = np.asarray(addresses, dtype=np.int64)
+    return [np.ascontiguousarray(addresses[i::n_cores]) for i in range(n_cores)]

@@ -1,0 +1,78 @@
+"""Radix-2 FFT butterfly pattern (Table I row 4).
+
+``log2(n)`` stages over ``n`` complex points; stage ``s`` pairs elements
+at stride ``2^s``.  ``W = O(n log n)`` over ``M = O(n)``, giving the
+FFT-like ``g`` of :class:`repro.laws.gfunction.FFTLikeG` (Table I quotes
+``2N``).  The strided stages are the classic cache-antagonistic pattern
+whose miss behaviour stresses the capacity model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import FFTLikeG
+from repro.workloads.base import Workload, WorkloadCharacteristics
+
+__all__ = ["FFTWorkload"]
+
+
+class FFTWorkload(Workload):
+    """In-place radix-2 FFT address stream.
+
+    Parameters
+    ----------
+    log2_n:
+        Transform size exponent (``n = 2**log2_n`` points).
+    element_bytes:
+        Bytes per complex point (16 = complex128).
+    f_mem, f_seq:
+        Analytic profile knobs.
+    """
+
+    name = "fft"
+
+    def __init__(self, log2_n: int = 12, element_bytes: int = 16,
+                 f_mem: float = 0.5, f_seq: float = 0.03) -> None:
+        if log2_n < 1:
+            raise InvalidParameterError(f"log2_n must be >= 1, got {log2_n}")
+        if element_bytes < 1:
+            raise InvalidParameterError(
+                f"element size must be >= 1, got {element_bytes}")
+        self.log2_n = log2_n
+        self.n = 1 << log2_n
+        self.element_bytes = element_bytes
+        self.f_mem = f_mem
+        self.f_seq = f_seq
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        footprint = self.n * self.element_bytes / 1024.0
+        return WorkloadCharacteristics(
+            f_seq=self.f_seq, f_mem=self.f_mem,
+            g=FFTLikeG(m_ref=float(self.n)),
+            working_set_kib=footprint)
+
+    def write_mask(self, n_ops: int) -> np.ndarray:
+        """Each butterfly is load/load/store/store."""
+        idx = np.arange(n_ops)
+        return idx % 4 >= 2
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        n, eb = self.n, self.element_bytes
+        chunks = []
+        for stage in range(self.log2_n):
+            half = 1 << stage
+            block = half << 1
+            starts = np.arange(0, n, block, dtype=np.int64)
+            offs = np.arange(half, dtype=np.int64)
+            top = (starts[:, None] + offs[None, :]).ravel()
+            bot = top + half
+            # Butterfly: load top, load bottom, store top, store bottom.
+            stage_stream = np.empty(4 * top.size, dtype=np.int64)
+            stage_stream[0::4] = top * eb
+            stage_stream[1::4] = bot * eb
+            stage_stream[2::4] = top * eb
+            stage_stream[3::4] = bot * eb
+            chunks.append(stage_stream)
+        return np.concatenate(chunks)

@@ -1,0 +1,69 @@
+"""GUPS-style random update workload (the RandomAccess HPC benchmark).
+
+The canonical concurrency-hungry, locality-free kernel: random
+read-modify-write updates over a huge table.  Every access misses every
+cache, so performance is purely a function of memory concurrency —
+the workload that isolates C_M/MSHR effects the way streaming isolates
+prefetching.  ``W = O(updates)`` over ``M = O(table)``, i.e.
+``g(N) = N`` when the table scales with memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+from repro.workloads.base import Workload, WorkloadCharacteristics
+
+__all__ = ["GUPS"]
+
+
+class GUPS(Workload):
+    """Random update stream over a table.
+
+    Parameters
+    ----------
+    updates:
+        Number of updates.
+    table_kib:
+        Table size.
+    element_bytes:
+        Update granularity.
+    f_mem, f_seq:
+        Analytic profile knobs (GUPS is nearly pure memory traffic).
+    """
+
+    name = "gups"
+
+    def __init__(self, updates: int = 10000, table_kib: float = 64 * 1024,
+                 element_bytes: int = 8, f_mem: float = 0.8,
+                 f_seq: float = 0.01) -> None:
+        if updates < 1:
+            raise InvalidParameterError(f"updates must be >= 1, got {updates}")
+        if table_kib <= 0:
+            raise InvalidParameterError(
+                f"table size must be positive, got {table_kib}")
+        if element_bytes < 1:
+            raise InvalidParameterError(
+                f"element size must be >= 1, got {element_bytes}")
+        self.updates = updates
+        self.table_kib = table_kib
+        self.element_bytes = element_bytes
+        self.f_mem = f_mem
+        self.f_seq = f_seq
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        return WorkloadCharacteristics(
+            f_seq=self.f_seq, f_mem=self.f_mem,
+            g=PowerLawG(1.0, name="gups"),
+            working_set_kib=self.table_kib)
+
+    def write_mask(self, n_ops: int) -> np.ndarray:
+        """Updates are read-modify-write: every access stores."""
+        return np.ones(n_ops, dtype=bool)
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        table_elems = max(int(self.table_kib * 1024) // self.element_bytes, 1)
+        idx = rng.integers(0, table_elems, self.updates)
+        return idx.astype(np.int64) * self.element_bytes

@@ -1,0 +1,98 @@
+"""PARSEC / SPLASH-2-like synthetic suite.
+
+The paper characterizes SPLASH-2 and PARSEC benchmarks (10B instructions
+via SimPoint) and runs its fluidanimate case study on PARSEC.  Those
+traces are not redistributable, so this module defines *named synthetic
+profiles* whose structural parameters follow the published
+characterizations (working-set class, memory intensity, locality mix,
+parallelism):
+
+- ``fluidanimate`` — large working set, moderate memory intensity, low
+  ``f_seq`` (the paper's DSE case study).
+- ``blackscholes`` — small working set, compute-bound.
+- ``canneal`` — huge working set, pointer-chasing-like random accesses.
+- ``streamcluster`` — streaming dominated.
+- ``barnes`` / ``ocean`` — SPLASH-2-style mid-size scientific codes.
+
+Each profile exercises a distinct corner of the (capacity, concurrency)
+plane, which is all the C2-Bound experiments require of the originals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = ["PARSEC_LIKE", "parsec_like"]
+
+
+def _profiles() -> dict[str, SyntheticWorkload]:
+    return {
+        "fluidanimate": SyntheticWorkload(
+            name="fluidanimate", n_ops=20000, working_set_kib=32 * 1024,
+            hot_fraction=0.62, hot_set_kib=16.0,
+            warm_fraction=0.22, warm_set_kib=192.0, stream_fraction=0.12,
+            burst_length=4.0, f_mem=0.35, f_seq=0.02,
+            g=PowerLawG(1.0, name="fluidanimate")),
+        "blackscholes": SyntheticWorkload(
+            name="blackscholes", n_ops=20000, working_set_kib=512.0,
+            hot_fraction=0.80, hot_set_kib=12.0,
+            warm_fraction=0.14, warm_set_kib=128.0, stream_fraction=0.05,
+            burst_length=2.0, f_mem=0.15, f_seq=0.01,
+            g=PowerLawG(1.0, name="blackscholes")),
+        "canneal": SyntheticWorkload(
+            name="canneal", n_ops=20000, working_set_kib=128 * 1024,
+            hot_fraction=0.45, hot_set_kib=12.0,
+            warm_fraction=0.18, warm_set_kib=256.0, stream_fraction=0.04,
+            burst_length=1.5, f_mem=0.45, f_seq=0.05,
+            g=PowerLawG(1.0, name="canneal")),
+        "streamcluster": SyntheticWorkload(
+            name="streamcluster", n_ops=20000, working_set_kib=16 * 1024,
+            hot_fraction=0.45, hot_set_kib=8.0,
+            warm_fraction=0.15, warm_set_kib=128.0, stream_fraction=0.36,
+            burst_length=6.0, f_mem=0.4, f_seq=0.02,
+            g=PowerLawG(1.0, name="streamcluster")),
+        "barnes": SyntheticWorkload(
+            name="barnes", n_ops=20000, working_set_kib=4 * 1024,
+            hot_fraction=0.70, hot_set_kib=20.0,
+            warm_fraction=0.18, warm_set_kib=256.0, stream_fraction=0.09,
+            burst_length=3.0, f_mem=0.3, f_seq=0.03,
+            g=PowerLawG(1.5, name="barnes")),
+        "ocean": SyntheticWorkload(
+            name="ocean", n_ops=20000, working_set_kib=8 * 1024,
+            hot_fraction=0.55, hot_set_kib=16.0,
+            warm_fraction=0.18, warm_set_kib=192.0, stream_fraction=0.23,
+            burst_length=5.0, f_mem=0.45, f_seq=0.02,
+            g=PowerLawG(1.0, name="ocean")),
+    }
+
+
+#: Name -> workload instance for the whole suite.
+PARSEC_LIKE: dict[str, SyntheticWorkload] = _profiles()
+
+
+def parsec_like(name: str, **overrides) -> SyntheticWorkload:
+    """A fresh instance of a named profile, optionally with overrides.
+
+    Overrides are applied as constructor arguments (e.g. ``n_ops=5000``
+    for a shorter run).
+    """
+    profiles = _profiles()
+    if name not in profiles:
+        raise InvalidParameterError(
+            f"unknown profile {name!r}; available: {sorted(profiles)}")
+    base = profiles[name]
+    kwargs = {
+        "name": base.name, "n_ops": base.n_ops,
+        "working_set_kib": base.working_set_kib,
+        "hot_fraction": base.hot_fraction, "hot_set_kib": base.hot_set_kib,
+        "warm_fraction": base.warm_fraction,
+        "warm_set_kib": base.warm_set_kib,
+        "stream_fraction": base.stream_fraction,
+        "burst_length": base.burst_length, "f_mem": base.f_mem,
+        "f_seq": base.f_seq, "g": base.g, "element_bytes": base.element_bytes,
+        "write_fraction": base.write_fraction,
+    }
+    kwargs.update(overrides)
+    return SyntheticWorkload(**kwargs)

@@ -1,0 +1,79 @@
+"""Phase-structured workloads (SimPoint-style behaviour changes).
+
+The paper stresses that "the behavior of an application changes phase by
+phase" and that C2-Bound is applied per phase (online re-optimization,
+Fig. 7 discussion).  :class:`PhasedWorkload` concatenates sub-workloads
+into one stream and remembers the phase boundaries so detectors and the
+online model can be evaluated per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.workloads.base import Workload, WorkloadCharacteristics
+
+__all__ = ["PhasedWorkload"]
+
+
+class PhasedWorkload(Workload):
+    """Concatenation of sub-workloads with recorded boundaries.
+
+    Parameters
+    ----------
+    phases:
+        Ordered sub-workloads; each contributes its full address stream.
+    name:
+        Identifier for reports.
+    """
+
+    def __init__(self, phases: Sequence[Workload], name: str = "phased") -> None:
+        if not phases:
+            raise InvalidParameterError("need at least one phase")
+        self.phases = tuple(phases)
+        self.name = name
+        self._boundaries: "list[int] | None" = None
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        """Op-weighted mixture of the phase profiles.
+
+        ``f_seq`` / ``f_mem`` are averaged by each phase's op count; the
+        working set is the maximum (capacity must hold the largest
+        phase); ``g`` is taken from the dominant (largest) phase.
+        """
+        chars = [p.characteristics() for p in self.phases]
+        weights = np.array([getattr(p, "n_ops", 1) for p in self.phases],
+                           dtype=float)
+        weights /= weights.sum()
+        dominant = int(np.argmax([c.working_set_kib for c in chars]))
+        return WorkloadCharacteristics(
+            f_seq=float(np.sum(weights * [c.f_seq for c in chars])),
+            f_mem=float(np.sum(weights * [c.f_mem for c in chars])),
+            g=chars[dominant].g,
+            working_set_kib=max(c.working_set_kib for c in chars))
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        streams = [p.address_stream(rng) for p in self.phases]
+        sizes = [s.size for s in streams]
+        self._boundaries = list(np.cumsum(sizes))
+        return np.concatenate(streams)
+
+    @property
+    def boundaries(self) -> list[int]:
+        """Exclusive end index of each phase in the last generated stream.
+
+        Only available after :meth:`address_stream` has been called.
+        """
+        if self._boundaries is None:
+            raise InvalidParameterError(
+                "generate a stream first (boundaries depend on it)")
+        return list(self._boundaries)
+
+    def phase_slices(self) -> list[slice]:
+        """Slices of the last generated stream, one per phase."""
+        bounds = self.boundaries
+        starts = [0] + bounds[:-1]
+        return [slice(s, e) for s, e in zip(starts, bounds)]

@@ -1,0 +1,86 @@
+"""Band-sparse matrix-vector multiplication (Table I row 2).
+
+``y = A @ x`` for an ``n x n`` matrix with bandwidth ``2b+1``:
+``W = O(n b)`` flops over ``M = O(n b)`` stored elements, hence
+``g(N) = N``.  The stream interleaves streaming access to the band
+storage with windowed reuse of ``x`` — the classic mixed
+streaming/temporal pattern of sparse kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+from repro.workloads.base import Workload, WorkloadCharacteristics
+
+__all__ = ["BandSpMV"]
+
+
+class BandSpMV(Workload):
+    """Banded sparse matvec.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    half_bandwidth:
+        ``b``: nonzeros per row are in columns ``[i-b, i+b]``.
+    element_bytes:
+        Bytes per stored element.
+    f_mem, f_seq:
+        Analytic profile knobs.
+    """
+
+    name = "band_spmv"
+
+    def __init__(self, n: int = 2048, half_bandwidth: int = 8,
+                 element_bytes: int = 8, f_mem: float = 0.6,
+                 f_seq: float = 0.02) -> None:
+        if n < 1:
+            raise InvalidParameterError(f"n must be >= 1, got {n}")
+        if half_bandwidth < 0:
+            raise InvalidParameterError(
+                f"half bandwidth must be >= 0, got {half_bandwidth}")
+        if element_bytes < 1:
+            raise InvalidParameterError(
+                f"element size must be >= 1, got {element_bytes}")
+        self.n = n
+        self.b = half_bandwidth
+        self.element_bytes = element_bytes
+        self.f_mem = f_mem
+        self.f_seq = f_seq
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        width = 2 * self.b + 1
+        footprint = ((self.n * width) + 2 * self.n) * self.element_bytes / 1024.0
+        return WorkloadCharacteristics(
+            f_seq=self.f_seq, f_mem=self.f_mem,
+            g=PowerLawG(1.0, name="band_spmv"),
+            working_set_kib=footprint)
+
+    def write_mask(self, n_ops: int) -> np.ndarray:
+        """The last access of each row is the ``y[i]`` store."""
+        row_len = 2 * (2 * self.b + 1) + 1
+        idx = np.arange(n_ops)
+        return idx % row_len == row_len - 1
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        n, b, eb = self.n, self.b, self.element_bytes
+        width = 2 * b + 1
+        base_a = 0
+        base_x = n * width * eb
+        base_y = base_x + n * eb
+        chunks = []
+        cols_rel = np.arange(-b, b + 1, dtype=np.int64)
+        for i in range(n):
+            cols = np.clip(i + cols_rel, 0, n - 1)
+            a_addrs = base_a + (i * width + np.arange(width)) * eb
+            x_addrs = base_x + cols * eb
+            row = np.empty(2 * width + 1, dtype=np.int64)
+            row[0:2 * width:2] = a_addrs
+            row[1:2 * width:2] = x_addrs
+            row[-1] = base_y + i * eb
+            chunks.append(row)
+        return np.concatenate(chunks)

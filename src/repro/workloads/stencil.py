@@ -1,0 +1,88 @@
+"""1-D Jacobi stencil sweeps (Table I row 3).
+
+``iterations`` sweeps over an array of ``n`` points; each point loads its
+left/center/right neighbours and stores the result:
+``W = O(n)`` per sweep over ``M = O(n)`` memory, hence ``g(N) = N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+from repro.workloads.base import Workload, WorkloadCharacteristics
+
+__all__ = ["Stencil1D"]
+
+
+class Stencil1D(Workload):
+    """3-point Jacobi stencil with double buffering.
+
+    Parameters
+    ----------
+    n:
+        Grid points, ``>= 3``.
+    iterations:
+        Number of sweeps.
+    element_bytes:
+        Bytes per grid element.
+    f_mem, f_seq:
+        Analytic profile knobs (see :class:`TiledMatMul`).
+    """
+
+    name = "stencil"
+
+    def __init__(self, n: int = 4096, iterations: int = 8,
+                 element_bytes: int = 8, f_mem: float = 0.5,
+                 f_seq: float = 0.01) -> None:
+        if n < 3:
+            raise InvalidParameterError(f"n must be >= 3, got {n}")
+        if iterations < 1:
+            raise InvalidParameterError(
+                f"iterations must be >= 1, got {iterations}")
+        if element_bytes < 1:
+            raise InvalidParameterError(
+                f"element size must be >= 1, got {element_bytes}")
+        self.n = n
+        self.iterations = iterations
+        self.element_bytes = element_bytes
+        self.f_mem = f_mem
+        self.f_seq = f_seq
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        footprint = 2 * self.n * self.element_bytes / 1024.0  # two buffers
+        return WorkloadCharacteristics(
+            f_seq=self.f_seq, f_mem=self.f_mem,
+            g=PowerLawG(1.0, name="stencil"),
+            working_set_kib=footprint)
+
+    def write_mask(self, n_ops: int) -> np.ndarray:
+        """Every fourth access is the destination-buffer store."""
+        idx = np.arange(n_ops)
+        return idx % 4 == 3
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        n, eb = self.n, self.element_bytes
+        src_base = 0
+        dst_base = n * eb
+        idx = np.arange(1, n - 1, dtype=np.int64)
+        # Per point: load left, center, right from src; store to dst.
+        sweep = np.empty(4 * idx.size, dtype=np.int64)
+        sweep[0::4] = src_base + (idx - 1) * eb
+        sweep[1::4] = src_base + idx * eb
+        sweep[2::4] = src_base + (idx + 1) * eb
+        sweep[3::4] = dst_base + idx * eb
+        chunks = []
+        for it in range(self.iterations):
+            if it % 2 == 0:
+                chunks.append(sweep)
+            else:
+                # Swap buffers: shift src/dst bases.
+                swapped = sweep.copy()
+                src_mask = np.zeros(sweep.size, dtype=bool)
+                src_mask[0::4] = src_mask[1::4] = src_mask[2::4] = True
+                swapped[src_mask] += dst_base
+                swapped[~src_mask] -= dst_base
+                chunks.append(swapped)
+        return np.concatenate(chunks)

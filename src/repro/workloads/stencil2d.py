@@ -1,0 +1,100 @@
+"""2-D five-point Jacobi stencil (the paper's stencil class, 2-D form).
+
+``iterations`` sweeps over an ``n x n`` grid; each interior point loads
+its four neighbours and itself and stores the result to the second
+buffer.  Like the 1-D variant, ``W = O(n^2)`` per sweep over
+``M = O(n^2)`` memory, so ``g(N) = N`` — but the 2-D walk adds the
+row-stride reuse pattern whose cache behaviour differs sharply between
+capacities that do and do not hold ``2-3`` grid rows, a classic
+capacity-cliff probe for the miss-curve machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+from repro.workloads.base import Workload, WorkloadCharacteristics
+
+__all__ = ["Stencil2D"]
+
+
+class Stencil2D(Workload):
+    """Five-point Jacobi stencil on an ``n x n`` grid.
+
+    Parameters
+    ----------
+    n:
+        Grid edge, ``>= 3``.
+    iterations:
+        Number of sweeps.
+    element_bytes:
+        Bytes per grid element.
+    f_mem, f_seq:
+        Analytic profile knobs.
+    """
+
+    name = "stencil2d"
+
+    def __init__(self, n: int = 96, iterations: int = 2,
+                 element_bytes: int = 8, f_mem: float = 0.5,
+                 f_seq: float = 0.01) -> None:
+        if n < 3:
+            raise InvalidParameterError(f"n must be >= 3, got {n}")
+        if iterations < 1:
+            raise InvalidParameterError(
+                f"iterations must be >= 1, got {iterations}")
+        if element_bytes < 1:
+            raise InvalidParameterError(
+                f"element size must be >= 1, got {element_bytes}")
+        self.n = n
+        self.iterations = iterations
+        self.element_bytes = element_bytes
+        self.f_mem = f_mem
+        self.f_seq = f_seq
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        footprint = 2 * self.n * self.n * self.element_bytes / 1024.0
+        return WorkloadCharacteristics(
+            f_seq=self.f_seq, f_mem=self.f_mem,
+            g=PowerLawG(1.0, name="stencil2d"),
+            working_set_kib=footprint)
+
+    def write_mask(self, n_ops: int) -> np.ndarray:
+        """Every sixth access is the destination store."""
+        idx = np.arange(n_ops)
+        return idx % 6 == 5
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        n, eb = self.n, self.element_bytes
+        src_base = 0
+        dst_base = n * n * eb
+        ii, jj = np.meshgrid(np.arange(1, n - 1), np.arange(1, n - 1),
+                             indexing="ij")
+        i = ii.ravel()
+        j = jj.ravel()
+        center = (i * n + j) * eb
+        north = ((i - 1) * n + j) * eb
+        south = ((i + 1) * n + j) * eb
+        west = (i * n + (j - 1)) * eb
+        east = (i * n + (j + 1)) * eb
+        sweep = np.empty(6 * center.size, dtype=np.int64)
+        sweep[0::6] = src_base + north
+        sweep[1::6] = src_base + west
+        sweep[2::6] = src_base + center
+        sweep[3::6] = src_base + east
+        sweep[4::6] = src_base + south
+        sweep[5::6] = dst_base + center
+        chunks = []
+        for it in range(self.iterations):
+            if it % 2 == 0:
+                chunks.append(sweep)
+            else:
+                swapped = sweep.copy()
+                src_mask = np.ones(sweep.size, dtype=bool)
+                src_mask[5::6] = False
+                swapped[src_mask] += dst_base
+                swapped[~src_mask] -= dst_base
+                chunks.append(swapped)
+        return np.concatenate(chunks)

@@ -1,0 +1,217 @@
+"""Parameterized synthetic workload.
+
+A knob-per-behaviour generator used to stand in for profiled benchmark
+traces: working-set size, locality mixture (hot set vs streaming vs
+random), burstiness (clusters of back-to-back accesses that create
+memory-level parallelism) and memory intensity are all explicit.  The
+PARSEC-like suite (:mod:`repro.workloads.parsec`) is built from named
+instances of this class.
+
+Addresses are generated at *element* granularity (``element_bytes``), so
+sequential streams enjoy genuine spatial locality within cache lines —
+the property the paper's capacity analysis rests on.  Parallel streams
+are SPMD-style: every core runs the same distribution over a shared hot
+region plus a private slice of the working set, the usual structure of
+the SPLASH-2/PARSEC codes being substituted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import GFunction, PowerLawG
+from repro.workloads.base import Workload, WorkloadCharacteristics, interleave_gaps
+
+__all__ = ["SyntheticWorkload"]
+
+
+@dataclass
+class SyntheticWorkload(Workload):
+    """Synthetic stream with explicit behavioural knobs.
+
+    Attributes
+    ----------
+    name:
+        Identifier.
+    n_ops:
+        Memory operations to generate (total across cores).
+    working_set_kib:
+        Footprint of the addressable region.
+    hot_fraction:
+        Fraction of accesses directed at a small shared hot subset
+        (temporal locality; sized to fit an L1).
+    hot_set_kib:
+        Size of the hot subset.
+    warm_fraction:
+        Fraction of accesses directed at a mid-size shared subset
+        (sized to fit the L2 but not the L1) — the tier that gives real
+        applications their LLC hit traffic.
+    warm_set_kib:
+        Size of the warm subset.
+    stream_fraction:
+        Fraction of accesses forming sequential element streams (spatial
+        locality); the remainder is uniform random over the working set.
+    burst_length:
+        Mean length of back-to-back access bursts (no compute gap inside
+        a burst) — bursts are what create overlapped misses, i.e. the
+        workload's intrinsic memory concurrency.
+    f_mem:
+        Memory-instruction fraction (between bursts).
+    f_seq:
+        Sequential fraction for the analytic profile.
+    g:
+        Problem-size scale function for the analytic profile.
+    element_bytes:
+        Access granularity (8 = float64 elements).
+    """
+
+    name: str = "synthetic"
+    n_ops: int = 20000
+    working_set_kib: float = 2048.0
+    hot_fraction: float = 0.5
+    hot_set_kib: float = 64.0
+    warm_fraction: float = 0.0
+    warm_set_kib: float = 256.0
+    stream_fraction: float = 0.3
+    burst_length: float = 4.0
+    f_mem: float = 0.3
+    f_seq: float = 0.05
+    g: GFunction = field(default_factory=lambda: PowerLawG(1.0, name="linear"))
+    element_bytes: int = 8
+    write_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_ops < 1:
+            raise InvalidParameterError(f"n_ops must be >= 1, got {self.n_ops}")
+        if self.working_set_kib <= 0 or self.hot_set_kib <= 0:
+            raise InvalidParameterError("set sizes must be positive")
+        if self.hot_set_kib > self.working_set_kib:
+            raise InvalidParameterError("hot set cannot exceed the working set")
+        if self.warm_set_kib <= 0:
+            raise InvalidParameterError("warm set size must be positive")
+        if (self.warm_fraction > 0.0
+                and self.warm_set_kib > self.working_set_kib):
+            raise InvalidParameterError(
+                "an active warm set cannot exceed the working set")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"hot fraction must be in [0,1], got {self.hot_fraction}")
+        if self.warm_fraction < 0.0:
+            raise InvalidParameterError(
+                f"warm fraction must be >= 0, got {self.warm_fraction}")
+        if self.stream_fraction < 0.0 or (self.hot_fraction
+                                          + self.warm_fraction
+                                          + self.stream_fraction) > 1.0:
+            raise InvalidParameterError(
+                "hot + warm + stream fractions must not exceed 1")
+        if self.burst_length < 1.0:
+            raise InvalidParameterError(
+                f"burst length must be >= 1, got {self.burst_length}")
+        if self.element_bytes < 1:
+            raise InvalidParameterError(
+                f"element size must be >= 1, got {self.element_bytes}")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"write fraction must be in [0,1], got {self.write_fraction}")
+
+    def characteristics(self) -> WorkloadCharacteristics:
+        return WorkloadCharacteristics(
+            f_seq=self.f_seq, f_mem=self.f_mem, g=self.g,
+            working_set_kib=self.working_set_kib)
+
+    # ----- generation -------------------------------------------------------
+    def _core_stream(self, n_ops: int, region_lo: int, region_hi: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """One core's element-index stream over its private region."""
+        eb = self.element_bytes
+        hot_elems = max(int(self.hot_set_kib * 1024) // eb, 1)
+        warm_elems = max(int(self.warm_set_kib * 1024) // eb, 1)
+        region = max(region_hi - region_lo, 1)
+        kinds = rng.random(n_ops)
+        elems = np.empty(n_ops, dtype=np.int64)
+        hot_hi = self.hot_fraction
+        warm_hi = hot_hi + self.warm_fraction
+        stream_hi = warm_hi + self.stream_fraction
+        hot_mask = kinds < hot_hi
+        warm_mask = (~hot_mask) & (kinds < warm_hi)
+        stream_mask = (~hot_mask) & (~warm_mask) & (kinds < stream_hi)
+        rand_mask = ~(hot_mask | warm_mask | stream_mask)
+        # Hot accesses: shared region at the start of the working set,
+        # zipf-ish concentration via squaring a uniform draw.
+        u = rng.random(int(hot_mask.sum()))
+        elems[hot_mask] = (u * u * hot_elems).astype(np.int64)
+        # Warm accesses: shared mid-size region right after the hot one.
+        elems[warm_mask] = hot_elems + rng.integers(
+            0, warm_elems, int(warm_mask.sum()))
+        elems[rand_mask] = region_lo + rng.integers(
+            0, region, int(rand_mask.sum()))
+        n_stream = int(stream_mask.sum())
+        if n_stream:
+            start = region_lo + int(rng.integers(0, region))
+            walk = start + np.arange(n_stream, dtype=np.int64)
+            elems[stream_mask] = region_lo + (walk - region_lo) % region
+        addrs = elems * eb
+        # Register blocking: consecutive touches of the same cache line
+        # are one architectural access (the compiler keeps the rest in
+        # registers).  Without this, sequential element streams would
+        # show up as 64/eb misses per line instead of one.
+        lines = addrs // 64
+        keep = np.ones(addrs.size, dtype=bool)
+        keep[1:] = lines[1:] != lines[:-1]
+        return addrs[keep]
+
+    def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        ws_elems = max(int(self.working_set_kib * 1024) // self.element_bytes, 1)
+        return self._core_stream(self.n_ops, 0, ws_elems, rng)
+
+    def streams(
+        self, n_cores: int, rng: np.random.Generator,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """SPMD per-core streams: shared hot set + private partitions.
+
+        The total op count is divided evenly; each core's random/stream
+        accesses target its own contiguous slice of the working set while
+        hot accesses share one region — the structure that makes the
+        shared-L2 slices and DRAM banks contend realistically.
+        """
+        if n_cores < 1:
+            raise InvalidParameterError(f"need >= 1 core, got {n_cores}")
+        ws_elems = max(int(self.working_set_kib * 1024) // self.element_bytes, 1)
+        per_core = max(self.n_ops // n_cores, 1)
+        bounds = np.linspace(0, ws_elems, n_cores + 1).astype(np.int64)
+        out: list[tuple[np.ndarray, np.ndarray]] = []
+        eb = self.element_bytes
+        shared_bytes = (max(int(self.hot_set_kib * 1024) // eb, 1)
+                        + max(int(self.warm_set_kib * 1024) // eb, 1)) * eb
+        for c in range(n_cores):
+            addrs = self._core_stream(per_core, int(bounds[c]),
+                                      int(bounds[c + 1]), rng)
+            gaps = self._bursty_gaps(addrs.size, rng)
+            # Writes target each core's private data; the shared hot and
+            # warm tiers are read-mostly (writing shared lines at this
+            # rate would ping-pong the coherence directory in a way real
+            # SPMD codes avoid).
+            private = addrs >= shared_bytes
+            writes = (rng.random(addrs.size) < self.write_fraction) & private
+            out.append((addrs, gaps, writes))
+        return out
+
+    def _bursty_gaps(self, n_ops: int, rng: np.random.Generator) -> np.ndarray:
+        """Geometric gaps with burst structure preserving overall f_mem."""
+        gaps = interleave_gaps(n_ops, self.f_mem, rng)
+        if self.burst_length <= 1.0 or n_ops <= 1:
+            return gaps
+        in_burst = rng.random(n_ops) > 1.0 / self.burst_length
+        in_burst[0] = False
+        leaders = np.flatnonzero(~in_burst)
+        if leaders.size == 0:
+            return gaps
+        moved = int(gaps[in_burst].sum())
+        gaps[in_burst] = 0
+        share = moved // leaders.size
+        gaps[leaders] += share
+        gaps[leaders[: moved - share * leaders.size]] += 1
+        return gaps

@@ -1,0 +1,107 @@
+"""Tests for multi-application core allocation and cache partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import allocate_cores, partition_cache
+from repro.capacity.missrate import PowerLawMissRate
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.experiments.fig07_allocation import FIG7_APPS
+from repro.laws.gfunction import PowerLawG
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineParameters()
+
+
+class TestCoreAllocation:
+    def test_fig7_ordering(self, machine):
+        apps = FIG7_APPS()
+        res = allocate_cores(apps, machine, 64)
+        seq_heavy, parallel, middle = res.cores
+        assert seq_heavy < middle < parallel
+        assert sum(res.cores) <= 64
+
+    def test_all_cores_used_when_beneficial(self, machine):
+        apps = [ApplicationProfile(name=f"a{i}", f_seq=0.01, f_mem=0.3,
+                                   concurrency=4.0, g=PowerLawG(1.0))
+                for i in range(2)]
+        res = allocate_cores(apps, machine, 32)
+        assert sum(res.cores) == 32
+
+    def test_identical_apps_near_even_split(self, machine):
+        apps = [ApplicationProfile(name=f"a{i}", f_seq=0.05, f_mem=0.3,
+                                   concurrency=4.0) for i in range(4)]
+        res = allocate_cores(apps, machine, 64)
+        assert max(res.cores) - min(res.cores) <= 1
+
+    def test_min_per_app_respected(self, machine):
+        apps = FIG7_APPS()
+        res = allocate_cores(apps, machine, 64, min_per_app=5)
+        assert all(c >= 5 for c in res.cores)
+
+    def test_infeasible_floor_rejected(self, machine):
+        with pytest.raises(InvalidParameterError):
+            allocate_cores(FIG7_APPS(), machine, 2, min_per_app=1)
+
+    def test_empty_apps_rejected(self, machine):
+        with pytest.raises(InvalidParameterError):
+            allocate_cores([], machine, 8)
+
+    def test_total_utility_sums(self, machine):
+        res = allocate_cores(FIG7_APPS(), machine, 32)
+        assert res.total_utility == pytest.approx(sum(res.utilities))
+
+    def test_throughput_utility_mode(self, machine):
+        res = allocate_cores(FIG7_APPS(), machine, 32,
+                             utility_kind="throughput")
+        assert sum(res.cores) <= 32
+
+    def test_invalid_utility_kind(self, machine):
+        with pytest.raises(InvalidParameterError):
+            allocate_cores(FIG7_APPS(), machine, 32, utility_kind="magic")
+
+
+class TestCachePartitioning:
+    def curves(self):
+        return [
+            PowerLawMissRate(base_miss_rate=0.2, base_capacity_kib=64.0),
+            PowerLawMissRate(base_miss_rate=0.02, base_capacity_kib=64.0),
+        ]
+
+    def test_cache_hungry_app_gets_more(self):
+        res = partition_cache(self.curves(), [1.0, 1.0],
+                              total_kib=1024.0, n_ways=16)
+        assert res.ways[0] > res.ways[1]
+        assert sum(res.ways) == 16
+
+    def test_intensity_weighting(self):
+        curves = [PowerLawMissRate(), PowerLawMissRate()]
+        res = partition_cache(curves, [10.0, 1.0],
+                              total_kib=1024.0, n_ways=16)
+        assert res.ways[0] > res.ways[1]
+
+    def test_capacities_sum_to_total(self):
+        res = partition_cache(self.curves(), [1.0, 1.0],
+                              total_kib=1024.0, n_ways=8)
+        assert sum(res.capacities_kib) == pytest.approx(1024.0)
+
+    def test_greedy_beats_even_split(self):
+        curves = self.curves()
+        res = partition_cache(curves, [1.0, 1.0], 1024.0, 16)
+        even = sum(w * float(c.miss_rate(512.0))
+                   for c, w in zip(curves, [1.0, 1.0]))
+        assert res.miss_traffic <= even + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            partition_cache([], [], 100.0, 4)
+        with pytest.raises(InvalidParameterError):
+            partition_cache(self.curves(), [1.0], 100.0, 4)
+        with pytest.raises(InvalidParameterError):
+            partition_cache(self.curves(), [1.0, -1.0], 100.0, 4)
+        with pytest.raises(InvalidParameterError):
+            partition_cache(self.curves(), [1.0, 1.0], 100.0, 1)

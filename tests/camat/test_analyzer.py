@@ -1,0 +1,117 @@
+"""Unit tests for the trace analyzer's counting semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.camat import AccessTrace, MemoryAccess, TraceAnalyzer
+from repro.errors import TraceError
+
+
+def analyze(accesses):
+    return TraceAnalyzer().analyze(AccessTrace(accesses))
+
+
+class TestSingleAccess:
+    def test_single_hit(self):
+        s = analyze([MemoryAccess(start=0, hit_cycles=3)])
+        assert s.accesses == 1
+        assert s.misses == 0
+        assert s.amat == 3.0
+        assert s.camat == 3.0
+        assert s.hit_concurrency == 1.0
+        assert s.concurrency == 1.0
+
+    def test_single_miss_is_pure(self):
+        s = analyze([MemoryAccess(start=0, hit_cycles=2, miss_penalty=5)])
+        assert s.misses == 1
+        assert s.pure_misses == 1
+        assert s.pure_miss_rate == 1.0
+        assert s.pure_avg_miss_penalty == 5.0
+        assert s.amat == 7.0
+        assert s.camat == 7.0
+
+    def test_zero_penalty_is_hit(self):
+        s = analyze([MemoryAccess(start=0, hit_cycles=1, miss_penalty=0)])
+        assert s.misses == 0
+
+
+class TestOverlap:
+    def test_two_identical_hits_double_ch(self):
+        s = analyze([MemoryAccess(0, 4), MemoryAccess(0, 4)])
+        assert s.hit_concurrency == 2.0
+        assert s.camat == pytest.approx(2.0)  # 4 active cycles / 2 accesses
+
+    def test_fully_hidden_miss_is_not_pure(self):
+        # Miss window 3..5 is covered by the second access's hit window.
+        s = analyze([
+            MemoryAccess(start=0, hit_cycles=3, miss_penalty=2),
+            MemoryAccess(start=0, hit_cycles=6),
+        ])
+        assert s.misses == 1
+        assert s.pure_misses == 0
+        assert s.pure_miss_rate == 0.0
+        # All cycles have hit activity: C-AMAT = 6 active / 2 accesses.
+        assert s.camat == pytest.approx(3.0)
+
+    def test_partially_hidden_miss(self):
+        # Penalty cycles 3..7; hit activity covers 3..5 only.
+        s = analyze([
+            MemoryAccess(start=0, hit_cycles=3, miss_penalty=4),
+            MemoryAccess(start=0, hit_cycles=5),
+        ])
+        assert s.pure_misses == 1
+        # Pure cycles are 5 and 6 (0-indexed cycles 5, 6).
+        assert s.pure_miss_wall_cycles == 2
+        assert s.pure_avg_miss_penalty == 2.0
+
+    def test_two_overlapping_pure_misses_cm(self):
+        # Both misses outstanding over the same cycles, no hits there.
+        s = analyze([
+            MemoryAccess(start=0, hit_cycles=1, miss_penalty=4),
+            MemoryAccess(start=0, hit_cycles=1, miss_penalty=4),
+        ])
+        assert s.pure_misses == 2
+        assert s.miss_concurrency == pytest.approx(2.0)
+
+    def test_disjoint_accesses_sequential(self):
+        s = analyze([MemoryAccess(0, 2), MemoryAccess(10, 2),
+                     MemoryAccess(20, 2)])
+        assert s.hit_concurrency == 1.0
+        assert s.camat == pytest.approx(2.0)
+        assert s.concurrency == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            AccessTrace([])
+
+    def test_zero_hit_cycles_rejected(self):
+        with pytest.raises(TraceError):
+            MemoryAccess(start=0, hit_cycles=0)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(TraceError):
+            MemoryAccess(start=0, hit_cycles=1, miss_penalty=-1)
+
+    def test_from_arrays_shape_mismatch(self):
+        import numpy as np
+        with pytest.raises(TraceError):
+            AccessTrace.from_arrays(np.array([0, 1]), np.array([1]),
+                                    np.array([0, 0]))
+
+
+class TestTraceViews:
+    def test_span_and_bounds(self):
+        t = AccessTrace([MemoryAccess(5, 3, 2), MemoryAccess(1, 2)])
+        assert t.first_cycle == 1
+        assert t.last_cycle == 10
+        assert t.span == 9
+
+    def test_iteration_and_indexing(self):
+        accesses = [MemoryAccess(0, 1), MemoryAccess(2, 3)]
+        t = AccessTrace(accesses)
+        assert list(t) == accesses
+        assert t[1] == accesses[1]
+        assert len(t) == 2

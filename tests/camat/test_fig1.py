@@ -1,0 +1,77 @@
+"""The Fig. 1 worked example must match the paper exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.camat import TraceAnalyzer, fig1_trace, hit_phases, pure_miss_phases
+from repro.experiments.fig01_camat_demo import PAPER_VALUES, run_fig1
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return TraceAnalyzer().analyze(fig1_trace())
+
+
+class TestFig1Exact:
+    def test_hit_time(self, stats):
+        assert stats.hit_time == PAPER_VALUES["H"]
+
+    def test_miss_rate(self, stats):
+        assert stats.miss_rate == pytest.approx(PAPER_VALUES["MR"])
+
+    def test_avg_miss_penalty(self, stats):
+        assert stats.avg_miss_penalty == PAPER_VALUES["AMP"]
+
+    def test_amat(self, stats):
+        assert stats.amat == pytest.approx(PAPER_VALUES["AMAT"])
+
+    def test_hit_concurrency_is_5_over_2(self, stats):
+        assert stats.hit_concurrency == pytest.approx(2.5)
+
+    def test_pure_miss_rate_is_one_fifth(self, stats):
+        assert stats.pure_miss_rate == pytest.approx(0.2)
+
+    def test_pure_amp(self, stats):
+        assert stats.pure_avg_miss_penalty == PAPER_VALUES["pAMP"]
+
+    def test_miss_concurrency(self, stats):
+        assert stats.miss_concurrency == PAPER_VALUES["C_M"]
+
+    def test_camat_is_1_6(self, stats):
+        assert stats.camat == pytest.approx(1.6)
+
+    def test_concurrency_doubles_memory_performance(self, stats):
+        # "In this example, concurrency has doubled memory performance":
+        # 8 active cycles vs 19 sequential latency cycles; the paper's
+        # C = AMAT/C-AMAT is 3.8/1.6.
+        assert stats.concurrency == pytest.approx(3.8 / 1.6)
+
+    def test_active_cycles_is_8(self, stats):
+        assert stats.memory_active_wall_cycles == 8
+
+    def test_pure_misses_only_access_3(self, stats):
+        assert stats.pure_misses == 1
+        assert stats.misses == 2
+
+
+class TestFig1Phases:
+    def test_hit_phase_structure(self):
+        phases = hit_phases(fig1_trace())
+        assert [(p.concurrency, p.duration) for p in phases] == [
+            (2, 2), (4, 1), (3, 2), (1, 1)]
+
+    def test_hit_phase_access_cycles_total_15(self):
+        phases = hit_phases(fig1_trace())
+        assert sum(p.access_cycles for p in phases) == 15
+
+    def test_pure_miss_phase(self):
+        phases = pure_miss_phases(fig1_trace())
+        assert [(p.concurrency, p.duration) for p in phases] == [(1, 2)]
+
+
+class TestFig1Experiment:
+    def test_all_rows_match(self):
+        table = run_fig1()
+        assert len(table) == len(PAPER_VALUES)
+        assert all(table.column("match"))

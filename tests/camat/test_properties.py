@@ -1,0 +1,117 @@
+"""Property-based tests for C-AMAT invariants (hypothesis).
+
+The central theorem the library relies on:
+
+    C-AMAT (Eq. 2 with our counting) == memory-active cycles / accesses
+
+together with the orderings C-AMAT <= AMAT, pMR <= MR, C_H >= 1,
+C_M >= 1, and the equivalence of the direct counting with the phase
+decomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camat import (
+    AccessTrace,
+    MemoryAccess,
+    TraceAnalyzer,
+    hit_phases,
+    pure_miss_phases,
+)
+
+access_strategy = st.builds(
+    MemoryAccess,
+    start=st.integers(min_value=0, max_value=300),
+    hit_cycles=st.integers(min_value=1, max_value=8),
+    miss_penalty=st.integers(min_value=0, max_value=30),
+)
+
+trace_strategy = st.lists(access_strategy, min_size=1, max_size=40).map(
+    AccessTrace)
+
+
+@given(trace_strategy)
+@settings(max_examples=200, deadline=None)
+def test_camat_equals_active_cycles_per_access(trace):
+    stats = TraceAnalyzer().analyze(trace)
+    expected = stats.memory_active_wall_cycles / stats.accesses
+    assert np.isclose(stats.camat, expected)
+
+
+@given(trace_strategy)
+@settings(max_examples=200, deadline=None)
+def test_camat_never_exceeds_amat(trace):
+    stats = TraceAnalyzer().analyze(trace)
+    assert stats.camat <= stats.amat + 1e-9
+
+
+@given(trace_strategy)
+@settings(max_examples=200, deadline=None)
+def test_pure_miss_rate_never_exceeds_miss_rate(trace):
+    stats = TraceAnalyzer().analyze(trace)
+    assert stats.pure_miss_rate <= stats.miss_rate + 1e-12
+
+
+@given(trace_strategy)
+@settings(max_examples=200, deadline=None)
+def test_concurrency_parameters_at_least_one(trace):
+    stats = TraceAnalyzer().analyze(trace)
+    assert stats.hit_concurrency >= 1.0
+    assert stats.miss_concurrency >= 1.0
+    assert stats.concurrency >= 1.0 - 1e-12
+
+
+@given(trace_strategy)
+@settings(max_examples=200, deadline=None)
+def test_phase_decomposition_matches_direct_counting(trace):
+    stats = TraceAnalyzer().analyze(trace)
+    hp = hit_phases(trace)
+    assert sum(p.duration for p in hp) == stats.hit_active_wall_cycles
+    assert sum(p.access_cycles for p in hp) == stats.total_hit_access_cycles
+    pp = pure_miss_phases(trace)
+    assert sum(p.duration for p in pp) == stats.pure_miss_wall_cycles
+    assert (sum(p.access_cycles for p in pp)
+            == stats.total_pure_miss_access_cycles)
+
+
+@given(trace_strategy)
+@settings(max_examples=200, deadline=None)
+def test_active_cycles_split_into_hit_and_pure(trace):
+    # Every memory-active cycle is either hit-active or a pure miss cycle.
+    stats = TraceAnalyzer().analyze(trace)
+    assert (stats.hit_active_wall_cycles + stats.pure_miss_wall_cycles
+            == stats.memory_active_wall_cycles)
+
+
+@given(trace_strategy)
+@settings(max_examples=100, deadline=None)
+def test_sequential_shift_invariance(trace):
+    # Shifting all accesses by a constant changes nothing.
+    shifted = AccessTrace([
+        MemoryAccess(a.start + 1000, a.hit_cycles, a.miss_penalty)
+        for a in trace])
+    s0 = TraceAnalyzer().analyze(trace)
+    s1 = TraceAnalyzer().analyze(shifted)
+    assert np.isclose(s0.camat, s1.camat)
+    assert np.isclose(s0.amat, s1.amat)
+    assert s0.pure_misses == s1.pure_misses
+
+
+@given(st.lists(st.tuples(st.integers(1, 8), st.integers(0, 20)),
+                min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_fully_sequential_trace_is_amat(specs):
+    # Accesses laid end-to-end: no concurrency, C-AMAT == AMAT, C == 1.
+    accesses = []
+    cursor = 0
+    for hit, penalty in specs:
+        accesses.append(MemoryAccess(cursor, hit, penalty))
+        cursor += hit + penalty
+    stats = TraceAnalyzer().analyze(AccessTrace(accesses))
+    assert np.isclose(stats.camat, stats.amat)
+    assert np.isclose(stats.concurrency, 1.0)
+    assert np.isclose(stats.pure_miss_rate, stats.miss_rate)

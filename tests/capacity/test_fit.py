@@ -1,0 +1,81 @@
+"""Tests for empirical miss-curve measurement and fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.fit import fit_power_law, measure_miss_curve
+from repro.errors import InvalidParameterError
+
+
+def zipf_stream(n: int, footprint_lines: int, a: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Zipf-distributed line accesses (power-law reuse)."""
+    ranks = np.arange(1, footprint_lines + 1, dtype=float)
+    probs = ranks ** (-a)
+    probs /= probs.sum()
+    lines = rng.choice(footprint_lines, size=n, p=probs)
+    return lines * 64
+
+
+class TestMeasure:
+    def test_monotone_nonincreasing_in_capacity(self):
+        rng = np.random.default_rng(0)
+        stream = zipf_stream(30000, 1 << 14, 1.1, rng)
+        points = measure_miss_curve(stream, (8.0, 32.0, 128.0, 512.0))
+        mrs = [p.miss_rate for p in points]
+        assert all(b <= a + 0.02 for a, b in zip(mrs, mrs[1:]))
+
+    def test_resident_stream_has_zero_misses(self):
+        # 2 KiB footprint inside a 64 KiB cache after warmup.
+        stream = np.tile(np.arange(32) * 64, 200)
+        points = measure_miss_curve(stream, (64.0,))
+        assert points[0].miss_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            measure_miss_curve(np.arange(5))
+        with pytest.raises(InvalidParameterError):
+            measure_miss_curve(np.arange(100) * 64, (0.0,))
+        with pytest.raises(InvalidParameterError):
+            measure_miss_curve(np.arange(100) * 64, warmup_fraction=1.0)
+
+
+class TestFit:
+    def test_recovers_synthetic_power_law(self):
+        # Build ideal points from a known curve; the fit must recover it.
+        from repro.capacity.missrate import PowerLawMissRate
+        from repro.capacity.fit import MissCurvePoint
+        truth = PowerLawMissRate(base_miss_rate=0.08,
+                                 base_capacity_kib=64.0, alpha=0.45,
+                                 compulsory_floor=1e-6)
+        caps = (8.0, 16.0, 32.0, 64.0, 128.0)
+        points = [MissCurvePoint(c, float(truth.miss_rate(c)))
+                  for c in caps]
+        fitted = fit_power_law(points)
+        assert fitted.alpha == pytest.approx(0.45, abs=0.01)
+        for c in caps:
+            assert fitted.miss_rate(c) == pytest.approx(
+                float(truth.miss_rate(c)), rel=0.05)
+
+    def test_end_to_end_zipf(self):
+        rng = np.random.default_rng(1)
+        stream = zipf_stream(40000, 1 << 14, 1.05, rng)
+        points = measure_miss_curve(stream,
+                                    (8.0, 16.0, 32.0, 64.0, 128.0))
+        fitted = fit_power_law(points)
+        # A heavy-tailed stream is capacity-sensitive with a sane alpha.
+        assert 0.05 < fitted.alpha < 2.0
+
+    def test_insufficient_points_rejected(self):
+        from repro.capacity.fit import MissCurvePoint
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([MissCurvePoint(8.0, 0.1),
+                           MissCurvePoint(16.0, 0.0)])
+
+    def test_capacity_insensitive_rejected(self):
+        from repro.capacity.fit import MissCurvePoint
+        points = [MissCurvePoint(c, 0.3) for c in (8.0, 32.0, 128.0)]
+        with pytest.raises(InvalidParameterError):
+            fit_power_law(points)

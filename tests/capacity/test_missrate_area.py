@@ -1,0 +1,85 @@
+"""Tests for miss-rate curves and the area model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.area import AreaModel
+from repro.capacity.missrate import PowerLawMissRate
+from repro.errors import InvalidParameterError
+
+
+class TestPowerLawMissRate:
+    def test_reference_point(self):
+        curve = PowerLawMissRate(base_miss_rate=0.1, base_capacity_kib=64.0)
+        assert curve.miss_rate(64.0) == pytest.approx(0.1)
+
+    def test_sqrt2_rule(self):
+        # alpha = 0.5: doubling capacity divides MR by sqrt(2).
+        curve = PowerLawMissRate(base_miss_rate=0.1, base_capacity_kib=64.0,
+                                 alpha=0.5)
+        assert curve.miss_rate(128.0) == pytest.approx(0.1 / np.sqrt(2.0))
+
+    def test_clipping_at_one(self):
+        curve = PowerLawMissRate(base_miss_rate=0.5, base_capacity_kib=64.0)
+        assert curve.miss_rate(1e-6) == 1.0
+
+    def test_compulsory_floor(self):
+        curve = PowerLawMissRate(base_miss_rate=0.1, compulsory_floor=0.01,
+                                 base_capacity_kib=64.0)
+        assert curve.miss_rate(1e12) == pytest.approx(0.01)
+
+    def test_inverse(self):
+        curve = PowerLawMissRate(base_miss_rate=0.1, base_capacity_kib=64.0)
+        cap = curve.capacity_for_miss_rate(0.05)
+        assert curve.miss_rate(cap) == pytest.approx(0.05)
+
+    def test_inverse_below_floor_rejected(self):
+        curve = PowerLawMissRate(compulsory_floor=0.01)
+        with pytest.raises(InvalidParameterError):
+            curve.capacity_for_miss_rate(0.001)
+
+    def test_derivative_negative(self):
+        curve = PowerLawMissRate()
+        assert curve.derivative(100.0) < 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PowerLawMissRate(base_miss_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            PowerLawMissRate(alpha=-1.0)
+        with pytest.raises(InvalidParameterError):
+            PowerLawMissRate(compulsory_floor=0.5, base_miss_rate=0.1)
+
+    @given(cap=st.floats(0.001, 1e9))
+    @settings(max_examples=200, deadline=None)
+    def test_always_in_unit_interval(self, cap):
+        curve = PowerLawMissRate()
+        mr = curve.miss_rate(cap)
+        assert 0.0 <= mr <= 1.0
+
+    @given(cap=st.floats(0.01, 1e6), factor=st.floats(1.01, 100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_nonincreasing(self, cap, factor):
+        curve = PowerLawMissRate()
+        assert curve.miss_rate(cap * factor) <= curve.miss_rate(cap) + 1e-12
+
+
+class TestAreaModel:
+    def test_round_trip(self):
+        am = AreaModel(kib_per_area_unit=64.0)
+        assert am.area_for_capacity(am.capacity_kib(3.5)) == pytest.approx(3.5)
+
+    def test_linear(self):
+        am = AreaModel(kib_per_area_unit=10.0)
+        assert am.capacity_kib(2.0) == pytest.approx(20.0)
+
+    def test_negative_rejected(self):
+        am = AreaModel()
+        with pytest.raises(InvalidParameterError):
+            am.capacity_kib(-1.0)
+        with pytest.raises(InvalidParameterError):
+            AreaModel(kib_per_area_unit=0.0)

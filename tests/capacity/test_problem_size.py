@@ -1,0 +1,67 @@
+"""Tests for the Section V capacity-bounded problem size."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.capacity.problem_size import (
+    BoundednessCase,
+    classify_boundedness,
+    max_bounded_problem_size,
+)
+from repro.errors import InvalidParameterError
+from repro.experiments.capacity_bound import tmm_working_set_kib
+
+
+class TestMaxBoundedProblemSize:
+    def test_linear_working_set(self):
+        # Y(Z) = Z: bound equals capacity.
+        z = max_bounded_problem_size(lambda z: z, 100.0)
+        assert z == pytest.approx(100.0, rel=1e-6)
+
+    def test_sqrt_working_set(self):
+        # Y(Z) = sqrt(Z): bound is capacity^2.
+        z = max_bounded_problem_size(math.sqrt, 10.0)
+        assert z == pytest.approx(100.0, rel=1e-6)
+
+    def test_infeasible_at_zero(self):
+        z = max_bounded_problem_size(lambda z: z + 50.0, 10.0)
+        assert z == 0.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            max_bounded_problem_size(lambda z: z, 0.0)
+
+    def test_tmm_working_set_monotone(self):
+        assert tmm_working_set_kib(1e6) < tmm_working_set_kib(1e9)
+
+
+class TestClassification:
+    def test_processor_bound_small_problem(self):
+        result = classify_boundedness(lambda z: z, 100.0, 50.0)
+        assert result.case is BoundednessCase.PROCESSOR_BOUND
+        assert result.utilization == pytest.approx(0.5, rel=1e-6)
+
+    def test_memory_bound_big_problem(self):
+        result = classify_boundedness(lambda z: z, 100.0, 500.0)
+        assert result.case is BoundednessCase.MEMORY_BOUND
+        assert result.utilization > 1.0
+
+    def test_boundary_is_processor_bound(self):
+        result = classify_boundedness(lambda z: z, 100.0, 100.0)
+        assert result.case is BoundednessCase.PROCESSOR_BOUND
+
+    def test_crossover_with_capacity_growth(self):
+        # A fixed problem flips from memory- to processor-bound as the
+        # on-chip capacity grows past its working set (Section V).
+        problem = 2e9
+        cases = [classify_boundedness(tmm_working_set_kib, cap, problem).case
+                 for cap in (256.0, 65536.0 * 4)]
+        assert cases[0] is BoundednessCase.MEMORY_BOUND
+        assert cases[1] is BoundednessCase.PROCESSOR_BOUND
+
+    def test_invalid_problem_size(self):
+        with pytest.raises(InvalidParameterError):
+            classify_boundedness(lambda z: z, 10.0, 0.0)

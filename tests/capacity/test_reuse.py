@@ -1,0 +1,98 @@
+"""Tests for reuse-distance analysis.
+
+The gold standard: for a fully associative LRU cache, the reuse-profile
+miss rate must match direct simulation exactly, at every capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.reuse import reuse_distances, reuse_profile
+from repro.errors import InvalidParameterError
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import CacheConfig
+
+
+def lru_miss_rate(addresses: np.ndarray, capacity_lines: int) -> float:
+    """Reference: fully associative LRU via the cache model."""
+    cache = SetAssociativeCache(CacheConfig(
+        size_kib=capacity_lines * 64 / 1024.0,
+        assoc=capacity_lines, line_bytes=64))
+    misses = sum(0 if cache.access(int(a)) else 1 for a in addresses)
+    return misses / len(addresses)
+
+
+class TestReuseDistances:
+    def test_first_touches_are_minus_one(self):
+        d = reuse_distances(np.array([0, 64, 128]) )
+        assert list(d) == [-1, -1, -1]
+
+    def test_immediate_reuse_distance_zero(self):
+        d = reuse_distances(np.array([0, 0]))
+        assert list(d) == [-1, 0]
+
+    def test_classic_example(self):
+        # a b c b a : distances -1 -1 -1 1 2
+        addrs = np.array([0, 64, 128, 64, 0])
+        assert list(reuse_distances(addrs)) == [-1, -1, -1, 1, 2]
+
+    def test_same_line_offsets_collapse(self):
+        d = reuse_distances(np.array([0, 8, 16]))
+        assert list(d) == [-1, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            reuse_distances(np.array([]))
+
+
+class TestProfileVsSimulation:
+    @pytest.mark.parametrize("capacity_lines", [2, 8, 32, 128])
+    def test_matches_fully_associative_lru(self, capacity_lines):
+        rng = np.random.default_rng(capacity_lines)
+        # Zipf-ish stream over 512 lines.
+        u = rng.random(3000)
+        addrs = ((u * u * 512).astype(np.int64)) * 64
+        profile = reuse_profile(addrs)
+        expected = lru_miss_rate(addrs, capacity_lines)
+        got = profile.miss_rate(capacity_lines * 64 / 1024.0)
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    @given(st.lists(st.integers(0, 40), min_size=5, max_size=200),
+           st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_lru(self, lines, capacity):
+        addrs = np.array(lines) * 64
+        profile = reuse_profile(addrs)
+        got = profile.miss_rate(capacity * 64 / 1024.0)
+        expected = lru_miss_rate(addrs, capacity)
+        assert got == pytest.approx(expected, abs=1e-12)
+
+
+class TestProfileQueries:
+    def test_miss_curve_monotone(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 2048, 5000) * 64
+        profile = reuse_profile(addrs)
+        curve = profile.miss_curve([1.0, 4.0, 16.0, 64.0, 256.0])
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_compulsory_floor(self):
+        addrs = np.arange(100) * 64  # every access compulsory
+        profile = reuse_profile(addrs)
+        assert profile.compulsory == 100
+        assert profile.miss_rate(1e9) == 1.0
+
+    def test_histogram(self):
+        addrs = np.tile(np.arange(16) * 64, 10)
+        profile = reuse_profile(addrs)
+        edges, counts = profile.histogram()
+        assert counts.sum() == profile.accesses - profile.compulsory
+
+    def test_invalid_capacity(self):
+        profile = reuse_profile(np.array([0, 0]))
+        with pytest.raises(InvalidParameterError):
+            profile.miss_rate(0.0)

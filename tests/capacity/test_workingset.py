@@ -1,0 +1,71 @@
+"""Tests for the Denning working-set model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.workingset import working_set_size, working_set_sizes
+from repro.errors import InvalidParameterError
+
+
+class TestWorkingSetSizes:
+    def test_all_distinct(self):
+        addrs = np.arange(10)
+        ws = working_set_sizes(addrs, window=4)
+        # Position i sees min(i+1, 4) distinct addresses.
+        assert list(ws) == [1, 2, 3, 4, 4, 4, 4, 4, 4, 4]
+
+    def test_single_address(self):
+        ws = working_set_sizes(np.zeros(8, dtype=int), window=4)
+        assert np.all(ws == 1)
+
+    def test_periodic_pattern(self):
+        addrs = np.tile([1, 2, 3], 5)
+        ws = working_set_sizes(addrs, window=3)
+        assert np.all(ws[2:] == 3)
+
+    def test_window_one(self):
+        addrs = np.array([5, 5, 6, 7, 7])
+        assert np.all(working_set_sizes(addrs, window=1) == 1)
+
+    def test_window_larger_than_stream(self):
+        addrs = np.array([1, 2, 1, 3])
+        ws = working_set_sizes(addrs, window=100)
+        assert list(ws) == [1, 2, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            working_set_sizes(np.array([]), window=2)
+        with pytest.raises(InvalidParameterError):
+            working_set_sizes(np.array([1, 2]), window=0)
+
+
+class TestWorkingSetSize:
+    def test_total_footprint(self):
+        addrs = np.array([1, 2, 3, 2, 1, 9])
+        assert working_set_size(addrs) == 4
+
+    def test_peak_windowed(self):
+        addrs = np.array([1, 1, 1, 2, 3, 4, 1, 1])
+        assert working_set_size(addrs, window=3) == 3
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=60),
+           st.integers(1, 30))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive(self, addr_list, window):
+        addrs = np.array(addr_list)
+        ws = working_set_sizes(addrs, window)
+        for i in range(len(addr_list)):
+            lo = max(0, i - window + 1)
+            assert ws[i] == len(set(addr_list[lo:i + 1]))
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_window_and_footprint(self, addr_list):
+        addrs = np.array(addr_list)
+        window = 5
+        peak = working_set_size(addrs, window)
+        assert peak <= min(window, len(set(addr_list)))

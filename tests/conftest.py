@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ApplicationProfile, MachineParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def default_app() -> ApplicationProfile:
+    """A representative application profile."""
+    return ApplicationProfile(f_seq=0.02, f_mem=0.3, concurrency=4.0)
+
+
+@pytest.fixture
+def default_machine() -> MachineParameters:
+    """The default machine parameters."""
+    return MachineParameters()

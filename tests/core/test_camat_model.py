@@ -1,0 +1,73 @@
+"""Tests for the cache-area-to-C-AMAT model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.camat_model import CAMATModel, HierarchyLatencies
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def model() -> CAMATModel:
+    return CAMATModel()
+
+
+class TestLatencyStack:
+    def test_amat_floor_is_hit_time(self, model):
+        # Infinite cache: AMAT approaches the L1 hit time plus the
+        # compulsory floor contribution.
+        amat = float(model.amat(1e9, 1e9))
+        assert amat < model.latencies.l1_hit + 1.0
+
+    def test_amat_decreases_with_l1_area(self, model):
+        a = float(model.amat(0.1, 1.0))
+        b = float(model.amat(1.0, 1.0))
+        assert b < a
+
+    def test_amat_decreases_with_l2_area(self, model):
+        a = float(model.amat(0.5, 0.5))
+        b = float(model.amat(0.5, 5.0))
+        assert b < a
+
+    def test_camat_is_amat_over_c(self, model):
+        amat = float(model.amat(0.5, 2.0))
+        for c in (1.0, 4.0, 8.0):
+            assert model.camat(0.5, 2.0, c) == pytest.approx(amat / c)
+
+    def test_camat_rejects_c_below_one(self, model):
+        with pytest.raises(InvalidParameterError):
+            model.camat(1.0, 1.0, 0.5)
+
+    def test_vectorized(self, model):
+        a1 = np.array([0.5, 1.0, 2.0])
+        out = model.amat(a1, 1.0)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) < 0)
+
+    def test_latency_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HierarchyLatencies(l1_hit=10.0, l2_hit=5.0, dram=100.0)
+
+
+class TestDecomposition:
+    def test_params_value_matches_camat(self, model):
+        for c in (1.0, 4.0):
+            params = model.as_camat_params(0.5, 2.0, c)
+            assert params.value == pytest.approx(model.camat(0.5, 2.0, c))
+
+    def test_sequential_case_is_amat(self, model):
+        params = model.as_camat_params(0.5, 2.0, 1.0)
+        assert params.value == pytest.approx(float(model.amat(0.5, 2.0)))
+
+    @given(a1=st.floats(0.02, 50.0), a2=st.floats(0.02, 50.0),
+           c=st.floats(1.0, 16.0))
+    @settings(max_examples=200, deadline=None)
+    def test_decomposition_consistency(self, a1, a2, c):
+        model = CAMATModel()
+        params = model.as_camat_params(a1, a2, c)
+        assert params.value == pytest.approx(model.camat(a1, a2, c),
+                                             rel=1e-9)

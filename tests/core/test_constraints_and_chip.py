@@ -1,0 +1,100 @@
+"""Tests for Pollack's rule (Eq. 11) and the area budget (Eq. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chip import ChipConfig
+from repro.core.constraints import AreaBudget, pollack_core_area, pollack_cpi
+from repro.core.params import MachineParameters
+from repro.errors import InvalidParameterError
+
+
+class TestPollack:
+    def test_basic_value(self):
+        assert pollack_cpi(1.0, k0=1.0, phi0=0.2) == pytest.approx(1.2)
+
+    def test_quadruple_area_halves_variable_part(self):
+        base = pollack_cpi(1.0, 1.0, 0.0)
+        big = pollack_cpi(4.0, 1.0, 0.0)
+        assert big == pytest.approx(base / 2.0)
+
+    def test_inverse(self):
+        a0 = pollack_core_area(1.2, k0=1.0, phi0=0.2)
+        assert a0 == pytest.approx(1.0)
+
+    def test_inverse_unreachable(self):
+        with pytest.raises(InvalidParameterError):
+            pollack_core_area(0.1, k0=1.0, phi0=0.2)
+
+    def test_array(self):
+        out = pollack_cpi(np.array([1.0, 4.0]), 1.0, 0.0)
+        assert np.allclose(out, [1.0, 0.5])
+
+    def test_invalid_area(self):
+        with pytest.raises(InvalidParameterError):
+            pollack_cpi(0.0)
+
+    @given(a=st.floats(0.01, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_decreasing(self, a):
+        assert pollack_cpi(a * 2.0) < pollack_cpi(a)
+
+
+class TestChipConfig:
+    def test_total_area_eq12(self):
+        c = ChipConfig(n=4, a0=1.0, a1=0.5, a2=1.5)
+        assert c.per_core_area == pytest.approx(3.0)
+        assert c.total_area(shared_area=10.0) == pytest.approx(22.0)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(InvalidParameterError):
+            ChipConfig(n=0, a0=1.0, a1=1.0, a2=1.0)
+
+    def test_invalid_area(self):
+        with pytest.raises(InvalidParameterError):
+            ChipConfig(n=1, a0=0.0, a1=1.0, a2=1.0)
+
+
+class TestAreaBudget:
+    def test_residual_zero_at_active_constraint(self):
+        m = MachineParameters(total_area=100.0, shared_area=10.0)
+        budget = AreaBudget(m)
+        c = ChipConfig(n=9, a0=4.0, a1=3.0, a2=3.0)
+        assert budget.residual(c) == pytest.approx(0.0)
+        assert budget.is_feasible(c)
+
+    def test_infeasible_detected(self):
+        m = MachineParameters(total_area=100.0, shared_area=10.0)
+        c = ChipConfig(n=10, a0=4.0, a1=3.0, a2=3.0)
+        assert not AreaBudget(m).is_feasible(c)
+
+    def test_per_core_budget(self):
+        m = MachineParameters(total_area=100.0, shared_area=10.0)
+        assert AreaBudget(m).per_core_budget(9) == pytest.approx(10.0)
+
+    def test_min_sizes_enforced(self):
+        m = MachineParameters(total_area=100.0, shared_area=10.0,
+                              min_core_area=0.5, min_cache_area=0.25)
+        tiny = ChipConfig(n=1, a0=0.4, a1=1.0, a2=1.0)
+        assert not AreaBudget(m).is_feasible(tiny)
+
+    def test_max_cores(self):
+        # Budget 90, minimum footprint 1.0: N = 90 would leave zero
+        # interior room for the area split, so the maximum is 89.
+        m = MachineParameters(total_area=100.0, shared_area=10.0,
+                              min_core_area=0.5, min_cache_area=0.25)
+        assert m.max_cores == 89
+        # And the reported maximum is actually optimizable.
+        assert m.core_budget_area / m.max_cores > 1.0
+
+    def test_machine_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MachineParameters(total_area=-1.0)
+        with pytest.raises(InvalidParameterError):
+            MachineParameters(total_area=10.0, shared_area=10.0)
+        with pytest.raises(InvalidParameterError):
+            MachineParameters(pollack_k0=0.0)

@@ -1,0 +1,128 @@
+"""Tests for the asymmetric-CMP and energy extensions (paper §VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.asymmetric import AsymmetricOptimizer
+from repro.core.energy import (
+    EnergyAwareOptimizer,
+    PowerModel,
+    energy_of_design,
+)
+from repro.core.optimizer import C2BoundOptimizer
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineParameters(total_area=200.0, shared_area=20.0)
+
+
+class TestAsymmetric:
+    def test_feasible_design(self, machine):
+        app = ApplicationProfile(f_seq=0.2, f_mem=0.3, concurrency=2.0,
+                                 g=PowerLawG(0.0))
+        opt = AsymmetricOptimizer(app, machine)
+        design = opt.evaluate(big_budget=20.0, n_small=16)
+        assert design.big.per_core_area == pytest.approx(20.0, rel=1e-6)
+        assert design.total_area(machine.shared_area) <= (
+            machine.total_area + 1e-6)
+        assert design.execution_time > 0
+
+    def test_bigger_big_core_helps_sequential_app(self, machine):
+        app = ApplicationProfile(f_seq=0.5, f_mem=0.3, g=PowerLawG(0.0))
+        opt = AsymmetricOptimizer(app, machine)
+        small_big = opt.evaluate(big_budget=5.0, n_small=8)
+        large_big = opt.evaluate(big_budget=60.0, n_small=8)
+        assert large_big.execution_time < small_big.execution_time
+
+    def test_asymmetric_beats_symmetric_for_mixed_app(self, machine):
+        # A workload with a real sequential part: the asymmetric design
+        # can buy a fast core for it without starving the parallel part.
+        app = ApplicationProfile(f_seq=0.3, f_mem=0.3, concurrency=2.0,
+                                 g=PowerLawG(0.0))
+        sym = C2BoundOptimizer(app, machine).optimize(n_max=128)
+        asym = AsymmetricOptimizer(app, machine).optimize(n_max=128)
+        assert asym.execution_time <= sym.best.execution_time * 1.001
+
+    def test_case_one_uses_throughput(self, machine):
+        app = ApplicationProfile(f_seq=0.05, f_mem=0.3, g=PowerLawG(1.5))
+        design = AsymmetricOptimizer(app, machine).optimize(n_max=64)
+        assert design.throughput > 0
+
+    def test_validation(self, machine):
+        app = ApplicationProfile()
+        opt = AsymmetricOptimizer(app, machine)
+        with pytest.raises(InvalidParameterError):
+            opt.evaluate(big_budget=10.0, n_small=0)
+        with pytest.raises(InvalidParameterError):
+            opt.evaluate(big_budget=1e9, n_small=4)
+
+
+class TestPowerModel:
+    def test_chip_power_composition(self):
+        from repro.core.chip import ChipConfig
+        pm = PowerModel(dynamic_per_area=1.0, static_per_area=0.1,
+                        idle_leakage=0.0, shared_power=2.0)
+        cfg = ChipConfig(n=4, a0=1.0, a1=0.5, a2=0.5)
+        # 2 active: 2*(0.2+2.0) ... per-core area 2.0:
+        # static 0.2, dynamic 2.0.
+        expected = 2 * (0.2 + 2.0) + 2 * 0.2 + 2.0
+        assert pm.chip_power(cfg, 2) == pytest.approx(expected)
+
+    def test_active_bounds(self):
+        from repro.core.chip import ChipConfig
+        pm = PowerModel()
+        cfg = ChipConfig(n=2, a0=1.0, a1=0.5, a2=0.5)
+        with pytest.raises(InvalidParameterError):
+            pm.chip_power(cfg, 3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(idle_leakage=1.5)
+
+
+class TestEnergyOptimizer:
+    def test_energy_decomposition(self, machine):
+        app = ApplicationProfile(f_seq=0.2, f_mem=0.3, g=PowerLawG(0.0))
+        opt = C2BoundOptimizer(app, machine)
+        point = opt.evaluate(8)
+        report = energy_of_design(point, app, machine, PowerModel())
+        assert report.total_energy == pytest.approx(
+            report.serial_energy + report.parallel_energy)
+        assert report.average_power > 0
+
+    def test_energy_optimum_below_performance_optimum(self, machine):
+        # Leakage penalizes very wide chips: the EDP-optimal core count
+        # is at most the throughput-optimal one for a scalable app.
+        app = ApplicationProfile(f_seq=0.05, f_mem=0.3, concurrency=4.0,
+                                 g=PowerLawG(1.5))
+        perf = C2BoundOptimizer(app, machine).optimize(n_max=256)
+        point, _ = EnergyAwareOptimizer(app, machine).optimize(
+            time_weight=0.0, n_max=256)
+        assert point.n <= perf.best.n
+
+    def test_time_weight_shifts_toward_performance(self, machine):
+        app = ApplicationProfile(f_seq=0.1, f_mem=0.3, concurrency=2.0,
+                                 g=PowerLawG(0.0))
+        opt = EnergyAwareOptimizer(app, machine)
+        p_energy, r_energy = opt.optimize(time_weight=0.0, n_max=128)
+        p_edp2, r_edp2 = opt.optimize(time_weight=2.0, n_max=128)
+        # Weighting time more lands on a design at least as fast as the
+        # pure-energy pick (and closer to the time-optimal core count).
+        assert r_edp2.execution_time <= r_energy.execution_time
+        time_best = C2BoundOptimizer(app, machine).optimize(n_max=128).best
+        assert (abs(p_edp2.n - time_best.n)
+                <= abs(p_energy.n - time_best.n))
+
+    def test_objective_weights(self, machine):
+        app = ApplicationProfile(f_seq=0.2, g=PowerLawG(0.0))
+        _, report = EnergyAwareOptimizer(app, machine).evaluate(4)
+        assert report.objective(0.0) == pytest.approx(report.total_energy)
+        assert report.objective(1.0) == pytest.approx(
+            report.total_energy * report.execution_time)
+        with pytest.raises(InvalidParameterError):
+            report.objective(-1.0)

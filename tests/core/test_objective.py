@@ -1,0 +1,117 @@
+"""Tests for Eqs. 5-10 (execution time and the J_D objective)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import (
+    cpu_time,
+    data_stall_time_amat,
+    data_stall_time_camat,
+    execution_time,
+    generalized_objective,
+    objective_jd,
+)
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+
+
+class TestEq5to7:
+    def test_eq5_basic(self):
+        # IC=1000, CPI=1, stall=0.5/instr, cycle=2ns.
+        assert cpu_time(1000, 1.0, 0.5, 2.0) == pytest.approx(3000.0)
+
+    def test_eq6_stall(self):
+        assert data_stall_time_amat(0.3, 10.0) == pytest.approx(3.0)
+
+    def test_eq7_reduces_to_eq5_eq6_when_sequential(self):
+        # With C = 1 (C-AMAT == AMAT) and no overlap, Eq. 7 == Eq. 5+6.
+        ic, cpi, f_mem, amat = 1e6, 0.8, 0.4, 12.0
+        t7 = execution_time(ic, cpi, f_mem, amat, overlap_ratio=0.0)
+        t56 = cpu_time(ic, cpi, data_stall_time_amat(f_mem, amat))
+        assert t7 == pytest.approx(t56)
+
+    def test_overlap_reduces_time(self):
+        t0 = execution_time(1e6, 1.0, 0.5, 10.0, overlap_ratio=0.0)
+        t1 = execution_time(1e6, 1.0, 0.5, 10.0, overlap_ratio=0.5)
+        assert t1 < t0
+
+    def test_invalid_overlap(self):
+        with pytest.raises(InvalidParameterError):
+            data_stall_time_camat(0.5, 10.0, overlap_ratio=1.0)
+
+    def test_invalid_fmem(self):
+        with pytest.raises(InvalidParameterError):
+            data_stall_time_camat(1.5, 10.0)
+
+
+class TestEq10:
+    def test_n_equals_one_matches_eq7(self):
+        ic0, cpi, f_mem, camat, f_seq = 1e6, 1.0, 0.3, 5.0, 0.1
+        jd = objective_jd(ic0, cpi, f_mem, camat, f_seq, PowerLawG(1.5), 1)
+        t7 = execution_time(ic0, cpi, f_mem, camat)
+        assert jd == pytest.approx(t7)
+
+    def test_amdahl_scaling_floor(self):
+        # g = 1: J_D(N) -> IC0 * q * f_seq as N grows (Amdahl floor).
+        jd_inf = objective_jd(1e6, 1.0, 0.3, 5.0, 0.25, PowerLawG(0.0), 10**9)
+        q = 1.0 + 0.3 * 5.0
+        assert jd_inf == pytest.approx(1e6 * q * 0.25, rel=1e-6)
+
+    def test_gustafson_scaling_constant(self):
+        # g = N: the time scaling factor is exactly 1 at every N.
+        for n in (1, 10, 1000):
+            jd = objective_jd(1e6, 1.0, 0.3, 5.0, 0.1, PowerLawG(1.0), n)
+            assert jd == pytest.approx(1e6 * (1.0 + 1.5))
+
+    def test_array_broadcast(self):
+        ns = np.array([1, 10, 100])
+        jd = objective_jd(1e6, 1.0, 0.3, 5.0, 0.1, PowerLawG(1.5), ns)
+        assert jd.shape == (3,)
+
+    def test_higher_camat_raises_time(self):
+        lo = objective_jd(1e6, 1.0, 0.3, 2.0, 0.1, PowerLawG(1.0), 8)
+        hi = objective_jd(1e6, 1.0, 0.3, 8.0, 0.1, PowerLawG(1.0), 8)
+        assert hi > lo
+
+    @given(f_seq=st.floats(0.0, 1.0), n=st.integers(1, 10000),
+           b=st.floats(0.0, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_jd_positive(self, f_seq, n, b):
+        jd = objective_jd(1e6, 1.0, 0.3, 5.0, f_seq, PowerLawG(b), n)
+        assert jd > 0
+
+    @given(f_seq=st.floats(0.01, 0.99), b=st.floats(0.0, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_sublinear_time_decreases_with_n(self, f_seq, b):
+        # Case II workloads: more cores never hurt at fixed areas.
+        ns = np.array([1, 2, 4, 8, 16, 32])
+        jd = objective_jd(1e6, 1.0, 0.3, 5.0, f_seq, PowerLawG(b), ns)
+        assert np.all(np.diff(jd) <= 1e-9)
+
+
+class TestGeneralizedObjective:
+    def test_matches_eq8_special_case(self):
+        # Only degrees 1 and N present: J_D = T_1 + g(N) T_N / N.
+        g = PowerLawG(1.5)
+        n = 8
+        t1, tn = 100.0, 400.0
+        times = [0.0] * n
+        times[0] = t1
+        times[-1] = tn
+        expected = t1 + float(g(float(n))) * tn / n
+        assert generalized_objective(times, g) == pytest.approx(expected)
+
+    def test_single_degree(self):
+        assert generalized_objective([42.0], PowerLawG(1.5)) == 42.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generalized_objective([1.0, -1.0], PowerLawG(1.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generalized_objective([], PowerLawG(1.0))

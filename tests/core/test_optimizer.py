@@ -1,0 +1,151 @@
+"""Tests for the Lagrangian system and the C2-Bound optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.camat_model import CAMATModel
+from repro.core.lagrange import LagrangianSystem
+from repro.core.optimizer import C2BoundOptimizer
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+
+
+@pytest.fixture(scope="module")
+def machine() -> MachineParameters:
+    return MachineParameters()
+
+
+@pytest.fixture(scope="module")
+def app() -> ApplicationProfile:
+    return ApplicationProfile(f_seq=0.02, f_mem=0.3, concurrency=4.0)
+
+
+@pytest.fixture(scope="module")
+def system(app, machine) -> LagrangianSystem:
+    return LagrangianSystem(app, machine, CAMATModel())
+
+
+class TestLagrangian:
+    def test_analytic_partials_match_numeric(self, system):
+        a0, a1, a2 = 1.3, 0.7, 2.1
+        h = 1e-6
+        num_da0 = (system.per_instruction_time(a0 + h, a1, a2)
+                   - system.per_instruction_time(a0 - h, a1, a2)) / (2 * h)
+        num_da1 = (system.per_instruction_time(a0, a1 + h, a2)
+                   - system.per_instruction_time(a0, a1 - h, a2)) / (2 * h)
+        num_da2 = (system.per_instruction_time(a0, a1, a2 + h)
+                   - system.per_instruction_time(a0, a1, a2 - h)) / (2 * h)
+        assert system.dq_da0(a0) == pytest.approx(num_da0, rel=1e-4)
+        assert system.dq_da1(a1, a2) == pytest.approx(num_da1, rel=1e-4)
+        assert system.dq_da2(a1, a2) == pytest.approx(num_da2, rel=1e-4)
+
+    def test_kkt_solution_satisfies_budget(self, system, machine):
+        res = system.solve(16)
+        assert res.converged
+        a0, a1, a2, lam = res.x
+        total = 16 * (a0 + a1 + a2) + machine.shared_area
+        assert total == pytest.approx(machine.total_area, rel=1e-8)
+        assert lam > 0  # area is a binding, beneficial resource
+
+    def test_kkt_matches_nested_scan(self, app, machine):
+        opt = C2BoundOptimizer(app, machine)
+        scan = opt.area_split(16)
+        newton = opt.refine_newton(scan)
+        q_scan = opt.lagrangian.per_instruction_time(
+            scan.a0, scan.a1, scan.a2)
+        q_newton = opt.lagrangian.per_instruction_time(
+            newton.a0, newton.a1, newton.a2)
+        assert q_newton == pytest.approx(q_scan, rel=1e-3)
+
+    def test_dj_dn_sign_by_regime(self, machine):
+        camat_model = CAMATModel()
+        def slope(b: float) -> float:
+            app = ApplicationProfile(f_seq=0.05, f_mem=0.3, g=PowerLawG(b))
+            system = LagrangianSystem(app, machine, camat_model)
+            config = C2BoundOptimizer(app, machine, camat_model).area_split(64)
+            return system.dJ_dN(config)
+        assert slope(1.5) > 0            # superlinear: time keeps growing
+        assert abs(slope(1.0)) < 1e-4 * abs(slope(1.5))  # linear: flat
+        assert slope(0.5) < 0            # sublinear: more cores help
+
+    def test_infeasible_n_rejected(self, system, machine):
+        too_many = machine.max_cores * 10
+        with pytest.raises(InvalidParameterError):
+            system.solve(too_many)
+
+    def test_scaling_factor(self, system, app):
+        assert system.scaling_factor(1) == pytest.approx(1.0)
+        g4 = float(app.g(4.0))
+        expected = app.f_seq + g4 * (1 - app.f_seq) / 4.0
+        assert system.scaling_factor(4) == pytest.approx(expected)
+
+
+class TestOptimizer:
+    def test_case_split_superlinear(self, machine):
+        app = ApplicationProfile(f_seq=0.02, f_mem=0.3, g=PowerLawG(1.5))
+        res = C2BoundOptimizer(app, machine).optimize(n_max=512)
+        assert res.case == "maximize-throughput"
+        assert res.regime == "superlinear"
+
+    def test_case_split_sublinear(self, machine):
+        app = ApplicationProfile(f_seq=0.05, f_mem=0.5, g=PowerLawG(0.5))
+        res = C2BoundOptimizer(app, machine).optimize(n_max=512)
+        assert res.case == "minimize-time"
+        # Finite interior optimum for case II.
+        assert 1 < res.best.n < 512
+
+    def test_area_split_respects_budget(self, app, machine):
+        opt = C2BoundOptimizer(app, machine)
+        for n in (1, 8, 64, 256):
+            cfg = opt.area_split(n)
+            total = n * cfg.per_core_area + machine.shared_area
+            assert total == pytest.approx(machine.total_area, rel=1e-6)
+            assert cfg.a0 >= machine.min_core_area - 1e-9
+            assert cfg.a1 >= machine.min_cache_area - 1e-9
+            assert cfg.a2 >= machine.min_cache_area - 1e-9
+
+    def test_higher_concurrency_wins_throughput(self, machine):
+        base = ApplicationProfile(f_seq=0.02, f_mem=0.3, g=PowerLawG(1.5))
+        t1 = C2BoundOptimizer(base.with_concurrency(1.0), machine)
+        t8 = C2BoundOptimizer(base.with_concurrency(8.0), machine)
+        for n in (10, 100, 1000):
+            assert (t8.evaluate(n).throughput
+                    > t1.evaluate(n).throughput)
+
+    def test_memory_bound_app_gets_more_cache(self, machine):
+        # Higher f_mem shifts area from core logic to caches.
+        lo = ApplicationProfile(f_seq=0.02, f_mem=0.1)
+        hi = ApplicationProfile(f_seq=0.02, f_mem=0.9)
+        cfg_lo = C2BoundOptimizer(lo, machine).area_split(16)
+        cfg_hi = C2BoundOptimizer(hi, machine).area_split(16)
+        cache_lo = cfg_lo.a1 + cfg_lo.a2
+        cache_hi = cfg_hi.a1 + cfg_hi.a2
+        assert cache_hi > cache_lo
+        assert cfg_hi.a0 < cfg_lo.a0
+
+    def test_sweep_matches_evaluate(self, app, machine):
+        opt = C2BoundOptimizer(app, machine)
+        pts = opt.sweep([1, 4, 16])
+        assert [p.n for p in pts] == [1, 4, 16]
+        single = opt.evaluate(4)
+        assert pts[1].execution_time == pytest.approx(single.execution_time)
+
+    def test_record_curve(self, app, machine):
+        res = C2BoundOptimizer(app, machine).optimize(
+            n_max=128, record_curve=True)
+        assert len(res.curve) > 5
+        ns = [p.n for p in res.curve]
+        assert ns == sorted(ns)
+
+    def test_empty_range_rejected(self, app, machine):
+        with pytest.raises(InvalidParameterError):
+            C2BoundOptimizer(app, machine).optimize(n_min=10, n_max=5)
+
+    def test_design_point_throughput(self, app, machine):
+        p = C2BoundOptimizer(app, machine).evaluate(8)
+        assert p.throughput == pytest.approx(
+            p.problem_size / p.execution_time)
+        assert p.camat == pytest.approx(p.amat / app.concurrency)

@@ -1,0 +1,68 @@
+"""Edge-case tests for the optimizer and area machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ApplicationProfile, C2BoundOptimizer, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+
+
+class TestEdges:
+    def test_single_core_chip(self):
+        app = ApplicationProfile(f_seq=0.5, f_mem=0.3, g=PowerLawG(0.0))
+        machine = MachineParameters(total_area=10.0, shared_area=1.0)
+        res = C2BoundOptimizer(app, machine).optimize(n_min=1, n_max=1)
+        assert res.best.n == 1
+
+    def test_min_area_floors_bind_at_max_cores(self):
+        machine = MachineParameters(total_area=20.0, shared_area=2.0,
+                                    min_core_area=0.1, min_cache_area=0.05)
+        app = ApplicationProfile(f_seq=0.01, f_mem=0.3, g=PowerLawG(1.5))
+        opt = C2BoundOptimizer(app, machine)
+        n_max = machine.max_cores
+        cfg = opt.area_split(n_max)
+        # The split still respects the floors and the budget.
+        assert cfg.a0 >= machine.min_core_area - 1e-9
+        assert cfg.a1 >= machine.min_cache_area - 1e-9
+        total = n_max * cfg.per_core_area + machine.shared_area
+        assert total <= machine.total_area + 1e-6
+
+    def test_infeasible_core_count_raises(self):
+        machine = MachineParameters(total_area=20.0, shared_area=2.0)
+        app = ApplicationProfile()
+        with pytest.raises(InvalidParameterError):
+            C2BoundOptimizer(app, machine).area_split(10 ** 6)
+
+    def test_fully_sequential_app_wants_one_core(self):
+        app = ApplicationProfile(f_seq=1.0, f_mem=0.3, g=PowerLawG(0.0))
+        machine = MachineParameters()
+        res = C2BoundOptimizer(app, machine).optimize(n_max=64)
+        # With no parallel part, extra cores only shrink the one that
+        # matters: the time-optimal design is a single fat core.
+        assert res.best.n == 1
+
+    def test_zero_fmem_app_is_pollack_only(self):
+        # No memory traffic: the split should starve the caches.
+        app = ApplicationProfile(f_seq=0.05, f_mem=0.0, g=PowerLawG(0.0))
+        machine = MachineParameters()
+        cfg = C2BoundOptimizer(app, machine).area_split(16)
+        assert cfg.a0 > 5 * (cfg.a1 + cfg.a2)
+
+    def test_memory_only_app_starves_core(self):
+        app = ApplicationProfile(f_seq=0.05, f_mem=1.0, concurrency=1.0,
+                                 g=PowerLawG(0.0))
+        machine = MachineParameters()
+        cfg = C2BoundOptimizer(app, machine).area_split(16)
+        assert (cfg.a1 + cfg.a2) > cfg.a0
+
+    def test_concurrency_reduces_cache_pressure(self):
+        # Higher C discounts the memory term, shifting area to cores.
+        machine = MachineParameters()
+        base = ApplicationProfile(f_seq=0.05, f_mem=0.6, g=PowerLawG(0.0))
+        low_c = C2BoundOptimizer(base.with_concurrency(1.0),
+                                 machine).area_split(16)
+        high_c = C2BoundOptimizer(base.with_concurrency(8.0),
+                                  machine).area_split(16)
+        assert high_c.a0 > low_c.a0

@@ -1,0 +1,99 @@
+"""Tests for the thermal extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chip import ChipConfig
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.core.thermal import (
+    ThermallyConstrainedOptimizer,
+    ThermalModel,
+)
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import PowerLawG
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineParameters(total_area=200.0, shared_area=20.0)
+
+
+class TestThermalModel:
+    def test_big_cores_run_hotter_per_area(self):
+        tm = ThermalModel()
+        small = ChipConfig(n=1, a0=1.0, a1=0.5, a2=0.5)
+        big = ChipConfig(n=1, a0=16.0, a1=0.5, a2=0.5)
+        t_small = tm.tile_temperature(small, total_area=100.0)
+        t_big = tm.tile_temperature(big, total_area=100.0)
+        assert t_big > t_small
+
+    def test_cache_area_cools_the_tile(self):
+        tm = ThermalModel()
+        lean = ChipConfig(n=1, a0=4.0, a1=0.2, a2=0.2)
+        cached = ChipConfig(n=1, a0=4.0, a1=4.0, a2=4.0)
+        assert (tm.tile_temperature(cached, 100.0)
+                < tm.tile_temperature(lean, 100.0))
+
+    def test_power_superlinearity(self):
+        tm = ThermalModel(gamma=1.5)
+        assert tm.core_power(4.0) == pytest.approx(8.0)  # 4^1.5
+
+    def test_chip_power_scales_with_cores(self):
+        tm = ThermalModel()
+        one = ChipConfig(n=1, a0=1.0, a1=0.5, a2=0.5)
+        four = ChipConfig(n=4, a0=1.0, a1=0.5, a2=0.5)
+        assert tm.chip_power(four) == pytest.approx(4 * tm.chip_power(one))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ThermalModel(gamma=1.0)
+        with pytest.raises(InvalidParameterError):
+            ThermalModel(r_local=0.0)
+        with pytest.raises(InvalidParameterError):
+            ThermalModel().core_power(0.0)
+        with pytest.raises(InvalidParameterError):
+            ThermalModel().tile_temperature(
+                ChipConfig(n=1, a0=1.0, a1=1.0, a2=1.0), 0.0)
+
+
+class TestConstrainedOptimizer:
+    def test_unconstrained_matches_inner(self, machine):
+        app = ApplicationProfile(f_seq=0.1, f_mem=0.3, g=PowerLawG(0.5))
+        loose = ThermallyConstrainedOptimizer(app, machine, t_max=1e6)
+        point, rep = loose.optimize(n_max=128)
+        from repro.core import C2BoundOptimizer
+        unconstrained = C2BoundOptimizer(app, machine).optimize(n_max=128)
+        assert point.n == unconstrained.best.n
+        assert rep.feasible
+
+    def test_tight_limit_changes_the_design(self, machine):
+        app = ApplicationProfile(f_seq=0.1, f_mem=0.3, g=PowerLawG(0.5))
+        loose = ThermallyConstrainedOptimizer(app, machine, t_max=1e6)
+        p_loose, r_loose = loose.optimize(n_max=128)
+        tight = ThermallyConstrainedOptimizer(
+            app, machine, t_max=r_loose.hottest_tile - 1.0)
+        p_tight, r_tight = tight.optimize(n_max=128)
+        assert r_tight.hottest_tile < r_loose.hottest_tile
+        assert p_tight.n != p_loose.n
+
+    def test_thermal_limit_pushes_toward_more_cores(self, machine):
+        # More cores -> smaller (cooler) tiles under superlinear power.
+        app = ApplicationProfile(f_seq=0.05, f_mem=0.3, g=PowerLawG(0.5))
+        loose = ThermallyConstrainedOptimizer(app, machine, t_max=1e6)
+        p_loose, r_loose = loose.optimize(n_max=256)
+        tight = ThermallyConstrainedOptimizer(
+            app, machine, t_max=r_loose.hottest_tile - 1.0)
+        p_tight, _ = tight.optimize(n_max=256)
+        assert p_tight.n >= p_loose.n
+
+    def test_impossible_limit_raises(self, machine):
+        app = ApplicationProfile(f_seq=0.1, f_mem=0.3, g=PowerLawG(0.5))
+        impossible = ThermallyConstrainedOptimizer(app, machine, t_max=1.0)
+        with pytest.raises(InvalidParameterError):
+            impossible.optimize(n_max=64)
+
+    def test_validation(self, machine):
+        app = ApplicationProfile()
+        with pytest.raises(InvalidParameterError):
+            ThermallyConstrainedOptimizer(app, machine, t_max=0.0)

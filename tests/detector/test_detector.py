@@ -1,0 +1,114 @@
+"""The online HCD/MCD detector must agree with the offline analyzer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camat import AccessTrace, MemoryAccess, TraceAnalyzer, fig1_trace
+from repro.detector import CAMATDetector, HitConcurrencyDetector, \
+    MissConcurrencyDetector
+from repro.errors import TraceError
+
+
+class TestFig1Agreement:
+    def test_exact_match_on_fig1(self):
+        detector = CAMATDetector()
+        detector.observe_trace(fig1_trace())
+        r = detector.report()
+        s = TraceAnalyzer().analyze(fig1_trace())
+        assert r.camat == pytest.approx(s.camat)
+        assert r.amat == pytest.approx(s.amat)
+        assert r.hit_concurrency == pytest.approx(s.hit_concurrency)
+        assert r.miss_concurrency == pytest.approx(s.miss_concurrency)
+        assert r.pure_miss_rate == pytest.approx(s.pure_miss_rate)
+        assert r.pure_avg_miss_penalty == pytest.approx(
+            s.pure_avg_miss_penalty)
+        assert r.concurrency == pytest.approx(s.concurrency)
+
+
+traces = st.lists(
+    st.builds(MemoryAccess,
+              start=st.integers(0, 400),
+              hit_cycles=st.integers(1, 6),
+              miss_penalty=st.integers(0, 40)),
+    min_size=1, max_size=40).map(AccessTrace)
+
+
+@given(traces)
+@settings(max_examples=150, deadline=None)
+def test_detector_matches_offline_analyzer(trace):
+    detector = CAMATDetector(window=4096)
+    detector.observe_trace(trace)
+    r = detector.report()
+    s = TraceAnalyzer().analyze(trace)
+    assert r.accesses == s.accesses
+    assert r.misses == s.misses
+    assert r.pure_misses == s.pure_misses
+    assert np.isclose(r.camat, s.camat)
+    assert np.isclose(r.amat, s.amat)
+
+
+class TestWindowSemantics:
+    def test_event_past_sealed_cycle_rejected(self):
+        d = CAMATDetector(window=16)
+        d.observe(0, 2, 0)
+        d.observe(100, 2, 0)  # seals cycles < 86
+        with pytest.raises(TraceError):
+            d.observe(10, 2, 0)
+
+    def test_window_too_small_for_long_miss(self):
+        d = CAMATDetector(window=8)
+        with pytest.raises(TraceError):
+            d.observe(0, 2, 100)
+
+    def test_incremental_report_before_drain(self):
+        d = CAMATDetector(window=64)
+        d.observe(0, 3, 0)
+        d.observe(1000, 3, 0)  # first access's cycles now sealed
+        r = d.report(drain=False)
+        assert r.accesses == 2
+        # Hit access-cycles accumulate at observe time (6) while active
+        # cycles accumulate at seal time (3 so far): the running ratio
+        # over-estimates until the window drains.
+        assert r.hit_concurrency == pytest.approx(2.0)
+        d.drain()
+        assert d.report(drain=False).hit_concurrency == pytest.approx(1.0)
+
+
+class TestComponents:
+    def test_hcd_counts(self):
+        hcd = HitConcurrencyDetector(window=32)
+        hcd.observe(0, 3)
+        hcd.observe(1, 3)
+        for c in range(8):
+            hcd.seal_cycle(c)
+        assert hcd.total_hit_access_cycles == 6
+        assert hcd.hit_active_cycles == 4
+        assert hcd.hit_concurrency == pytest.approx(1.5)
+
+    def test_hcd_seal_order_enforced(self):
+        hcd = HitConcurrencyDetector(window=32)
+        hcd.observe(0, 2)
+        with pytest.raises(TraceError):
+            hcd.seal_cycle(5)
+
+    def test_mcd_pure_cycle_accounting(self):
+        mcd = MissConcurrencyDetector(window=64)
+        mcd.observe(2, 4)  # outstanding cycles 2..5
+        # Cycles 0-1: nothing; 2-3 have hit activity; 4-5 are pure.
+        hit = {2: 1, 3: 2}
+        for c in range(8):
+            mcd.seal_cycle(c, hit.get(c, 0))
+        assert mcd.pure_miss_wall_cycles == 2
+        assert mcd.pure_misses == 1
+        assert mcd.miss_concurrency == pytest.approx(1.0)
+
+    def test_mcd_fully_hidden_miss_not_pure(self):
+        mcd = MissConcurrencyDetector(window=64)
+        mcd.observe(2, 2)
+        for c in range(8):
+            mcd.seal_cycle(c, 1)  # hits everywhere
+        assert mcd.pure_misses == 0

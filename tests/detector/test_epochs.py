@@ -1,0 +1,64 @@
+"""Tests for epoch-based phase tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detector import EpochDetector
+from repro.errors import InvalidParameterError
+
+
+def feed_uniform(det: EpochDetector, start: int, count: int, spacing: int,
+                 hit: int = 3, penalty: int = 0) -> int:
+    t = start
+    for _ in range(count):
+        det.observe(t, hit, penalty)
+        t += spacing
+    return t
+
+
+class TestEpochs:
+    def test_epoch_count(self):
+        det = EpochDetector(epoch_cycles=100, window=64)
+        feed_uniform(det, 0, 35, 10)  # spans cycles 0..350
+        epochs = det.finish()
+        assert len(epochs) >= 3
+        assert epochs[0].start_cycle == 0
+        assert epochs[1].start_cycle == 100
+
+    def test_deltas_sum_to_total(self):
+        det = EpochDetector(epoch_cycles=100, window=64)
+        feed_uniform(det, 0, 40, 10)
+        epochs = det.finish()
+        assert sum(e.report.accesses for e in epochs) == 40
+
+    def test_phase_change_detected(self):
+        det = EpochDetector(epoch_cycles=200, change_threshold=0.5,
+                            window=256)
+        # Phase A: pure hits; phase B: heavy misses -> C-AMAT jumps.
+        t = feed_uniform(det, 0, 50, 4, hit=2, penalty=0)
+        t = max(t, 400)
+        feed_uniform(det, t, 50, 40, hit=2, penalty=35)
+        epochs = det.finish()
+        assert any(e.phase_change for e in epochs)
+
+    def test_stable_phases_not_flagged(self):
+        det = EpochDetector(epoch_cycles=100, change_threshold=0.5,
+                            window=64)
+        feed_uniform(det, 0, 100, 10)
+        epochs = det.finish()
+        assert not any(e.phase_change for e in epochs)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            EpochDetector(epoch_cycles=0)
+        with pytest.raises(InvalidParameterError):
+            EpochDetector(change_threshold=0.0)
+
+    def test_epoch_camat_matches_uniform_rate(self):
+        det = EpochDetector(epoch_cycles=1000, window=128)
+        # Disjoint accesses, 3 cycles each, spaced 10 apart: C-AMAT 3.
+        feed_uniform(det, 0, 300, 10)
+        epochs = det.finish()
+        mid = epochs[1]
+        assert mid.report.camat == pytest.approx(3.0, rel=0.05)

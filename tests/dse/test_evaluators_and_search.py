@@ -1,0 +1,180 @@
+"""Tests for evaluators, budget accounting and the DSE methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.dse import (
+    ANNPredictorSearch,
+    APSExplorer,
+    BudgetedEvaluator,
+    SurrogateEvaluator,
+    brute_force_search,
+    genetic_search,
+    is_feasible,
+    response_surface_search,
+)
+from repro.dse.space import DesignSpace, Parameter
+from repro.laws.gfunction import PowerLawG
+
+
+@pytest.fixture(scope="module")
+def app() -> ApplicationProfile:
+    return ApplicationProfile(f_seq=0.02, f_mem=0.35, concurrency=4.0,
+                              g=PowerLawG(1.0))
+
+
+@pytest.fixture(scope="module")
+def machine() -> MachineParameters:
+    return MachineParameters(total_area=400.0, shared_area=40.0)
+
+
+@pytest.fixture(scope="module")
+def small_space() -> DesignSpace:
+    return DesignSpace([
+        Parameter("a0", (0.25, 0.5, 1.0, 2.0)),
+        Parameter("a1", (0.1, 0.25, 0.5, 1.0)),
+        Parameter("a2", (0.5, 1.0, 2.0, 4.0)),
+        Parameter("n", (2, 8, 32, 64)),
+        Parameter("issue_width", (1, 2, 4, 8)),
+        Parameter("rob_size", (32, 128, 512)),
+    ])
+
+
+@pytest.fixture(scope="module")
+def surrogate(app, machine) -> SurrogateEvaluator:
+    return SurrogateEvaluator(app, machine)
+
+
+class TestBudgetedEvaluator:
+    def test_counts_distinct_only(self, surrogate, small_space):
+        budget = BudgetedEvaluator(surrogate)
+        c = small_space.config_at(0)
+        budget.evaluate(c)
+        budget.evaluate(c)
+        assert budget.evaluations == 1
+        budget.evaluate(small_space.config_at(1))
+        assert budget.evaluations == 2
+
+    def test_reset(self, surrogate, small_space):
+        budget = BudgetedEvaluator(surrogate)
+        budget.evaluate(small_space.config_at(0))
+        budget.reset()
+        assert budget.evaluations == 0
+
+    def test_feasibility_delegation(self, surrogate):
+        budget = BudgetedEvaluator(surrogate)
+        good = {"a0": 1.0, "a1": 0.5, "a2": 1.0, "n": 2}
+        bad = {"a0": 100.0, "a1": 100.0, "a2": 100.0, "n": 64}
+        assert budget.is_feasible(good)
+        assert not budget.is_feasible(bad)
+        assert is_feasible(budget, good)
+
+
+class TestSurrogate:
+    def test_grid_matches_scalar(self, surrogate, small_space):
+        costs = surrogate.evaluate_grid(small_space)
+        rng = np.random.default_rng(0)
+        for i in rng.choice(small_space.size, 25, replace=False):
+            c = small_space.config_at(int(i))
+            assert costs[int(i)] == pytest.approx(
+                surrogate.evaluate(c), rel=1e-12)
+
+    def test_infeasible_is_inf(self, surrogate):
+        assert surrogate.evaluate(
+            {"a0": 100.0, "a1": 100.0, "a2": 100.0, "n": 64,
+             "issue_width": 4, "rob_size": 128}) == float("inf")
+
+    def test_bigger_rob_helps_concurrency(self, app, machine):
+        sur = SurrogateEvaluator(app, machine, noise=0.0)
+        base = {"a0": 1.0, "a1": 0.5, "a2": 1.0, "n": 8, "issue_width": 4}
+        small = sur.evaluate({**base, "rob_size": 16})
+        big = sur.evaluate({**base, "rob_size": 512})
+        assert big < small
+
+    def test_noise_is_deterministic(self, surrogate, small_space):
+        c = small_space.config_at(7)
+        assert surrogate.evaluate(c) == surrogate.evaluate(c)
+
+
+class TestBruteForce:
+    def test_finds_global_optimum(self, surrogate, small_space):
+        res = brute_force_search(small_space, surrogate)
+        costs = surrogate.evaluate_grid(small_space)
+        assert res.best_cost == pytest.approx(float(np.min(costs)))
+        assert res.evaluations == small_space.size
+
+
+class TestAPS:
+    def test_simulation_count_is_micro_grid(self, app, machine,
+                                            surrogate, small_space):
+        aps = APSExplorer(app, machine, small_space)
+        res = aps.explore(BudgetedEvaluator(surrogate))
+        # Simulated params: issue_width (4) x rob_size (3).
+        assert res.simulations == 12
+        assert res.candidates == 12
+        assert res.space_size == small_space.size
+
+    def test_result_feasible_and_competitive(self, app, machine,
+                                             surrogate, small_space):
+        res = APSExplorer(app, machine, small_space).explore(
+            BudgetedEvaluator(surrogate))
+        assert np.isfinite(res.best_cost)
+        costs = surrogate.evaluate_grid(small_space)
+        best = float(np.min(costs))
+        assert (res.best_cost - best) / best < 0.5
+
+    def test_narrowing_factor(self, app, machine, surrogate, small_space):
+        res = APSExplorer(app, machine, small_space).explore(
+            BudgetedEvaluator(surrogate))
+        assert res.narrowing_factor == pytest.approx(
+            small_space.size / res.simulations)
+
+    def test_radius_expands_neighborhood(self, app, machine, surrogate,
+                                         small_space):
+        res = APSExplorer(app, machine, small_space).explore(
+            BudgetedEvaluator(surrogate), radius=1)
+        assert res.simulations > 12
+
+    def test_missing_analytic_params_rejected(self, app, machine):
+        from repro.errors import DesignSpaceError
+        bad = DesignSpace([Parameter("issue_width", (1, 2))])
+        with pytest.raises(DesignSpaceError):
+            APSExplorer(app, machine, bad)
+
+
+class TestSearchBaselines:
+    def test_ga_improves_over_random(self, surrogate, small_space):
+        res = genetic_search(small_space, BudgetedEvaluator(surrogate),
+                             population=12, generations=6, seed=1)
+        costs = surrogate.evaluate_grid(small_space)
+        finite = costs[np.isfinite(costs)]
+        median = float(np.median(finite))
+        assert res.best_cost < median
+        assert res.evaluations > 0
+
+    def test_rsm_runs_and_returns_feasible(self, surrogate, small_space):
+        res = response_surface_search(
+            small_space, BudgetedEvaluator(surrogate),
+            initial_samples=30, rounds=2, refine_samples=8, seed=1)
+        assert np.isfinite(res.best_cost)
+
+    def test_ann_search_small_space(self, surrogate, small_space):
+        search = ANNPredictorSearch(small_space, batch=40, max_rounds=3,
+                                    seed=1, epochs=300)
+        res = search.search(BudgetedEvaluator(surrogate), target_error=0.3)
+        assert np.isfinite(res.best_cost)
+        assert res.simulations > 0
+        assert res.history
+
+    def test_mlp_learns_quadratic(self):
+        from repro.dse import MLPRegressor
+        rng = np.random.default_rng(0)
+        x = rng.random((300, 2))
+        y = (x[:, 0] - 0.5) ** 2 + 2.0 * x[:, 1]
+        model = MLPRegressor(2, (16,), seed=0)
+        model.fit(x, y, epochs=500, rng=rng)
+        pred = model.predict(x)
+        assert float(np.mean((pred - y) ** 2)) < 0.01

@@ -1,0 +1,103 @@
+"""Tests for the discrete design space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse.space import DesignSpace, Parameter
+from repro.errors import DesignSpaceError
+
+
+@pytest.fixture
+def space() -> DesignSpace:
+    return DesignSpace([
+        Parameter("a", (1.0, 2.0, 4.0)),
+        Parameter("b", (10, 20)),
+        Parameter("c", ("x", "y")),
+    ])
+
+
+class TestParameter:
+    def test_snap(self):
+        p = Parameter("p", (1.0, 2.0, 4.0))
+        assert p.snap(2.9) == 2.0
+        assert p.snap(3.1) == 4.0
+        assert p.snap(-5.0) == 1.0
+
+    def test_snap_down(self):
+        p = Parameter("p", (1.0, 2.0, 4.0))
+        assert p.snap_down(3.9) == 2.0
+        assert p.snap_down(4.0) == 4.0
+        assert p.snap_down(0.5) == 1.0
+
+    def test_neighbors(self):
+        p = Parameter("p", (1, 2, 3, 4, 5))
+        assert p.neighbors(3, radius=1) == (2, 3, 4)
+        assert p.neighbors(1, radius=1) == (1, 2)
+        assert p.neighbors(5, radius=2) == (3, 4, 5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            Parameter("p", (1, 1, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            Parameter("p", ())
+
+
+class TestDesignSpace:
+    def test_size(self, space):
+        assert space.size == 12
+
+    def test_index_round_trip(self, space):
+        for i in range(space.size):
+            assert space.index_of(space.config_at(i)) == i
+
+    def test_iteration_covers_space(self, space):
+        configs = list(space)
+        assert len(configs) == 12
+        assert len({tuple(c.items()) for c in configs}) == 12
+
+    def test_sample_without_replacement(self, space):
+        rng = np.random.default_rng(0)
+        sample = space.sample(12, rng)
+        assert len({tuple(c.items()) for c in sample}) == 12
+
+    def test_sample_larger_than_space_clamped(self, space):
+        rng = np.random.default_rng(0)
+        assert len(space.sample(100, rng)) == 12
+
+    def test_neighborhood_free_params(self, space):
+        center = {"a": 2.0, "b": 10, "c": "x"}
+        hood = space.neighborhood(center, free=["c"])
+        assert len(hood) == 2  # c ranges; a, b fixed
+        assert all(h["a"] == 2.0 and h["b"] == 10 for h in hood)
+
+    def test_neighborhood_radius(self, space):
+        center = {"a": 2.0, "b": 10, "c": "x"}
+        hood = space.neighborhood(center, radius=1)
+        # a has 3 neighbors, b has 2, c has 2.
+        assert len(hood) == 3 * 2 * 2
+
+    def test_snap_fills_missing(self, space):
+        snapped = space.snap({"a": 3.5})
+        assert snapped["a"] == 4.0
+        assert "b" in snapped and "c" in snapped
+
+    def test_features_normalized(self, space):
+        f = space.as_features({"a": 4.0, "b": 10, "c": "x"})
+        assert f[0] == pytest.approx(1.0)
+        assert f[1] == pytest.approx(0.0)
+
+    def test_invalid_index(self, space):
+        with pytest.raises(DesignSpaceError):
+            space.config_at(12)
+
+    def test_index_of_invalid_config(self, space):
+        with pytest.raises(DesignSpaceError):
+            space.index_of({"a": 99.0, "b": 10, "c": "x"})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DesignSpaceError):
+            DesignSpace([Parameter("a", (1,)), Parameter("a", (2,))])

@@ -1,0 +1,39 @@
+"""Tests for the miss-curve calibration loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibration import run_calibration
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_calibration(n_ops=4000,
+                           capacities_kib=(4.0, 16.0, 64.0))
+
+
+class TestCalibration:
+    def test_fitted_tracks_simulated_miss_rate(self, outcome):
+        table, rho = outcome
+        assert rho == pytest.approx(1.0)
+
+    def test_both_miss_rates_fall_with_capacity(self, outcome):
+        table, _ = outcome
+        fitted = table.column("fitted_MR")
+        simulated = table.column("simulated_MR")
+        assert all(b < a for a, b in zip(fitted, fitted[1:]))
+        assert all(b < a for a, b in zip(simulated, simulated[1:]))
+
+    def test_more_capacity_never_slower(self, outcome):
+        table, _ = outcome
+        cycles = table.column("exec_cycles")
+        assert all(b <= a * 1.01 for a, b in zip(cycles, cycles[1:]))
+
+    def test_camat_below_amat_everywhere(self, outcome):
+        # The C-AMAT-vs-AMAT gap this experiment makes visible.
+        table, _ = outcome
+        camat = table.column("simulated_C-AMAT")
+        amat = table.column("simulated_AMAT")
+        assert all(c < a for c, a in zip(camat, amat))

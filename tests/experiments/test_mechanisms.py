@@ -1,0 +1,43 @@
+"""Unit tests for the concurrency-mechanism sweep (fast variant)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.mechanisms import baseline_chip, run_mechanism_sweep
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_mechanism_sweep(n_ops=2500, seed=5)
+
+
+class TestMechanismSweep:
+    def test_all_variants_present(self, table):
+        names = table.column("mechanism")
+        assert len(names) == 8
+        assert "baseline (all off)" in names
+        assert "all mechanisms" in names
+
+    def test_baseline_is_starved(self):
+        chip = baseline_chip()
+        assert chip.core.issue_width == 1
+        assert chip.l1.mshr_entries == 1
+        assert chip.l1.banks == 1
+
+    def test_mshrs_raise_miss_concurrency(self, table):
+        rows = dict(zip(table.column("mechanism"), table.column("C_M")))
+        assert (rows["non-blocking cache (8 MSHRs)"]
+                > rows["baseline (all off)"])
+
+    def test_banks_raise_hit_concurrency(self, table):
+        rows = dict(zip(table.column("mechanism"), table.column("C_H")))
+        assert rows["multi-bank L1 (4 banks)"] > rows["baseline (all off)"]
+
+    def test_smt_raises_concurrency(self, table):
+        rows = dict(zip(table.column("mechanism"), table.column("C")))
+        assert rows["SMT (2 threads)"] > rows["baseline (all off)"]
+
+    def test_composition_dominates(self, table):
+        camat = dict(zip(table.column("mechanism"), table.column("C-AMAT")))
+        assert camat["all mechanisms"] == min(camat.values())

@@ -1,0 +1,87 @@
+"""Tests for the remaining experiment runners (reduced sizes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.capacity_bound import run_capacity_bound
+from repro.experiments.fig07_allocation import run_fig7
+from repro.experiments.fig12_aps import (
+    fluidanimate_profile,
+    fluidanimate_space,
+    run_fig12,
+)
+from repro.experiments.fig13_apc import run_fig13
+from repro.experiments.table1_gfactors import run_table1
+
+
+class TestTable1:
+    def test_rows(self):
+        t = run_table1()
+        assert len(t) == 4
+        apps = t.column("application")
+        assert any("matrix" in a.lower() for a in apps)
+
+    def test_regimes_at_least_linear(self):
+        t = run_table1()
+        assert all(r in ("linear", "superlinear")
+                   for r in t.column("regime"))
+
+
+class TestFig7:
+    def test_ordering(self):
+        t = run_fig7(total_cores=32)
+        cores = t.column("cores")
+        # app1 (seq, low C) < app3 (middle) < app2 (parallel, high C).
+        assert cores[0] < cores[2] < cores[1]
+
+
+class TestFig12Small:
+    def test_small_space_pipeline(self):
+        # 4 values/param -> 4096-point space: the full pipeline runs.
+        table, outcome = run_fig12(values_per_param=4, seed=1)
+        assert outcome.space_size == 4 ** 6
+        assert outcome.aps_sims < outcome.space_size
+        assert outcome.full_sims == outcome.space_size
+        assert np.isfinite(outcome.aps_error)
+        methods = table.column("method")
+        assert "APS (C2-Bound)" in methods
+
+    def test_space_structure(self):
+        space = fluidanimate_space(10)
+        assert space.size == 10 ** 6
+        assert set(space.names) == {"a0", "a1", "a2", "n",
+                                    "issue_width", "rob_size"}
+
+    def test_profile(self):
+        app, machine = fluidanimate_profile()
+        assert app.name == "fluidanimate"
+        assert machine.total_area > machine.shared_area
+
+
+class TestFig13Small:
+    def test_apc_ordering_holds(self):
+        t = run_fig13(benchmarks=("fluidanimate", "blackscholes"),
+                      n_ops=4000)
+        l1 = t.column("APC_L1")
+        llc = t.column("APC_LLC")
+        dram = t.column("APC_DRAM")
+        for a, b, c in zip(l1, llc, dram):
+            assert a > b > c
+
+
+class TestCapacityBound:
+    def test_case_flips_with_capacity(self):
+        t = run_capacity_bound()
+        cases = t.column("case")
+        assert "memory-bound" in cases
+        assert "processor-bound" in cases
+        # Monotone: once processor-bound, larger capacity stays so.
+        flip = cases.index("processor-bound")
+        assert all(c == "processor-bound" for c in cases[flip:])
+
+    def test_bounded_size_monotone_in_capacity(self):
+        t = run_capacity_bound()
+        bounded = t.column("bounded_Z_flops")
+        assert all(b2 > b1 for b1, b2 in zip(bounded, bounded[1:]))

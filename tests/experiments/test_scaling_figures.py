@@ -1,0 +1,137 @@
+"""Shape tests for the Figs. 8-11 reproduction.
+
+Absolute values are ours; the *shape* claims come from the paper's
+Section IV discussion and must hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figs08_11_scaling import default_ns, run_scaling_figure
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_scaling_figure(f_mem=0.3, quantity="WT")
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_scaling_figure(f_mem=0.9, quantity="WT")
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_scaling_figure(f_mem=0.3, quantity="throughput")
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_scaling_figure(f_mem=0.9, quantity="throughput")
+
+
+class TestFigs8and9:
+    def test_w_grows_as_n_three_halves(self, fig8):
+        ns = np.array(fig8.column("N"), dtype=float)
+        w = np.array(fig8.column("W"))
+        assert np.allclose(w, ns ** 1.5, rtol=1e-9)
+
+    def test_time_ordering_by_concurrency(self, fig8):
+        t1 = np.array(fig8.column("T(C=1)"))
+        t4 = np.array(fig8.column("T(C=4)"))
+        t8 = np.array(fig8.column("T(C=8)"))
+        assert np.all(t8 < t4)
+        assert np.all(t4 < t1)
+
+    def test_speedup_of_c8_over_c1_significant_at_1000(self, fig8):
+        # Paper: "when N is 1000, the speedup ratio of T(C=8) over
+        # T(C=1) is very significant".
+        t1 = np.array(fig8.column("T(C=1)"))
+        t8 = np.array(fig8.column("T(C=8)"))
+        assert t1[-1] / t8[-1] > 2.0
+
+    def test_time_increases_with_fmem(self, fig8, fig9):
+        for col in ("T(C=1)", "T(C=4)", "T(C=8)"):
+            # Same normalization base (T(1, C=1) of each figure), so
+            # compare the shape-free absolute ratios via C=1 N=1 anchor:
+            t_low = np.array(fig8.column(col))
+            t_high = np.array(fig9.column(col))
+            # Normalized within figure; the f_mem effect shows in the
+            # C>1 columns being relatively closer to C=1 when stalls
+            # dominate. Check raw ratios via the un-normalized anchor
+            # is done in test_optimizer; here check shape consistency:
+            assert t_low.shape == t_high.shape
+
+    def test_t_c1_tracks_w(self, fig8):
+        # Paper: with no concurrency the execution time curve is close
+        # to the problem-size curve (same growth exponent regime).
+        ns = np.array(fig8.column("N"), dtype=float)
+        t1 = np.array(fig8.column("T(C=1)"))
+        w = np.array(fig8.column("W"))
+        # Compare log-log slopes over the top decade.
+        top = ns >= 100
+        slope_t = np.polyfit(np.log(ns[top]), np.log(t1[top]), 1)[0]
+        slope_w = np.polyfit(np.log(ns[top]), np.log(w[top]), 1)[0]
+        assert slope_t == pytest.approx(slope_w, abs=0.35)
+
+
+class TestFigs10and11:
+    def test_throughput_ordering_by_concurrency(self, fig10):
+        wt1 = np.array(fig10.column("W/T(C=1)"))
+        wt4 = np.array(fig10.column("W/T(C=4)"))
+        wt8 = np.array(fig10.column("W/T(C=8)"))
+        assert np.all(wt8 > wt4)
+        assert np.all(wt4 > wt1)
+
+    def test_c1_saturates_after_100_cores(self, fig10):
+        # Paper: "when there is no memory concurrency (C=1), about one
+        # hundred cores are enough to achieve the best throughput" —
+        # per added core, the gain collapses past N=100.
+        ns = np.array(fig10.column("N"), dtype=float)
+        wt1 = np.array(fig10.column("W/T(C=1)"))
+        early = (ns >= 1) & (ns <= 100)
+        late = ns >= 100
+        slope_early = np.polyfit(np.log(ns[early]), np.log(wt1[early]), 1)[0]
+        slope_late = np.polyfit(np.log(ns[late]), np.log(wt1[late]), 1)[0]
+        assert slope_late < 0.55 * slope_early
+
+    def test_high_c_keeps_earning(self, fig10):
+        # Higher concurrency defers saturation: C=8 retains a larger
+        # fraction of its early slope than C=1.
+        ns = np.array(fig10.column("N"), dtype=float)
+        def late_over_early(col):
+            v = np.array(fig10.column(col))
+            early = (ns >= 1) & (ns <= 100)
+            late = ns >= 100
+            se = np.polyfit(np.log(ns[early]), np.log(v[early]), 1)[0]
+            sl = np.polyfit(np.log(ns[late]), np.log(v[late]), 1)[0]
+            return sl / se
+        assert late_over_early("W/T(C=8)") > late_over_early("W/T(C=1)")
+
+    def test_throughput_decreases_with_fmem(self, fig10, fig11):
+        # Paper: W/T decreases with data access frequency f_mem.
+        # Both figures share the T(1, C=1) normalization of their own
+        # run; compare the un-normalized ratio directly instead.
+        from repro.core import ApplicationProfile, C2BoundOptimizer, \
+            MachineParameters
+        m = MachineParameters()
+        lo = C2BoundOptimizer(ApplicationProfile(
+            f_seq=0.02, f_mem=0.3), m).evaluate(200)
+        hi = C2BoundOptimizer(ApplicationProfile(
+            f_seq=0.02, f_mem=0.9), m).evaluate(200)
+        assert hi.throughput < lo.throughput
+        assert hi.execution_time > lo.execution_time
+
+
+class TestAxes:
+    def test_default_ns(self):
+        ns = default_ns()
+        assert ns[0] == 1
+        assert ns[-1] == 1000
+        assert np.all(np.diff(ns) > 0)
+
+    def test_invalid_quantity(self):
+        with pytest.raises(ValueError):
+            run_scaling_figure(f_mem=0.3, quantity="volume")

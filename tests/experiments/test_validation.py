@@ -1,0 +1,53 @@
+"""Tests for the model-vs-simulation validation experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.validation import (
+    run_model_validation,
+    spearman_rank_correlation,
+)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, a * 10.0) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(50)
+        assert spearman_rank_correlation(a, np.exp(a)) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([5.0, 5.0, 6.0, 7.0])
+        assert spearman_rank_correlation(a, b) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.random(500)
+        b = rng.random(500)
+        assert abs(spearman_rank_correlation(a, b)) < 0.15
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.array([1.0, 2.0]),
+                                      np.array([1.0]))
+
+
+class TestValidationExperiment:
+    def test_rank_agreement(self):
+        from repro.workloads import parsec_like
+        table, rho = run_model_validation(
+            workload=parsec_like("ocean", n_ops=2500), seed=4)
+        assert len(table) == 9
+        assert rho > 0.5

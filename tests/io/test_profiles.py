@@ -1,0 +1,77 @@
+"""Tests for profile serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ApplicationProfile
+from repro.errors import InvalidParameterError
+from repro.io.profiles import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.laws.gfunction import FFTLikeG, PowerLawG
+
+
+class TestRoundTrip:
+    def test_power_law_profile(self, tmp_path):
+        p = ApplicationProfile(name="tmm", f_seq=0.03, f_mem=0.4,
+                               g=PowerLawG(1.5, name="tmm"),
+                               concurrency=4.0, overlap_ratio=0.1,
+                               ic0=2e9, base_working_set_kib=512.0)
+        loaded = load_profile(save_profile(p, tmp_path / "p.json"))
+        assert loaded == p  # frozen dataclasses compare by value
+
+    def test_fft_profile(self, tmp_path):
+        p = ApplicationProfile(name="fft", g=FFTLikeG(m_ref=4096.0))
+        loaded = load_profile(save_profile(p, tmp_path / "fft.json"))
+        assert loaded.g.m_ref == 4096.0
+        assert loaded.g(4096.0) == pytest.approx(2 * 4096.0)
+
+    def test_dict_round_trip(self):
+        p = ApplicationProfile()
+        assert profile_from_dict(profile_to_dict(p)) == p
+
+    def test_json_is_diffable(self, tmp_path):
+        p = ApplicationProfile(name="x")
+        path = save_profile(p, tmp_path / "x.json")
+        text = path.read_text()
+        assert '"name": "x"' in text
+        assert text.endswith("\n")
+
+
+class TestErrors:
+    def test_unknown_g_type_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            profile_from_dict({"version": 1, "name": "x", "f_seq": 0.1,
+                               "f_mem": 0.3, "g": {"type": "magic"},
+                               "concurrency": 1.0, "overlap_ratio": 0.0,
+                               "ic0": 1e9, "base_working_set_kib": 1.0})
+
+    def test_custom_g_not_serializable(self):
+        from repro.laws.gfunction import g_from_h
+        import numpy as np
+        g = g_from_h(lambda m: np.asarray(m) ** 1.2, 100.0)
+        p = ApplicationProfile(g=g)
+        with pytest.raises(InvalidParameterError):
+            profile_to_dict(p)
+
+    def test_version_checked(self):
+        with pytest.raises(InvalidParameterError):
+            profile_from_dict({"version": 99})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_profile(tmp_path / "missing.json")
+
+    def test_invalid_values_rejected_on_load(self, tmp_path):
+        import json
+        p = ApplicationProfile()
+        path = save_profile(p, tmp_path / "p.json")
+        data = json.loads(path.read_text())
+        data["f_seq"] = 2.0
+        path.write_text(json.dumps(data))
+        with pytest.raises(InvalidParameterError):
+            load_profile(path)

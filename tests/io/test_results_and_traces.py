@@ -1,0 +1,82 @@
+"""Tests for result tables and trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.camat import AccessTrace, MemoryAccess, TraceAnalyzer, fig1_trace
+from repro.errors import InvalidParameterError, TraceError
+from repro.io import ResultTable, load_trace, save_trace
+
+
+class TestResultTable:
+    def test_add_positional_and_named(self):
+        t = ResultTable(["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(b=4, a=3)
+        assert t.rows == [(1, 2), (3, 4)]
+        assert t.column("b") == [2, 4]
+
+    def test_render_contains_data(self):
+        t = ResultTable(["name", "value"], title="demo")
+        t.add_row("x", 1.25)
+        out = t.render()
+        assert "demo" in out
+        assert "1.25" in out
+        assert "name" in out
+
+    def test_csv_round_trip(self, tmp_path):
+        t = ResultTable(["n", "v"])
+        t.add_row(1, 0.5)
+        t.add_row(2, 0.25)
+        path = t.save_csv(tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "n,v"
+        assert len(lines) == 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ResultTable([])
+        with pytest.raises(InvalidParameterError):
+            ResultTable(["a", "a"])
+        t = ResultTable(["a"])
+        with pytest.raises(InvalidParameterError):
+            t.add_row(1, 2)
+        with pytest.raises(InvalidParameterError):
+            t.add_row(b=1)
+        with pytest.raises(InvalidParameterError):
+            t.column("missing")
+
+    def test_scientific_formatting(self):
+        t = ResultTable(["v"])
+        t.add_row(1.5e12)
+        assert "e+12" in t.render()
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = fig1_trace()
+        path = save_trace(trace, tmp_path / "fig1.npz")
+        loaded = load_trace(path)
+        s0 = TraceAnalyzer().analyze(trace)
+        s1 = TraceAnalyzer().analyze(loaded)
+        assert s0.camat == s1.camat
+        assert len(loaded) == len(trace)
+
+    def test_addresses_preserved(self, tmp_path):
+        trace = AccessTrace([MemoryAccess(0, 2, 0, address=1234)])
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded[0].address == 1234
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_large_trace(self, tmp_path):
+        n = 5000
+        starts = np.arange(n, dtype=np.int64) * 2
+        trace = AccessTrace.from_arrays(
+            starts, np.full(n, 3), np.zeros(n, dtype=np.int64))
+        loaded = load_trace(save_trace(trace, tmp_path / "big.npz"))
+        assert len(loaded) == n

@@ -1,0 +1,119 @@
+"""Tests for g(N) derivation and the Table I entries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.laws.gfunction import (
+    TABLE_I,
+    FFTLikeG,
+    FixedSizeG,
+    LinearG,
+    PowerLawG,
+    derive_g_from_complexity,
+    g_from_h,
+)
+
+
+class TestPowerLawG:
+    def test_g_of_one_is_one(self):
+        for b in (0.0, 0.5, 1.0, 1.5):
+            assert PowerLawG(b)(1.0) == pytest.approx(1.0)
+
+    def test_regimes(self):
+        assert PowerLawG(1.5).regime() == "superlinear"
+        assert PowerLawG(1.0).regime() == "linear"
+        assert PowerLawG(0.5).regime() == "sublinear"
+        assert PowerLawG(0.0).regime() == "sublinear"
+
+    def test_at_least_linear_predicate(self):
+        assert PowerLawG(1.5).at_least_linear()
+        assert PowerLawG(1.0).at_least_linear()
+        assert not PowerLawG(0.99).at_least_linear()
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PowerLawG(-0.5)
+
+    def test_n_below_one_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PowerLawG(1.0)(0.5)
+
+    def test_helpers(self):
+        assert LinearG()(7.0) == pytest.approx(7.0)
+        assert FixedSizeG()(7.0) == pytest.approx(1.0)
+
+
+class TestDerivation:
+    def test_tmm_from_complexity(self):
+        g = derive_g_from_complexity(3.0, 2.0)
+        assert g.exponent == pytest.approx(1.5)
+
+    def test_linear_kernels(self):
+        assert derive_g_from_complexity(1.0, 1.0).exponent == 1.0
+
+    def test_invalid_exponents(self):
+        with pytest.raises(InvalidParameterError):
+            derive_g_from_complexity(0.0, 2.0)
+
+    def test_g_from_h_power_law_independent_of_mref(self):
+        def h(m):
+            return (2.0 * np.asarray(m) / 3.0) ** 1.5
+        g1 = g_from_h(h, m_ref=100.0)
+        g2 = g_from_h(h, m_ref=1e6)
+        for n in (2.0, 8.0, 64.0):
+            assert g1(n) == pytest.approx(g2(n))
+            assert g1(n) == pytest.approx(n ** 1.5)
+
+    def test_g_from_h_normalized(self):
+        g = g_from_h(lambda m: np.asarray(m) * np.log2(np.asarray(m)), 1024.0)
+        assert g(1.0) == pytest.approx(1.0)
+
+
+class TestFFTLikeG:
+    def test_table_one_value_at_n_equals_m(self):
+        # Paper's '2N' entry: g(N) = 2N exactly when N = m_ref.
+        m = 2.0 ** 16
+        g = FFTLikeG(m_ref=m)
+        assert g(m) == pytest.approx(2.0 * m)
+
+    def test_between_n_and_2n_below_mref(self):
+        g = FFTLikeG(m_ref=2.0 ** 20)
+        for n in (2.0, 64.0, 4096.0):
+            assert n < g(n) < 2.0 * n
+
+    def test_superlinear_regime(self):
+        assert FFTLikeG().regime() == "superlinear"
+
+    def test_g_of_one_is_one(self):
+        assert FFTLikeG()(1.0) == pytest.approx(1.0)
+
+
+class TestTableI:
+    def test_all_four_kernels_present(self):
+        assert set(TABLE_I) == {"tmm", "band_sparse", "stencil", "fft"}
+
+    def test_tmm_exponent(self):
+        assert TABLE_I["tmm"]["g"].exponent == pytest.approx(1.5)
+
+    def test_linear_kernels(self):
+        assert TABLE_I["band_sparse"]["g"].exponent == 1.0
+        assert TABLE_I["stencil"]["g"].exponent == 1.0
+
+    def test_all_case_one(self):
+        # Every Table I kernel scales at least linearly (case I).
+        for entry in TABLE_I.values():
+            assert entry["g"].at_least_linear()
+
+
+@given(b=st.floats(0.0, 2.0), n1=st.floats(1.0, 1e5), n2=st.floats(1.0, 1e5))
+@settings(max_examples=200, deadline=None)
+def test_power_law_multiplicativity(b, n1, n2):
+    # g(n1 * n2) == g(n1) * g(n2) for power laws (the property the
+    # paper's derivation of Eq. 4 depends on).
+    g = PowerLawG(b)
+    assert np.isclose(g(n1 * n2), g(n1) * g(n2), rtol=1e-9)

@@ -1,0 +1,127 @@
+"""Tests for Amdahl / Gustafson / Sun-Ni speedups and their relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.laws import (
+    PowerLawG,
+    amdahl_speedup,
+    gustafson_speedup,
+    memory_bounded_speedup,
+    scaled_problem_size,
+    sun_ni_speedup,
+)
+
+
+class TestAmdahl:
+    def test_no_sequential_part_is_linear(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+
+    def test_all_sequential_is_one(self):
+        assert amdahl_speedup(1.0, 1000) == pytest.approx(1.0)
+
+    def test_limit_is_inverse_fseq(self):
+        assert amdahl_speedup(0.1, 1e9) == pytest.approx(10.0, rel=1e-6)
+
+    def test_array_input(self):
+        out = amdahl_speedup(0.5, np.array([1.0, 2.0, 4.0]))
+        assert np.allclose(out, [1.0, 4 / 3, 1.6])
+
+    def test_invalid_fseq(self):
+        with pytest.raises(InvalidParameterError):
+            amdahl_speedup(1.5, 4)
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            amdahl_speedup(0.5, 0.5)
+
+
+class TestGustafson:
+    def test_linear_in_n(self):
+        assert gustafson_speedup(0.0, 16) == pytest.approx(16.0)
+
+    def test_fseq_one_gives_one(self):
+        assert gustafson_speedup(1.0, 16) == pytest.approx(1.0)
+
+    def test_classic_value(self):
+        assert gustafson_speedup(0.1, 10) == pytest.approx(9.1)
+
+
+class TestSunNi:
+    def test_reduces_to_amdahl_when_g_is_one(self):
+        for f in (0.0, 0.1, 0.5, 1.0):
+            assert sun_ni_speedup(f, 16, PowerLawG(0.0)) == pytest.approx(
+                amdahl_speedup(f, 16))
+
+    def test_reduces_to_gustafson_when_g_is_n(self):
+        for f in (0.0, 0.1, 0.5, 1.0):
+            assert sun_ni_speedup(f, 16, PowerLawG(1.0)) == pytest.approx(
+                gustafson_speedup(f, 16))
+
+    def test_paper_example_n_to_three_halves(self):
+        # Paper: g = N^{3/2} gives S = (f + (1-f)N^{3/2})/(f + (1-f)N^{1/2}).
+        f, n = 0.2, 64.0
+        expected = (f + (1 - f) * n ** 1.5) / (f + (1 - f) * n ** 0.5)
+        assert sun_ni_speedup(f, n, PowerLawG(1.5)) == pytest.approx(expected)
+
+    def test_accepts_precomputed_g_values(self):
+        n = np.array([1.0, 4.0, 16.0])
+        g_vals = n ** 1.5
+        direct = sun_ni_speedup(0.1, n, PowerLawG(1.5))
+        precomp = sun_ni_speedup(0.1, n, g_vals)
+        assert np.allclose(direct, precomp)
+
+    def test_g_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            sun_ni_speedup(0.1, 4, 0.0)
+
+    @given(f=st.floats(0.0, 1.0), n=st.floats(1.0, 1e4),
+           b=st.floats(0.0, 2.0))
+    @settings(max_examples=200, deadline=None)
+    def test_speedup_bounds(self, f, n, b):
+        # Sun-Ni speedup is always within [1, N].
+        s = sun_ni_speedup(f, n, PowerLawG(b))
+        assert 1.0 - 1e-9 <= s <= n + 1e-9
+
+    @given(f=st.floats(0.01, 0.99), b=st.floats(0.0, 2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_n(self, f, b):
+        ns = np.array([1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+        s = sun_ni_speedup(f, ns, PowerLawG(b))
+        assert np.all(np.diff(s) >= -1e-9)
+
+
+class TestMemoryBoundedForm:
+    def test_matches_eq4_for_power_law_h(self):
+        # h(M) = (2M/3)^{3/2}: the paper's dense-matmul example.
+        def h(m):
+            return (2.0 * np.asarray(m) / 3.0) ** 1.5
+
+        def h_inv(w):
+            return 1.5 * w ** (2.0 / 3.0)
+
+        w = h(3000.0)
+        for n in (1.0, 4.0, 64.0):
+            general = memory_bounded_speedup(0.1, w, n, h, h_inv)
+            eq4 = sun_ni_speedup(0.1, n, PowerLawG(1.5))
+            assert general == pytest.approx(eq4, rel=1e-9)
+
+    def test_scaled_problem_size_matmul(self):
+        def h(m):
+            return (2.0 * np.asarray(m) / 3.0) ** 1.5
+
+        def h_inv(w):
+            return 1.5 * w ** (2.0 / 3.0)
+
+        w = h(300.0)
+        assert scaled_problem_size(w, 4.0, h, h_inv) == pytest.approx(
+            8.0 * w)  # 4^{3/2}
+
+    def test_invalid_problem_size(self):
+        with pytest.raises(InvalidParameterError):
+            scaled_problem_size(-1.0, 2, lambda m: m, lambda w: w)

@@ -1,0 +1,99 @@
+"""Tests for the APC metric and its C-AMAT identity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camat import AccessTrace, MemoryAccess, TraceAnalyzer, fig1_trace
+from repro.errors import InvalidParameterError
+from repro.metrics import (
+    APCMeasurement,
+    LayerAPC,
+    apc_from_camat,
+    apc_from_counts,
+    apc_from_trace,
+    throughput,
+)
+
+
+class TestAPCMeasurement:
+    def test_basic(self):
+        assert apc_from_counts(10, 40) == pytest.approx(0.25)
+
+    def test_idle_layer(self):
+        assert APCMeasurement(0, 0).apc == 0.0
+
+    def test_accesses_without_cycles_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            APCMeasurement(5, 0)
+
+    def test_camat_identity(self):
+        m = APCMeasurement(10, 40)
+        assert m.camat == pytest.approx(4.0)
+        assert apc_from_camat(m.camat) == pytest.approx(m.apc)
+
+    def test_camat_of_idle_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            APCMeasurement(0, 0).camat
+
+    def test_apc_from_camat_validation(self):
+        with pytest.raises(InvalidParameterError):
+            apc_from_camat(0.0)
+
+
+class TestAPCFromTrace:
+    def test_fig1_apc_is_inverse_camat(self):
+        m = apc_from_trace(fig1_trace())
+        stats = TraceAnalyzer().analyze(fig1_trace())
+        assert m.apc == pytest.approx(1.0 / stats.camat)
+        assert m.camat == pytest.approx(stats.camat)
+
+    @given(st.lists(st.builds(
+        MemoryAccess,
+        start=st.integers(0, 100),
+        hit_cycles=st.integers(1, 5),
+        miss_penalty=st.integers(0, 20)), min_size=1, max_size=25))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_holds_for_any_trace(self, accesses):
+        trace = AccessTrace(accesses)
+        m = apc_from_trace(trace)
+        stats = TraceAnalyzer().analyze(trace)
+        assert m.camat == pytest.approx(stats.camat)
+
+
+class TestLayerAPC:
+    def test_ordering_and_gaps(self):
+        layers = LayerAPC(
+            l1=APCMeasurement(1000, 1000),
+            llc=APCMeasurement(100, 1000),
+            dram=APCMeasurement(10, 1000),
+        )
+        d = layers.as_dict()
+        assert d["L1"] > d["LLC"] > d["DRAM"]
+        gaps = layers.gap_ratios()
+        assert gaps["L1/LLC"] == pytest.approx(10.0)
+        assert gaps["LLC/DRAM"] == pytest.approx(10.0)
+
+    def test_idle_layers_omitted_from_gaps(self):
+        layers = LayerAPC(
+            l1=APCMeasurement(10, 10),
+            llc=APCMeasurement(0, 0),
+            dram=APCMeasurement(0, 0),
+        )
+        assert layers.gap_ratios() == {}
+
+
+class TestThroughput:
+    def test_scalar(self):
+        assert throughput(100.0, 4.0) == pytest.approx(25.0)
+
+    def test_array(self):
+        import numpy as np
+        out = throughput(np.array([10.0, 20.0]), np.array([2.0, 4.0]))
+        assert np.allclose(out, [5.0, 5.0])
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            throughput(1.0, 0.0)

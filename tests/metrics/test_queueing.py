@@ -1,0 +1,98 @@
+"""Tests for the queueing formulas and their match to the DRAM model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.queueing import (
+    banked_dram_latency,
+    md1_wait,
+    mm1_wait,
+    utilization,
+)
+from repro.sim.config import DRAMConfig
+from repro.sim.dram import DRAMModel
+
+
+class TestFormulas:
+    def test_utilization(self):
+        assert utilization(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            utilization(1.0, 1.0)
+
+    def test_md1_is_half_mm1(self):
+        assert md1_wait(0.6, 1.0) == pytest.approx(0.5 * mm1_wait(0.6, 1.0))
+
+    def test_wait_grows_superlinearly_with_load(self):
+        waits = [md1_wait(rho, 1.0) for rho in (0.2, 0.5, 0.8, 0.95)]
+        growth = np.diff(waits)
+        assert np.all(growth > 0)
+        assert growth[-1] > growth[0]
+
+    def test_zero_load_zero_wait(self):
+        assert md1_wait(0.0, 1.0) == 0.0
+
+    def test_banked_latency_floor_is_service(self):
+        assert banked_dram_latency(0.0, 100.0, 8) == pytest.approx(100.0)
+
+    def test_more_banks_less_wait(self):
+        lo = banked_dram_latency(0.05, 100.0, 8)
+        hi = banked_dram_latency(0.05, 100.0, 16)
+        assert hi < lo
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            banked_dram_latency(0.1, 100.0, 0)
+        with pytest.raises(InvalidParameterError):
+            md1_wait(-0.1, 1.0)
+
+
+class TestAgainstDRAMModel:
+    def measure_latency(self, inter_arrival: float, n: int = 2500) -> float:
+        """Mean latency of Poisson-ish random traffic into the model."""
+        rng = np.random.default_rng(0)
+        cfg = DRAMConfig(banks=4)
+        dram = DRAMModel(cfg)
+        t = 0.0
+        total = 0.0
+        for _ in range(n):
+            t += rng.exponential(inter_arrival)
+            addr = int(rng.integers(0, 1 << 30)) // 64 * 64
+            done = dram.access(addr, t)
+            total += done - t
+        return total / n
+
+    def test_latency_grows_with_load_like_md1(self):
+        # Random rows: service ~ row_conflict + bus.  Compare the
+        # simulated latency inflation against the M/D/1 prediction at
+        # two load points; shapes must agree within a factor.
+        cfg = DRAMConfig(banks=4)
+        service = cfg.row_conflict + cfg.bus_cycles
+        light_ia, heavy_ia = service * 4.0, service / 2.0
+        light = self.measure_latency(light_ia)
+        heavy = self.measure_latency(heavy_ia)
+        assert heavy > light
+        pred_light = banked_dram_latency(1.0 / light_ia, service, 4)
+        pred_heavy = banked_dram_latency(1.0 / heavy_ia, service, 4)
+        sim_inflation = heavy / light
+        pred_inflation = pred_heavy / pred_light
+        assert sim_inflation == pytest.approx(pred_inflation, rel=0.5)
+
+
+class TestSummary:
+    def test_simulation_summary_table(self):
+        from repro.sim import CMPSimulator, SimulatedChip
+        from repro.workloads import parsec_like
+        rng = np.random.default_rng(1)
+        wl = parsec_like("blackscholes", n_ops=2000)
+        res = CMPSimulator(SimulatedChip(n_cores=2)).run(wl.streams(2, rng))
+        table = res.summary()
+        metrics = dict(zip(table.column("metric"), table.column("value")))
+        assert metrics["cores"] == 2
+        assert metrics["cycles"] == res.exec_cycles
+        assert "L1 miss rate" in metrics
+        assert table.render()

@@ -1,0 +1,71 @@
+"""Tests for simulator configuration and the analytic-to-sim bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chip import ChipConfig
+from repro.errors import InvalidParameterError
+from repro.sim.config import (
+    CacheConfig,
+    CoreMicroConfig,
+    DRAMConfig,
+    NoCConfig,
+    SimulatedChip,
+)
+
+
+class TestFromChipConfig:
+    def test_capacities_follow_areas(self):
+        chip = ChipConfig(n=8, a0=1.0, a1=0.5, a2=4.0)
+        sim = SimulatedChip.from_chip_config(chip)
+        assert sim.n_cores == 8
+        assert sim.l1.size_kib == pytest.approx(0.5 * 64.0)
+        assert sim.l2_slice.size_kib == pytest.approx(4.0 * 64.0)
+
+    def test_issue_width_scales_with_sqrt_area(self):
+        # Pollack: 4x the area doubles the width.
+        base = SimulatedChip.from_chip_config(
+            ChipConfig(n=1, a0=1.0, a1=0.5, a2=1.0))
+        big = SimulatedChip.from_chip_config(
+            ChipConfig(n=1, a0=4.0, a1=0.5, a2=1.0))
+        assert base.core.issue_width == 4
+        assert big.core.issue_width == 8
+        assert big.core.rob_size == 32 * 8
+
+    def test_explicit_micro_overrides(self):
+        sim = SimulatedChip.from_chip_config(
+            ChipConfig(n=2, a0=1.0, a1=0.5, a2=1.0),
+            micro=CoreMicroConfig(issue_width=2, rob_size=64))
+        assert sim.core.issue_width == 2
+
+    def test_tiny_areas_clamped(self):
+        sim = SimulatedChip.from_chip_config(
+            ChipConfig(n=1, a0=0.01, a1=0.001, a2=0.001))
+        assert sim.l1.size_kib >= 1.0
+        assert sim.core.issue_width >= 1
+
+
+class TestConfigValidation:
+    def test_core_micro(self):
+        with pytest.raises(InvalidParameterError):
+            CoreMicroConfig(issue_width=0)
+        with pytest.raises(InvalidParameterError):
+            CoreMicroConfig(rob_size=0)
+
+    def test_cache_geometry_derived(self):
+        cfg = CacheConfig(size_kib=64.0, assoc=4, line_bytes=64)
+        assert cfg.num_lines == 1024
+        assert cfg.num_sets == 256
+
+    def test_noc(self):
+        with pytest.raises(InvalidParameterError):
+            NoCConfig(hop_latency=-1)
+
+    def test_dram_row_bytes(self):
+        with pytest.raises(InvalidParameterError):
+            DRAMConfig(row_bytes=100)
+
+    def test_chip_core_count(self):
+        with pytest.raises(InvalidParameterError):
+            SimulatedChip(n_cores=0)

@@ -1,0 +1,102 @@
+"""Direct unit tests for the shared memory hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import SimulatedChip
+from repro.sim.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(SimulatedChip(n_cores=4))
+
+
+class TestServiceMiss:
+    def test_cold_miss_goes_to_dram(self, hierarchy):
+        done = hierarchy.service_miss(0, 0, time=0)
+        cfg = hierarchy.chip.l2_slice
+        assert done >= cfg.hit_latency + hierarchy.chip.dram.row_miss
+        assert hierarchy.l2_accesses == 1
+        assert hierarchy.l2_hits == 0
+        assert hierarchy.dram.requests == 1
+
+    def test_second_touch_hits_l2(self, hierarchy):
+        t1 = hierarchy.service_miss(0, 0, time=0)
+        t2 = hierarchy.service_miss(0, 0, time=t1 + 1000)
+        assert hierarchy.l2_hits == 1
+        # An L2 hit is far cheaper than the DRAM round trip.
+        assert (t2 - (t1 + 1000)) < t1
+
+    def test_l2_secondary_merge(self, hierarchy):
+        # Two cores miss the same line while the fill is in flight.
+        t1 = hierarchy.service_miss(0, 0, time=0)
+        hierarchy.service_miss(1, 0, time=5)
+        assert hierarchy.dram.requests == 1  # merged, no second DRAM trip
+
+    def test_slice_interleaving(self, hierarchy):
+        line_bytes = hierarchy.chip.l2_slice.line_bytes
+        homes = {hierarchy.slice_of(line) for line in range(8)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_negative_time_rejected(self, hierarchy):
+        with pytest.raises(SimulationError):
+            hierarchy.service_miss(0, 0, time=-1)
+
+    def test_remote_slice_pays_noc(self, hierarchy):
+        # Same line state, different requester distances.
+        line_bytes = hierarchy.chip.l2_slice.line_bytes
+        # Line homed at slice 3; requester 3 is local, requester 0 remote.
+        addr = 3 * line_bytes
+        t_local = hierarchy.service_miss(3, addr, time=0)
+        t_remote = hierarchy.service_miss(0, addr, time=100000)
+        local_latency = t_local - 0
+        remote_latency = t_remote - 100000
+        assert remote_latency > local_latency - hierarchy.chip.dram.row_miss
+
+
+class TestWriteback:
+    def test_writeback_installs_in_l2(self, hierarchy):
+        hierarchy.writeback(0, 0, time=0)
+        assert hierarchy.slices[hierarchy.slice_of(0)].probe(0)
+
+    def test_l2_dirty_eviction_writes_dram(self):
+        from dataclasses import replace
+        chip = SimulatedChip(n_cores=1)
+        chip = replace(chip, l2_slice=replace(chip.l2_slice, size_kib=2.0,
+                                              assoc=2))
+        h = MemoryHierarchy(chip)
+        lines = chip.l2_slice.num_lines
+        for i in range(3 * lines):
+            h.writeback(0, i * 64, time=i * 10)
+        assert h.dram_writes > 0
+
+
+class TestCoherenceDirectory:
+    def test_register_l1s_validates_count(self, hierarchy):
+        with pytest.raises(SimulationError):
+            hierarchy.register_l1s([])
+
+    def test_upgrade_without_registry_is_noop(self, hierarchy):
+        assert hierarchy.upgrade(0, 0, time=42) == 42
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        from repro.sim import CMPSimulator
+        from repro.workloads import parsec_like
+        wl = parsec_like("ocean", n_ops=3000)
+        chip = SimulatedChip(n_cores=2)
+
+        def run():
+            rng = np.random.default_rng(77)
+            return CMPSimulator(chip).run(wl.streams(2, rng))
+
+        a = run()
+        b = run()
+        assert a.exec_cycles == b.exec_cycles
+        assert a.cores[0].records == b.cores[0].records
+        assert a.invalidations == b.invalidations

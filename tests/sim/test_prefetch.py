@@ -1,0 +1,108 @@
+"""Tests for the L1 prefetchers and their C-AMAT effect."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import InvalidParameterError
+from repro.sim import CMPSimulator, SimulatedChip
+from repro.sim.config import CacheConfig
+from repro.sim.prefetch import NextLinePrefetcher, StridePrefetcher
+
+
+def run_stream(addrs, prefetch="none", degree=2, gap=20):
+    addrs = np.asarray(addrs, dtype=np.int64)
+    gaps = np.full(addrs.size, gap, dtype=np.int64)
+    chip = SimulatedChip(n_cores=1)
+    chip = replace(chip, l1=replace(chip.l1, prefetch=prefetch,
+                                    prefetch_degree=degree,
+                                    mshr_entries=8))
+    return CMPSimulator(chip).run([(addrs, gaps)])
+
+
+class TestPrefetcherUnits:
+    def test_nextline_targets(self):
+        p = NextLinePrefetcher(degree=2)
+        assert p.on_miss(10) == [11, 12]
+        assert p.on_hit(10) == []
+        assert p.issued == 2
+
+    def test_stride_detects_constant_stride(self):
+        p = StridePrefetcher(degree=2)
+        assert p.on_miss(10) == []           # first touch
+        assert p.on_miss(12) == []           # stride learned, conf 0
+        targets = p.on_miss(14)              # confirmed
+        assert targets == [16, 18]
+
+    def test_stride_resets_on_irregularity(self):
+        p = StridePrefetcher(degree=1)
+        p.on_miss(10)
+        p.on_miss(12)
+        p.on_miss(14)
+        assert p.on_miss(99) == []  # stride broke
+
+    def test_stride_table_bounded(self):
+        p = StridePrefetcher(table_size=4)
+        for region in range(10):
+            p.on_miss(region << 6)
+        assert len(p._table) <= 4
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NextLinePrefetcher(degree=0)
+        with pytest.raises(InvalidParameterError):
+            StridePrefetcher(table_size=0)
+        with pytest.raises(InvalidParameterError):
+            CacheConfig(prefetch="oracle")
+
+
+class TestPrefetchInSimulator:
+    def test_sequential_stream_speeds_up(self):
+        # A cold sequential sweep in the latency-bound regime (enough
+        # compute between accesses that DRAM bandwidth is not the
+        # limiter — where prefetching can help at all).
+        addrs = np.arange(2000) * 64 + (1 << 22)
+        base = run_stream(addrs, prefetch="none", gap=200)
+        pf = run_stream(addrs, prefetch="nextline", degree=4, gap=200)
+        assert pf.exec_cycles < base.exec_cycles
+        assert pf.cores[0].prefetches_issued > 0
+
+    def test_prefetch_improves_camat(self):
+        addrs = np.arange(2000) * 64 + (1 << 22)
+        base = run_stream(addrs, prefetch="none", gap=600)
+        pf = run_stream(addrs, prefetch="stride", degree=4, gap=600)
+        # The stride prefetcher all but eliminates demand misses here.
+        assert pf.core_stats(0).camat < 0.5 * base.core_stats(0).camat
+        assert pf.cores[0].l1_miss_rate < 0.1
+
+    def test_bandwidth_bound_stream_unaffected(self):
+        # Back-to-back misses saturate the DRAM banks: prefetching
+        # cannot create bandwidth, so execution time is unchanged.
+        addrs = np.arange(2000) * 64 + (1 << 22)
+        base = run_stream(addrs, prefetch="none", gap=20)
+        pf = run_stream(addrs, prefetch="nextline", gap=20)
+        assert pf.exec_cycles == pytest.approx(base.exec_cycles, rel=0.05)
+
+    def test_useful_prefetch_accounting(self):
+        addrs = np.arange(2000) * 64
+        pf = run_stream(addrs, prefetch="nextline", gap=600)
+        core = pf.cores[0]
+        assert core.prefetches_useful > 0
+        assert core.prefetches_useful <= core.prefetches_issued
+
+    def test_random_stream_not_helped_much(self):
+        rng = np.random.default_rng(2)
+        addrs = rng.integers(0, 1 << 24, 1500) * 64
+        base = run_stream(addrs, prefetch="none")
+        pf = run_stream(addrs, prefetch="nextline")
+        # Within 25%: useless prefetches must not wreck performance
+        # (they only use spare MSHRs).
+        assert pf.exec_cycles < base.exec_cycles * 1.25
+
+    def test_fill_does_not_pollute_demand_stats(self):
+        addrs = np.arange(1000) * 64
+        pf = run_stream(addrs, prefetch="nextline", gap=600)
+        core = pf.cores[0]
+        assert core.l1_hits + core.l1_misses == core.mem_ops

@@ -1,0 +1,73 @@
+"""Property-based invariants of the CMP simulator (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camat import TraceAnalyzer
+from repro.sim import CMPSimulator, SimulatedChip
+
+
+@st.composite
+def small_streams(draw):
+    n_ops = draw(st.integers(1, 60))
+    addrs = draw(st.lists(st.integers(0, 1 << 16), min_size=n_ops,
+                          max_size=n_ops))
+    gaps = draw(st.lists(st.integers(0, 50), min_size=n_ops,
+                         max_size=n_ops))
+    writes = draw(st.lists(st.booleans(), min_size=n_ops, max_size=n_ops))
+    return (np.array(addrs, dtype=np.int64) * 8,
+            np.array(gaps, dtype=np.int64),
+            np.array(writes, dtype=bool))
+
+
+@given(small_streams())
+@settings(max_examples=60, deadline=None)
+def test_single_core_invariants(stream):
+    chip = SimulatedChip(n_cores=1)
+    res = CMPSimulator(chip).run([stream])
+    core = res.cores[0]
+    addrs, gaps, _writes = stream
+    # Conservation: every memory op produced exactly one record, and
+    # every op was classified hit or miss exactly once.
+    assert core.mem_ops == addrs.size
+    assert len(core.records) == addrs.size
+    assert core.l1_hits + core.l1_misses == addrs.size
+    # The run cannot finish before the issue bandwidth allows.
+    total_instr = int(gaps.sum()) + addrs.size
+    assert res.exec_cycles >= total_instr // chip.core.issue_width
+    # Records are valid accesses with completion after issue.
+    for start, hit, penalty in core.records:
+        assert start >= 0
+        assert hit >= 1
+        assert penalty >= 0
+    # The emitted trace satisfies the C-AMAT ordering invariant.
+    stats = TraceAnalyzer().analyze(core.trace())
+    assert stats.camat <= stats.amat + 1e-9
+
+
+@given(small_streams(), small_streams())
+@settings(max_examples=30, deadline=None)
+def test_two_core_invariants(s1, s2):
+    chip = SimulatedChip(n_cores=2)
+    res = CMPSimulator(chip).run([s1, s2])
+    assert res.total_instructions == (
+        int(s1[1].sum()) + s1[0].size + int(s2[1].sum()) + s2[0].size)
+    assert res.exec_cycles >= max(r.finish_cycle for r in res.cores) - 1
+    # Coherence counters are consistent.
+    assert res.invalidations >= 0
+    assert res.dram_writes >= 0
+
+
+@given(small_streams())
+@settings(max_examples=20, deadline=None)
+def test_determinism(stream):
+    chip = SimulatedChip(n_cores=1)
+    a = CMPSimulator(chip).run([(stream[0].copy(), stream[1].copy(),
+                                 stream[2].copy())])
+    b = CMPSimulator(chip).run([stream])
+    assert a.exec_cycles == b.exec_cycles
+    assert a.cores[0].records == b.cores[0].records

@@ -1,0 +1,87 @@
+"""Tests for the SMT core model."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CMPSimulator, SimulatedChip
+from repro.sim.config import CoreMicroConfig
+
+
+def make_chip(smt: int, **micro_kw) -> SimulatedChip:
+    chip = SimulatedChip(n_cores=1)
+    return replace(chip, core=CoreMicroConfig(smt_threads=smt, **micro_kw))
+
+
+def miss_stream(rng, n=400, gap=100):
+    addrs = (rng.integers(0, 1 << 26, n) * 64).astype(np.int64)
+    return (addrs, np.full(n, gap, dtype=np.int64))
+
+
+class TestSMTBasics:
+    def test_stream_count_checked(self):
+        chip = make_chip(2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            CMPSimulator(chip).run([miss_stream(rng)])
+
+    def test_result_merges_threads(self):
+        chip = make_chip(2)
+        rng = np.random.default_rng(0)
+        res = CMPSimulator(chip).run([miss_stream(rng, 300),
+                                      miss_stream(rng, 300)])
+        core = res.cores[0]
+        assert core.mem_ops == 600
+        assert len(core.records) == 600
+        starts = [r[0] for r in core.records]
+        assert starts == sorted(starts)
+
+    def test_single_thread_smt_equals_plain_core(self):
+        rng = np.random.default_rng(1)
+        stream = miss_stream(rng, 200)
+        plain = CMPSimulator(make_chip(1)).run([stream])
+        # smt_threads=1 uses the plain CoreModel path.
+        assert plain.cores[0].mem_ops == 200
+
+
+class TestSMTConcurrency:
+    def test_smt_raises_measured_concurrency(self):
+        # Two memory-bound threads on one SMT core overlap each other's
+        # misses; the same work run as one long thread cannot.
+        rng = np.random.default_rng(2)
+        a1, g1 = miss_stream(rng, 300, gap=200)
+        a2, g2 = miss_stream(rng, 300, gap=200)
+        single = CMPSimulator(make_chip(1)).run(
+            [(np.concatenate([a1, a2]), np.concatenate([g1, g2]))])
+        smt = CMPSimulator(make_chip(2)).run([(a1, g1), (a2, g2)])
+        c_single = single.core_stats(0).concurrency
+        c_smt = smt.core_stats(0).concurrency
+        assert c_smt > c_single
+
+    def test_smt_improves_memory_bound_throughput(self):
+        rng = np.random.default_rng(3)
+        a1, g1 = miss_stream(rng, 300, gap=200)
+        a2, g2 = miss_stream(rng, 300, gap=200)
+        single = CMPSimulator(make_chip(1)).run(
+            [(np.concatenate([a1, a2]), np.concatenate([g1, g2]))])
+        smt = CMPSimulator(make_chip(2)).run([(a1, g1), (a2, g2)])
+        assert smt.exec_cycles < single.exec_cycles
+
+    def test_threads_share_l1(self):
+        # Thread 1 warms a line; thread 2 hits it (shared tags).
+        chip = make_chip(2)
+        line = np.int64(1 << 20)
+        warm = (np.full(50, line), np.full(50, 500, dtype=np.int64))
+        reader = (np.full(50, line), np.full(50, 500, dtype=np.int64))
+        res = CMPSimulator(chip).run([warm, reader])
+        core = res.cores[0]
+        assert core.l1_misses <= 3  # one cold miss (+ possible merges)
+
+    def test_smt_validation(self):
+        from repro.errors import InvalidParameterError
+        with pytest.raises(InvalidParameterError):
+            CoreMicroConfig(smt_threads=0)

@@ -1,0 +1,91 @@
+"""Tests for the Newton solver and its building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.solvers import newton_solve, numeric_jacobian
+
+
+class TestNumericJacobian:
+    def test_linear_function_exact(self):
+        a = np.array([[2.0, -1.0], [0.5, 3.0]])
+        jac = numeric_jacobian(lambda x: a @ x, np.array([1.0, 2.0]))
+        assert np.allclose(jac, a, atol=1e-6)
+
+    def test_quadratic(self):
+        jac = numeric_jacobian(lambda x: np.array([x[0] ** 2]),
+                               np.array([3.0]))
+        assert jac[0, 0] == pytest.approx(6.0, rel=1e-6)
+
+    def test_rectangular(self):
+        jac = numeric_jacobian(
+            lambda x: np.array([x[0] + x[1], x[0] - x[1], 2 * x[0]]),
+            np.array([1.0, 1.0]))
+        assert jac.shape == (3, 2)
+
+    def test_requires_1d(self):
+        with pytest.raises(InvalidParameterError):
+            numeric_jacobian(lambda x: x, np.zeros((2, 2)))
+
+
+class TestNewton:
+    def test_scalar_root(self):
+        res = newton_solve(lambda x: np.array([x[0] ** 2 - 4.0]),
+                           np.array([3.0]))
+        assert res.converged
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_2d_system(self):
+        # x^2 + y^2 = 25, x - y = 1  ->  x=4, y=3.
+        def f(v):
+            x, y = v
+            return np.array([x * x + y * y - 25.0, x - y - 1.0])
+        res = newton_solve(f, np.array([5.0, 2.0]))
+        assert res.converged
+        assert np.allclose(res.x, [4.0, 3.0])
+
+    def test_analytic_jacobian_path(self):
+        def f(v):
+            return np.array([np.exp(v[0]) - 2.0])
+        def jac(v):
+            return np.array([[np.exp(v[0])]])
+        res = newton_solve(f, np.array([0.0]), jacobian=jac)
+        assert res.x[0] == pytest.approx(np.log(2.0))
+
+    def test_no_root_raises(self):
+        with pytest.raises(ConvergenceError) as exc:
+            newton_solve(lambda x: np.array([x[0] ** 2 + 1.0]),
+                         np.array([1.0]), max_iter=20)
+        assert exc.value.iterations == 20
+
+    def test_no_root_soft_failure(self):
+        res = newton_solve(lambda x: np.array([x[0] ** 2 + 1.0]),
+                           np.array([1.0]), max_iter=20,
+                           raise_on_failure=False)
+        assert not res.converged
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            newton_solve(lambda x: np.array([x[0], x[0]]), np.array([1.0]))
+
+    def test_singular_jacobian_fallback(self):
+        # f(x, y) = (x + y - 2, 2x + 2y - 4): singular but consistent.
+        def f(v):
+            s = v[0] + v[1]
+            return np.array([s - 2.0, 2.0 * s - 4.0])
+        res = newton_solve(f, np.array([5.0, -1.0]), tol=1e-8)
+        assert res.converged
+        assert res.x.sum() == pytest.approx(2.0, abs=1e-6)
+
+    @given(root=st.floats(-5.0, 5.0), scale=st.floats(0.5, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_linear_always_converges(self, root, scale):
+        res = newton_solve(lambda x: np.array([scale * (x[0] - root)]),
+                           np.array([root + 10.0]))
+        assert res.converged
+        assert res.x[0] == pytest.approx(root, abs=1e-6)

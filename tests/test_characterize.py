@@ -1,0 +1,88 @@
+"""Tests for the characterization pipeline (APS step 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterize import characterize, fit_g_exponent
+from repro.core import C2BoundOptimizer, MachineParameters
+from repro.errors import InvalidParameterError
+from repro.sim import SimulatedChip
+from repro.workloads import TiledMatMul, parsec_like
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return characterize(parsec_like("ocean", n_ops=6000),
+                            SimulatedChip(n_cores=2), seed=3)
+
+    def test_profile_fields_populated(self, report):
+        p = report.profile
+        assert p.name == "ocean"
+        assert 0.0 < p.f_mem < 1.0
+        assert p.concurrency >= 1.0
+        assert p.ic0 > 0
+        assert p.base_working_set_kib > 0
+
+    def test_f_mem_close_to_declared(self, report):
+        declared = parsec_like("ocean").characteristics().f_mem
+        assert report.profile.f_mem == pytest.approx(declared, rel=0.2)
+
+    def test_working_set_measured(self, report):
+        # Ocean's declared working set is 8 MiB; the measured footprint
+        # of a finite stream is smaller but substantial.
+        assert report.working_set_kib > 64.0
+
+    def test_mean_statistics(self, report):
+        assert report.mean_concurrency >= 1.0
+        assert report.mean_camat > 0
+
+    def test_profile_feeds_optimizer(self, report):
+        res = C2BoundOptimizer(report.profile,
+                               MachineParameters()).optimize(n_max=64)
+        assert res.best.n >= 1
+
+    def test_g_override(self):
+        from repro.laws.gfunction import PowerLawG
+        report = characterize(parsec_like("blackscholes", n_ops=2000),
+                              SimulatedChip(n_cores=1),
+                              g=PowerLawG(1.5))
+        assert report.profile.g.exponent == 1.5
+
+    def test_kernel_characterization(self):
+        report = characterize(TiledMatMul(n=16, tile=4),
+                              SimulatedChip(n_cores=2))
+        # TMM declares g = N^{3/2}.
+        assert report.profile.g.exponent == pytest.approx(1.5)
+
+
+class TestFitG:
+    def test_recovers_power_law(self):
+        # W = M^{1.5} exactly.
+        g = fit_g_exponent((100.0, 1000.0), (400.0, 8000.0))
+        assert g.exponent == pytest.approx(1.5)
+
+    def test_linear(self):
+        g = fit_g_exponent((10.0, 50.0), (20.0, 100.0))
+        assert g.exponent == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            fit_g_exponent((10.0, 50.0), (10.0, 100.0))
+        with pytest.raises(InvalidParameterError):
+            fit_g_exponent((10.0, 100.0), (20.0, 50.0))  # work shrank
+        with pytest.raises(InvalidParameterError):
+            fit_g_exponent((0.0, 1.0), (1.0, 2.0))
+
+    def test_matches_tmm_complexities(self):
+        # Memory 3n^2, work 2n^3 at n = 100 and n = 200.
+        def mem(n):
+            return 3.0 * n * n
+
+        def work(n):
+            return 2.0 * n ** 3
+
+        g = fit_g_exponent((mem(100), work(100)), (mem(200), work(200)))
+        assert g.exponent == pytest.approx(1.5)

@@ -1,0 +1,44 @@
+"""Tests for the ``c2bound`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig1", "table1", "fig12", "ablation-factors"):
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "C-AMAT" in out
+        assert "True" in out
+
+    def test_run_with_csv_output(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert "saved" in capsys.readouterr().out
+
+    def test_every_fast_experiment_renders(self, capsys):
+        fast = ("fig1", "table1", "fig7", "capacity",
+                "ablation-miss-curve")
+        for key in fast:
+            assert main([key]) == 0
+        assert capsys.readouterr().out
+
+    def test_registry_complete(self):
+        # Every paper artifact has a CLI entry.
+        for key in ("fig1", "table1", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13", "capacity",
+                    "aps-accuracy"):
+            assert key in EXPERIMENTS

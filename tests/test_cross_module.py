@@ -1,0 +1,84 @@
+"""Cross-module consistency invariants.
+
+The model's pieces were derived from one another in the paper; these
+tests assert the library preserves those derivations across package
+boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.camat import AMATParameters, CAMATParameters
+from repro.core.objective import objective_jd
+from repro.laws import PowerLawG, sun_ni_speedup
+from repro.metrics import apc_from_camat
+
+
+class TestSpeedupObjectiveDuality:
+    @given(f_seq=st.floats(0.01, 0.99), n=st.integers(1, 2000),
+           b=st.floats(0.0, 1.5))
+    @settings(max_examples=200, deadline=None)
+    def test_jd_ratio_is_sun_ni_speedup(self, f_seq, n, b):
+        # At fixed per-instruction cost, Eq. 10's J_D(1)/J_D(N) is
+        # exactly Sun-Ni's speedup (Eq. 4): the objective *is* the law.
+        g = PowerLawG(b)
+        jd1 = objective_jd(1e6, 1.0, 0.3, 5.0, f_seq, g, 1)
+        jdn = objective_jd(1e6, 1.0, 0.3, 5.0, f_seq, g, n)
+        # J_D is the scaled problem's time; speedup compares the scaled
+        # problem run serially vs in parallel:
+        #   T_serial(N) = IC0 * q * (f_seq + g(N)(1-f_seq))
+        q = 1.0 + 0.3 * 5.0
+        t_serial = 1e6 * q * (f_seq + float(g(float(n))) * (1 - f_seq))
+        assert t_serial / jdn == pytest.approx(
+            float(sun_ni_speedup(f_seq, float(n), g)), rel=1e-9)
+
+    def test_amdahl_floor_in_objective(self):
+        # g = 1: J_D(N->inf) / J_D(1) -> f_seq (Amdahl's limit).
+        g = PowerLawG(0.0)
+        jd1 = objective_jd(1e6, 1.0, 0.3, 5.0, 0.2, g, 1)
+        jd_inf = objective_jd(1e6, 1.0, 0.3, 5.0, 0.2, g, 10 ** 9)
+        assert jd_inf / jd1 == pytest.approx(0.2, rel=1e-6)
+
+
+class TestEq1Eq2Duality:
+    @given(h=st.floats(1.0, 10.0), mr=st.floats(0.0, 1.0),
+           amp=st.floats(0.0, 500.0))
+    @settings(max_examples=200, deadline=None)
+    def test_sequential_camat_equals_amat(self, h, mr, amp):
+        amat = AMATParameters(h, mr, amp)
+        camat = CAMATParameters.sequential(amat)
+        assert camat.value == pytest.approx(amat.value)
+
+    @given(h=st.floats(1.0, 10.0), c=st.floats(1.0, 32.0),
+           pmr=st.floats(0.0, 1.0), pamp=st.floats(0.0, 500.0))
+    @settings(max_examples=200, deadline=None)
+    def test_apc_camat_inverse(self, h, c, pmr, pamp):
+        value = CAMATParameters(h, c, pmr, pamp, c).value
+        assert apc_from_camat(value) == pytest.approx(1.0 / value)
+
+
+class TestWorkingSetReuseDuality:
+    @given(st.lists(st.integers(0, 30), min_size=2, max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_footprint_equals_compulsory_misses(self, lines):
+        # The total footprint (working set over the whole stream) equals
+        # the number of compulsory accesses in the reuse profile.
+        from repro.capacity.reuse import reuse_profile
+        from repro.capacity.workingset import working_set_size
+        addrs = np.array(lines) * 64
+        profile = reuse_profile(addrs)
+        assert profile.compulsory == working_set_size(addrs // 64)
+
+    @given(st.lists(st.integers(0, 20), min_size=2, max_size=80),
+           st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_reuse_miss_rate_bounded_by_cold_rate(self, lines, cap):
+        from repro.capacity.reuse import reuse_profile
+        addrs = np.array(lines) * 64
+        profile = reuse_profile(addrs)
+        mr = profile.miss_rate(cap * 64 / 1024.0)
+        assert profile.compulsory / profile.accesses <= mr <= 1.0

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    DesignSpaceError,
+    InvalidParameterError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConvergenceError, InvalidParameterError, TraceError,
+        SimulationError, DesignSpaceError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Parameter/trace/space errors double as ValueError so generic
+        # callers can catch them idiomatically.
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(TraceError, ValueError)
+        assert issubclass(DesignSpaceError, ValueError)
+
+    def test_convergence_error_payload(self):
+        err = ConvergenceError("nope", iterations=7, residual=0.5)
+        assert err.iterations == 7
+        assert err.residual == 0.5
+        assert "nope" in str(err)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise TraceError("boom")

@@ -1,0 +1,59 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+The slower examples (full DSE, SimPoint) are exercised implicitly by
+the experiment tests; here we guarantee the documented entry points
+don't rot.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "concurrency_schedule.py",
+    "multi_app_scheduling.py",
+    "energy_aware_design.py",
+    "speedup_laws.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip()
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py", "design_space_exploration.py",
+        "multi_app_scheduling.py", "memory_bounded_scaling.py",
+        "camat_analysis.py", "concurrency_schedule.py",
+        "energy_aware_design.py", "phase_adaptive_reconfiguration.py",
+        "simpoint_acceleration.py", "speedup_laws.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present
+
+
+def test_cli_characterize(capsys):
+    from repro.cli import main
+    assert main(["characterize", "--workload", "blackscholes",
+                 "--n-ops", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "f_mem" in out
+    assert "concurrency" in out
+
+
+def test_cli_characterize_unknown_workload(capsys):
+    from repro.cli import main
+    assert main(["characterize", "--workload", "crysis"]) == 2

@@ -1,0 +1,135 @@
+"""Tests for the Table I kernel generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.workingset import working_set_size
+from repro.errors import InvalidParameterError
+from repro.workloads import BandSpMV, FFTWorkload, Stencil1D, TiledMatMul
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTiledMatMul:
+    def test_stream_length(self, rng):
+        wl = TiledMatMul(n=16, tile=4)
+        stream = wl.address_stream(rng)
+        # 3 accesses per inner iteration, n^3 iterations.
+        assert stream.size == 3 * 16 ** 3
+
+    def test_footprint_is_three_matrices(self, rng):
+        wl = TiledMatMul(n=16, tile=4, element_bytes=8)
+        stream = wl.address_stream(rng)
+        footprint_bytes = working_set_size(stream // 8) * 8
+        # Every element of A, B, C is touched.
+        assert footprint_bytes == 3 * 16 * 16 * 8
+
+    def test_g_is_three_halves(self):
+        assert TiledMatMul().characteristics().g.exponent == pytest.approx(1.5)
+
+    def test_dimension_rounded_to_tile(self):
+        wl = TiledMatMul(n=10, tile=4)
+        assert wl.params.n == 12
+
+    def test_addresses_non_negative_and_distinct_matrices(self, rng):
+        wl = TiledMatMul(n=8, tile=4)
+        stream = wl.address_stream(rng)
+        assert stream.min() >= 0
+        # C addresses start above the B region.
+        assert stream.max() >= 2 * 8 * 8 * 8
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TiledMatMul(n=0)
+
+    def test_streams_partition(self, rng):
+        wl = TiledMatMul(n=8, tile=4)
+        parts = wl.streams(4, rng)
+        assert len(parts) == 4
+        total = sum(stream[0].size for stream in parts)
+        assert total == 3 * 8 ** 3
+
+    def test_write_masks(self, rng):
+        wl = TiledMatMul(n=8, tile=4)
+        parts = wl.streams(2, rng)
+        for addrs, gaps, writes in parts:
+            assert writes.shape == addrs.shape
+        # One third of the accesses are C-updates.
+        total_writes = sum(int(s[2].sum()) for s in parts)
+        assert total_writes == 8 ** 3
+
+
+class TestStencil:
+    def test_accesses_per_sweep(self, rng):
+        wl = Stencil1D(n=100, iterations=2)
+        stream = wl.address_stream(rng)
+        assert stream.size == 2 * 4 * 98  # 4 accesses per interior point
+
+    def test_double_buffering_alternates(self, rng):
+        wl = Stencil1D(n=16, iterations=2, element_bytes=8)
+        stream = wl.address_stream(rng)
+        half = stream.size // 2
+        # Sweep 1 stores to buffer B (>= n*eb); sweep 2 stores to A.
+        first_store = stream[3]
+        second_sweep_store = stream[half + 3]
+        assert first_store >= 16 * 8
+        assert second_sweep_store < 16 * 8
+
+    def test_linear_g(self):
+        assert Stencil1D().characteristics().g.exponent == 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Stencil1D(n=2)
+
+
+class TestBandSpMV:
+    def test_accesses_per_row(self, rng):
+        wl = BandSpMV(n=32, half_bandwidth=2)
+        stream = wl.address_stream(rng)
+        width = 5
+        assert stream.size == 32 * (2 * width + 1)
+
+    def test_column_clipping_at_edges(self, rng):
+        wl = BandSpMV(n=8, half_bandwidth=3, element_bytes=8)
+        stream = wl.address_stream(rng)
+        base_x = 8 * 7 * 8
+        x_addrs = stream[(stream >= base_x) & (stream < base_x + 8 * 8)]
+        assert x_addrs.min() >= base_x
+
+    def test_linear_g(self):
+        assert BandSpMV().characteristics().g.exponent == 1.0
+
+
+class TestFFT:
+    def test_stage_count(self, rng):
+        wl = FFTWorkload(log2_n=6)
+        stream = wl.address_stream(rng)
+        # log2(n) stages, n/2 butterflies each, 4 accesses per butterfly.
+        assert stream.size == 6 * (64 // 2) * 4
+
+    def test_addresses_within_array(self, rng):
+        wl = FFTWorkload(log2_n=6, element_bytes=16)
+        stream = wl.address_stream(rng)
+        assert stream.min() >= 0
+        assert stream.max() < 64 * 16
+
+    def test_fftlike_g(self):
+        g = FFTWorkload(log2_n=10).characteristics().g
+        assert g.regime() == "superlinear"
+        # Table I's 2N at N = m_ref = n.
+        assert g(1024.0) == pytest.approx(2048.0)
+
+    def test_strides_grow_with_stage(self, rng):
+        wl = FFTWorkload(log2_n=4, element_bytes=1)
+        stream = wl.address_stream(rng)
+        # First stage: butterfly partner at distance 1; last: n/2.
+        first_pair_gap = stream[1] - stream[0]
+        last_stage = stream[-4:]
+        assert first_pair_gap == 1
+        assert last_stage[1] - last_stage[0] == 8

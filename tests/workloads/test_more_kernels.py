@@ -1,0 +1,98 @@
+"""Tests for the 2-D stencil and GUPS kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.workingset import working_set_size
+from repro.errors import InvalidParameterError
+from repro.sim import CMPSimulator, SimulatedChip
+from repro.workloads import GUPS, Stencil2D
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestStencil2D:
+    def test_access_count(self, rng):
+        wl = Stencil2D(n=10, iterations=2)
+        stream = wl.address_stream(rng)
+        assert stream.size == 2 * 6 * 8 * 8  # 6 accesses per interior pt
+
+    def test_footprint_two_buffers(self, rng):
+        wl = Stencil2D(n=16, iterations=1, element_bytes=8)
+        stream = wl.address_stream(rng)
+        # All interior points of both buffers are touched, plus halos.
+        assert working_set_size(stream // 8) <= 2 * 16 * 16
+        assert stream.max() < 2 * 16 * 16 * 8
+
+    def test_buffers_swap_between_sweeps(self, rng):
+        wl = Stencil2D(n=8, iterations=2, element_bytes=8)
+        stream = wl.address_stream(rng)
+        half = stream.size // 2
+        buffer_bytes = 8 * 8 * 8
+        # Sweep 1 stores above the source buffer; sweep 2 below.
+        assert stream[5] >= buffer_bytes
+        assert stream[half + 5] < buffer_bytes
+
+    def test_row_stride_pattern(self, rng):
+        wl = Stencil2D(n=32, element_bytes=8)
+        stream = wl.address_stream(rng)
+        # north and south of the same point are 2 rows apart.
+        assert stream[4] - stream[0] == 2 * 32 * 8
+
+    def test_write_mask(self, rng):
+        wl = Stencil2D(n=8)
+        parts = wl.streams(2, rng)
+        writes = sum(int(s[2].sum()) for s in parts)
+        assert writes == 2 * 6 * 6  # one store per interior point/sweep
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Stencil2D(n=2)
+
+    def test_linear_g(self):
+        assert Stencil2D().characteristics().g.exponent == 1.0
+
+
+class TestGUPS:
+    def test_addresses_within_table(self, rng):
+        wl = GUPS(updates=2000, table_kib=128.0)
+        stream = wl.address_stream(rng)
+        assert stream.min() >= 0
+        assert stream.max() < 128 * 1024
+
+    def test_all_writes(self, rng):
+        wl = GUPS(updates=500)
+        parts = wl.streams(2, rng)
+        for _a, _g, w in parts:
+            assert w.all()
+
+    def test_locality_free(self, rng):
+        # Nearly every access touches a distinct line.
+        wl = GUPS(updates=3000, table_kib=64 * 1024)
+        stream = wl.address_stream(rng)
+        distinct = working_set_size(stream // 64)
+        assert distinct > 0.9 * 3000
+
+    def test_mshr_sensitivity(self, rng):
+        # GUPS throughput is a direct function of miss concurrency.
+        from dataclasses import replace
+        wl = GUPS(updates=1200, table_kib=32 * 1024, f_mem=0.8)
+        streams = wl.streams(1, rng)
+        chip = SimulatedChip(n_cores=1)
+        blocking = replace(chip, l1=replace(chip.l1, mshr_entries=1))
+        wide = replace(chip, l1=replace(chip.l1, mshr_entries=16))
+        t_blocking = CMPSimulator(blocking).run(
+            [tuple(np.copy(x) for x in streams[0])]).exec_cycles
+        t_wide = CMPSimulator(wide).run(streams).exec_cycles
+        assert t_wide < 0.7 * t_blocking
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GUPS(updates=0)
+        with pytest.raises(InvalidParameterError):
+            GUPS(table_kib=0.0)

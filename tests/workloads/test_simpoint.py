@@ -1,0 +1,111 @@
+"""Tests for the SimPoint-style interval selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.workloads.simpoint import (
+    interval_features,
+    kmeans,
+    select_simpoints,
+)
+
+
+def two_phase_stream(rng: np.random.Generator) -> np.ndarray:
+    """Phase A: tight 64-line loop; phase B: random over 64K lines."""
+    a = (np.arange(8000) % 64) * 64
+    b = rng.integers(0, 1 << 16, 8000) * 64
+    return np.concatenate([a, b]).astype(np.int64)
+
+
+class TestFeatures:
+    def test_shape_and_normalization(self):
+        addrs = np.arange(5000) * 64
+        feats = interval_features(addrs, interval=1000, buckets=32)
+        assert feats.shape == (5, 32)
+        assert np.allclose(feats.sum(axis=1), 1.0)
+
+    def test_partial_interval_dropped(self):
+        addrs = np.arange(2500) * 64
+        feats = interval_features(addrs, interval=1000)
+        assert feats.shape[0] == 2
+
+    def test_identical_intervals_identical_features(self):
+        addrs = np.tile(np.arange(100) * 64, 30)
+        feats = interval_features(addrs, interval=1000)
+        assert np.allclose(feats, feats[0])
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            interval_features(np.array([]), 10)
+        with pytest.raises(InvalidParameterError):
+            interval_features(np.arange(5) * 64, 10)
+
+
+class TestKMeans:
+    def test_separates_clear_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, (40, 3))
+        b = rng.normal(5.0, 0.05, (40, 3))
+        x = np.vstack([a, b])
+        labels, centroids = kmeans(x, 2, rng)
+        assert len(set(labels[:40])) == 1
+        assert len(set(labels[40:])) == 1
+        assert labels[0] != labels[40]
+
+    def test_k_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((20, 4))
+        labels, centroids = kmeans(x, 1, rng)
+        assert np.all(labels == 0)
+        assert np.allclose(centroids[0], x.mean(axis=0))
+
+    def test_k_bounds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(InvalidParameterError):
+            kmeans(np.ones((3, 2)), 4, rng)
+
+
+class TestSelection:
+    def test_two_phase_stream_yields_both_phases(self):
+        rng = np.random.default_rng(7)
+        addrs = two_phase_stream(rng)
+        sel = select_simpoints(addrs, interval=1000, k=2, seed=7)
+        # Representatives must cover both halves of the stream.
+        reps = sorted(sel.representatives)
+        assert reps[0] < 8 <= reps[-1]
+        assert sum(sel.weights) == pytest.approx(1.0)
+
+    def test_weights_match_phase_sizes(self):
+        rng = np.random.default_rng(7)
+        addrs = two_phase_stream(rng)
+        sel = select_simpoints(addrs, interval=1000, k=2, seed=7)
+        # Two equal phases -> roughly equal weights.
+        assert min(sel.weights) > 0.3
+
+    def test_weighted_estimate_reconstructs_mean(self):
+        rng = np.random.default_rng(3)
+        addrs = two_phase_stream(rng)
+        sel = select_simpoints(addrs, interval=1000, k=2, seed=3)
+        # Per-interval "statistic": distinct lines per interval.
+        def distinct(idx: int) -> float:
+            s = addrs[idx * 1000:(idx + 1) * 1000] // 64
+            return float(np.unique(s).size)
+        estimate = sel.weighted_estimate(
+            [distinct(r) for r in sel.representatives])
+        truth = np.mean([distinct(i) for i in range(len(addrs) // 1000)])
+        assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_slices(self):
+        rng = np.random.default_rng(0)
+        addrs = two_phase_stream(rng)
+        sel = select_simpoints(addrs, interval=1000, k=2, seed=0)
+        for s in sel.slices():
+            assert s.stop - s.start == 1000
+
+    def test_k_clamped_to_interval_count(self):
+        addrs = np.arange(3000) * 64
+        sel = select_simpoints(addrs, interval=1000, k=10, seed=0)
+        assert len(sel.representatives) <= 3

@@ -1,0 +1,143 @@
+"""Tests for the synthetic and PARSEC-like workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capacity.workingset import working_set_size
+from repro.errors import InvalidParameterError
+from repro.workloads import PARSEC_LIKE, PhasedWorkload, SyntheticWorkload, \
+    parsec_like
+from repro.workloads.base import interleave_gaps
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestSyntheticWorkload:
+    def test_footprint_bounded_by_working_set(self, rng):
+        wl = SyntheticWorkload(n_ops=5000, working_set_kib=64.0)
+        stream = wl.address_stream(rng)
+        assert stream.max() < 64 * 1024
+
+    def test_hot_fraction_concentrates(self, rng):
+        wl = SyntheticWorkload(n_ops=8000, working_set_kib=1024.0,
+                               hot_fraction=0.9, hot_set_kib=8.0,
+                               stream_fraction=0.05)
+        stream = wl.address_stream(rng)
+        in_hot = np.mean(stream < 8 * 1024)
+        assert in_hot > 0.8
+
+    def test_no_consecutive_same_line(self, rng):
+        wl = SyntheticWorkload(n_ops=5000, stream_fraction=0.8,
+                               hot_fraction=0.1)
+        stream = wl.address_stream(rng)
+        lines = stream // 64
+        assert np.all(lines[1:] != lines[:-1])
+
+    def test_streams_shapes(self, rng):
+        wl = SyntheticWorkload(n_ops=4000)
+        parts = wl.streams(4, rng)
+        assert len(parts) == 4
+        for addrs, gaps, writes in parts:
+            assert addrs.shape == gaps.shape == writes.shape
+            assert np.all(gaps >= 0)
+
+    def test_shared_tiers_are_read_only(self, rng):
+        wl = SyntheticWorkload(n_ops=4000, hot_fraction=0.5,
+                               hot_set_kib=16.0, warm_fraction=0.2,
+                               warm_set_kib=64.0, stream_fraction=0.2,
+                               working_set_kib=1024.0, write_fraction=0.9)
+        shared_bytes = (16 + 64) * 1024
+        for addrs, _gaps, writes in wl.streams(2, rng):
+            assert not np.any(writes[addrs < shared_bytes])
+
+    def test_fmem_realized_by_gaps(self, rng):
+        gaps = interleave_gaps(20000, 0.25, rng)
+        total_instr = gaps.sum() + gaps.size
+        assert gaps.size / total_instr == pytest.approx(0.25, rel=0.05)
+
+    def test_fmem_one_means_no_gaps(self, rng):
+        assert interleave_gaps(10, 1.0, rng).sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SyntheticWorkload(hot_fraction=0.7, warm_fraction=0.2,
+                              stream_fraction=0.3)
+        with pytest.raises(InvalidParameterError):
+            SyntheticWorkload(hot_set_kib=100.0, working_set_kib=10.0)
+        with pytest.raises(InvalidParameterError):
+            SyntheticWorkload(burst_length=0.5)
+
+    def test_warm_tier_location(self, rng):
+        wl = SyntheticWorkload(n_ops=6000, hot_fraction=0.0,
+                               warm_fraction=1.0, warm_set_kib=32.0,
+                               hot_set_kib=8.0, stream_fraction=0.0,
+                               working_set_kib=1024.0)
+        stream = wl.address_stream(rng)
+        hot_bytes = 8 * 1024
+        assert stream.min() >= hot_bytes
+        assert stream.max() < hot_bytes + 32 * 1024 + 64
+
+
+class TestParsecLike:
+    def test_suite_members(self):
+        assert "fluidanimate" in PARSEC_LIKE
+        assert len(PARSEC_LIKE) >= 6
+
+    def test_override(self):
+        wl = parsec_like("fluidanimate", n_ops=123)
+        assert wl.n_ops == 123
+        assert wl.name == "fluidanimate"
+
+    def test_unknown_profile(self):
+        with pytest.raises(InvalidParameterError):
+            parsec_like("doom-eternal")
+
+    def test_fluidanimate_large_working_set(self, rng):
+        wl = parsec_like("fluidanimate", n_ops=4000)
+        chars = wl.characteristics()
+        assert chars.working_set_kib >= 16 * 1024
+        stream = wl.address_stream(rng)
+        assert working_set_size(stream // 64) > 100
+
+    def test_distinct_profiles_distinct_behaviour(self, rng):
+        compute = parsec_like("blackscholes").characteristics()
+        memory = parsec_like("canneal").characteristics()
+        assert compute.f_mem < memory.f_mem
+        assert compute.working_set_kib < memory.working_set_kib
+
+
+class TestPhasedWorkload:
+    def test_concatenation_and_boundaries(self, rng):
+        a = SyntheticWorkload(name="a", n_ops=1000)
+        b = SyntheticWorkload(name="b", n_ops=2000)
+        phased = PhasedWorkload([a, b])
+        stream = phased.address_stream(rng)
+        bounds = phased.boundaries
+        assert len(bounds) == 2
+        assert bounds[-1] == stream.size
+        slices = phased.phase_slices()
+        assert slices[0].start == 0
+        assert slices[1].stop == stream.size
+
+    def test_characteristics_weighting(self):
+        a = SyntheticWorkload(name="a", n_ops=1000, f_mem=0.2,
+                              working_set_kib=100.0)
+        b = SyntheticWorkload(name="b", n_ops=3000, f_mem=0.6,
+                              working_set_kib=1000.0)
+        chars = PhasedWorkload([a, b]).characteristics()
+        assert chars.f_mem == pytest.approx(0.5)
+        assert chars.working_set_kib == 1000.0
+
+    def test_boundaries_before_generation_rejected(self):
+        phased = PhasedWorkload([SyntheticWorkload(n_ops=10)])
+        with pytest.raises(InvalidParameterError):
+            _ = phased.boundaries
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PhasedWorkload([])
