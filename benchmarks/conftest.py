@@ -2,14 +2,22 @@
 
 Every benchmark regenerates one paper table/figure, asserts the paper's
 qualitative claims about it (who wins, where crossovers fall), and saves
-the series as CSV under ``results/``.
+the series as CSV under ``results/``.  :func:`run_once` additionally
+persists a ``BENCH_<test>.json`` record there — wall time, provenance
+and the run's headline metrics from the observability registry — so a
+benchmark's simulation budget and cache behavior are auditable after
+the fact.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
+
+from repro.obs import MANIFEST_SCHEMA, get_registry, git_sha, package_version
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -21,6 +29,35 @@ def results_dir() -> Path:
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run a heavy experiment exactly once under pytest-benchmark."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                              iterations=1, rounds=1)
+    """Run a heavy experiment exactly once under pytest-benchmark.
+
+    Also writes ``results/BENCH_<test>.json`` with the wall time and the
+    metrics the run published (counters/gauges are reset first, so the
+    record holds this benchmark's numbers, not the session's total).
+    """
+    registry = get_registry()
+    registry.reset()
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                iterations=1, rounds=1)
+    wall_time_s = time.perf_counter() - t0
+    _write_bench_record(benchmark.name, fn, wall_time_s,
+                        registry.snapshot())
+    return result
+
+
+def _write_bench_record(test_name: str, fn, wall_time_s: float,
+                        metrics: dict) -> None:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    record = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": getattr(fn, "__name__", str(fn)),
+        "test": test_name,
+        "package_version": package_version(),
+        "git_sha": git_sha(),
+        "wall_time_s": wall_time_s,
+        "metrics": metrics,
+    }
+    path = RESULTS_DIR / f"BENCH_{test_name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True,
+                               default=str) + "\n")

@@ -6,6 +6,14 @@ Usage::
     c2bound fig1
     c2bound fig8 [--out results/]
     c2bound all --out results/
+    c2bound fig12 --trace trace.jsonl --metrics-out metrics.json
+
+Every run is observable: ``--trace`` writes a JSONL span/event trace
+(schema in ``docs/OBSERVABILITY.md``), ``--metrics-out`` snapshots the
+metrics registry (simulation budgets, per-layer cache counters, solver
+work), ``--manifest`` records the run's provenance (config, seed, git
+SHA, wall time, final metrics), and ``--quiet`` silences stdout while
+leaving all of those outputs intact.
 """
 
 from __future__ import annotations
@@ -16,97 +24,110 @@ from pathlib import Path
 from typing import Callable
 
 from repro.io.results import ResultTable
+from repro.obs import (
+    Reporter,
+    RunManifest,
+    configure_tracing,
+    get_registry,
+    package_version,
+)
 
 __all__ = ["main"]
 
 
-def _fig8() -> ResultTable:
+def _fig8(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_scaling_figure
     return run_scaling_figure(f_mem=0.3, quantity="WT")
 
 
-def _fig9() -> ResultTable:
+def _fig9(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_scaling_figure
     return run_scaling_figure(f_mem=0.9, quantity="WT")
 
 
-def _fig10() -> ResultTable:
+def _fig10(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_scaling_figure
     return run_scaling_figure(f_mem=0.3, quantity="throughput")
 
 
-def _fig11() -> ResultTable:
+def _fig11(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_scaling_figure
     return run_scaling_figure(f_mem=0.9, quantity="throughput")
 
 
-def _fig12() -> ResultTable:
+def _fig12(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_fig12
-    table, _ = run_fig12()
+    table, outcome = run_fig12()
+    reporter.note(f"APS narrowed {outcome.space_size:,} points to "
+                  f"{outcome.aps_sims} simulations")
     return table
 
 
-def _fig1() -> ResultTable:
+def _fig1(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_fig1
     return run_fig1()
 
 
-def _table1() -> ResultTable:
+def _table1(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_table1
     return run_table1()
 
 
-def _fig7() -> ResultTable:
+def _fig7(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_fig7
     return run_fig7()
 
 
-def _fig13() -> ResultTable:
+def _fig13(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_fig13
     return run_fig13()
 
 
-def _capacity() -> ResultTable:
+def _capacity(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_capacity_bound
     return run_capacity_bound()
 
 
-def _aps_accuracy() -> ResultTable:
+def _aps_accuracy(reporter: Reporter) -> ResultTable:
     from repro.experiments import run_aps_accuracy
     table, _ = run_aps_accuracy()
     return table
 
 
-def _calibration() -> ResultTable:
+def _calibration(reporter: Reporter) -> ResultTable:
     from repro.experiments.calibration import run_calibration
     table, rho = run_calibration()
-    print(f"[fitted-vs-simulated miss-rate rank correlation: {rho:.3f}]")
+    reporter.note(
+        f"fitted-vs-simulated miss-rate rank correlation: {rho:.3f}",
+        metric="experiment.calibration.rank_correlation", value=rho)
     return table
 
 
-def _mechanisms() -> ResultTable:
+def _mechanisms(reporter: Reporter) -> ResultTable:
     from repro.experiments.mechanisms import run_mechanism_sweep
     return run_mechanism_sweep()
 
 
-def _validation() -> ResultTable:
+def _validation(reporter: Reporter) -> ResultTable:
     from repro.experiments.validation import run_model_validation
     table, rho = run_model_validation()
-    print(f"[Spearman rank correlation: {rho:.3f}]")
+    reporter.note(
+        f"Spearman rank correlation: {rho:.3f}",
+        metric="experiment.validation.rank_correlation", value=rho)
     return table
 
 
-def _ablation_factors() -> ResultTable:
+def _ablation_factors(reporter: Reporter) -> ResultTable:
     from repro.experiments.ablation import run_factor_ablation
     return run_factor_ablation()
 
 
-def _ablation_miss_curve() -> ResultTable:
+def _ablation_miss_curve(reporter: Reporter) -> ResultTable:
     from repro.experiments.ablation import run_miss_curve_ablation
     return run_miss_curve_ablation()
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[], ResultTable]]] = {
+EXPERIMENTS: dict[str, tuple[str, Callable[[Reporter], ResultTable]]] = {
     "fig1": ("C-AMAT worked example (exact match)", _fig1),
     "table1": ("g(N) factors of Table I", _table1),
     "fig7": ("core allocation for multiple tasks", _fig7),
@@ -130,60 +151,120 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], ResultTable]]] = {
 }
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    """Entry point for the ``c2bound`` console script."""
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="c2bound",
         description="Regenerate tables/figures of the C2-Bound paper "
                     "(Liu & Sun, SC'15).")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     parser.add_argument("experiment",
                         help="experiment id, 'list', 'all', or "
                              "'characterize'")
     parser.add_argument("--out", type=Path, default=None,
-                        help="directory for CSV output (optional)")
+                        help="directory for CSV output (optional); also "
+                             "receives the run manifest")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write a JSONL span/event trace to FILE")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="write a JSON metrics-registry snapshot to FILE")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        metavar="FILE",
+                        help="write a run manifest (config, seed, git SHA, "
+                             "wall time, metrics) to FILE")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress stdout (files are still written)")
     parser.add_argument("--workload", default="fluidanimate",
                         help="workload name for 'characterize' "
                              "(a PARSEC-like profile)")
     parser.add_argument("--n-ops", type=int, default=8000,
                         help="memory operations for 'characterize'")
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for the ``c2bound`` console script."""
+    args = _build_parser().parse_args(argv)
+    reporter = Reporter(quiet=args.quiet)
 
     if args.experiment == "list":
-        for key, (desc, _fn) in EXPERIMENTS.items():
-            print(f"{key:20s} {desc}")
-        print(f"{'characterize':20s} measure a workload's C2-Bound profile "
-              "(--workload, --n-ops)")
+        if not args.quiet:
+            for key, (desc, _fn) in EXPERIMENTS.items():
+                print(f"{key:20s} {desc}")
+            print(f"{'characterize':20s} measure a workload's C2-Bound "
+                  "profile (--workload, --n-ops)")
         return 0
 
-    if args.experiment == "characterize":
-        return _characterize_command(args)
+    # Fresh accounting per invocation: tracing always aggregates (for
+    # the timing summary); the JSONL sink exists only with --trace.
+    registry = get_registry()
+    registry.reset()
+    tracer = configure_tracing(args.trace, enabled=True)
+    manifest = RunManifest(
+        args.experiment,
+        config={"out": str(args.out) if args.out else None,
+                "trace": str(args.trace) if args.trace else None,
+                "workload": args.workload, "n_ops": args.n_ops},
+        argv=list(sys.argv[1:]) if argv is None else list(argv))
+    try:
+        if args.experiment == "characterize":
+            status = _characterize_command(args, reporter)
+        else:
+            status = _run_experiments(args, reporter, tracer)
+        if status == 0:
+            _write_outputs(args, reporter, tracer, manifest, registry)
+    finally:
+        # Close the sink and restore the default disabled tracer so
+        # library use after main() pays no tracing cost.
+        tracer.close()
+        from repro.obs import disable_tracing
+        disable_tracing()
+    return status
 
+
+def _run_experiments(args, reporter: Reporter, tracer) -> int:
     keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [k for k in keys if k not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}; "
-              f"try 'c2bound list'", file=sys.stderr)
+        reporter.error(f"unknown experiment(s): {', '.join(unknown)}; "
+                       f"try 'c2bound list'")
         return 2
     for key in keys:
         _desc, fn = EXPERIMENTS[key]
-        table = fn()
-        print(table.render())
-        print()
+        with tracer.span(f"experiment.{key}"):
+            table = fn(reporter)
+        reporter.table(table)
         if args.out is not None:
             path = table.save_csv(args.out / f"{key}.csv")
-            print(f"[saved {path}]")
+            reporter.saved(path)
     return 0
 
 
-def _characterize_command(args) -> int:
+def _write_outputs(args, reporter: Reporter, tracer, manifest,
+                   registry) -> None:
+    """End-of-run artifacts: timing summary, metrics, manifest."""
+    timing = tracer.timing_table()
+    if timing is not None:
+        reporter.table(timing, trailing_blank=False)
+    if args.metrics_out is not None:
+        reporter.saved(registry.write_json(args.metrics_out))
+    manifest_path = args.manifest
+    if manifest_path is None and args.out is not None:
+        manifest_path = args.out / f"manifest_{args.experiment}.json"
+    if manifest_path is not None:
+        reporter.saved(manifest.write(manifest_path,
+                                      metrics=registry.snapshot()))
+
+
+def _characterize_command(args, reporter: Reporter) -> int:
     """Measure a workload's profile and print the model inputs."""
     from repro.characterize import characterize
     from repro.workloads.parsec import PARSEC_LIKE, parsec_like
 
     if args.workload not in PARSEC_LIKE:
-        print(f"unknown workload {args.workload!r}; "
-              f"available: {', '.join(sorted(PARSEC_LIKE))}",
-              file=sys.stderr)
+        reporter.error(f"unknown workload {args.workload!r}; "
+                       f"available: {', '.join(sorted(PARSEC_LIKE))}")
         return 2
     workload = parsec_like(args.workload, n_ops=args.n_ops)
     report = characterize(workload)
@@ -196,10 +277,10 @@ def _characterize_command(args) -> int:
     table.add_row("working set (KiB)", report.working_set_kib)
     table.add_row("instructions", profile.ic0)
     table.add_row("g(N) regime", profile.g.regime())
-    print(table.render())
+    reporter.table(table, trailing_blank=False)
     if args.out is not None:
         path = table.save_csv(args.out / f"characterize_{args.workload}.csv")
-        print(f"[saved {path}]")
+        reporter.saved(path)
     return 0
 
 

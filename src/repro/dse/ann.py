@@ -17,6 +17,7 @@ import numpy as np
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError, InvalidParameterError
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["MLPRegressor", "ANNPredictorSearch", "ANNSearchResult"]
 
@@ -159,29 +160,37 @@ class ANNPredictorSearch:
         ``predict_sample`` bounds the prediction pass over huge spaces.
         """
         budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
-                  else BudgetedEvaluator(evaluator))
+                  else BudgetedEvaluator(evaluator, method="ann"))
+        tracer = get_tracer()
         rng = np.random.default_rng(self.seed)
         train_x: list[np.ndarray] = []
         train_y: list[float] = []
         history: list[tuple[int, float]] = []
         cv_error = float("inf")
-        for _ in range(self.max_rounds):
-            for config in self.space.sample(self.batch, rng):
-                if not is_feasible(budget, config):
-                    continue  # design-rule reject: no simulation spent
-                cost = budget.evaluate(config)
-                if not np.isfinite(cost):
+        for round_no in range(self.max_rounds):
+            with tracer.span("dse.ann.round", round=round_no,
+                             target_error=target_error) as round_span:
+                for config in self.space.sample(self.batch, rng):
+                    if not is_feasible(budget, config):
+                        continue  # design-rule reject: no simulation spent
+                    cost = budget.evaluate(config)
+                    if not np.isfinite(cost):
+                        continue
+                    train_x.append(self.space.as_features(config))
+                    train_y.append(np.log(cost))
+                if len(train_y) < 4:
                     continue
-                train_x.append(self.space.as_features(config))
-                train_y.append(np.log(cost))
-            if len(train_y) < 4:
-                continue
-            x = np.vstack(train_x)
-            y = np.asarray(train_y)
-            cv_error = self._cv_error(x, y, rng)
+                x = np.vstack(train_x)
+                y = np.asarray(train_y)
+                cv_error = self._cv_error(x, y, rng)
+                round_span.set_attr(cv_error=cv_error,
+                                    simulations=budget.evaluations)
             history.append((budget.evaluations, cv_error))
             if cv_error <= target_error:
                 break
+        registry = get_registry()
+        registry.gauge("dse.ann.cv_error").set(cv_error)
+        registry.gauge("dse.ann.rounds").set(len(history))
         # Final model on all data; simulate the top-k predictions and
         # keep the best feasible one (the model cannot know the area
         # feasibility boundary from feasible-only training data).

@@ -28,6 +28,7 @@ from repro.core.params import ApplicationProfile, MachineParameters
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["APSResult", "APSExplorer"]
 
@@ -149,9 +150,11 @@ class APSExplorer:
             parameter of the space.
         """
         budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
-                  else BudgetedEvaluator(evaluator))
-        analytic = self.analytic_skeleton()
-        center = self._feasible_center(analytic)
+                  else BudgetedEvaluator(evaluator, method="aps"))
+        tracer = get_tracer()
+        with tracer.span("dse.aps.analytic"):
+            analytic = self.analytic_skeleton()
+            center = self._feasible_center(analytic)
         if simulated_params is None:
             simulated_params = [name for name in self.space.names
                                 if name not in self.ANALYTIC_PARAMS]
@@ -160,11 +163,20 @@ class APSExplorer:
         start = budget.evaluations
         best_cost = float("inf")
         best_config: dict = {}
-        for config in candidates:
-            cost = budget.evaluate(config)
-            if cost < best_cost:
-                best_cost = cost
-                best_config = config
+        with tracer.span("dse.aps.simulate", candidates=len(candidates),
+                         radius=radius):
+            for config in candidates:
+                cost = budget.evaluate(config)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_config = config
+        registry = get_registry()
+        registry.gauge("dse.aps.candidates").set(len(candidates))
+        registry.gauge("dse.aps.space_size").set(self.space.size)
+        sims = budget.evaluations - start
+        if sims:
+            registry.gauge("dse.aps.narrowing_factor").set(
+                self.space.size / sims)
         return APSResult(
             analytic=analytic,
             best_config=best_config,

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator
 from repro.dse.space import DesignSpace
+from repro.obs import get_tracer
 
 __all__ = ["BruteForceResult", "brute_force_search"]
 
@@ -39,13 +40,14 @@ def brute_force_search(space: DesignSpace,
                        evaluator: Evaluator) -> BruteForceResult:
     """Evaluate every configuration; return the global optimum."""
     budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
-              else BudgetedEvaluator(evaluator))
+              else BudgetedEvaluator(evaluator, method="brute"))
     best_cost = float("inf")
     best_config: dict = {}
-    for config in space:
-        cost = budget.evaluate(config)
-        if cost < best_cost:
-            best_cost = cost
-            best_config = config
+    with get_tracer().span("dse.brute.sweep", space_size=space.size):
+        for config in space:
+            cost = budget.evaluate(config)
+            if cost < best_cost:
+                best_cost = cost
+                best_config = config
     return BruteForceResult(best_config=best_config, best_cost=best_cost,
                             evaluations=budget.evaluations)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.camat_model import CAMATModel
 from repro.core.params import ApplicationProfile, MachineParameters
 from repro.errors import DesignSpaceError
+from repro.obs import get_registry
 from repro.sim.cmp import CMPSimulator
 from repro.sim.config import CoreMicroConfig, SimulatedChip
 from repro.workloads.base import Workload
@@ -60,28 +61,55 @@ class BudgetedEvaluator:
     """Counting/caching wrapper — the Fig. 12 simulation meter.
 
     Repeated evaluations of the same configuration are cached and counted
-    once (a stored simulation result is free to reread).
+    once (a stored simulation result is free to reread).  ``evaluations``
+    counts fresh simulations only — the number Fig. 12 reports — while
+    ``evaluations_cached`` counts the free rereads separately; both are
+    mirrored into the process-wide metrics registry as
+    ``dse.evaluations`` / ``dse.evaluations_cached`` (plus a labeled
+    series per method when ``method`` is given).
     """
 
-    def __init__(self, inner: Evaluator) -> None:
+    def __init__(self, inner: Evaluator, *,
+                 method: "str | None" = None) -> None:
         self.inner = inner
+        self.method = method
         self.evaluations = 0
+        self.evaluations_cached = 0
         self._cache: dict[tuple, float] = {}
+        registry = get_registry()
+        self._ctr_fresh = registry.counter("dse.evaluations")
+        self._ctr_cached = registry.counter("dse.evaluations_cached")
+        self._ctr_fresh_method = (
+            registry.counter("dse.evaluations", method=method)
+            if method is not None else None)
 
     def evaluate(self, config: dict) -> float:
         key = tuple(sorted(config.items()))
-        if key not in self._cache:
-            self._cache[key] = float(self.inner.evaluate(config))
-            self.evaluations += 1
-        return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.evaluations_cached += 1
+            self._ctr_cached.inc()
+            return cached
+        cost = float(self.inner.evaluate(config))
+        self._cache[key] = cost
+        self.evaluations += 1
+        self._ctr_fresh.inc()
+        if self._ctr_fresh_method is not None:
+            self._ctr_fresh_method.inc()
+        return cost
 
     def is_feasible(self, config: dict) -> bool:
         """Delegates to the wrapped evaluator's design-rule check."""
         return is_feasible(self.inner, config)
 
     def reset(self) -> None:
-        """Zero the budget and drop the cache."""
+        """Zero both budget counters and drop the cache.
+
+        Only this evaluator's local counters are reset; the registry's
+        process-wide series are cumulative by design.
+        """
         self.evaluations = 0
+        self.evaluations_cached = 0
         self._cache.clear()
 
 

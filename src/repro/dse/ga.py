@@ -15,6 +15,7 @@ import numpy as np
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["GAResult", "genetic_search"]
 
@@ -56,7 +57,7 @@ def genetic_search(
     if elite >= population:
         raise DesignSpaceError("elite count must be below the population")
     budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
-              else BudgetedEvaluator(evaluator))
+              else BudgetedEvaluator(evaluator, method="ga"))
     rng = np.random.default_rng(seed)
     radixes = [len(p.values) for p in space.parameters]
 
@@ -70,28 +71,32 @@ def genetic_search(
             return float("inf")  # design-rule reject: no simulation spent
         return budget.evaluate(config)
 
-    pop = np.stack([
-        np.array([rng.integers(0, r) for r in radixes])
-        for _ in range(population)])
-    costs = np.array([fitness(g) for g in pop])
-    gens_done = 0
-    for gen in range(generations):
-        gens_done = gen + 1
-        order = np.argsort(costs)
-        new_pop = [pop[i].copy() for i in order[:elite]]
-        while len(new_pop) < population:
-            parents = []
-            for _ in range(2):
-                contenders = rng.integers(0, population, tournament)
-                parents.append(pop[contenders[np.argmin(costs[contenders])]])
-            mask = rng.random(len(radixes)) < 0.5
-            child = np.where(mask, parents[0], parents[1])
-            mut = rng.random(len(radixes)) < mutation_rate
-            for i in np.flatnonzero(mut):
-                child[i] = rng.integers(0, radixes[i])
-            new_pop.append(child)
-        pop = np.stack(new_pop)
+    with get_tracer().span("dse.ga.search", population=population,
+                           generations=generations):
+        pop = np.stack([
+            np.array([rng.integers(0, r) for r in radixes])
+            for _ in range(population)])
         costs = np.array([fitness(g) for g in pop])
+        gens_done = 0
+        for gen in range(generations):
+            gens_done = gen + 1
+            order = np.argsort(costs)
+            new_pop = [pop[i].copy() for i in order[:elite]]
+            while len(new_pop) < population:
+                parents = []
+                for _ in range(2):
+                    contenders = rng.integers(0, population, tournament)
+                    parents.append(
+                        pop[contenders[np.argmin(costs[contenders])]])
+                mask = rng.random(len(radixes)) < 0.5
+                child = np.where(mask, parents[0], parents[1])
+                mut = rng.random(len(radixes)) < mutation_rate
+                for i in np.flatnonzero(mut):
+                    child[i] = rng.integers(0, radixes[i])
+                new_pop.append(child)
+            pop = np.stack(new_pop)
+            costs = np.array([fitness(g) for g in pop])
+    get_registry().gauge("dse.ga.generations").set(gens_done)
     best = int(np.argmin(costs))
     return GAResult(
         best_config=decode(pop[best]),

@@ -16,6 +16,7 @@ import numpy as np
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["RSMResult", "response_surface_search"]
 
@@ -66,7 +67,7 @@ def response_surface_search(
         raise DesignSpaceError(
             f"initial sample count must be >= 8, got {initial_samples}")
     budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
-              else BudgetedEvaluator(evaluator))
+              else BudgetedEvaluator(evaluator, method="rsm"))
     rng = np.random.default_rng(seed)
     xs: list[np.ndarray] = []
     ys: list[float] = []
@@ -84,30 +85,32 @@ def response_surface_search(
     best_config: dict = {}
     best_cost = float("inf")
     rounds_done = 0
-    for r in range(rounds):
-        rounds_done = r + 1
-        if len(ys) < 8:
-            simulate(space.sample(initial_samples, rng))
-            continue
-        phi = _quad_features(np.vstack(xs))
-        coef, *_ = np.linalg.lstsq(phi, np.asarray(ys), rcond=None)
-        if space.size <= predict_sample:
-            candidates = list(space)
-        else:
-            candidates = space.sample(predict_sample, rng)
-        candidates = [c for c in candidates if is_feasible(budget, c)]
-        feats = _quad_features(
-            np.vstack([space.as_features(c) for c in candidates]))
-        pred = feats @ coef
-        order = np.argsort(pred)
-        # Simulate the top predictions plus fresh exploration samples.
-        top = [candidates[int(i)] for i in order[:refine_samples]]
-        simulate(top)
-        simulate(space.sample(max(refine_samples // 2, 1), rng))
-        for c in top:
-            cost = budget.evaluate(c)
-            if cost < best_cost:
-                best_cost = cost
-                best_config = c
+    with get_tracer().span("dse.rsm.search", rounds=rounds):
+        for r in range(rounds):
+            rounds_done = r + 1
+            if len(ys) < 8:
+                simulate(space.sample(initial_samples, rng))
+                continue
+            phi = _quad_features(np.vstack(xs))
+            coef, *_ = np.linalg.lstsq(phi, np.asarray(ys), rcond=None)
+            if space.size <= predict_sample:
+                candidates = list(space)
+            else:
+                candidates = space.sample(predict_sample, rng)
+            candidates = [c for c in candidates if is_feasible(budget, c)]
+            feats = _quad_features(
+                np.vstack([space.as_features(c) for c in candidates]))
+            pred = feats @ coef
+            order = np.argsort(pred)
+            # Simulate the top predictions plus fresh exploration samples.
+            top = [candidates[int(i)] for i in order[:refine_samples]]
+            simulate(top)
+            simulate(space.sample(max(refine_samples // 2, 1), rng))
+            for c in top:
+                cost = budget.evaluate(c)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_config = c
+    get_registry().gauge("dse.rsm.rounds").set(rounds_done)
     return RSMResult(best_config=best_config, best_cost=best_cost,
                      evaluations=budget.evaluations, rounds=rounds_done)

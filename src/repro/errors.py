@@ -43,3 +43,7 @@ class SimulationError(ReproError):
 
 class DesignSpaceError(ReproError, ValueError):
     """A design-space definition or query is invalid."""
+
+
+class ObservabilityError(ReproError, ValueError):
+    """A metrics-registry or tracing operation is invalid."""

@@ -25,6 +25,7 @@ from repro.dse.rsm import response_surface_search
 from repro.dse.space import DesignSpace, Parameter
 from repro.io.results import ResultTable
 from repro.laws.gfunction import PowerLawG
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["run_fig12", "fluidanimate_space", "fluidanimate_profile",
            "Fig12Outcome"]
@@ -94,6 +95,7 @@ def run_fig12(*, values_per_param: int = 10,
     Errors are relative to the surrogate ground truth's global optimum
     (found by exact enumeration, which the surrogate makes affordable).
     """
+    tracer = get_tracer()
     app, machine = fluidanimate_profile()
     space = fluidanimate_space(values_per_param)
     surrogate = SurrogateEvaluator(app, machine)
@@ -101,26 +103,38 @@ def run_fig12(*, values_per_param: int = 10,
     # Ground truth: exact (vectorized) enumeration of the surrogate —
     # the substituted "128 Xeons x 4 weeks" full sweep.
     import numpy as np
-    best_cost = float(np.min(surrogate.evaluate_grid(space)))
+    with tracer.span("experiment.fig12.full_sweep", space_size=space.size):
+        best_cost = float(np.min(surrogate.evaluate_grid(space)))
 
     def error_of(cost: float) -> float:
         return (cost - best_cost) / best_cost
 
-    aps_budget = BudgetedEvaluator(surrogate)
-    aps = APSExplorer(app, machine, space).explore(aps_budget)
+    with tracer.span("experiment.fig12.aps"):
+        aps_budget = BudgetedEvaluator(surrogate, method="aps")
+        aps = APSExplorer(app, machine, space).explore(aps_budget)
 
     # Paper protocol: ANN trains until it matches APS's accuracy (the
     # paper quotes 5.96% for both); floor the target to stay meaningful.
     ann_target = max(error_of(aps.best_cost), 0.0596)
-    ann_budget = BudgetedEvaluator(surrogate)
-    ann = ANNPredictorSearch(space, seed=seed).search(
-        ann_budget, target_error=ann_target)
+    with tracer.span("experiment.fig12.ann"):
+        ann_budget = BudgetedEvaluator(surrogate, method="ann")
+        ann = ANNPredictorSearch(space, seed=seed).search(
+            ann_budget, target_error=ann_target)
 
-    ga_budget = BudgetedEvaluator(surrogate)
-    ga = genetic_search(space, ga_budget, seed=seed)
+    with tracer.span("experiment.fig12.ga"):
+        ga_budget = BudgetedEvaluator(surrogate, method="ga")
+        ga = genetic_search(space, ga_budget, seed=seed)
 
-    rsm_budget = BudgetedEvaluator(surrogate)
-    rsm = response_surface_search(space, rsm_budget, seed=seed)
+    with tracer.span("experiment.fig12.rsm"):
+        rsm_budget = BudgetedEvaluator(surrogate, method="rsm")
+        rsm = response_surface_search(space, rsm_budget, seed=seed)
+
+    registry = get_registry()
+    registry.gauge("fig12.space_size").set(space.size)
+    registry.gauge("fig12.aps_sims").set(aps.simulations)
+    registry.gauge("fig12.ann_sims").set(ann.simulations)
+    registry.gauge("fig12.ga_sims").set(ga.evaluations)
+    registry.gauge("fig12.rsm_sims").set(rsm.evaluations)
 
     outcome = Fig12Outcome(
         space_size=space.size,

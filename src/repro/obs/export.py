@@ -1,0 +1,83 @@
+"""Metric export and the structured CLI reporter.
+
+The reporter is the one output funnel of the ``c2bound`` CLI: tables,
+result notes and file-save confirmations all pass through it, so
+``--quiet`` silences everything uniformly while ``--metrics-out`` and
+manifests still capture the numbers (a note's value is mirrored into
+the registry as a gauge before it is printed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.span import Tracer, get_tracer
+
+__all__ = ["write_metrics", "timing_table", "Reporter"]
+
+
+def write_metrics(path: "str | Path",
+                  registry: "MetricsRegistry | None" = None) -> Path:
+    """Write a registry snapshot as JSON; returns the path."""
+    registry = registry if registry is not None else get_registry()
+    return registry.write_json(path)
+
+
+def timing_table(tracer: "Tracer | None" = None):
+    """The tracer's aggregated timing summary (``None`` if no spans)."""
+    tracer = tracer if tracer is not None else get_tracer()
+    return tracer.timing_table()
+
+
+class Reporter:
+    """Structured stdout reporting with uniform ``--quiet`` behavior.
+
+    Parameters
+    ----------
+    quiet:
+        Suppress all stdout output (metrics/gauges are still recorded).
+    registry:
+        Destination for :meth:`metric` gauges (default: process-wide).
+    """
+
+    def __init__(self, *, quiet: bool = False,
+                 registry: "MetricsRegistry | None" = None) -> None:
+        self.quiet = quiet
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The destination registry (resolved late, so tests can swap)."""
+        return (self._registry if self._registry is not None
+                else get_registry())
+
+    def table(self, result_table, *, trailing_blank: bool = True) -> None:
+        """Render a :class:`~repro.io.results.ResultTable` to stdout."""
+        if self.quiet:
+            return
+        print(result_table.render())
+        if trailing_blank:
+            print()
+
+    def note(self, text: str, *, metric: "str | None" = None,
+             value: "float | None" = None) -> None:
+        """A one-line bracketed remark, optionally mirrored as a gauge."""
+        if metric is not None and value is not None:
+            self.metric(metric, value)
+        if not self.quiet:
+            print(f"[{text}]")
+
+    def metric(self, name: str, value: "int | float") -> None:
+        """Record a result value as a gauge (survives ``--quiet``)."""
+        self.registry.gauge(name).set(value)
+
+    def saved(self, path: "str | Path") -> None:
+        """Confirm a file write."""
+        if not self.quiet:
+            print(f"[saved {path}]")
+
+    def error(self, text: str) -> None:
+        """An error line (stderr; never silenced)."""
+        import sys
+        print(text, file=sys.stderr)

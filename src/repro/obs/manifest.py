@@ -1,0 +1,114 @@
+"""Run manifests: machine-readable provenance for every experiment run.
+
+A manifest records what was run (experiment name, argv, configuration,
+seed), on what code (git SHA, package version), and what came out
+(final metrics snapshot, wall time).  Saved next to an experiment's CSV
+under ``results/``, it makes every paper figure auditable: the Fig. 12
+bar heights can be cross-checked against the ``dse.evaluations``
+counter in the manifest that produced them.
+
+Volatile fields (timestamps, wall time, git SHA) are segregated so that
+:func:`stable_view` of two runs with the same configuration and seed
+compares equal — the determinism contract the test suite enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+__all__ = ["MANIFEST_SCHEMA", "VOLATILE_KEYS", "RunManifest", "git_sha",
+           "package_version", "stable_view"]
+
+MANIFEST_SCHEMA = "c2bound.manifest/1"
+
+#: Keys excluded by :func:`stable_view` (legitimately differ between
+#: repeat runs of the same configuration).
+VOLATILE_KEYS = ("started_at", "wall_time_s", "git_sha")
+
+
+def git_sha() -> "str | None":
+    """Current commit SHA of the repository holding this package.
+
+    ``None`` when git or the repository is unavailable (e.g. an
+    installed wheel) — manifests must never fail a run.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except (ImportError, PackageNotFoundError):
+        import repro
+        return repro.__version__
+
+
+def stable_view(manifest: dict) -> dict:
+    """The manifest minus volatile keys — equal across identical runs."""
+    return {k: v for k, v in manifest.items() if k not in VOLATILE_KEYS}
+
+
+class RunManifest:
+    """Builder for one run's manifest.
+
+    Create it when the run starts (wall clock starts ticking), then
+    :meth:`finish` or :meth:`write` when it ends.
+
+    Parameters
+    ----------
+    experiment:
+        Name of the experiment (CLI key, benchmark id, ...).
+    config:
+        JSON-serializable run configuration (flags, parameters).
+    seed:
+        The run's RNG seed, when one exists.
+    argv:
+        Command-line arguments, for exact reruns.
+    """
+
+    def __init__(self, experiment: str, *, config: "dict | None" = None,
+                 seed: "int | None" = None,
+                 argv: "list[str] | None" = None) -> None:
+        self.experiment = experiment
+        self.config = dict(config) if config else {}
+        self.seed = seed
+        self.argv = list(argv) if argv is not None else None
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+
+    def finish(self, *, metrics: "dict | None" = None) -> dict:
+        """The completed manifest as a plain dict."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "experiment": self.experiment,
+            "argv": self.argv,
+            "config": self.config,
+            "seed": self.seed,
+            "package_version": package_version(),
+            "git_sha": git_sha(),
+            "started_at": self.started_at,
+            "wall_time_s": time.perf_counter() - self._t0,
+            "metrics": metrics if metrics is not None else {},
+        }
+
+    def write(self, path: "str | Path", *,
+              metrics: "dict | None" = None) -> Path:
+        """Write the manifest as sorted, indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.finish(metrics=metrics), indent=2,
+                                   sort_keys=True, default=str) + "\n")
+        return path

@@ -1,0 +1,240 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+The registry is the single accounting surface of the reproduction: the
+simulator publishes per-layer hit/miss/stall counts into it, the DSE
+methods publish their simulation budgets (the Fig. 12 meter), and the
+solvers publish iteration counts.  Metrics are plain Python numbers
+behind tiny ``__slots__`` objects, so incrementing a counter costs one
+attribute add — cheap enough to leave enabled unconditionally.
+
+Metric identity is ``name`` plus an optional set of labels
+(``counter("dse.evaluations", method="aps")``); the flattened key used
+in snapshots is ``name{k=v,...}`` with labels sorted by key.  Creating
+the same name with a different metric type raises
+:class:`~repro.errors.ObservabilityError`.
+
+``MetricsRegistry.reset`` zeroes metrics *in place* (identity is
+preserved), so callers may cache the metric objects across resets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_registry", "set_registry"]
+
+
+def _flat_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (events, simulations, iterations)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-written value (sizes, errors, correlations)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: "int | float") -> None:
+        """Record the current value."""
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution summary (residuals, latencies).
+
+    Keeps exact ``count``/``total``/``min``/``max`` plus a bounded
+    sample of the first ``max_samples`` observations for quantiles;
+    beyond the bound only the exact aggregates keep updating.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "max_samples", "_samples")
+
+    def __init__(self, name: str, labels: dict, *,
+                 max_samples: int = 512) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: "int | float") -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 before any)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile from the retained sample."""
+        if not 0.0 <= q <= 100.0:
+            raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = round(q / 100.0 * (len(ordered) - 1))
+        return ordered[int(idx)]
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples.clear()
+
+    def _snapshot(self):
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": 0.0}
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    Thread-safe for metric *creation*; updates on the metric objects
+    themselves are plain attribute writes (the GIL makes them atomic
+    enough for accounting purposes).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+        key = _flat_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels, **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise ObservabilityError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get_or_create(Histogram, name, labels)
+
+    def get(self, name: str, **labels):
+        """The metric's snapshot value, or ``None`` if never created."""
+        metric = self._metrics.get(_flat_key(name, labels))
+        return None if metric is None else metric._snapshot()
+
+    def __iter__(self) -> Iterator[tuple[str, object]]:
+        return iter(sorted(self._metrics.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with flattened label keys, sorted."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {},
+                                "histograms": {}}
+        section = {Counter: "counters", Gauge: "gauges",
+                   Histogram: "histograms"}
+        for key, metric in self:
+            out[section[type(metric)]][key] = metric._snapshot()
+        return out
+
+    def write_json(self, path: "str | Path") -> Path:
+        """Write :meth:`snapshot` as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2,
+                                   sort_keys=True) + "\n")
+        return path
+
+    def reset(self) -> None:
+        """Zero every metric in place (object identity is preserved)."""
+        for metric in self._metrics.values():
+            metric._reset()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _registry
+    if not isinstance(registry, MetricsRegistry):
+        raise ObservabilityError(
+            f"expected a MetricsRegistry, got {type(registry).__name__}")
+    previous = _registry
+    _registry = registry
+    return previous

@@ -1,0 +1,207 @@
+"""Nestable tracing spans with near-zero disabled cost.
+
+A span times one region of work (``with tracer.span("dse.aps.simulate",
+candidates=96):``).  Spans nest: the tracer keeps a stack, each span
+records its parent's id, and the pair round-trips through the JSONL
+event stream (:mod:`repro.obs.events`) for offline analysis.
+
+Tracing is **disabled by default**: ``Tracer.span`` then returns a
+shared no-op context manager, so an instrumented call site costs one
+method call and one attribute check — the price the `<5%` overhead
+guard in ``tests/obs/test_overhead.py`` enforces.  When enabled, every
+finished span is aggregated (count + total seconds per name) for the
+CLI's end-of-run timing summary, and mirrored to the JSONL sink when
+one is attached.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+__all__ = ["Span", "Tracer", "get_tracer", "configure_tracing",
+           "disable_tracing", "span", "trace_event"]
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attr(self, **attrs) -> None:
+        """No-op attribute write."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live timed region (use as a context manager)."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "t_wall", "_t0", "duration_s")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: "int | None" = None
+        self.t_wall = 0.0
+        self._t0 = 0.0
+        self.duration_s = 0.0
+
+    def set_attr(self, **attrs) -> None:
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.span_id, self.parent_id = self.tracer._push()
+        self.t_wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._pop(self)
+        return False
+
+
+class Tracer:
+    """Span factory + aggregator + optional JSONL sink.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default for the module-level tracer),
+        :meth:`span` returns a shared no-op and :meth:`event` does
+        nothing.
+    sink:
+        Object with ``write(dict)`` (e.g.
+        :class:`repro.obs.events.JsonlWriter`); optional — an enabled
+        tracer without a sink still aggregates timings in memory.
+    """
+
+    def __init__(self, *, enabled: bool = False, sink=None) -> None:
+        self.enabled = enabled
+        self.sink = sink
+        self._stack: list[int] = []
+        self._next_id = 0
+        # name -> [span count, total seconds]
+        self.aggregates: dict[str, list] = {}
+
+    # ----- span lifecycle -------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A new child span of the innermost live span (or a root)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _push(self) -> tuple[int, "int | None"]:
+        parent = self._stack[-1] if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(span_id)
+        return span_id, parent
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (generator-held spans): drop the
+        # deepest matching entry instead of asserting.
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:
+            self._stack.remove(span.span_id)
+        agg = self.aggregates.setdefault(span.name, [0, 0.0])
+        agg[0] += 1
+        agg[1] += span.duration_s
+        if self.sink is not None:
+            self.sink.write({
+                "type": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "ts": span.t_wall,
+                "dur_s": span.duration_s,
+                "attrs": span.attrs,
+            })
+
+    # ----- point events ---------------------------------------------------
+    def event(self, name: str, **attrs) -> None:
+        """Emit an instantaneous event inside the current span."""
+        if not self.enabled or self.sink is None:
+            return
+        self.sink.write({
+            "type": "event",
+            "name": name,
+            "ts": time.time(),
+            "span": self._stack[-1] if self._stack else None,
+            "attrs": attrs,
+        })
+
+    # ----- reporting ------------------------------------------------------
+    def timing_table(self):
+        """Aggregated per-span-name timings as a
+        :class:`repro.io.results.ResultTable` (``None`` if no spans
+        finished)."""
+        if not self.aggregates:
+            return None
+        from repro.io.results import ResultTable
+        table = ResultTable(["span", "count", "total_s", "mean_ms"],
+                            title="Timing summary")
+        for name, (count, total) in sorted(
+                self.aggregates.items(), key=lambda kv: -kv[1][1]):
+            table.add_row(name, count, total, 1e3 * total / count)
+        return table
+
+    def close(self) -> None:
+        """Flush and close the sink (if any)."""
+        if self.sink is not None:
+            self.sink.close()
+            self.sink = None
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled unless configured)."""
+    return _tracer
+
+
+def configure_tracing(path: "str | Path | None" = None, *,
+                      enabled: bool = True) -> Tracer:
+    """Replace the process-wide tracer.
+
+    ``path`` attaches a JSONL sink; without it the tracer only
+    aggregates in-memory timings (enough for the timing summary).
+    The previous tracer's sink is closed.
+    """
+    from repro.obs.events import JsonlWriter
+    global _tracer
+    _tracer.close()
+    sink = JsonlWriter(path) if path is not None else None
+    _tracer = Tracer(enabled=enabled, sink=sink)
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Restore the default disabled tracer (closes any sink)."""
+    configure_tracing(None, enabled=False)
+
+
+def span(name: str, **attrs):
+    """Convenience: a span on the process-wide tracer."""
+    return _tracer.span(name, **attrs)
+
+
+def trace_event(name: str, **attrs) -> None:
+    """Convenience: a point event on the process-wide tracer."""
+    _tracer.event(name, **attrs)

@@ -188,6 +188,11 @@ class SetAssociativeCache:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
 
+    def stats(self) -> dict:
+        """Counter values for metrics publication (plain dict)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "writebacks": self.writebacks}
+
     def reset_stats(self) -> None:
         """Zero the hit/miss/writeback counters (state is kept)."""
         self.hits = 0

@@ -19,6 +19,7 @@ from repro.camat.analyzer import TraceAnalyzer, TraceStatistics
 from repro.camat.trace import AccessTrace
 from repro.errors import SimulationError
 from repro.metrics.apc import APCMeasurement, LayerAPC
+from repro.obs import get_registry, get_tracer
 from repro.sim.config import SimulatedChip
 from repro.sim.core import CoreModel, CoreResult
 from repro.sim.hierarchy import MemoryHierarchy
@@ -160,18 +161,22 @@ class CMPSimulator:
             ]
         if self.coherent:
             hierarchy.register_l1s([core.l1 for core in cores])
-        heap: list[tuple[int, int]] = []
-        for core in cores:
-            if not core.done:
-                heapq.heappush(heap, (core.peek_issue_time(), core.core_id))
-        while heap:
-            _, cid = heapq.heappop(heap)
-            core = cores[cid]
-            core.step(hierarchy)
-            if not core.done:
-                heapq.heappush(heap, (core.peek_issue_time(), cid))
+        with get_tracer().span("sim.run", cores=self.chip.n_cores,
+                               smt=smt, coherent=self.coherent):
+            heap: list[tuple[int, int]] = []
+            for core in cores:
+                if not core.done:
+                    heapq.heappush(heap,
+                                   (core.peek_issue_time(), core.core_id))
+            while heap:
+                _, cid = heapq.heappop(heap)
+                core = cores[cid]
+                core.step(hierarchy)
+                if not core.done:
+                    heapq.heappush(heap, (core.peek_issue_time(), cid))
         results = tuple(core.result() for core in cores)
         exec_cycles = max((r.finish_cycle for r in results), default=0)
+        self._publish_metrics(cores, results, hierarchy, exec_cycles)
         return SimulationResult(
             chip=self.chip,
             cores=results,
@@ -183,3 +188,29 @@ class CMPSimulator:
             upgrades=hierarchy.upgrades,
             dram_writes=hierarchy.dram_writes,
         )
+
+    @staticmethod
+    def _publish_metrics(cores, results, hierarchy, exec_cycles) -> None:
+        """Publish this run's per-layer counters under the ``sim.``
+        namespace (cumulative over a process; one batch per run, so the
+        cost is independent of the instruction count)."""
+        registry = get_registry()
+        stats: dict[str, float] = {
+            "runs": 1,
+            "instructions": sum(r.instructions for r in results),
+            "mem_ops": sum(r.mem_ops for r in results),
+            "cycles": exec_cycles,
+            "l1.hits": sum(r.l1_hits for r in results),
+            "l1.misses": sum(r.l1_misses for r in results),
+            "l1.writebacks": sum(core.l1.writebacks for core in cores),
+            "prefetches.issued": sum(r.prefetches_issued for r in results),
+            "prefetches.useful": sum(r.prefetches_useful for r in results),
+        }
+        for core in cores:
+            for name, value in core.mshr.stats().items():
+                key = f"l1.mshr_{name}"
+                stats[key] = stats.get(key, 0) + value
+        stats.update(hierarchy.stats())
+        for name, value in stats.items():
+            if value:
+                registry.counter(f"sim.{name}").inc(value)

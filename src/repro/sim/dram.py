@@ -34,6 +34,7 @@ class DRAMModel:
         self.row_misses = 0
         self.row_conflicts = 0
         self.busy_cycles = 0.0
+        self.queue_wait_cycles = 0.0
         self._last_end = 0.0
 
     def bank_of(self, address: int) -> int:
@@ -52,6 +53,7 @@ class DRAMModel:
         bank = self.bank_of(address)
         row = self.row_of(address)
         start = max(time, float(self._bank_free[bank]))
+        self.queue_wait_cycles += start - time
         open_row = int(self._open_row[bank])
         if open_row == row:
             latency = cfg.row_hit
@@ -75,7 +77,16 @@ class DRAMModel:
         """Fraction of requests hitting an open row."""
         return self.row_hits / self.requests if self.requests else 0.0
 
+    def stats(self) -> dict:
+        """Counter values for metrics publication (plain dict)."""
+        return {"requests": self.requests, "row_hits": self.row_hits,
+                "row_misses": self.row_misses,
+                "row_conflicts": self.row_conflicts,
+                "busy_cycles": self.busy_cycles,
+                "queue_wait_cycles": self.queue_wait_cycles}
+
     def reset_stats(self) -> None:
         """Zero counters (bank state is kept)."""
         self.requests = self.row_hits = self.row_misses = self.row_conflicts = 0
         self.busy_cycles = 0.0
+        self.queue_wait_cycles = 0.0

@@ -194,3 +194,34 @@ class MemoryHierarchy:
         if self.l2_accesses == 0:
             return 0.0
         return 1.0 - self.l2_hits / self.l2_accesses
+
+    def stats(self) -> dict:
+        """Flat per-layer counter values for metrics publication.
+
+        Keys are dotted metric suffixes (``l2.hits``,
+        ``dram.queue_wait_cycles``, ...) so the CMP simulator can
+        publish them under the ``sim.`` namespace verbatim.
+        """
+        out = {
+            "l2.accesses": self.l2_accesses,
+            "l2.hits": self.l2_hits,
+            "l2.misses": self.l2_accesses - self.l2_hits,
+            "l2.writebacks": sum(s.writebacks for s in self.slices),
+            "coherence.invalidations": self.invalidations,
+            "coherence.upgrades": self.upgrades,
+            "dram.writes": self.dram_writes,
+        }
+        for name, value in _sum_stats(m.stats() for m in self.slice_mshrs):
+            out[f"l2.mshr_{name}"] = value
+        for name, value in self.dram.stats().items():
+            out[f"dram.{name}"] = value
+        return out
+
+
+def _sum_stats(dicts) -> "list[tuple[str, float]]":
+    """Element-wise sum of homogeneous stat dicts (as sorted items)."""
+    totals: dict[str, float] = {}
+    for d in dicts:
+        for key, value in d.items():
+            totals[key] = totals.get(key, 0) + value
+    return sorted(totals.items())

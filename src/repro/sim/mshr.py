@@ -79,3 +79,9 @@ class MSHRFile:
             raise InvalidParameterError(f"no outstanding miss to line {line}")
         self.secondary_merges += 1
         return self._pending[line]
+
+    def stats(self) -> dict:
+        """Counter values for metrics publication (plain dict)."""
+        return {"primary_misses": self.primary_misses,
+                "secondary_merges": self.secondary_merges,
+                "stall_events": self.stall_events}

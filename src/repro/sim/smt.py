@@ -70,6 +70,11 @@ class SMTCoreModel:
             for stream in thread_streams
         ]
 
+    @property
+    def mshr(self) -> MSHRFile:
+        """The core's (thread-shared) MSHR file."""
+        return self._mshr
+
     # ----- event-loop interface -------------------------------------------
     @property
     def done(self) -> bool:

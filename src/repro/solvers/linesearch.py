@@ -11,6 +11,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = ["backtracking_line_search"]
 
 
@@ -50,16 +52,21 @@ def backtracking_line_search(
         decrease, the smallest trial step is returned (the caller's
         convergence test will then terminate the outer loop).
     """
+    registry = get_registry()
+    registry.counter("solver.linesearch.calls").inc()
     alpha = 1.0
     best = None
-    for _ in range(max_backtracks):
+    for trial in range(max_backtracks):
         x_trial = x + alpha * step
         f_trial = np.asarray(func(x_trial), dtype=float)
         norm2 = float(f_trial @ f_trial)
         if np.isfinite(norm2) and norm2 <= (1.0 - c1 * alpha) * f0_norm2:
+            if trial:
+                registry.counter("solver.linesearch.backtracks").inc(trial)
             return x_trial, f_trial, norm2, alpha
         if best is None or (np.isfinite(norm2) and norm2 < best[2]):
             best = (x_trial, f_trial, norm2, alpha)
         alpha *= shrink
+    registry.counter("solver.linesearch.backtracks").inc(max_backtracks - 1)
     assert best is not None
     return best

@@ -13,10 +13,22 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import ConvergenceError, InvalidParameterError
+from repro.obs import get_registry
 from repro.solvers.jacobian import numeric_jacobian
 from repro.solvers.linesearch import backtracking_line_search
 
 __all__ = ["NewtonResult", "newton_solve"]
+
+
+def _publish(iterations: int, residual: float, converged: bool) -> None:
+    """Record one solve's work in the registry (solver.newton.*)."""
+    registry = get_registry()
+    registry.counter("solver.newton.solves").inc()
+    registry.counter("solver.newton.iterations").inc(iterations)
+    if not converged:
+        registry.counter("solver.newton.failures").inc()
+    if np.isfinite(residual):
+        registry.histogram("solver.newton.residual").observe(residual)
 
 
 @dataclass(frozen=True)
@@ -93,6 +105,7 @@ def newton_solve(
     for iteration in range(1, max_iter + 1):
         res_inf = float(np.max(np.abs(f))) if f.size else 0.0
         if res_inf <= tol:
+            _publish(iteration - 1, res_inf, True)
             return NewtonResult(x=x, residual_norm=res_inf,
                                 iterations=iteration - 1, converged=True)
         jac = (np.asarray(jacobian(x), dtype=float) if jacobian is not None
@@ -101,8 +114,10 @@ def newton_solve(
         x, f, norm2, _alpha = backtracking_line_search(func, x, step, norm2)
     res_inf = float(np.max(np.abs(f))) if f.size else 0.0
     if res_inf <= tol:
+        _publish(max_iter, res_inf, True)
         return NewtonResult(x=x, residual_norm=res_inf,
                             iterations=max_iter, converged=True)
+    _publish(max_iter, res_inf, False)
     if raise_on_failure:
         raise ConvergenceError(
             f"Newton did not converge in {max_iter} iterations "

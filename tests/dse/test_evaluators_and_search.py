@@ -58,11 +58,49 @@ class TestBudgetedEvaluator:
         budget.evaluate(small_space.config_at(1))
         assert budget.evaluations == 2
 
-    def test_reset(self, surrogate, small_space):
+    def test_cached_rereads_counted_separately(self, surrogate, small_space):
         budget = BudgetedEvaluator(surrogate)
-        budget.evaluate(small_space.config_at(0))
+        c = small_space.config_at(0)
+        budget.evaluate(c)
+        budget.evaluate(c)
+        budget.evaluate(c)
+        assert budget.evaluations == 1
+        assert budget.evaluations_cached == 2
+
+    def test_reset_clears_both_counters_and_cache(self, surrogate,
+                                                  small_space):
+        budget = BudgetedEvaluator(surrogate)
+        c = small_space.config_at(0)
+        budget.evaluate(c)
+        budget.evaluate(c)
         budget.reset()
         assert budget.evaluations == 0
+        assert budget.evaluations_cached == 0
+        # The cache was dropped, so a re-evaluation counts as fresh.
+        budget.evaluate(c)
+        assert budget.evaluations == 1
+        assert budget.evaluations_cached == 0
+
+    def test_registry_mirrors_with_method_label(self, surrogate,
+                                                small_space):
+        from repro.obs import MetricsRegistry, set_registry
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            budget = BudgetedEvaluator(surrogate, method="aps")
+            c = small_space.config_at(0)
+            budget.evaluate(c)
+            budget.evaluate(c)
+            counters = registry.snapshot()["counters"]
+            assert counters["dse.evaluations"] == 1
+            assert counters["dse.evaluations{method=aps}"] == 1
+            assert counters["dse.evaluations_cached"] == 1
+            # Registry series are cumulative across reset() by design.
+            budget.reset()
+            budget.evaluate(c)
+            assert registry.snapshot()["counters"]["dse.evaluations"] == 2
+        finally:
+            set_registry(previous)
 
     def test_feasibility_delegation(self, surrogate):
         budget = BudgetedEvaluator(surrogate)

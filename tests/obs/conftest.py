@@ -1,0 +1,25 @@
+"""Fixtures for the observability tests: isolated registry/tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, disable_tracing, set_registry
+
+
+@pytest.fixture
+def fresh_registry() -> MetricsRegistry:
+    """Swap in a private process-wide registry for the test's duration."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    """Leave the global tracer disabled after every test."""
+    yield
+    disable_tracing()

@@ -1,0 +1,60 @@
+"""Run-manifest contents, determinism, and serialization."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    VOLATILE_KEYS,
+    RunManifest,
+    package_version,
+    stable_view,
+)
+
+
+def _make(seed: int = 7) -> dict:
+    manifest = RunManifest(
+        "fig12", config={"values_per_param": 10}, seed=seed,
+        argv=["fig12", "--trace", "t.jsonl"])
+    return manifest.finish(metrics={"counters": {"dse.evaluations": 1024}})
+
+
+class TestManifest:
+    def test_required_keys_present(self):
+        data = _make()
+        for key in ("schema", "experiment", "argv", "config", "seed",
+                    "package_version", "git_sha", "started_at",
+                    "wall_time_s", "metrics"):
+            assert key in data
+        assert data["schema"] == MANIFEST_SCHEMA
+        assert data["experiment"] == "fig12"
+        assert data["seed"] == 7
+        assert data["wall_time_s"] >= 0.0
+        assert data["package_version"] == package_version()
+        assert data["metrics"]["counters"]["dse.evaluations"] == 1024
+
+    def test_stable_view_deterministic_under_fixed_seed(self):
+        # Two runs of the same configuration and seed agree on every
+        # non-volatile field, regardless of clock or checkout state.
+        a, b = _make(seed=42), _make(seed=42)
+        assert stable_view(a) == stable_view(b)
+        for key in VOLATILE_KEYS:
+            assert key not in stable_view(a)
+
+    def test_stable_view_distinguishes_configs(self):
+        assert stable_view(_make(seed=1)) != stable_view(_make(seed=2))
+
+    def test_config_copied_not_aliased(self):
+        config = {"k": 1}
+        manifest = RunManifest("x", config=config)
+        config["k"] = 2
+        assert manifest.finish()["config"] == {"k": 1}
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        manifest = RunManifest("fig1", seed=0)
+        path = manifest.write(tmp_path / "sub" / "manifest.json",
+                              metrics={"gauges": {}})
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "fig1"
+        assert data["metrics"] == {"gauges": {}}

@@ -1,0 +1,89 @@
+"""No-op-overhead guard: disabled instrumentation must stay near-free.
+
+The simulator's hot loop keeps plain-int counters and publishes them to
+the registry once per run; tracing spans collapse to a shared null
+object when disabled (the default).  These tests bound the cost of that
+per-run instrumentation at well under 5% of a small ``CMPSimulator``
+run, so the acceptance criterion holds with a wide margin rather than a
+flaky ratio of two noisy timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, get_tracer
+from repro.sim import CMPSimulator, SimulatedChip
+from repro.workloads import parsec_like
+
+#: Representative of the batch CMPSimulator._publish_metrics publishes
+#: (per-layer hit/miss/MSHR/DRAM counters) — same order of magnitude.
+_STATS = {f"sim.overhead_probe.{i}": float(i + 1) for i in range(30)}
+
+
+def _time_small_sim_run() -> float:
+    """Best-of-3 wall time of a small simulation (instrumented as shipped)."""
+    rng = np.random.default_rng(5)
+    wl = parsec_like("blackscholes", n_ops=2000)
+    sim = CMPSimulator(SimulatedChip(n_cores=2))
+    best = float("inf")
+    for _ in range(3):
+        streams = wl.streams(2, np.random.default_rng(5))
+        t0 = time.perf_counter()
+        sim.run(streams)
+        best = min(best, time.perf_counter() - t0)
+    del rng
+    return best
+
+
+def _time_per_run_instrumentation(reps: int = 200) -> float:
+    """Mean cost of one run's worth of instrumentation when disabled:
+    one (null) span plus one batch publication of the stats dict."""
+    tracer = get_tracer()
+    assert not tracer.enabled
+    registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with tracer.span("sim.run", cores=2, smt=1, coherent=True):
+            pass
+        for name, value in _STATS.items():
+            registry.counter(name).inc(value)
+    return (time.perf_counter() - t0) / reps
+
+
+class TestNoOpOverhead:
+    def test_disabled_instrumentation_under_5_percent_of_small_run(self):
+        t_run = _time_small_sim_run()
+        t_instr = _time_per_run_instrumentation()
+        # Instrumentation fires once per run, so its share of the run's
+        # wall time is t_instr / t_run.  Demand < 5% as per the issue;
+        # in practice this is ~0.1% and the margin absorbs CI noise.
+        assert t_instr < 0.05 * t_run, (
+            f"per-run instrumentation {t_instr * 1e6:.1f}us is >=5% of a "
+            f"small sim run ({t_run * 1e3:.1f}ms)")
+
+    def test_disabled_span_is_cheap_and_allocation_free(self):
+        tracer = Tracer(enabled=False)
+        n = 10_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tracer.span("x", a=1, b=2):
+                pass
+        per_call = (time.perf_counter() - t0) / n
+        # A generous ceiling (~50x the observed cost) to stay CI-proof.
+        assert per_call < 50e-6
+        assert tracer.aggregates == {}
+
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    @pytest.mark.parametrize("reps", [1])
+    def test_probe_registry_isolated(self, reps):
+        # The micro-benchmark must not pollute the process registry.
+        from repro.obs import get_registry
+        _time_per_run_instrumentation(reps=reps)
+        snap = get_registry().snapshot()["counters"]
+        assert not any(k.startswith("sim.overhead_probe.") for k in snap)

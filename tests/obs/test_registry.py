@@ -1,0 +1,142 @@
+"""Registry semantics: counters, gauges, histograms, labels, reset."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, get_registry, set_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        ctr = reg.counter("dse.evaluations")
+        assert ctr.value == 0
+        ctr.inc()
+        ctr.inc(41)
+        assert ctr.value == 42
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("dse.evaluations", method="aps")
+        b = reg.counter("dse.evaluations", method="ann")
+        plain = reg.counter("dse.evaluations")
+        a.inc(3)
+        b.inc(5)
+        assert plain.value == 0
+        snap = reg.snapshot()["counters"]
+        assert snap["dse.evaluations{method=aps}"] == 3
+        assert snap["dse.evaluations{method=ann}"] == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("x").inc(-1)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("x")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("dse.ann.cv_error")
+        g.set(0.2)
+        g.set(0.05)
+        assert reg.get("dse.ann.cv_error") == 0.05
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("solver.newton.residual")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 3.0
+
+    def test_sample_bound_keeps_exact_aggregates(self):
+        from repro.obs import Histogram
+        h = Histogram("h", {}, max_samples=4)
+        for v in range(10):
+            h.observe(float(v))
+        assert h.count == 10
+        assert h.total == 45.0
+        assert h.max == 9.0
+
+    def test_empty_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        snap = reg.snapshot()["histograms"]["h"]
+        assert snap == {"count": 0, "sum": 0.0, "min": None, "max": None,
+                        "mean": 0.0}
+
+    def test_percentile_domain(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.histogram("h").percentile(101)
+
+
+class TestRegistry:
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(4.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_zeroes_in_place(self):
+        # Cached metric objects must survive a reset (callers hold refs).
+        reg = MetricsRegistry()
+        ctr = reg.counter("c")
+        ctr.inc(7)
+        hist = reg.histogram("h")
+        hist.observe(1.0)
+        reg.reset()
+        assert ctr.value == 0
+        assert hist.count == 0
+        ctr.inc()
+        assert reg.snapshot()["counters"]["c"] == 1
+
+    def test_get_unknown_returns_none(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_write_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("sim.runs").inc(3)
+        path = reg.write_json(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["counters"]["sim.runs"] == 3
+
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(ObservabilityError):
+            set_registry(object())  # type: ignore[arg-type]
