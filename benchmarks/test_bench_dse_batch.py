@@ -1,0 +1,88 @@
+"""Perf-smoke: the batched brute sweep must beat the scalar loop ≥5×.
+
+The surrogate sweep over a ~10⁴-point fluidanimate-like space (5 values
+per parameter → 5⁶ = 15,625 points) is run twice: the pre-batch-engine
+sequential path (per-point ``is_feasible`` + scalar ``evaluate``) and
+the batched ``brute_force_search`` path.  Both must agree exactly on
+the optimum and the simulation budget — the determinism contract of
+``docs/DSE_PERFORMANCE.md`` — and the batched path must be at least 5×
+faster (typically 10-100×; the 5× floor absorbs CI jitter).
+
+Wall times and the speedup land in ``results/BENCH_dse_batch.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.dse import BudgetedEvaluator, SurrogateEvaluator, is_feasible
+from repro.experiments.fig12_aps import fluidanimate_profile, fluidanimate_space
+from repro.obs import MANIFEST_SCHEMA, git_sha, package_version
+
+MIN_SPEEDUP = 5.0
+
+
+def _sequential_sweep(space, surrogate):
+    """The pre-batch-engine brute force: one scalar call per point."""
+    budget = BudgetedEvaluator(surrogate)
+    best_cost = float("inf")
+    best_config: dict = {}
+    for config in space:
+        if not is_feasible(budget, config):
+            continue
+        cost = budget.evaluate(config)
+        if cost < best_cost:
+            best_cost = cost
+            best_config = config
+    return best_config, best_cost, budget.evaluations
+
+
+def test_dse_batch_speedup(benchmark, results_dir):
+    from repro.dse import brute_force_search
+
+    app, machine = fluidanimate_profile()
+    space = fluidanimate_space(5)          # 5^6 = 15,625 points
+    assert space.size == 15_625
+    surrogate = SurrogateEvaluator(app, machine)
+
+    t0 = time.perf_counter()
+    seq_config, seq_cost, seq_evals = _sequential_sweep(space, surrogate)
+    sequential_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = run_once(benchmark, brute_force_search, space,
+                       BudgetedEvaluator(surrogate))
+    batched_s = time.perf_counter() - t0
+
+    # Same answer, same budget — batching changes wall time only.
+    assert batched.best_config == seq_config
+    assert batched.best_cost == seq_cost
+    assert batched.evaluations == seq_evals
+    assert np.isfinite(batched.best_cost)
+
+    speedup = sequential_s / batched_s
+    record = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": "dse_batch_speedup",
+        "package_version": package_version(),
+        "git_sha": git_sha(),
+        "space_size": space.size,
+        "evaluations": batched.evaluations,
+        "skipped_infeasible": batched.skipped_infeasible,
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    path = results_dir / "BENCH_dse_batch.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nsequential {sequential_s:.3f}s  batched {batched_s:.3f}s  "
+          f"speedup {speedup:.1f}x  -> {path}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched sweep only {speedup:.1f}x faster than sequential "
+        f"(floor {MIN_SPEEDUP}x); see {path}")

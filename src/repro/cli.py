@@ -175,6 +175,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "wall time, metrics) to FILE")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress stdout (files are still written)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="process-pool workers for parallel DSE "
+                             "evaluation (default 1 = inline)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="B",
+                        help="design points per batched evaluator call "
+                             "(default 2048)")
     parser.add_argument("--workload", default="fluidanimate",
                         help="workload name for 'characterize' "
                              "(a PARSEC-like profile)")
@@ -201,11 +207,16 @@ def main(argv: "list[str] | None" = None) -> int:
     registry = get_registry()
     registry.reset()
     tracer = configure_tracing(args.trace, enabled=True)
+    from repro.dse.batch import set_batch_defaults
+    defaults = set_batch_defaults(batch_size=args.batch_size,
+                                  workers=args.workers)
     manifest = RunManifest(
         args.experiment,
         config={"out": str(args.out) if args.out else None,
                 "trace": str(args.trace) if args.trace else None,
-                "workload": args.workload, "n_ops": args.n_ops},
+                "workload": args.workload, "n_ops": args.n_ops,
+                "workers": defaults.workers,
+                "batch_size": defaults.batch_size},
         argv=list(sys.argv[1:]) if argv is None else list(argv))
     try:
         if args.experiment == "characterize":

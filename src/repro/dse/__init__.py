@@ -15,15 +15,31 @@
 - :mod:`repro.dse.ga` / :mod:`repro.dse.rsm` — the related-work
   genetic-algorithm and response-surface baselines.
 - :mod:`repro.dse.brute` — exhaustive sweep.
+- :mod:`repro.dse.batch` — the batched + parallel evaluation engine
+  every search method rides on (``evaluate_batch`` protocol, process
+  pool, ``--workers``/``--batch-size`` defaults); contract in
+  ``docs/DSE_PERFORMANCE.md``.
 """
 
 from repro.dse.space import DesignSpace, Parameter
 from repro.dse.evaluate import (
+    BatchEvaluator,
     BudgetedEvaluator,
     Evaluator,
     SimulatorEvaluator,
     SurrogateEvaluator,
+    batch_evaluate,
+    canonical_key,
     is_feasible,
+)
+from repro.dse.batch import (
+    BatchDefaults,
+    ParallelEvaluator,
+    chunked,
+    get_batch_defaults,
+    resolve_batch_size,
+    resolve_workers,
+    set_batch_defaults,
 )
 from repro.dse.brute import brute_force_search
 from repro.dse.aps import APSExplorer, APSResult
@@ -35,9 +51,19 @@ __all__ = [
     "DesignSpace",
     "Parameter",
     "Evaluator",
+    "BatchEvaluator",
     "BudgetedEvaluator",
     "SimulatorEvaluator",
     "SurrogateEvaluator",
+    "ParallelEvaluator",
+    "BatchDefaults",
+    "batch_evaluate",
+    "canonical_key",
+    "chunked",
+    "get_batch_defaults",
+    "set_batch_defaults",
+    "resolve_batch_size",
+    "resolve_workers",
     "is_feasible",
     "brute_force_search",
     "APSExplorer",

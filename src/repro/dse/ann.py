@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dse.batch import chunked, resolve_batch_size
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError, InvalidParameterError
@@ -153,14 +154,19 @@ class ANNPredictorSearch:
 
     def search(self, evaluator: Evaluator, *,
                target_error: float = 0.0596,
-               predict_sample: int = 20000) -> ANNSearchResult:
+               predict_sample: int = 20000,
+               batch_size: "int | None" = None) -> ANNSearchResult:
         """Train on growing samples until the CV error target is met.
 
         ``target_error`` defaults to the paper's matched 5.96%.
         ``predict_sample`` bounds the prediction pass over huge spaces.
+        Each round's training samples are simulated through the batch
+        path in ``batch_size`` chunks (design-rule rejects spend
+        nothing).
         """
         budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
                   else BudgetedEvaluator(evaluator, method="ann"))
+        batch_size = resolve_batch_size(batch_size)
         tracer = get_tracer()
         rng = np.random.default_rng(self.seed)
         train_x: list[np.ndarray] = []
@@ -170,14 +176,15 @@ class ANNPredictorSearch:
         for round_no in range(self.max_rounds):
             with tracer.span("dse.ann.round", round=round_no,
                              target_error=target_error) as round_span:
-                for config in self.space.sample(self.batch, rng):
-                    if not is_feasible(budget, config):
-                        continue  # design-rule reject: no simulation spent
-                    cost = budget.evaluate(config)
-                    if not np.isfinite(cost):
-                        continue
-                    train_x.append(self.space.as_features(config))
-                    train_y.append(np.log(cost))
+                feasible = [c for c in self.space.sample(self.batch, rng)
+                            if is_feasible(budget, c)]
+                for chunk in chunked(feasible, batch_size):
+                    for config, cost in zip(chunk,
+                                            budget.evaluate_batch(chunk)):
+                        if not np.isfinite(cost):
+                            continue
+                        train_x.append(self.space.as_features(config))
+                        train_y.append(np.log(cost))
                 if len(train_y) < 4:
                     continue
                 x = np.vstack(train_x)
@@ -207,11 +214,10 @@ class ANNPredictorSearch:
         pred = model.predict(feats)
         best_config: dict = {}
         best_cost = float("inf")
-        for i in np.argsort(pred)[:10]:
-            config = candidates[int(i)]
-            cost = budget.evaluate(config)
+        top = [candidates[int(i)] for i in np.argsort(pred)[:10]]
+        for config, cost in zip(top, budget.evaluate_batch(top)):
             if cost < best_cost:
-                best_cost = cost
+                best_cost = float(cost)
                 best_config = config
         return ANNSearchResult(
             best_config=best_config,

@@ -22,9 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.camat_model import CAMATModel
 from repro.core.optimizer import C2BoundOptimizer, DesignPoint
 from repro.core.params import ApplicationProfile, MachineParameters
+from repro.dse.batch import chunked, resolve_batch_size
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError
@@ -136,7 +139,8 @@ class APSExplorer:
         return center
 
     def explore(self, evaluator: Evaluator, *, radius: int = 0,
-                simulated_params: "Sequence[str] | None" = None) -> APSResult:
+                simulated_params: "Sequence[str] | None" = None,
+                batch_size: "int | None" = None) -> APSResult:
         """Steps 2-3: optimize, then simulate the adjacent region.
 
         Parameters
@@ -148,9 +152,13 @@ class APSExplorer:
         simulated_params:
             Parameters swept by simulation; defaults to every non-analytic
             parameter of the space.
+        batch_size:
+            Candidates per batched evaluator call (the narrowed region
+            is simulated through the batch path).
         """
         budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
                   else BudgetedEvaluator(evaluator, method="aps"))
+        batch_size = resolve_batch_size(batch_size)
         tracer = get_tracer()
         with tracer.span("dse.aps.analytic"):
             analytic = self.analytic_skeleton()
@@ -164,12 +172,13 @@ class APSExplorer:
         best_cost = float("inf")
         best_config: dict = {}
         with tracer.span("dse.aps.simulate", candidates=len(candidates),
-                         radius=radius):
-            for config in candidates:
-                cost = budget.evaluate(config)
-                if cost < best_cost:
-                    best_cost = cost
-                    best_config = config
+                         radius=radius, batch_size=batch_size):
+            for chunk in chunked(candidates, batch_size):
+                costs = budget.evaluate_batch(chunk)
+                i = int(np.argmin(costs))
+                if costs[i] < best_cost:
+                    best_cost = float(costs[i])
+                    best_config = chunk[i]
         registry = get_registry()
         registry.gauge("dse.aps.candidates").set(len(candidates))
         registry.gauge("dse.aps.space_size").set(self.space.size)

@@ -1,0 +1,221 @@
+"""Batched + parallel evaluation engine for design-space exploration.
+
+Three pieces turn the one-point-at-a-time ``evaluate(config)`` walk into
+the batch pipeline every search method now rides on:
+
+- :func:`chunked` — deterministic batch slicing (input order preserved).
+- :class:`ParallelEvaluator` — fans scalar evaluations (the expensive
+  :class:`~repro.dse.evaluate.SimulatorEvaluator` path) across a
+  ``concurrent.futures`` process pool in chunks, reassembling results in
+  input order; with one worker it degenerates to an inline loop with no
+  pool at all.
+- :class:`BatchDefaults` — the process-wide ``--workers``/``--batch-size``
+  knobs the CLI sets and the search methods resolve against when a call
+  site does not pass explicit values.
+
+Determinism contract: every evaluator is a pure function of the
+configuration, so chunking and worker count change *wall time only* —
+costs, best configurations and budget counts are identical for any
+``batch_size >= 1`` and any ``workers >= 1``
+(``tests/dse/test_batch_equivalence.py`` enforces this differentially).
+
+Budget accounting stays in the parent process: a
+:class:`~repro.dse.evaluate.BudgetedEvaluator` wrapping a
+``ParallelEvaluator`` deduplicates and charges configurations *before*
+dispatch, so workers only ever see configurations that are genuinely
+being paid for.  (Worker-side ``sim.*`` registry metrics accumulate in
+the worker processes and are not merged back — the ``dse.*`` meters the
+experiments rely on are parent-side.)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.dse.evaluate import batch_evaluate, is_feasible
+from repro.errors import DesignSpaceError
+
+__all__ = ["BatchDefaults", "ParallelEvaluator", "chunked",
+           "get_batch_defaults", "set_batch_defaults", "resolve_batch_size",
+           "resolve_workers"]
+
+
+def chunked(items: Iterable, size: int) -> Iterator[list]:
+    """Yield consecutive chunks of at most ``size`` items, in order.
+
+    Streams lazily, so a 10^6-point design-space iterator is never
+    materialized whole — peak memory is one chunk.
+    """
+    if size < 1:
+        raise DesignSpaceError(f"chunk size must be >= 1, got {size}")
+    it = iter(items)
+    while True:
+        chunk = list(islice(it, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+@dataclass
+class BatchDefaults:
+    """Process-wide fallbacks for the batch engine's two knobs.
+
+    Attributes
+    ----------
+    batch_size:
+        Configurations per :meth:`BudgetedEvaluator.evaluate_batch` call
+        when a search is not told otherwise.  Bounds peak memory of the
+        vectorized surrogate path; large enough that NumPy dominates.
+    workers:
+        Process count for :class:`ParallelEvaluator` instances that do
+        not pin their own.  ``1`` (the default) means inline, no pool.
+    """
+
+    batch_size: int = 2048
+    workers: int = 1
+
+
+_defaults = BatchDefaults()
+
+
+def get_batch_defaults() -> BatchDefaults:
+    """The live defaults object (mutated by :func:`set_batch_defaults`)."""
+    return _defaults
+
+
+def set_batch_defaults(*, batch_size: "int | None" = None,
+                       workers: "int | None" = None) -> BatchDefaults:
+    """Update the process-wide knobs (the CLI's ``--batch-size``/``--workers``).
+
+    Only the arguments given change; both must be >= 1.  Returns the
+    defaults object for convenience.
+    """
+    if batch_size is not None:
+        if batch_size < 1:
+            raise DesignSpaceError(
+                f"batch size must be >= 1, got {batch_size}")
+        _defaults.batch_size = int(batch_size)
+    if workers is not None:
+        if workers < 1:
+            raise DesignSpaceError(f"workers must be >= 1, got {workers}")
+        _defaults.workers = int(workers)
+    return _defaults
+
+
+def resolve_batch_size(batch_size: "int | None") -> int:
+    """An explicit batch size, or the process-wide default."""
+    if batch_size is None:
+        return _defaults.batch_size
+    if batch_size < 1:
+        raise DesignSpaceError(f"batch size must be >= 1, got {batch_size}")
+    return int(batch_size)
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """An explicit worker count, or the process-wide default."""
+    if workers is None:
+        return _defaults.workers
+    if workers < 1:
+        raise DesignSpaceError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+def _evaluate_chunk(evaluator, configs: list[dict]) -> list[float]:
+    """Worker-side unit of work: scalar-evaluate one chunk, in order.
+
+    Module-level so the pool can pickle it; the evaluator rides along in
+    the task payload (cheap for the simulator evaluator: a workload
+    spec plus a chip dataclass).
+    """
+    return [float(evaluator.evaluate(c)) for c in configs]
+
+
+class ParallelEvaluator:
+    """Fan ``inner.evaluate`` across a process pool, batch-in/batch-out.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped evaluator.  It is pickled with each task, so it must
+        be picklable when ``workers > 1`` (both bundled evaluators are).
+    workers:
+        Process count; ``None`` resolves against
+        :func:`get_batch_defaults` at construction time.  With one
+        worker no pool is created and batches run inline.
+    chunk_size:
+        Configurations per pool task.  ``None`` picks
+        ``ceil(len(batch) / (4 * workers))`` per call — enough tasks
+        that a slow chunk cannot serialize the batch, few enough that
+        pickling does not dominate.
+
+    The pool is created lazily on the first parallel batch and reused
+    until :meth:`close` (also a context manager).  Results are
+    reassembled in submission order, so the output array is identical
+    to a sequential loop — only faster.
+    """
+
+    def __init__(self, inner, *, workers: "int | None" = None,
+                 chunk_size: "int | None" = None) -> None:
+        self.inner = inner
+        self.workers = resolve_workers(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise DesignSpaceError(
+                f"chunk size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._pool: "ProcessPoolExecutor | None" = None
+
+    def evaluate(self, config: dict) -> float:
+        """Scalar pass-through (no pool round-trip for one point)."""
+        return float(self.inner.evaluate(config))
+
+    def is_feasible(self, config: dict) -> bool:
+        """Delegates to the wrapped evaluator's design-rule check."""
+        return is_feasible(self.inner, config)
+
+    def evaluate_batch(self, configs: Sequence[dict]) -> np.ndarray:
+        """Costs of ``configs`` in input order, computed in parallel."""
+        configs = list(configs)
+        if not configs:
+            return np.empty(0, dtype=float)
+        if self.workers == 1:
+            return batch_evaluate(self.inner, configs)
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(configs) // (4 * self.workers)))
+        chunks = list(chunked(configs, chunk_size))
+        if len(chunks) == 1:
+            return batch_evaluate(self.inner, configs)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_evaluate_chunk, self.inner, chunk)
+                   for chunk in chunks]
+        parts = [f.result() for f in futures]
+        return np.array([cost for part in parts for cost in part],
+                        dtype=float)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-time best effort
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -14,25 +14,37 @@ Two evaluators are provided:
 
 Both are wrapped by :class:`BudgetedEvaluator`, whose counter is the
 "number of simulations" reported in Fig. 12.
+
+Batch protocol
+--------------
+Every evaluator answers ``evaluate(config) -> float``; evaluators that
+can amortize work across points additionally answer
+``evaluate_batch(configs) -> np.ndarray`` (costs in input order).
+:func:`batch_evaluate` dispatches to the native batch path when present
+and falls back to a scalar loop otherwise, so callers can batch
+unconditionally.  The determinism contract: the scalar path is *defined*
+as a batch of one, so batched and sequential evaluation agree
+bit-for-bit (see ``docs/DSE_PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Protocol
+import time
+from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro.core.camat_model import CAMATModel
 from repro.core.params import ApplicationProfile, MachineParameters
 from repro.errors import DesignSpaceError
-from repro.obs import get_registry
-from repro.sim.cmp import CMPSimulator
+from repro.obs import get_registry, get_tracer
+from repro.sim.cmp import simulate_chip_cost
 from repro.sim.config import CoreMicroConfig, SimulatedChip
 from repro.workloads.base import Workload
 
-__all__ = ["Evaluator", "BudgetedEvaluator", "SurrogateEvaluator",
-           "SimulatorEvaluator"]
+__all__ = ["Evaluator", "BatchEvaluator", "BudgetedEvaluator",
+           "SurrogateEvaluator", "SimulatorEvaluator", "batch_evaluate",
+           "canonical_key"]
 
 
 class Evaluator(Protocol):
@@ -41,6 +53,52 @@ class Evaluator(Protocol):
     def evaluate(self, config: dict) -> float:
         """Execution-time-like cost of one design point."""
         ...
+
+
+class BatchEvaluator(Protocol):
+    """An :class:`Evaluator` with a native batch path."""
+
+    def evaluate(self, config: dict) -> float:
+        """Execution-time-like cost of one design point."""
+        ...
+
+    def evaluate_batch(self, configs: Sequence[dict]) -> np.ndarray:
+        """Costs of many design points, in input order."""
+        ...
+
+
+def canonical_key(config: dict) -> tuple:
+    """Order-independent identity of a configuration.
+
+    Two dicts describing the same design point (whatever their key
+    insertion order) share one key — the identity used by the
+    :class:`BudgetedEvaluator` memoization cache, so budget accounting
+    is exact under batching and duplicates are never re-simulated.
+    """
+    return tuple(sorted(config.items()))
+
+
+def batch_evaluate(evaluator, configs: Sequence[dict]) -> np.ndarray:
+    """Evaluate ``configs`` through the fastest path the evaluator has.
+
+    Dispatches to a native ``evaluate_batch`` when the evaluator
+    provides one (the vectorized surrogate, the process-pool wrapper,
+    the budgeted cache) and otherwise falls back to a sequential
+    ``evaluate`` loop.  Costs come back in input order either way.
+    """
+    configs = list(configs)
+    if not configs:
+        return np.empty(0, dtype=float)
+    hook = getattr(evaluator, "evaluate_batch", None)
+    if hook is not None:
+        costs = np.asarray(hook(configs), dtype=float)
+        if costs.shape != (len(configs),):
+            raise DesignSpaceError(
+                f"evaluate_batch returned shape {costs.shape} for "
+                f"{len(configs)} configs")
+        return costs
+    return np.array([float(evaluator.evaluate(c)) for c in configs],
+                    dtype=float)
 
 
 def is_feasible(evaluator, config: dict) -> bool:
@@ -67,6 +125,13 @@ class BudgetedEvaluator:
     mirrored into the process-wide metrics registry as
     ``dse.evaluations`` / ``dse.evaluations_cached`` (plus a labeled
     series per method when ``method`` is given).
+
+    :meth:`evaluate_batch` shares the same cache and counters, so the
+    Fig. 12 invariant (budget = number of *distinct* configurations
+    simulated) holds identically whether a search walks points one at a
+    time or in batches: within a batch the first occurrence of a new
+    configuration is charged, every duplicate and every already-cached
+    point is a free reread.
     """
 
     def __init__(self, inner: Evaluator, *,
@@ -82,9 +147,11 @@ class BudgetedEvaluator:
         self._ctr_fresh_method = (
             registry.counter("dse.evaluations", method=method)
             if method is not None else None)
+        self._hist_batch_size = registry.histogram("dse.batch_size")
+        self._hist_batch_seconds = registry.histogram("dse.batch_seconds")
 
     def evaluate(self, config: dict) -> float:
-        key = tuple(sorted(config.items()))
+        key = canonical_key(config)
         cached = self._cache.get(key)
         if cached is not None:
             self.evaluations_cached += 1
@@ -97,6 +164,59 @@ class BudgetedEvaluator:
         if self._ctr_fresh_method is not None:
             self._ctr_fresh_method.inc()
         return cost
+
+    def evaluate_batch(self, configs: Sequence[dict]) -> np.ndarray:
+        """Batched :meth:`evaluate`: same cache, same budget, one call.
+
+        Only configurations absent from the cache (deduplicated inside
+        the batch by :func:`canonical_key`) reach the inner evaluator —
+        through its own batch path when it has one — and only those are
+        charged to the budget.  Costs return in input order.
+        """
+        configs = list(configs)
+        if not configs:
+            return np.empty(0, dtype=float)
+        out = np.empty(len(configs), dtype=float)
+        fresh_configs: list[dict] = []
+        fresh_index: dict[tuple, int] = {}
+        slots: list[tuple[int, int]] = []
+        n_cached = 0
+        for i, config in enumerate(configs):
+            key = canonical_key(config)
+            cached = self._cache.get(key)
+            if cached is not None:
+                out[i] = cached
+                n_cached += 1
+                continue
+            j = fresh_index.get(key)
+            if j is None:
+                j = len(fresh_configs)
+                fresh_index[key] = j
+                fresh_configs.append(config)
+            else:
+                n_cached += 1  # duplicate within the batch: free reread
+            slots.append((i, j))
+        with get_tracer().span("dse.batch", size=len(configs),
+                               fresh=len(fresh_configs), cached=n_cached):
+            t0 = time.perf_counter()
+            if fresh_configs:
+                costs = batch_evaluate(self.inner, fresh_configs)
+                for key, j in fresh_index.items():
+                    self._cache[key] = float(costs[j])
+                for i, j in slots:
+                    out[i] = costs[j]
+            elapsed = time.perf_counter() - t0
+        if fresh_configs:
+            self.evaluations += len(fresh_configs)
+            self._ctr_fresh.inc(len(fresh_configs))
+            if self._ctr_fresh_method is not None:
+                self._ctr_fresh_method.inc(len(fresh_configs))
+        if n_cached:
+            self.evaluations_cached += n_cached
+            self._ctr_cached.inc(n_cached)
+        self._hist_batch_size.observe(len(configs))
+        self._hist_batch_seconds.observe(elapsed)
+        return out
 
     def is_feasible(self, config: dict) -> bool:
         """Delegates to the wrapped evaluator's design-rule check."""
@@ -176,37 +296,70 @@ class SurrogateEvaluator:
         return total <= self.machine.total_area * (1.0 + 1e-9)
 
     def evaluate(self, config: dict) -> float:
-        a0 = float(config["a0"])
-        a1 = float(config["a1"])
-        a2 = float(config["a2"])
-        n = int(config["n"])
-        issue = int(config.get("issue_width", 4))
-        rob = int(config.get("rob_size", 128))
-        if issue < 1 or rob < 1 or not self.is_feasible(config):
-            return math.inf
+        # Defined as a batch of one so the scalar and batched paths run
+        # the same NumPy kernel and agree bit-for-bit.
+        return float(self.evaluate_batch([config])[0])
+
+    def evaluate_batch(self, configs: Sequence[dict]) -> np.ndarray:
+        """Vectorized evaluation of arbitrary configurations.
+
+        One NumPy pass over column arrays of the batch — the Eq. 12
+        feasibility mask (infeasible points cost ``inf``), the C2-Bound
+        cost and the deterministic perturbation all evaluate
+        elementwise, so ``evaluate_batch(cs)[i] == evaluate(cs[i])``
+        exactly.
+        """
+        configs = list(configs)
+        if not configs:
+            return np.empty(0, dtype=float)
+        return self._evaluate_columns(
+            np.array([float(c["a0"]) for c in configs]),
+            np.array([float(c["a1"]) for c in configs]),
+            np.array([float(c["a2"]) for c in configs]),
+            np.array([float(int(c["n"])) for c in configs]),
+            np.array([float(int(c.get("issue_width", 4)))
+                      for c in configs]),
+            np.array([float(int(c.get("rob_size", 128)))
+                      for c in configs]),
+        )
+
+    def _evaluate_columns(self, a0, a1, a2, n, issue, rob) -> np.ndarray:
+        """The shared cost kernel over parameter column arrays."""
         m = self.machine
-        cpi = max(m.pollack_k0 / math.sqrt(a0) + m.pollack_phi0, 1.0 / issue)
-        rob_factor = rob / (rob + self.rob_half)
-        c_eff = 1.0 + (self.app.concurrency - 1.0) * rob_factor
-        amat = float(self.camat_model.amat(a1, a2))
-        stall = (self.app.f_mem * (amat / c_eff)
-                 * (1.0 - self.app.overlap_ratio))
-        g_n = float(self.app.g(float(n)))
-        scale = self.app.f_seq + g_n * (1.0 - self.app.f_seq) / n
-        time = self.app.ic0 * (cpi + stall) * scale * m.cycle_time
-        if self.objective == "time_per_work":
-            time /= g_n
-        if self.noise:
-            time *= 1.0 + self.noise * float(_value_noise(
-                a0, a1, a2, n, issue, rob))
-        return time
+        feasible = ((np.minimum(np.minimum(a0, a1), a2) > 0)
+                    & (n >= 1) & (issue >= 1) & (rob >= 1)
+                    & (n * (a0 + a1 + a2) + m.shared_area
+                       <= m.total_area * (1.0 + 1e-9)))
+        # Infeasible lanes may divide by zero or take sqrt of negatives;
+        # their results are masked to inf below, so silence the noise.
+        with np.errstate(all="ignore"):
+            safe_a1 = np.where(a1 > 0, a1, 1.0)
+            safe_a2 = np.where(a2 > 0, a2, 1.0)
+            safe_n = np.where(n >= 1, n, 1.0)
+            cpi = np.maximum(m.pollack_k0 / np.sqrt(a0) + m.pollack_phi0,
+                             1.0 / issue)
+            rob_factor = rob / (rob + self.rob_half)
+            c_eff = 1.0 + (self.app.concurrency - 1.0) * rob_factor
+            amat = np.asarray(self.camat_model.amat(safe_a1, safe_a2),
+                              dtype=float)
+            stall = (self.app.f_mem * (amat / c_eff)
+                     * (1.0 - self.app.overlap_ratio))
+            g_n = np.asarray(self.app.g(safe_n), dtype=float)
+            scale = self.app.f_seq + g_n * (1.0 - self.app.f_seq) / safe_n
+            cost = self.app.ic0 * (cpi + stall) * scale * m.cycle_time
+            if self.objective == "time_per_work":
+                cost = cost / g_n
+            if self.noise:
+                cost = cost * (1.0 + self.noise * _value_noise(
+                    a0, a1, a2, n, issue, rob))
+        return np.where(feasible, cost, np.inf)
 
     def evaluate_grid(self, space) -> "np.ndarray":
         """Vectorized evaluation of an entire design space.
 
         Returns costs in the space's mixed-radix enumeration order —
-        ``costs[i] == evaluate(space.config_at(i))`` (exactly: the scalar
-        and vectorized paths share the same noise function).  This is
+        ``costs[i] == evaluate(space.config_at(i))`` (exactly: the
+        scalar, batched and grid paths share one kernel).  This is
         what makes the paper's 10^6-point "full sweep" affordable as a
         ground truth.
         """
@@ -220,31 +373,9 @@ class SurrogateEvaluator:
                  for p in space.parameters]
         mesh = np.meshgrid(*grids, indexing="ij")
         values = {name: m.ravel() for name, m in zip(names, mesh)}
-        a0 = values["a0"]
-        a1 = values["a1"]
-        a2 = values["a2"]
-        n = values["n"]
-        issue = values["issue_width"]
-        rob = values["rob_size"]
-        m = self.machine
-        cpi = np.maximum(m.pollack_k0 / np.sqrt(a0) + m.pollack_phi0,
-                         1.0 / issue)
-        rob_factor = rob / (rob + self.rob_half)
-        c_eff = 1.0 + (self.app.concurrency - 1.0) * rob_factor
-        amat = np.asarray(self.camat_model.amat(a1, a2), dtype=float)
-        stall = (self.app.f_mem * (amat / c_eff)
-                 * (1.0 - self.app.overlap_ratio))
-        g_n = np.asarray(self.app.g(n), dtype=float)
-        scale = self.app.f_seq + g_n * (1.0 - self.app.f_seq) / n
-        time = self.app.ic0 * (cpi + stall) * scale * m.cycle_time
-        if self.objective == "time_per_work":
-            time = time / g_n
-        if self.noise:
-            time = time * (1.0 + self.noise * _value_noise(
-                a0, a1, a2, n, issue, rob))
-        total = n * (a0 + a1 + a2) + m.shared_area
-        time = np.where(total > m.total_area * (1.0 + 1e-9), np.inf, time)
-        return time
+        return self._evaluate_columns(
+            values["a0"], values["a1"], values["a2"], values["n"],
+            values["issue_width"], values["rob_size"])
 
 
 class SimulatorEvaluator:
@@ -271,7 +402,8 @@ class SimulatorEvaluator:
         self.base_chip = base_chip if base_chip is not None else SimulatedChip()
         self.kib_per_area_unit = kib_per_area_unit
 
-    def evaluate(self, config: dict) -> float:
+    def chip_for(self, config: dict) -> SimulatedChip:
+        """The simulator configuration a design point maps to."""
         from dataclasses import replace
 
         n = int(config.get("n", self.base_chip.n_cores))
@@ -281,7 +413,7 @@ class SimulatorEvaluator:
             "l1_kib", config.get("a1", 0.5) * self.kib_per_area_unit))
         l2_kib = float(config.get(
             "l2_kib", config.get("a2", 8.0) * self.kib_per_area_unit))
-        chip = replace(
+        return replace(
             self.base_chip,
             n_cores=n,
             core=CoreMicroConfig(issue_width=issue, rob_size=rob),
@@ -289,12 +421,10 @@ class SimulatorEvaluator:
             l2_slice=replace(self.base_chip.l2_slice,
                              size_kib=max(l2_kib, 2.0)),
         )
-        rng = np.random.default_rng(self.seed)
-        result = CMPSimulator(chip).run(self.workload.streams(n, rng))
-        instr = result.total_instructions
-        if instr == 0:
-            return math.inf
-        return result.exec_cycles / instr
+
+    def evaluate(self, config: dict) -> float:
+        return simulate_chip_cost(self.chip_for(config), self.workload,
+                                  self.seed)
 
 
 def _value_noise(a0, a1, a2, n, issue, rob):

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dse.batch import chunked, resolve_batch_size
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError
@@ -50,14 +51,21 @@ def genetic_search(
     tournament: int = 3,
     elite: int = 2,
     seed: int = 0,
+    batch_size: "int | None" = None,
 ) -> GAResult:
-    """Run the GA; returns the best configuration found."""
+    """Run the GA; returns the best configuration found.
+
+    Each generation is scored through the batch path: feasible
+    individuals are evaluated together (in ``batch_size`` chunks),
+    design-rule rejects cost ``inf`` without spending a simulation.
+    """
     if population < 4:
         raise DesignSpaceError(f"population must be >= 4, got {population}")
     if elite >= population:
         raise DesignSpaceError("elite count must be below the population")
     budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
               else BudgetedEvaluator(evaluator, method="ga"))
+    batch_size = resolve_batch_size(batch_size)
     rng = np.random.default_rng(seed)
     radixes = [len(p.values) for p in space.parameters]
 
@@ -65,18 +73,23 @@ def genetic_search(
         return {p.name: p.values[int(g)]
                 for p, g in zip(space.parameters, genome)}
 
-    def fitness(genome: np.ndarray) -> float:
-        config = decode(genome)
-        if not is_feasible(budget, config):
-            return float("inf")  # design-rule reject: no simulation spent
-        return budget.evaluate(config)
+    def score(pop: np.ndarray) -> np.ndarray:
+        configs = [decode(g) for g in pop]
+        feasible = np.array([is_feasible(budget, c) for c in configs])
+        costs = np.full(len(configs), np.inf)
+        todo = [c for c, ok in zip(configs, feasible) if ok]
+        if todo:
+            costs[np.flatnonzero(feasible)] = np.concatenate(
+                [budget.evaluate_batch(chunk)
+                 for chunk in chunked(todo, batch_size)])
+        return costs
 
     with get_tracer().span("dse.ga.search", population=population,
                            generations=generations):
         pop = np.stack([
             np.array([rng.integers(0, r) for r in radixes])
             for _ in range(population)])
-        costs = np.array([fitness(g) for g in pop])
+        costs = score(pop)
         gens_done = 0
         for gen in range(generations):
             gens_done = gen + 1
@@ -95,7 +108,7 @@ def genetic_search(
                     child[i] = rng.integers(0, radixes[i])
                 new_pop.append(child)
             pop = np.stack(new_pop)
-            costs = np.array([fitness(g) for g in pop])
+            costs = score(pop)
     get_registry().gauge("dse.ga.generations").set(gens_done)
     best = int(np.argmin(costs))
     return GAResult(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dse.batch import chunked, resolve_batch_size
 from repro.dse.evaluate import BudgetedEvaluator, Evaluator, is_feasible
 from repro.dse.space import DesignSpace
 from repro.errors import DesignSpaceError
@@ -61,25 +62,33 @@ def response_surface_search(
     refine_samples: int = 20,
     predict_sample: int = 20000,
     seed: int = 0,
+    batch_size: "int | None" = None,
 ) -> RSMResult:
-    """Quadratic-RSM search with local refinement."""
+    """Quadratic-RSM search with local refinement.
+
+    Sample evaluation rides the batch path: feasible samples are
+    simulated together in ``batch_size`` chunks, design-rule rejects
+    spend nothing.
+    """
     if initial_samples < 8:
         raise DesignSpaceError(
             f"initial sample count must be >= 8, got {initial_samples}")
     budget = (evaluator if isinstance(evaluator, BudgetedEvaluator)
               else BudgetedEvaluator(evaluator, method="rsm"))
+    batch_size = resolve_batch_size(batch_size)
     rng = np.random.default_rng(seed)
     xs: list[np.ndarray] = []
     ys: list[float] = []
 
     def simulate(configs: list[dict]) -> None:
-        for c in configs:
-            if not is_feasible(budget, c):
-                continue  # design-rule reject: no simulation spent
-            cost = budget.evaluate(c)
-            if np.isfinite(cost):
-                xs.append(space.as_features(c))
-                ys.append(np.log(cost))
+        # Design-rule rejects are filtered before the batch: no
+        # simulation spent.
+        feasible = [c for c in configs if is_feasible(budget, c)]
+        for chunk in chunked(feasible, batch_size):
+            for c, cost in zip(chunk, budget.evaluate_batch(chunk)):
+                if np.isfinite(cost):
+                    xs.append(space.as_features(c))
+                    ys.append(np.log(cost))
 
     simulate(space.sample(initial_samples, rng))
     best_config: dict = {}
@@ -106,10 +115,10 @@ def response_surface_search(
             top = [candidates[int(i)] for i in order[:refine_samples]]
             simulate(top)
             simulate(space.sample(max(refine_samples // 2, 1), rng))
-            for c in top:
-                cost = budget.evaluate(c)
+            # All of `top` was just simulated, so these are cache reads.
+            for c, cost in zip(top, budget.evaluate_batch(top)):
                 if cost < best_cost:
-                    best_cost = cost
+                    best_cost = float(cost)
                     best_config = c
     get_registry().gauge("dse.rsm.rounds").set(rounds_done)
     return RSMResult(best_config=best_config, best_cost=best_cost,

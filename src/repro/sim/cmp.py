@@ -24,7 +24,26 @@ from repro.sim.config import SimulatedChip
 from repro.sim.core import CoreModel, CoreResult
 from repro.sim.hierarchy import MemoryHierarchy
 
-__all__ = ["CMPSimulator", "SimulationResult"]
+__all__ = ["CMPSimulator", "SimulationResult", "simulate_chip_cost"]
+
+
+def simulate_chip_cost(chip: SimulatedChip, workload, seed: int) -> float:
+    """Cycles per instruction of ``workload`` on ``chip`` — one design point.
+
+    A module-level entry (not a method or closure) so a process pool can
+    pickle the ``(chip, workload, seed)`` triple and fan design points
+    across workers: this is the unit of work
+    :class:`repro.dse.batch.ParallelEvaluator` dispatches.  Streams are
+    drawn from a generator seeded per call, so the cost of a
+    configuration is a pure function of its arguments — identical in
+    every process.
+    """
+    rng = np.random.default_rng(seed)
+    result = CMPSimulator(chip).run(workload.streams(chip.n_cores, rng))
+    instructions = result.total_instructions
+    if instructions == 0:
+        return float("inf")
+    return result.exec_cycles / instructions
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,163 @@
+"""Property tests for the batch engine's budget/feasibility invariants.
+
+Each property is checked over randomized-but-seeded inputs from the
+``random_space_factory`` / ``random_config_batch_factory`` generators in
+``tests/conftest.py`` — any failing seed reproduces exactly.
+
+Invariants (the Fig. 12 accounting contract):
+
+1. ``BudgetedEvaluator.evaluations`` == number of *unique* canonical
+   configurations evaluated, however the calls are batched or ordered.
+2. Cache hits never consume budget: re-submitting any prefix of seen
+   configs leaves ``evaluations`` unchanged.
+3. The vectorized Eq. 12 feasibility mask (inf cost) matches the scalar
+   ``is_feasible`` hook pointwise.
+4. ``canonical_key`` is insensitive to dict key order and is the
+   memoization identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ApplicationProfile, MachineParameters
+from repro.dse import (
+    BudgetedEvaluator,
+    SurrogateEvaluator,
+    canonical_key,
+    is_feasible,
+)
+from repro.laws.gfunction import PowerLawG
+
+SEEDS = (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+@pytest.fixture(scope="module")
+def surrogate() -> SurrogateEvaluator:
+    app = ApplicationProfile(f_seq=0.02, f_mem=0.35, concurrency=4.0,
+                             g=PowerLawG(1.0))
+    machine = MachineParameters(total_area=400.0, shared_area=40.0)
+    return SurrogateEvaluator(app, machine)
+
+
+class TestBudgetCounterInvariant:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_evaluations_equals_unique_configs(self, surrogate,
+                                               random_space_factory,
+                                               random_config_batch_factory,
+                                               seed):
+        space = random_space_factory(seed)
+        configs = random_config_batch_factory(space, seed)
+        budget = BudgetedEvaluator(surrogate)
+        budget.evaluate_batch(configs)
+        unique = len({canonical_key(c) for c in configs})
+        assert budget.evaluations == unique
+        assert budget.evaluations_cached == len(configs) - unique
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_counter_is_batching_invariant(self, surrogate,
+                                           random_space_factory,
+                                           random_config_batch_factory,
+                                           seed):
+        space = random_space_factory(seed)
+        configs = random_config_batch_factory(space, seed)
+        counts = []
+        for split in (1, 3, 7, len(configs)):
+            budget = BudgetedEvaluator(surrogate)
+            for i in range(0, len(configs), split):
+                budget.evaluate_batch(configs[i:i + split])
+            counts.append((budget.evaluations, budget.evaluations_cached))
+        assert len(set(counts)) == 1
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_counter_is_order_invariant(self, surrogate,
+                                        random_space_factory,
+                                        random_config_batch_factory, seed):
+        space = random_space_factory(seed)
+        configs = random_config_batch_factory(space, seed)
+        forward = BudgetedEvaluator(surrogate)
+        forward.evaluate_batch(configs)
+        backward = BudgetedEvaluator(surrogate)
+        backward.evaluate_batch(list(reversed(configs)))
+        assert forward.evaluations == backward.evaluations
+        assert forward.evaluations_cached == backward.evaluations_cached
+
+
+class TestCacheHitsAreFree:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_resubmission_consumes_no_budget(self, surrogate,
+                                             random_space_factory,
+                                             random_config_batch_factory,
+                                             seed):
+        space = random_space_factory(seed)
+        configs = random_config_batch_factory(space, seed)
+        budget = BudgetedEvaluator(surrogate)
+        first = budget.evaluate_batch(configs)
+        spent = budget.evaluations
+        # Replay the whole batch, a shuffled copy, and scalar rereads:
+        # all cache hits, zero new budget.
+        again = budget.evaluate_batch(configs)
+        gen = np.random.default_rng(seed)
+        shuffled = list(configs)
+        gen.shuffle(shuffled)
+        budget.evaluate_batch(shuffled)
+        for c in configs[:5]:
+            budget.evaluate(c)
+        assert budget.evaluations == spent
+        assert np.array_equal(again, first)
+
+    def test_key_order_does_not_defeat_the_cache(self, surrogate,
+                                                 random_space_factory):
+        space = random_space_factory(11)
+        config = space.config_at(0)
+        scrambled = dict(reversed(list(config.items())))
+        assert canonical_key(config) == canonical_key(scrambled)
+        budget = BudgetedEvaluator(surrogate)
+        a = budget.evaluate(config)
+        b = budget.evaluate(scrambled)
+        assert a == b
+        assert budget.evaluations == 1
+        assert budget.evaluations_cached == 1
+
+    def test_distinct_configs_have_distinct_keys(self, random_space_factory):
+        space = random_space_factory(13)
+        keys = {canonical_key(space.config_at(i))
+                for i in range(min(space.size, 200))}
+        assert len(keys) == min(space.size, 200)
+
+
+class TestFeasibilityMaskProperty:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_inf_cost_iff_infeasible(self, surrogate, random_space_factory,
+                                     random_config_batch_factory, seed):
+        space = random_space_factory(seed)
+        configs = random_config_batch_factory(space, seed, size=80)
+        costs = surrogate.evaluate_batch(configs)
+        mask = np.array([is_feasible(surrogate, c) for c in configs])
+        # Eq. 12 (and the design-rule bounds) decide feasibility; the
+        # vectorized kernel must agree pointwise: finite <=> feasible.
+        assert np.array_equal(np.isfinite(costs), mask)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_budgeted_wrapper_preserves_the_mask(self, surrogate,
+                                                 random_space_factory,
+                                                 random_config_batch_factory,
+                                                 seed):
+        space = random_space_factory(seed)
+        configs = random_config_batch_factory(space, seed, size=50)
+        budget = BudgetedEvaluator(surrogate)
+        costs = budget.evaluate_batch(configs)
+        for c, cost in zip(configs, costs):
+            assert np.isfinite(cost) == is_feasible(budget, c)
+
+    def test_boundary_area_is_feasible(self, surrogate):
+        # A config sized exactly to the area budget sits on the Eq. 12
+        # boundary; the <= comparison (with epsilon) must keep it.
+        m = surrogate.machine
+        per_core = (m.total_area - m.shared_area) / 4.0
+        config = {"a0": per_core / 3, "a1": per_core / 3,
+                  "a2": per_core / 3, "n": 4,
+                  "issue_width": 4, "rob_size": 128}
+        assert is_feasible(surrogate, config)
+        assert np.isfinite(surrogate.evaluate_batch([config])[0])

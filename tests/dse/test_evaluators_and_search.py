@@ -142,7 +142,33 @@ class TestBruteForce:
         res = brute_force_search(small_space, surrogate)
         costs = surrogate.evaluate_grid(small_space)
         assert res.best_cost == pytest.approx(float(np.min(costs)))
-        assert res.evaluations == small_space.size
+        # Design-rule-infeasible points are skipped before the budget is
+        # charged, so the sweep costs exactly the feasible count.
+        feasible = sum(surrogate.is_feasible(c) for c in small_space)
+        assert res.evaluations == feasible
+        assert res.skipped_infeasible == small_space.size - feasible
+        assert res.skipped_infeasible > 0  # the small space has rejects
+
+    def test_infeasible_points_never_reach_the_evaluator(self, app, machine,
+                                                         small_space):
+        # Regression: the sweep used to charge the budget for points the
+        # paper's practitioner would never submit (Eq. 12 violations).
+        class Recording:
+            def __init__(self, inner):
+                self.inner = inner
+                self.seen: list[dict] = []
+
+            def is_feasible(self, config):
+                return self.inner.is_feasible(config)
+
+            def evaluate(self, config):
+                self.seen.append(config)
+                return self.inner.evaluate(config)
+
+        recorder = Recording(SurrogateEvaluator(app, machine))
+        res = brute_force_search(small_space, recorder, batch_size=1)
+        assert res.evaluations == len(recorder.seen)
+        assert all(recorder.inner.is_feasible(c) for c in recorder.seen)
 
 
 class TestAPS:

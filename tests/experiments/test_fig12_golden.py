@@ -1,0 +1,63 @@
+"""Golden regression for the Fig. 12 pipeline on a small space.
+
+``tests/data/fig12_small_golden.json`` pins the exact per-method
+simulation counts and best-cost errors of ``run_fig12`` on a 4^6-point
+space.  Any drift — a search touching the budget differently, the batch
+engine reordering evaluations, the surrogate kernel changing — fails
+here before it silently changes the paper's headline figure.
+
+If a change is *intentional*, regenerate the fixture (see
+``docs/DSE_PERFORMANCE.md``) and explain the shift in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig12_aps import run_fig12
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "fig12_small_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def outcome(golden):
+    _table, outcome = run_fig12(values_per_param=golden["values_per_param"],
+                                seed=golden["seed"])
+    return outcome
+
+
+def test_space_size_pinned(golden, outcome):
+    assert outcome.space_size == golden["space_size"]
+
+
+def test_simulation_counts_exact(golden, outcome):
+    # The budget meters ARE the figure; counts must not drift at all.
+    assert outcome.aps_sims == golden["simulations"]["aps"]
+    assert outcome.ann_sims == golden["simulations"]["ann"]
+    assert outcome.ga_sims == golden["simulations"]["ga"]
+    assert outcome.rsm_sims == golden["simulations"]["rsm"]
+    assert outcome.full_sims == golden["simulations"]["full"]
+
+
+def test_best_cost_errors_pinned(golden, outcome):
+    assert outcome.aps_error == pytest.approx(golden["errors"]["aps"],
+                                              rel=1e-9)
+    assert outcome.ann_error == pytest.approx(golden["errors"]["ann"],
+                                              rel=1e-9)
+    assert outcome.ga_error == pytest.approx(golden["errors"]["ga"],
+                                             rel=1e-9, abs=1e-12)
+    assert outcome.rsm_error == pytest.approx(golden["errors"]["rsm"],
+                                              rel=1e-9, abs=1e-12)
+
+
+def test_narrowing_ordering_holds(outcome):
+    # The qualitative Fig. 12 claim, independent of exact values.
+    assert (outcome.aps_sims < outcome.ann_sims < outcome.full_sims)
