@@ -1,0 +1,98 @@
+"""CI cache-correctness check: a warm sim cache is free and exact.
+
+Runs a small Fig. 12-style design sweep through the real simulator
+twice against one persistent :class:`repro.sim.cache_store.SimCacheStore`
+in the working directory:
+
+1. the cold pass simulates every distinct configuration and persists
+   each cost;
+2. the warm pass must be **simulation-free** (``sim.runs == 0``, every
+   cost answered by ``sim.cache.hits``) and **bit-identical** to the
+   cold pass, with the same budget accounting
+   (``BudgetedEvaluator.evaluations`` unchanged by caching).
+
+Exits non-zero with a diagnostic on any violation.  Usage::
+
+    PYTHONPATH=src python scripts/sim_cache_check.py [store-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.dse.evaluate import BudgetedEvaluator, SimulatorEvaluator
+from repro.obs import get_registry
+from repro.sim.cache_store import SimCacheStore
+from repro.sim.config import SimulatedChip
+from repro.workloads.parsec import parsec_like
+
+
+def _space() -> list[dict]:
+    configs = [{"n": n, "issue_width": iw, "rob_size": 32,
+                "l1_kib": 16.0, "l2_kib": 128.0}
+               for n in (2, 4) for iw in (2, 4)]
+    # A duplicate exercises the budget memo on top of the sim cache.
+    return configs + [dict(configs[0])]
+
+
+def _sweep(store: SimCacheStore) -> tuple[list[float], int, dict]:
+    registry = get_registry()
+    registry.reset()
+    workload = parsec_like("fluidanimate", n_ops=2_000)
+    evaluator = BudgetedEvaluator(SimulatorEvaluator(
+        workload, seed=42, base_chip=replace(SimulatedChip(), n_cores=2),
+        cache=store))
+    costs = [evaluator.evaluate(config) for config in _space()]
+    counters = {name: registry.counter(name).value
+                for name in ("sim.runs", "sim.cache.hits",
+                             "sim.cache.misses", "sim.cache.stores")}
+    return costs, evaluator.evaluations, counters
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "sim-cache"
+    store = SimCacheStore(root)
+
+    cold_costs, cold_evals, cold_counters = _sweep(store)
+    # A fresh store instance proves the warm pass reads from disk, not
+    # from the first instance's in-memory LRU front.
+    warm_costs, warm_evals, warm_counters = _sweep(SimCacheStore(root))
+
+    distinct = len({tuple(sorted(c.items())) for c in _space()})
+    failures = []
+    if warm_costs != cold_costs:
+        failures.append(
+            f"warm costs differ from cold: {warm_costs} != {cold_costs}")
+    if warm_counters["sim.runs"] != 0:
+        failures.append(
+            f"warm pass ran {warm_counters['sim.runs']} simulations "
+            "(expected 0)")
+    if warm_counters["sim.cache.hits"] != distinct:
+        failures.append(
+            f"warm pass hit the store {warm_counters['sim.cache.hits']} "
+            f"times (expected {distinct})")
+    if cold_counters["sim.runs"] != distinct:
+        failures.append(
+            f"cold pass ran {cold_counters['sim.runs']} simulations "
+            f"(expected {distinct})")
+    if warm_evals != cold_evals or warm_evals != distinct:
+        failures.append(
+            f"budget accounting drifted: cold {cold_evals}, warm "
+            f"{warm_evals}, expected {distinct}")
+
+    print(f"cold: costs={cold_costs} evaluations={cold_evals} "
+          f"counters={cold_counters}")
+    print(f"warm: costs={warm_costs} evaluations={warm_evals} "
+          f"counters={warm_counters}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: warm re-run over {distinct} distinct configurations was "
+          "simulation-free and bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

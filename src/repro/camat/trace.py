@@ -6,6 +6,17 @@ window* of ``miss_penalty`` cycles.  Overlap between accesses is what
 creates hit concurrency (``C_H``) and hides miss cycles (the pure-miss
 semantics of C-AMAT, paper Fig. 1).
 
+:class:`AccessTrace` is columnar: the authoritative representation is a
+set of parallel int64 arrays (``starts``, ``hit_lengths``,
+``miss_penalties``, ``addresses``), which is what
+:class:`repro.camat.analyzer.TraceAnalyzer` consumes.  Traces built by
+the simulator and the workload generators come in through
+:meth:`AccessTrace.from_arrays`, which stores the columns directly with
+vectorized validation — no per-access :class:`MemoryAccess` object is
+ever materialized on that path.  Object views (``trace[i]``, iteration,
+``.accesses``) are built lazily, only when a caller actually asks for
+them.
+
 :func:`fig1_trace` reconstructs the exact example of the paper's Fig. 1:
 five accesses, ``H = 3``; accesses 3 and 4 miss with penalties 3 and 1;
 access 4's single miss cycle is hidden by access 5's hit window, so only
@@ -78,38 +89,59 @@ class MemoryAccess:
 
 
 class AccessTrace:
-    """An ordered collection of :class:`MemoryAccess` objects.
+    """An ordered collection of memory accesses, stored as columns.
 
-    The trace also exposes vectorized views (``starts``, ``hit_ends`` …)
-    used by :class:`repro.camat.analyzer.TraceAnalyzer` for O(cycles)
-    interval counting.
+    The vectorized views (``starts``, ``hit_ends`` …) are the primary
+    storage, used by :class:`repro.camat.analyzer.TraceAnalyzer` for
+    O(cycles) interval counting; per-access :class:`MemoryAccess`
+    objects are a lazily materialized convenience view.
     """
 
     def __init__(self, accesses: Iterable[MemoryAccess]) -> None:
-        self._accesses: tuple[MemoryAccess, ...] = tuple(accesses)
-        if not self._accesses:
+        objs: tuple[MemoryAccess, ...] = tuple(accesses)
+        if not objs:
             raise TraceError("trace must contain at least one access")
-        self.starts = np.array([a.start for a in self._accesses], dtype=np.int64)
-        self.hit_lengths = np.array(
-            [a.hit_cycles for a in self._accesses], dtype=np.int64)
-        self.miss_penalties = np.array(
-            [a.miss_penalty for a in self._accesses], dtype=np.int64)
-        self.hit_ends = self.starts + self.hit_lengths
-        self.miss_ends = self.hit_ends + self.miss_penalties
+        self._accesses: "tuple[MemoryAccess, ...] | None" = objs
+        self._init_columns(
+            np.array([a.start for a in objs], dtype=np.int64),
+            np.array([a.hit_cycles for a in objs], dtype=np.int64),
+            np.array([a.miss_penalty for a in objs], dtype=np.int64),
+            np.array([a.address for a in objs], dtype=np.int64))
+
+    def _init_columns(self, starts: np.ndarray, hit_lengths: np.ndarray,
+                      miss_penalties: np.ndarray,
+                      addresses: np.ndarray) -> None:
+        self.starts = starts
+        self.hit_lengths = hit_lengths
+        self.miss_penalties = miss_penalties
+        self.addresses = addresses
+        self.hit_ends = starts + hit_lengths
+        self.miss_ends = self.hit_ends + miss_penalties
 
     def __len__(self) -> int:
-        return len(self._accesses)
+        return int(self.starts.size)
 
     def __iter__(self) -> Iterator[MemoryAccess]:
-        return iter(self._accesses)
+        return iter(self._materialize())
 
-    def __getitem__(self, idx: int) -> MemoryAccess:
-        return self._accesses[idx]
+    def __getitem__(self, idx):
+        return self._materialize()[idx]
+
+    def _materialize(self) -> tuple[MemoryAccess, ...]:
+        """The object view, built on first use and cached."""
+        if self._accesses is None:
+            self._accesses = tuple(
+                MemoryAccess(s, h, p, a)
+                for s, h, p, a in zip(self.starts.tolist(),
+                                      self.hit_lengths.tolist(),
+                                      self.miss_penalties.tolist(),
+                                      self.addresses.tolist()))
+        return self._accesses
 
     @property
     def accesses(self) -> Sequence[MemoryAccess]:
-        """The accesses, in construction order."""
-        return self._accesses
+        """The accesses, in construction order (lazy object view)."""
+        return self._materialize()
 
     @property
     def first_cycle(self) -> int:
@@ -134,17 +166,42 @@ class AccessTrace:
         miss_penalties: np.ndarray,
         addresses: "np.ndarray | None" = None,
     ) -> "AccessTrace":
-        """Build a trace from parallel arrays (fast path for generators)."""
-        starts = np.asarray(starts, dtype=np.int64)
-        hits = np.asarray(hit_cycles, dtype=np.int64)
-        penalties = np.asarray(miss_penalties, dtype=np.int64)
+        """Build a trace from parallel arrays — the columnar fast path.
+
+        The columns are validated vectorized (same rules and error
+        messages as :class:`MemoryAccess`) and stored directly; no
+        per-access object is created.  This is what the simulator's
+        record arrays and the workload generators go through, so trace
+        construction is O(1) Python operations regardless of length.
+        """
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        hits = np.ascontiguousarray(hit_cycles, dtype=np.int64)
+        penalties = np.ascontiguousarray(miss_penalties, dtype=np.int64)
         if not (starts.shape == hits.shape == penalties.shape):
             raise TraceError("parallel arrays must have identical shapes")
+        if starts.ndim != 1:
+            raise TraceError(
+                f"parallel arrays must be 1-D, got {starts.ndim}-D")
+        if starts.size == 0:
+            raise TraceError("trace must contain at least one access")
+        if hits.min() < 1:
+            bad = int(hits[hits < 1][0])
+            raise TraceError(
+                f"hit window must last >= 1 cycle, got {bad}")
+        if penalties.min() < 0:
+            bad = int(penalties[penalties < 0][0])
+            raise TraceError(f"miss penalty must be >= 0, got {bad}")
         if addresses is None:
             addresses = np.zeros_like(starts)
-        return cls(
-            MemoryAccess(int(s), int(h), int(p), int(a))
-            for s, h, p, a in zip(starts, hits, penalties, addresses))
+        else:
+            addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+            if addresses.shape != starts.shape:
+                raise TraceError(
+                    "parallel arrays must have identical shapes")
+        trace = cls.__new__(cls)
+        trace._accesses = None
+        trace._init_columns(starts, hits, penalties, addresses)
+        return trace
 
 
 def fig1_trace() -> AccessTrace:

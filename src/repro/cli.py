@@ -159,8 +159,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {package_version()}")
     parser.add_argument("experiment",
-                        help="experiment id, 'list', 'all', or "
-                             "'characterize'")
+                        help="experiment id, 'list', 'all', "
+                             "'characterize', or 'cache'")
+    parser.add_argument("subcommand", nargs="?", default=None,
+                        help="subcommand for 'cache' (stats | clear)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for CSV output (optional); also "
                              "receives the run manifest")
@@ -181,6 +183,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=None, metavar="B",
                         help="design points per batched evaluator call "
                              "(default 2048)")
+    parser.add_argument("--sim-cache", type=Path, default=None, metavar="DIR",
+                        help="persistent simulation-result cache directory "
+                             "(default: $C2BOUND_SIM_CACHE when set)")
+    parser.add_argument("--no-sim-cache", action="store_true",
+                        help="disable the persistent simulation cache "
+                             "(overrides --sim-cache and the environment)")
     parser.add_argument("--workload", default="fluidanimate",
                         help="workload name for 'characterize' "
                              "(a PARSEC-like profile)")
@@ -202,6 +210,10 @@ def main(argv: "list[str] | None" = None) -> int:
                   "profile (--workload, --n-ops)")
         return 0
 
+    sim_store = _configure_sim_cache(args)
+    if args.experiment == "cache":
+        return _cache_command(args, reporter, sim_store)
+
     # Fresh accounting per invocation: tracing always aggregates (for
     # the timing summary); the JSONL sink exists only with --trace.
     registry = get_registry()
@@ -216,7 +228,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 "trace": str(args.trace) if args.trace else None,
                 "workload": args.workload, "n_ops": args.n_ops,
                 "workers": defaults.workers,
-                "batch_size": defaults.batch_size},
+                "batch_size": defaults.batch_size,
+                "sim_cache": str(sim_store.root) if sim_store else None},
         argv=list(sys.argv[1:]) if argv is None else list(argv))
     try:
         if args.experiment == "characterize":
@@ -232,6 +245,44 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs import disable_tracing
         disable_tracing()
     return status
+
+
+def _configure_sim_cache(args):
+    """Install the process-wide simulation store from the CLI flags.
+
+    Returns the active store (``None`` when caching is off).  Flag
+    precedence: ``--no-sim-cache`` > ``--sim-cache DIR`` >
+    ``$C2BOUND_SIM_CACHE`` > off.
+    """
+    from repro.sim.cache_store import get_default_store, set_default_store
+
+    if args.no_sim_cache:
+        return set_default_store(None)
+    if args.sim_cache is not None:
+        return set_default_store(args.sim_cache)
+    return get_default_store()
+
+
+def _cache_command(args, reporter: Reporter, store) -> int:
+    """``c2bound cache stats|clear`` — inspect or empty the store."""
+    if args.subcommand not in ("stats", "clear"):
+        reporter.error("cache needs a subcommand: "
+                       "'c2bound cache stats' or 'c2bound cache clear'")
+        return 2
+    if store is None:
+        reporter.error("no simulation cache configured; pass --sim-cache "
+                       "DIR or set $C2BOUND_SIM_CACHE")
+        return 2
+    if args.subcommand == "clear":
+        removed = store.clear()
+        reporter.note(f"removed {removed} cached simulation(s) "
+                      f"from {store.root}")
+        return 0
+    table = ResultTable(["field", "value"], title="Simulation cache")
+    for field, value in store.stats().items():
+        table.add_row(field, value)
+    reporter.table(table, trailing_blank=False)
+    return 0
 
 
 def _run_experiments(args, reporter: Reporter, tracer) -> int:

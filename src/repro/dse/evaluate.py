@@ -392,15 +392,29 @@ class SimulatorEvaluator:
     issue-width/ROB axes (which the paper's 6-parameter space sweeps
     separately), while ``a0`` feeds the analytic Pollack term and the
     Eq. 12 feasibility check.
+
+    ``cache`` selects the persistent simulation store consulted before
+    running the simulator (see :mod:`repro.sim.cache_store`): the
+    default ``"default"`` resolves the process-wide store *at
+    construction* — so a pickled evaluator carries the store into
+    process-pool workers — ``None`` disables caching, and a path or
+    :class:`~repro.sim.cache_store.SimCacheStore` selects a specific
+    store.  Caching only changes wall time, never results or budget
+    accounting: :class:`BudgetedEvaluator` still charges the first
+    occurrence of every configuration.
     """
 
     def __init__(self, workload: Workload, *, seed: int = 1234,
                  base_chip: "SimulatedChip | None" = None,
-                 kib_per_area_unit: float = 64.0) -> None:
+                 kib_per_area_unit: float = 64.0,
+                 cache="default") -> None:
+        from repro.sim.cache_store import resolve_store
+
         self.workload = workload
         self.seed = seed
         self.base_chip = base_chip if base_chip is not None else SimulatedChip()
         self.kib_per_area_unit = kib_per_area_unit
+        self.cache = resolve_store(cache)
 
     def chip_for(self, config: dict) -> SimulatedChip:
         """The simulator configuration a design point maps to."""
@@ -423,8 +437,12 @@ class SimulatorEvaluator:
         )
 
     def evaluate(self, config: dict) -> float:
-        return simulate_chip_cost(self.chip_for(config), self.workload,
-                                  self.seed)
+        chip = self.chip_for(config)
+        if self.cache is not None:
+            from repro.sim.cache_store import cached_simulate_chip_cost
+            return cached_simulate_chip_cost(chip, self.workload, self.seed,
+                                             self.cache)
+        return simulate_chip_cost(chip, self.workload, self.seed)
 
 
 def _value_noise(a0, a1, a2, n, issue, rob):

@@ -28,7 +28,7 @@ def save_trace(trace: AccessTrace, path: "str | Path") -> Path:
         starts=trace.starts,
         hit_cycles=trace.hit_lengths,
         miss_penalties=trace.miss_penalties,
-        addresses=np.array([a.address for a in trace], dtype=np.int64),
+        addresses=trace.addresses,
     )
     # numpy appends .npz when missing; normalize the returned path.
     return path if path.suffix == ".npz" else path.with_suffix(

@@ -1,15 +1,20 @@
 """Set-associative cache with true-LRU replacement.
 
-The tag store is kept in NumPy arrays (one row per set) so lookups are
-O(assoc) with no Python object churn — the cache is on the hot path of
+The tag store is kept in plain Python lists (one row per set): at the
+one-address-at-a-time granularity of the event loop, C-level
+``list.index``/``min`` over an 8-16 way row beats NumPy's per-call array
+machinery by an order of magnitude, and the cache is on the hot path of
 every simulated access.  Banking is modeled by the owning component
 (:class:`repro.sim.core.CoreModel` for L1 hit concurrency); this class is
 purely the hit/miss/replacement state.
+
+Replacement semantics are pinned by the differential golden tests: the
+hit way is the *first* matching way and the victim is the *first* way
+holding the minimum LRU tick — exactly what the previous
+``np.argmax(row == tag)`` / ``np.argmin(lru_row)`` implementation chose.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.sim.config import CacheConfig
@@ -39,9 +44,11 @@ class SetAssociativeCache:
         assoc = max(config.num_lines // sets, 1)
         self._assoc = assoc
         self._sets = sets
-        self._tags = np.full((sets, assoc), -1, dtype=np.int64)
-        self._lru = np.zeros((sets, assoc), dtype=np.int64)
-        self._dirty = np.zeros((sets, assoc), dtype=bool)
+        self._line_bytes = config.line_bytes
+        self._banks = config.banks
+        self._tags: list[list[int]] = [[-1] * assoc for _ in range(sets)]
+        self._lru: list[list[int]] = [[0] * assoc for _ in range(sets)]
+        self._dirty: list[list[bool]] = [[False] * assoc for _ in range(sets)]
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -61,11 +68,11 @@ class SetAssociativeCache:
         """Line (block) number of a byte address."""
         if address < 0:
             raise InvalidParameterError(f"address must be >= 0, got {address}")
-        return address // self.config.line_bytes
+        return address // self._line_bytes
 
     def bank_of(self, address: int) -> int:
         """Bank servicing this address (line-interleaved)."""
-        return self.line_of(address) % self.config.banks
+        return self.line_of(address) % self._banks
 
     def access(self, address: int) -> bool:
         """Look up ``address``; allocate on miss.  Returns hit?."""
@@ -80,35 +87,40 @@ class SetAssociativeCache:
         number of a dirty victim evicted by this fill (``None``
         otherwise).  Writes set the dirty bit on the (filled) line.
         """
-        line = self.line_of(address)
+        if address < 0:
+            raise InvalidParameterError(f"address must be >= 0, got {address}")
+        line = address // self._line_bytes
         set_idx = line % self._sets
         tag = line // self._sets
         self._tick += 1
         row = self._tags[set_idx]
-        way = int(np.argmax(row == tag)) if (row == tag).any() else -1
-        if way >= 0:
-            self._lru[set_idx, way] = self._tick
+        # "in" + index beats try/except index: the containment scan is
+        # C-speed over <= assoc ints, while a raised ValueError on every
+        # miss costs an order of magnitude more.
+        if tag in row:
+            way = row.index(tag)
+            self._lru[set_idx][way] = self._tick
             if write:
-                self._dirty[set_idx, way] = True
+                self._dirty[set_idx][way] = True
             self.hits += 1
             return True, None
         self.misses += 1
-        victim = int(np.argmin(self._lru[set_idx]))
+        lru_row = self._lru[set_idx]
+        victim = lru_row.index(min(lru_row))
         writeback: "int | None" = None
-        if self._dirty[set_idx, victim] and self._tags[set_idx, victim] >= 0:
+        dirty_row = self._dirty[set_idx]
+        if dirty_row[victim] and row[victim] >= 0:
             self.writebacks += 1
-            writeback = int(self._tags[set_idx, victim]) * self._sets + set_idx
-        self._tags[set_idx, victim] = tag
-        self._lru[set_idx, victim] = self._tick
-        self._dirty[set_idx, victim] = write
+            writeback = row[victim] * self._sets + set_idx
+        row[victim] = tag
+        lru_row[victim] = self._tick
+        dirty_row[victim] = write
         return False, writeback
 
     def probe(self, address: int) -> bool:
         """Non-allocating lookup (no LRU update, no fill)."""
         line = self.line_of(address)
-        set_idx = line % self._sets
-        tag = line // self._sets
-        return bool((self._tags[set_idx] == tag).any())
+        return line // self._sets in self._tags[line % self._sets]
 
     def invalidate(self, address: int) -> bool:
         """Drop a line if present; returns whether it was present.
@@ -120,15 +132,15 @@ class SetAssociativeCache:
         set_idx = line % self._sets
         tag = line // self._sets
         row = self._tags[set_idx]
-        mask = row == tag
-        if not mask.any():
+        try:
+            way = row.index(tag)
+        except ValueError:
             return False
-        way = int(np.argmax(mask))
-        if self._dirty[set_idx, way]:
+        if self._dirty[set_idx][way]:
             self.writebacks += 1
-        self._tags[set_idx, way] = -1
-        self._lru[set_idx, way] = 0
-        self._dirty[set_idx, way] = False
+        row[way] = -1
+        self._lru[set_idx][way] = 0
+        self._dirty[set_idx][way] = False
         return True
 
     def fill(self, address: int) -> "int | None":
@@ -143,18 +155,20 @@ class SetAssociativeCache:
         tag = line // self._sets
         self._tick += 1
         row = self._tags[set_idx]
-        if (row == tag).any():
+        if tag in row:
             return None
-        victim = int(np.argmin(self._lru[set_idx]))
+        lru_row = self._lru[set_idx]
+        victim = lru_row.index(min(lru_row))
         writeback: "int | None" = None
-        if self._dirty[set_idx, victim] and self._tags[set_idx, victim] >= 0:
+        dirty_row = self._dirty[set_idx]
+        if dirty_row[victim] and row[victim] >= 0:
             self.writebacks += 1
-            writeback = int(self._tags[set_idx, victim]) * self._sets + set_idx
-        self._tags[set_idx, victim] = tag
+            writeback = row[victim] * self._sets + set_idx
+        row[victim] = tag
         # Insert at LRU-adjacent priority: an untouched prefetch should
         # be the first victim if it turns out useless.
-        self._lru[set_idx, victim] = max(self._tick - self._assoc, 1)
-        self._dirty[set_idx, victim] = False
+        lru_row[victim] = max(self._tick - self._assoc, 1)
+        dirty_row[victim] = False
         return writeback
 
     def set_dirty(self, address: int) -> bool:
@@ -165,22 +179,22 @@ class SetAssociativeCache:
         """
         line = self.line_of(address)
         set_idx = line % self._sets
-        tag = line // self._sets
-        mask = self._tags[set_idx] == tag
-        if not mask.any():
+        try:
+            way = self._tags[set_idx].index(line // self._sets)
+        except ValueError:
             return False
-        self._dirty[set_idx, int(np.argmax(mask))] = True
+        self._dirty[set_idx][way] = True
         return True
 
     def is_dirty(self, address: int) -> bool:
         """Whether the (present) line holding ``address`` is dirty."""
         line = self.line_of(address)
         set_idx = line % self._sets
-        tag = line // self._sets
-        mask = self._tags[set_idx] == tag
-        if not mask.any():
+        try:
+            way = self._tags[set_idx].index(line // self._sets)
+        except ValueError:
             return False
-        return bool(self._dirty[set_idx, int(np.argmax(mask))])
+        return self._dirty[set_idx][way]
 
     @property
     def miss_rate(self) -> float:

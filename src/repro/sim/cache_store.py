@@ -1,0 +1,317 @@
+"""Persistent content-addressed store for simulation results.
+
+:func:`repro.sim.cmp.simulate_chip_cost` is a pure function of
+``(chip, workload, seed)`` — streams are drawn from a generator seeded
+per call, so the same triple produces the same cost in every process on
+every machine.  That purity makes the result *content-addressable*: this
+module hashes a canonical fingerprint of the triple (salted with
+:data:`SIM_MODEL_VERSION`) and keeps the cost in an on-disk store, so a
+re-run of a design-space experiment pays only for configurations it has
+never seen.
+
+Store layout (two-level fan-out keeps directories small)::
+
+    <root>/ab/abcdef....json   {"cost": "<repr>", "model_version": "...", ...}
+
+Guarantees:
+
+- **exactness** — costs are stored as ``repr(float)`` and parsed back
+  with ``float()``, which round-trips IEEE-754 doubles bit-for-bit, so a
+  warm-cache run is bit-identical to a cold one;
+- **concurrency safety** — writes go to a temp file in the same
+  directory followed by :func:`os.replace` (atomic on POSIX), so the
+  process-pool workers of :class:`repro.dse.batch.ParallelEvaluator` can
+  share one store without locks (double writes of the same key are
+  idempotent by construction);
+- **invalidation by versioning** — :data:`SIM_MODEL_VERSION` is folded
+  into every key.  Any intentional change to simulator semantics must
+  bump it (alongside regenerating ``tests/data/sim_golden.json``), which
+  orphans — rather than corrupts — stale entries.
+
+Hits/misses/stores and in-memory evictions are published as
+``sim.cache.*`` counters in the process-wide metrics registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.obs import get_registry
+
+__all__ = ["SIM_MODEL_VERSION", "SimCacheStore", "sim_cache_key",
+           "fingerprint", "cached_simulate_chip_cost",
+           "set_default_store", "get_default_store", "resolve_store"]
+
+#: Salt folded into every cache key.  Bump on ANY intentional change to
+#: simulator semantics (i.e. whenever ``tests/data/sim_golden.json`` is
+#: legitimately regenerated) so persisted costs from older model
+#: versions can never be returned for the new model.
+SIM_MODEL_VERSION = "2026.08-1"
+
+#: Environment variable enabling the default store for a whole process
+#: tree (the CLI flag takes precedence).
+ENV_VAR = "C2BOUND_SIM_CACHE"
+
+
+def fingerprint(obj):
+    """Canonical JSON-able structure identifying a parameter object.
+
+    Deterministic across processes and platforms: dataclasses are taken
+    by qualified name + field values, generic objects (workloads) by
+    qualified name + sorted instance attributes, arrays by
+    dtype/shape/content hash, floats by ``repr`` (exact).  Raises for
+    types without a stable identity (e.g. lambdas, open files).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, (float, np.floating)):
+        # float(...) first: repr(np.float64(x)) is "np.float64(x)".
+        return ["f", repr(float(obj))]
+    if isinstance(obj, (np.integer, np.bool_)):
+        return int(obj)
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return ["nd", str(data.dtype), list(data.shape),
+                hashlib.sha256(data.tobytes()).hexdigest()]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return ["dc", type(obj).__qualname__,
+                [[f.name, fingerprint(getattr(obj, f.name))]
+                 for f in fields(obj)]]
+    if isinstance(obj, (list, tuple)):
+        return ["l", [fingerprint(x) for x in obj]]
+    if isinstance(obj, dict):
+        return ["d", [[str(k), fingerprint(v)]
+                      for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))]]
+    if isinstance(obj, (set, frozenset)):
+        return ["s", sorted(fingerprint(x) for x in obj)]
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        return ["obj", type(obj).__qualname__,
+                [[k, fingerprint(v)] for k, v in sorted(attrs.items())
+                 if not k.startswith("_")]]
+    raise InvalidParameterError(
+        f"cannot fingerprint {type(obj).__qualname__} for the simulation "
+        "cache (no stable identity)")
+
+
+def sim_cache_key(chip, workload, seed: int) -> str:
+    """Content hash addressing one ``simulate_chip_cost`` result."""
+    payload = json.dumps(
+        ["simulate_chip_cost", SIM_MODEL_VERSION, fingerprint(chip),
+         fingerprint(workload), int(seed)],
+        separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SimCacheStore:
+    """On-disk content-addressed cost store with an in-memory LRU front.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first write).
+    memory_entries:
+        Capacity of the in-memory front; reads served from memory never
+        touch the filesystem.  Disk entries are never evicted by the
+        store itself (use :meth:`clear`).
+    """
+
+    def __init__(self, root, *, memory_entries: int = 4096) -> None:
+        if memory_entries < 1:
+            raise InvalidParameterError(
+                f"memory_entries must be >= 1, got {memory_entries}")
+        self.root = Path(root)
+        self.memory_entries = memory_entries
+        self._mem: OrderedDict[str, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._bind_counters()
+
+    def _bind_counters(self) -> None:
+        registry = get_registry()
+        self._ctr_hits = registry.counter("sim.cache.hits")
+        self._ctr_misses = registry.counter("sim.cache.misses")
+        self._ctr_stores = registry.counter("sim.cache.stores")
+        self._ctr_evictions = registry.counter("sim.cache.evictions")
+
+    # Pickling ships only the configuration (for process-pool workers);
+    # each worker rebuilds its own LRU front and registry counters.
+    def __getstate__(self) -> dict:
+        return {"root": str(self.root), "memory_entries": self.memory_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = Path(state["root"])
+        self.memory_entries = state["memory_entries"]
+        self._mem = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._bind_counters()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key's entry."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def _remember(self, key: str, cost: float) -> None:
+        mem = self._mem
+        if key in mem:
+            mem.move_to_end(key)
+            return
+        mem[key] = cost
+        if len(mem) > self.memory_entries:
+            mem.popitem(last=False)
+            self._ctr_evictions.inc()
+
+    def get(self, key: str) -> "float | None":
+        """Stored cost for ``key``, or ``None`` on a miss."""
+        mem = self._mem
+        if key in mem:
+            mem.move_to_end(key)
+            self.hits += 1
+            self._ctr_hits.inc()
+            return mem[key]
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            # Missing file, or a truncated entry from a crashed writer:
+            # both are plain misses (the writer path is atomic, so this
+            # is defensive, not expected).
+            self.misses += 1
+            self._ctr_misses.inc()
+            return None
+        cost = float(entry["cost"])
+        self._remember(key, cost)
+        self.hits += 1
+        self._ctr_hits.inc()
+        return cost
+
+    def put(self, key: str, cost: float, **provenance) -> None:
+        """Persist a cost (atomic write; concurrent writers are safe)."""
+        cost = float(cost)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"cost": repr(cost), "model_version": SIM_MODEL_VERSION}
+        entry.update(provenance)
+        payload = json.dumps(entry, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._remember(key, cost)
+        self._ctr_stores.inc()
+
+    def stats(self) -> dict:
+        """Store summary: entry/byte counts plus this instance's hit/miss."""
+        entries = 0
+        total_bytes = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                entries += 1
+                try:
+                    total_bytes += path.stat().st_size
+                except OSError:
+                    pass
+        return {"root": str(self.root), "entries": entries,
+                "bytes": total_bytes, "memory_entries": len(self._mem),
+                "hits": self.hits, "misses": self.misses,
+                "model_version": SIM_MODEL_VERSION}
+
+    def clear(self) -> int:
+        """Delete every persisted entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        self._mem.clear()
+        return removed
+
+
+# ----- process-wide default store -----------------------------------------
+_default_store: "SimCacheStore | None" = None
+_default_configured = False
+
+
+def set_default_store(store) -> "SimCacheStore | None":
+    """Set the process-wide default store.
+
+    ``store`` may be a :class:`SimCacheStore`, a directory path, or
+    ``None`` to disable caching (overriding :data:`ENV_VAR`).  Returns
+    the installed store.
+    """
+    global _default_store, _default_configured
+    if store is not None and not isinstance(store, SimCacheStore):
+        store = SimCacheStore(store)
+    _default_store = store
+    _default_configured = True
+    return _default_store
+
+
+def get_default_store() -> "SimCacheStore | None":
+    """The process-wide default store (``None`` when caching is off).
+
+    Resolution order: :func:`set_default_store` if it was ever called,
+    else the :data:`ENV_VAR` environment variable, else ``None``.
+    """
+    global _default_store, _default_configured
+    if not _default_configured:
+        env = os.environ.get(ENV_VAR)
+        if env:
+            _default_store = SimCacheStore(env)
+        _default_configured = True
+    return _default_store
+
+
+def resolve_store(cache) -> "SimCacheStore | None":
+    """Normalize a user-facing cache argument to a store (or ``None``).
+
+    ``"default"`` resolves against :func:`get_default_store` **now** —
+    evaluators call this at construction so the resolved store (a plain
+    root path after pickling) travels with them into pool workers.
+    """
+    if cache == "default":
+        return get_default_store()
+    if cache is None or isinstance(cache, SimCacheStore):
+        return cache
+    return SimCacheStore(cache)
+
+
+def cached_simulate_chip_cost(chip, workload, seed: int,
+                              store: "SimCacheStore | None" = None) -> float:
+    """:func:`~repro.sim.cmp.simulate_chip_cost` through a store.
+
+    With ``store=None`` the default store is consulted; with no store
+    configured at all this is exactly the uncached call.
+    """
+    from repro.sim.cmp import simulate_chip_cost
+
+    if store is None:
+        store = get_default_store()
+    if store is None:
+        return simulate_chip_cost(chip, workload, seed)
+    key = sim_cache_key(chip, workload, seed)
+    cost = store.get(key)
+    if cost is None:
+        cost = simulate_chip_cost(chip, workload, seed)
+        store.put(key, cost, seed=int(seed),
+                  workload=type(workload).__qualname__)
+    return cost

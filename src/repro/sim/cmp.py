@@ -109,21 +109,36 @@ class SimulationResult:
         return table
 
     def core_stats(self, core_id: int) -> TraceStatistics:
-        """Full C-AMAT statistics of one core's trace."""
-        return TraceAnalyzer().analyze(self.core_trace(core_id))
+        """Full C-AMAT statistics of one core's trace (memoized)."""
+        cache = self.__dict__.get("_stats_cache")
+        if cache is None:
+            cache = {}
+            # Frozen dataclass: stash the memo dict past __setattr__.
+            object.__setattr__(self, "_stats_cache", cache)
+        stats = cache.get(core_id)
+        if stats is None:
+            stats = TraceAnalyzer().analyze(self.core_trace(core_id))
+            cache[core_id] = stats
+        return stats
 
     def layer_apc(self) -> LayerAPC:
         """APC for L1 / LLC / DRAM (the paper's Fig. 13 measurement).
 
         L1 counts all processor accesses across cores; active cycles are
         measured per core and summed (each core's L1 is a separate
-        device, matching the per-layer APC definition).
+        device, matching the per-layer APC definition).  The per-core
+        analyzer pass is shared with :meth:`core_stats` — each trace is
+        analyzed at most once per result, and the final measurement is
+        memoized.
         """
+        cached = self.__dict__.get("_layer_apc_cache")
+        if cached is not None:
+            return cached
         analyzer = TraceAnalyzer()
         l1_acc = 0
         l1_active = 0
-        for core in self.cores:
-            stats = analyzer.analyze(core.trace())
+        for core_id in range(len(self.cores)):
+            stats = self.core_stats(core_id)
             l1_acc += stats.accesses
             l1_active += stats.memory_active_wall_cycles
         def layer(trace: "AccessTrace | None") -> APCMeasurement:
@@ -132,11 +147,13 @@ class SimulationResult:
             stats = analyzer.analyze(trace)
             return APCMeasurement(accesses=stats.accesses,
                                   active_cycles=stats.memory_active_wall_cycles)
-        return LayerAPC(
+        result = LayerAPC(
             l1=APCMeasurement(accesses=l1_acc, active_cycles=l1_active),
             llc=layer(self.l2_trace),
             dram=layer(self.dram_trace),
         )
+        object.__setattr__(self, "_layer_apc_cache", result)
+        return result
 
 
 class CMPSimulator:
@@ -187,12 +204,13 @@ class CMPSimulator:
                 if not core.done:
                     heapq.heappush(heap,
                                    (core.peek_issue_time(), core.core_id))
+            heappush = heapq.heappush
+            heappop = heapq.heappop
             while heap:
-                _, cid = heapq.heappop(heap)
-                core = cores[cid]
-                core.step(hierarchy)
-                if not core.done:
-                    heapq.heappush(heap, (core.peek_issue_time(), cid))
+                _, cid = heappop(heap)
+                nxt = cores[cid].advance(hierarchy)
+                if nxt is not None:
+                    heappush(heap, (nxt, cid))
         results = tuple(core.result() for core in cores)
         exec_cycles = max((r.finish_cycle for r in results), default=0)
         self._publish_metrics(cores, results, hierarchy, exec_cycles)

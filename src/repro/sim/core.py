@@ -14,8 +14,12 @@ mechanisms that create C-AMAT's concurrency parameters:
 - *MSHRs*: outstanding line misses are bounded by the L1 MSHR file, with
   secondary misses merging.
 
-Each access produces a :class:`repro.camat.MemoryAccess`-shaped record,
-so a finished core yields a genuine :class:`repro.camat.AccessTrace`.
+Hot-path layout: the per-access loop reads plain Python lists (NumPy
+scalar indexing costs ~10x a list index) and writes records into
+preallocated int64 column arrays, which at the end become a genuine
+:class:`repro.camat.AccessTrace` through the columnar
+:meth:`~repro.camat.trace.AccessTrace.from_arrays` fast path — no
+per-access object is ever built.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.camat.trace import AccessTrace, MemoryAccess
+from repro.camat.trace import AccessTrace
 from repro.errors import SimulationError
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.config import CacheConfig, CoreMicroConfig
@@ -85,12 +89,22 @@ class CoreResult:
         return self.finish_cycle / self.instructions
 
     def trace(self) -> AccessTrace:
-        """The core's L1-level access trace (for C-AMAT analysis)."""
-        if not self.records:
-            raise SimulationError("core executed no memory operations")
-        return AccessTrace(
-            MemoryAccess(start=s, hit_cycles=h, miss_penalty=p)
-            for s, h, p in self.records)
+        """The core's L1-level access trace (for C-AMAT analysis).
+
+        Built once through the columnar fast path and memoized, so
+        repeated analyses (``layer_apc`` + ``core_stats``) never re-parse
+        the records.
+        """
+        cached = self.__dict__.get("_trace")
+        if cached is None:
+            if not self.records:
+                raise SimulationError("core executed no memory operations")
+            columns = np.asarray(self.records, dtype=np.int64)
+            cached = AccessTrace.from_arrays(
+                columns[:, 0], columns[:, 1], columns[:, 2])
+            # Frozen dataclass: memoize past the __setattr__ guard.
+            object.__setattr__(self, "_trace", cached)
+        return cached
 
 
 class CoreModel:
@@ -124,18 +138,45 @@ class CoreModel:
         self._issue_width = (issue_width_override
                              if issue_width_override is not None
                              else micro.issue_width)
+        self._rob_size = micro.rob_size
+        cfg = self.l1.config
+        self._line_bytes = cfg.line_bytes
+        self._l1_banks = cfg.banks
+        self._hit_latency = cfg.hit_latency
+        self._mshr_entries = cfg.mshr_entries
+        # The MSHR file's live containers (mutated in place, never
+        # rebound — see the MSHRFile docstring), probed directly on the
+        # per-op fast path.
+        self._mshr_pending = self.mshr._pending
+        self._mshr_heap = self.mshr._heap
         self.addresses = addresses
         self.gaps = gaps
         self.writes = writes
         # Instruction index of each memory op: gaps before it plus earlier ops.
         self.instr_index = (np.cumsum(gaps)
                             + np.arange(addresses.size, dtype=np.int64))
+        # Hot-loop views: plain lists index ~10x faster than ndarrays.
+        self._addr_list: list[int] = addresses.tolist()
+        self._write_list: list[bool] = writes.tolist()
+        self._instr_list: list[int] = self.instr_index.tolist()
+        # Bandwidth-limited issue cycle of each op, divided out once.
+        self._base_issue: list[int] = (
+            self.instr_index // self._issue_width).tolist()
+        self._n_ops = addresses.size
         self._next = 0
         self._bank_free = (shared_banks if shared_banks is not None
                            else [0] * l1_config.banks)
         self._outstanding: deque[tuple[int, int]] = deque()  # (instr idx, done)
-        self._records: list[tuple[int, int, int]] = []
+        # Preallocated record columns — one slot per memory op.
+        self._rec_start = np.empty(self._n_ops, dtype=np.int64)
+        self._rec_hit = np.empty(self._n_ops, dtype=np.int64)
+        self._rec_penalty = np.empty(self._n_ops, dtype=np.int64)
         self._last_done = 0
+        # Committed-done watermark: the max completion time among entries
+        # retired for the *current* op (reset per op), so peek/step never
+        # rescan the deque.
+        self._retire_op = -1
+        self._retire_max = 0
         # Structural stall: when the MSHR file fills, the pipeline blocks
         # until an entry frees, so younger ops cannot issue past this cycle.
         self._issue_barrier = 0
@@ -153,59 +194,122 @@ class CoreModel:
     @property
     def done(self) -> bool:
         """Whether all memory ops have been processed."""
-        return self._next >= self.addresses.size
+        return self._next >= self._n_ops
 
     def peek_issue_time(self) -> int:
-        """Lower bound on the next op's issue cycle (for event ordering)."""
-        if self.done:
+        """Lower bound on the next op's issue cycle (for event ordering).
+
+        The committed-done watermark (``_retire_op``/``_retire_max``)
+        makes the ROB check amortized O(1): it resets per op, each deque
+        entry pops exactly once, and a repeated peek of the same op
+        returns the accumulated maximum — matching the historical
+        semantics where every peek rescanned the whole deque.  The same
+        watermark is shared with :meth:`step` (inlined in both, this is
+        the innermost event-loop code).
+        """
+        j = self._next
+        if j >= self._n_ops:
             raise SimulationError("core already finished")
-        idx = int(self.instr_index[self._next])
-        t = max(idx // self._issue_width, self._issue_barrier)
+        t = self._base_issue[j]
+        if self._issue_barrier > t:
+            t = self._issue_barrier
         # ROB: the op cannot issue before the instruction rob_size older
         # has committed; memory ops are the only long-latency entries.
-        bound = idx - self.micro.rob_size
-        for instr, done_t in self._outstanding:
-            if instr <= bound:
-                t = max(t, done_t)
-            else:
-                break
-        return t
+        if self._retire_op != j:
+            self._retire_op = j
+            self._retire_max = 0
+        bound = self._instr_list[j] - self._rob_size
+        outstanding = self._outstanding
+        committed = self._retire_max
+        while outstanding and outstanding[0][0] <= bound:
+            done_t = outstanding.popleft()[1]
+            if done_t > committed:
+                committed = done_t
+        self._retire_max = committed
+        return t if t >= committed else committed
+
+    def advance(self, hierarchy: MemoryHierarchy) -> "int | None":
+        """Process one op; returns the next op's issue bound (or None).
+
+        The fused step-then-peek the event loop spins on — one method
+        call per op instead of ``step``/``done``/``peek_issue_time``,
+        with the peek body inlined (the golden differential tests pin
+        it to :meth:`peek_issue_time` exactly).
+        """
+        self.step(hierarchy)
+        j = self._next
+        if j >= self._n_ops:
+            return None
+        t = self._base_issue[j]
+        barrier = self._issue_barrier
+        if barrier > t:
+            t = barrier
+        if self._retire_op != j:
+            self._retire_op = j
+            self._retire_max = 0
+        bound = self._instr_list[j] - self._rob_size
+        outstanding = self._outstanding
+        committed = self._retire_max
+        while outstanding and outstanding[0][0] <= bound:
+            done_t = outstanding.popleft()[1]
+            if done_t > committed:
+                committed = done_t
+        self._retire_max = committed
+        return t if t >= committed else committed
 
     def step(self, hierarchy: MemoryHierarchy) -> int:
         """Process one memory op; returns its completion cycle."""
-        if self.done:
-            raise SimulationError("core already finished")
         j = self._next
-        self._next += 1
-        idx = int(self.instr_index[j])
-        address = int(self.addresses[j])
-        is_write = bool(self.writes[j])
-        issue = max(idx // self._issue_width, self._issue_barrier)
-        # In-order commit / ROB occupancy.
-        bound = idx - self.micro.rob_size
-        while self._outstanding and self._outstanding[0][0] <= bound:
-            instr, done_t = self._outstanding.popleft()
-            issue = max(issue, done_t)
+        if j >= self._n_ops:
+            raise SimulationError("core already finished")
+        self._next = j + 1
+        idx = self._instr_list[j]
+        address = self._addr_list[j]
+        is_write = self._write_list[j]
+        issue = self._base_issue[j]
+        if self._issue_barrier > issue:
+            issue = self._issue_barrier
+        # In-order commit / ROB occupancy (same watermark as peek).
+        if self._retire_op != j:
+            self._retire_op = j
+            self._retire_max = 0
+        bound = idx - self._rob_size
+        outstanding = self._outstanding
+        committed = self._retire_max
+        while outstanding and outstanding[0][0] <= bound:
+            done_t = outstanding.popleft()[1]
+            if done_t > committed:
+                committed = done_t
+        self._retire_max = committed
+        if committed > issue:
+            issue = committed
         # L1 bank port (1-cycle pipelined occupancy per bank).
-        cfg = self.l1.config
-        bank = self.l1.bank_of(address)
-        issue = max(issue, self._bank_free[bank])
-        self._bank_free[bank] = issue + 1
-        hit_lat = cfg.hit_latency
-        line = self.l1.line_of(address)
-        outstanding_fill = self.mshr.lookup(line, issue)
+        line = address // self._line_bytes
+        bank = line % self._l1_banks
+        bank_free = self._bank_free
+        if bank_free[bank] > issue:
+            issue = bank_free[bank]
+        bank_free[bank] = issue + 1
+        hit_lat = self._hit_latency
+        mshr = self.mshr
+        l1 = self.l1
+        # Inlined mshr.lookup (guarded retire + map probe).
+        mheap = self._mshr_heap
+        if mheap and mheap[0][0] <= issue:
+            mshr._retire(issue)
+        outstanding_fill = self._mshr_pending.get(line)
         if outstanding_fill is not None:
             # Secondary miss: ride the in-flight fill (counts as a miss).
-            self.l1.misses += 1
-            self.mshr.merge(line, issue)
+            l1.misses += 1
+            mshr.merge(line, issue)
             if is_write:
-                self.l1.set_dirty(address)
+                l1.set_dirty(address)
             done = max(int(outstanding_fill), issue + hit_lat)
         else:
-            hit, victim = self.l1.access_rw(address, write=is_write)
+            hit, victim = l1.access_rw(address, write=is_write)
             if victim is not None:
                 hierarchy.writeback(self.core_id,
-                                    victim * cfg.line_bytes, issue)
+                                    victim * self._line_bytes, issue)
             if hit:
                 done = issue + hit_lat
                 if is_write:
@@ -214,20 +318,23 @@ class CoreModel:
                         self.core_id, address, issue) + hit_lat)
             else:
                 alloc = max(issue + hit_lat,
-                            int(self.mshr.earliest_free_time(issue)))
+                            int(mshr.earliest_free_time(issue)))
                 if alloc > issue + hit_lat:
                     # The file was full: the pipeline blocks until the
                     # entry frees; no younger instruction issues earlier.
                     self._issue_barrier = max(self._issue_barrier, alloc)
                 done = hierarchy.service_miss(self.core_id, address, alloc,
                                               write=is_write)
-                self.mshr.allocate(line, done, alloc)
-        penalty = max(done - issue - hit_lat, 0)
-        self._records.append((issue, hit_lat, penalty))
-        self._outstanding.append((idx, done))
-        self._last_done = max(self._last_done, done)
+                mshr.allocate(line, done, alloc)
+        penalty = done - issue - hit_lat
+        self._rec_start[j] = issue
+        self._rec_hit[j] = hit_lat
+        self._rec_penalty[j] = penalty if penalty > 0 else 0
+        outstanding.append((idx, done))
+        if done > self._last_done:
+            self._last_done = done
         if self._prefetcher is not None:
-            was_hit = penalty == 0 and outstanding_fill is None
+            was_hit = penalty <= 0 and outstanding_fill is None
             if was_hit and line in self._prefetched_lines:
                 self.prefetches_useful += 1
                 self._prefetched_lines.discard(line)
@@ -244,11 +351,10 @@ class CoreModel:
         and never stall the pipeline; a dirty victim displaced by a
         prefetch fill is written back like any other.
         """
-        cfg = self.l1.config
         for line in lines:
-            if self.mshr.outstanding(time) >= cfg.mshr_entries - 1:
+            if self.mshr.outstanding(time) >= self._mshr_entries - 1:
                 break
-            address = line * cfg.line_bytes
+            address = line * self._line_bytes
             if (self.l1.probe(address)
                     or self.mshr.lookup(line, time) is not None):
                 continue
@@ -257,7 +363,7 @@ class CoreModel:
             victim = self.l1.fill(address)
             if victim is not None:
                 hierarchy.writeback(self.core_id,
-                                    victim * cfg.line_bytes, time)
+                                    victim * self._line_bytes, time)
             self._prefetched_lines.add(line)
             self.prefetches_issued += 1
 
@@ -266,16 +372,24 @@ class CoreModel:
         """Finalize and summarize (call after the event loop drains)."""
         if not self.done:
             raise SimulationError("core has unprocessed memory ops")
-        total_instr = (int(self.gaps.sum()) + self.addresses.size)
+        total_instr = (int(self.gaps.sum()) + self._n_ops)
         bw_finish = total_instr // max(self._issue_width, 1)
-        return CoreResult(
+        result = CoreResult(
             core_id=self.core_id,
             instructions=total_instr,
-            mem_ops=int(self.addresses.size),
+            mem_ops=int(self._n_ops),
             finish_cycle=max(self._last_done, bw_finish),
             l1_hits=self.l1.hits,
             l1_misses=self.l1.misses,
-            records=tuple(self._records),
+            records=tuple(zip(self._rec_start.tolist(),
+                              self._rec_hit.tolist(),
+                              self._rec_penalty.tolist())),
             prefetches_issued=self.prefetches_issued,
             prefetches_useful=self.prefetches_useful,
         )
+        if self._n_ops:
+            # Seed the memoized trace straight from the record columns,
+            # skipping the records->array round trip in trace().
+            object.__setattr__(result, "_trace", AccessTrace.from_arrays(
+                self._rec_start, self._rec_hit, self._rec_penalty))
+        return result

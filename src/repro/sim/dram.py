@@ -14,8 +14,6 @@ saturation under concurrent misses.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import InvalidParameterError
 from repro.sim.config import DRAMConfig
 
@@ -23,12 +21,17 @@ __all__ = ["DRAMModel"]
 
 
 class DRAMModel:
-    """Shared DRAM device model."""
+    """Shared DRAM device model.
+
+    Per-bank state lives in plain Python lists: the event loop touches
+    one bank per request, where scalar list indexing is several times
+    cheaper than NumPy element access.
+    """
 
     def __init__(self, config: DRAMConfig) -> None:
         self.config = config
-        self._open_row = np.full(config.banks, -1, dtype=np.int64)
-        self._bank_free = np.zeros(config.banks, dtype=np.float64)
+        self._open_row: list[int] = [-1] * config.banks
+        self._bank_free: list[float] = [0.0] * config.banks
         self.requests = 0
         self.row_hits = 0
         self.row_misses = 0
@@ -52,9 +55,9 @@ class DRAMModel:
         cfg = self.config
         bank = self.bank_of(address)
         row = self.row_of(address)
-        start = max(time, float(self._bank_free[bank]))
+        start = max(time, self._bank_free[bank])
         self.queue_wait_cycles += start - time
-        open_row = int(self._open_row[bank])
+        open_row = self._open_row[bank]
         if open_row == row:
             latency = cfg.row_hit
             self.row_hits += 1
@@ -66,7 +69,10 @@ class DRAMModel:
             self.row_conflicts += 1
         finish = start + latency + cfg.bus_cycles
         self._open_row[bank] = row
-        self._bank_free[bank] = finish
+        # Stored as float so arithmetic types match the historical
+        # float64-array implementation exactly (int when ``time`` wins
+        # the max, float when the bank queue does).
+        self._bank_free[bank] = float(finish)
         self.requests += 1
         self.busy_cycles += finish - start
         self._last_end = max(self._last_end, finish)

@@ -12,7 +12,9 @@ standard :class:`repro.camat.TraceAnalyzer`.
 
 from __future__ import annotations
 
-from repro.camat.trace import AccessTrace, MemoryAccess
+import numpy as np
+
+from repro.camat.trace import AccessTrace
 from repro.errors import SimulationError
 from repro.sim.cache import SetAssociativeCache
 from repro.sim.config import SimulatedChip
@@ -35,12 +37,22 @@ class MemoryHierarchy:
                             for _ in range(n)]
         # Per-slice, per-bank next-free times (pipelined lookups).
         self._bank_free = [[0] * chip.l2_slice.banks for _ in range(n)]
+        # Hot-path scalars (chip config is frozen, so these cannot drift).
+        self._n_cores = n
+        self._line_bytes = chip.l2_slice.line_bytes
+        self._l2_banks = chip.l2_slice.banks
+        self._l2_hit_latency = chip.l2_slice.hit_latency
         self.dram = DRAMModel(chip.dram)
         self.noc = MeshNoC(n, chip.noc)
+        # The NoC's flat latency table, indexed directly on the miss
+        # path (its entries are immutable; only `traversals` advances).
+        self._noc_lat = self.noc._lat
         self.l2_accesses = 0
         self.l2_hits = 0
         self._l2_records: list[tuple[int, int, int]] = []
         self._dram_records: list[tuple[int, int]] = []
+        self._l2_trace_cache: "AccessTrace | None" = None
+        self._dram_trace_cache: "AccessTrace | None" = None
         # MSI-lite directory: L1 line number -> set of sharer core ids.
         # Active only when the per-core L1s register themselves (the CMP
         # simulator wires this up); a None registry means non-coherent
@@ -106,17 +118,18 @@ class MemoryHierarchy:
 
     def writeback(self, core_id: int, address: int, time: int) -> None:
         """Accept a dirty L1 victim into its home L2 slice."""
-        cfg = self.chip.l2_slice
-        line = address // cfg.line_bytes
-        home = self.slice_of(line)
-        arrive = time + self.noc.latency(core_id, home)
-        bank = line % cfg.banks
-        start = max(arrive, self._bank_free[home][bank])
-        self._bank_free[home][bank] = start + 1
+        line = address // self._line_bytes
+        home = line % self._n_cores
+        self.noc.traversals += 1
+        arrive = time + self._noc_lat[core_id * self._n_cores + home]
+        bank = line % self._l2_banks
+        bank_free = self._bank_free[home]
+        start = arrive if arrive >= bank_free[bank] else bank_free[bank]
+        bank_free[bank] = start + 1
         _, l2_victim = self.slices[home].access_rw(address, write=True)
         if l2_victim is not None:
             # Dirty L2 victim drains to DRAM (fire-and-forget write).
-            self.dram.access(l2_victim * cfg.line_bytes, start)
+            self.dram.access(l2_victim * self._line_bytes, start)
             self.dram_writes += 1
         self._sharers.pop(line, None)
 
@@ -130,63 +143,85 @@ class MemoryHierarchy:
         """
         if time < 0:
             raise SimulationError(f"negative request time {time}")
-        cfg = self.chip.l2_slice
-        line = address // cfg.line_bytes
-        home = self.slice_of(line)
-        arrive = time + self.noc.latency(core_id, home)
+        line = address // self._line_bytes
+        home = line % self._n_cores
+        noc = self.noc
+        noc.traversals += 1
+        arrive = time + self._noc_lat[core_id * self._n_cores + home]
         if self._l1_caches is not None:
             if write:
                 arrive += self._invalidate_sharers(core_id, address, line)
             else:
                 self._sharers.setdefault(line, set()).add(core_id)
-        bank = line % cfg.banks
-        start = max(arrive, self._bank_free[home][bank])
-        self._bank_free[home][bank] = start + 1
+        bank = line % self._l2_banks
+        bank_free = self._bank_free[home]
+        start = arrive if arrive >= bank_free[bank] else bank_free[bank]
+        bank_free[bank] = start + 1
         self.l2_accesses += 1
-        slice_cache = self.slices[home]
+        hit_lat = self._l2_hit_latency
         mshr = self.slice_mshrs[home]
-        outstanding = mshr.lookup(line, start)
+        # Inlined mshr.lookup (guarded retire + map probe).
+        mheap = mshr._heap
+        if mheap and mheap[0][0] <= start:
+            mshr._retire(start)
+        outstanding = mshr._pending.get(line)
         if outstanding is not None:
             # Secondary miss at L2: ride the in-flight fill.
             done = int(outstanding)
-            penalty = max(done - start - cfg.hit_latency, 0)
-            self._l2_records.append((start, cfg.hit_latency, penalty))
+            penalty = max(done - start - hit_lat, 0)
+            self._l2_records.append((start, hit_lat, penalty))
         else:
-            l2_hit, l2_victim = slice_cache.access_rw(address, write=False)
+            l2_hit, l2_victim = self.slices[home].access_rw(
+                address, write=False)
             if l2_victim is not None:
-                self.dram.access(l2_victim * cfg.line_bytes, start)
+                self.dram.access(l2_victim * self._line_bytes, start)
                 self.dram_writes += 1
             if l2_hit:
                 self.l2_hits += 1
-                done = start + cfg.hit_latency
-                self._l2_records.append((start, cfg.hit_latency, 0))
+                done = start + hit_lat
+                self._l2_records.append((start, hit_lat, 0))
             else:
-                alloc = max(start + cfg.hit_latency,
+                alloc = max(start + hit_lat,
                             int(mshr.earliest_free_time(start)))
                 dram_done = int(self.dram.access(address, alloc))
                 self._dram_records.append((alloc, dram_done - alloc))
                 mshr.allocate(line, dram_done, alloc)
                 done = dram_done
                 self._l2_records.append(
-                    (start, cfg.hit_latency, done - start - cfg.hit_latency))
-        return done + self.noc.latency(home, core_id)
+                    (start, hit_lat, done - start - hit_lat))
+        noc.traversals += 1
+        return done + self._noc_lat[home * self._n_cores + core_id]
 
     # ----- per-layer traces (for APC / C-AMAT measurement) -----------------
     def l2_trace(self) -> "AccessTrace | None":
-        """Cycle-level trace of all L2 accesses (None if there were none)."""
+        """Cycle-level trace of all L2 accesses (None if there were none).
+
+        Built columnar (no per-access objects) and memoized; call only
+        after the event loop drains.
+        """
         if not self._l2_records:
             return None
-        return AccessTrace(
-            MemoryAccess(start=s, hit_cycles=h, miss_penalty=p)
-            for s, h, p in self._l2_records)
+        if self._l2_trace_cache is None or len(
+                self._l2_trace_cache) != len(self._l2_records):
+            columns = np.asarray(self._l2_records, dtype=np.int64)
+            self._l2_trace_cache = AccessTrace.from_arrays(
+                columns[:, 0], columns[:, 1], columns[:, 2])
+        return self._l2_trace_cache
 
     def dram_trace(self) -> "AccessTrace | None":
-        """Cycle-level trace of all DRAM accesses (None if there were none)."""
+        """Cycle-level trace of all DRAM accesses (None if there were none).
+
+        Built columnar and memoized like :meth:`l2_trace`.
+        """
         if not self._dram_records:
             return None
-        return AccessTrace(
-            MemoryAccess(start=s, hit_cycles=max(d, 1), miss_penalty=0)
-            for s, d in self._dram_records)
+        if self._dram_trace_cache is None or len(
+                self._dram_trace_cache) != len(self._dram_records):
+            columns = np.asarray(self._dram_records, dtype=np.int64)
+            self._dram_trace_cache = AccessTrace.from_arrays(
+                columns[:, 0], np.maximum(columns[:, 1], 1),
+                np.zeros(len(columns), dtype=np.int64))
+        return self._dram_trace_cache
 
     @property
     def l2_miss_rate(self) -> float:

@@ -4,9 +4,20 @@ MSHRs are what create *miss concurrency* (``C_M`` in C-AMAT): a cache
 with ``k`` MSHRs can overlap up to ``k`` outstanding line misses.
 Requests to a line that is already outstanding merge into the existing
 entry (secondary misses) instead of consuming a new one.
+
+Retirement is heap-driven: alongside the ``line -> fill_time`` map the
+file keeps a min-heap of ``(fill_time, line)`` pairs, so each
+``lookup``/``allocate``/``merge``/``outstanding`` call retires expired
+entries in amortized O(log k) instead of scanning every live entry.
+Because a line can only be re-allocated after its previous entry has
+retired (and retiring pops the matching heap pair), heap pairs map
+one-to-one onto live entries; the lazy-invalidation guard in
+:meth:`earliest_free_time` is a belt-and-braces check, not a hot path.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.errors import InvalidParameterError
 
@@ -19,6 +30,10 @@ class MSHRFile:
     Entries are keyed by line number and store the fill completion time.
     The file is time-driven: entries whose fill time has passed are
     retired lazily on each call.
+
+    Hot-path contract: ``_pending`` and ``_heap`` are mutated in place
+    and never rebound, so callers (``CoreModel``) may cache references
+    to them and probe directly between calls.
     """
 
     def __init__(self, entries: int) -> None:
@@ -26,23 +41,33 @@ class MSHRFile:
             raise InvalidParameterError(f"MSHR entries must be >= 1, got {entries}")
         self.capacity = entries
         self._pending: dict[int, float] = {}
+        self._heap: list[tuple[float, int]] = []
         self.primary_misses = 0
         self.secondary_merges = 0
         self.stall_events = 0
 
     def _retire(self, now: float) -> None:
-        done = [line for line, t in self._pending.items() if t <= now]
-        for line in done:
-            del self._pending[line]
+        heap = self._heap
+        if not heap or heap[0][0] > now:
+            return
+        pending = self._pending
+        while heap and heap[0][0] <= now:
+            fill_time, line = heapq.heappop(heap)
+            if pending.get(line) == fill_time:
+                del pending[line]
 
     def outstanding(self, now: float) -> int:
         """Number of live entries at ``now``."""
-        self._retire(now)
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self._retire(now)
         return len(self._pending)
 
     def lookup(self, line: int, now: float) -> "float | None":
         """Fill time of an outstanding miss to ``line``, if any."""
-        self._retire(now)
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self._retire(now)
         return self._pending.get(line)
 
     def earliest_free_time(self, now: float) -> float:
@@ -51,11 +76,20 @@ class MSHRFile:
         ``now`` if an entry is free; otherwise the smallest fill time
         among outstanding entries (allocation stalls until then).
         """
-        self._retire(now)
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self._retire(now)
         if len(self._pending) < self.capacity:
             return now
         self.stall_events += 1
-        return min(self._pending.values())
+        heap = self._heap
+        while heap:
+            fill_time, line = heap[0]
+            if self._pending.get(line) == fill_time:
+                return fill_time
+            heapq.heappop(heap)  # stale pair: drop and keep looking
+        raise InvalidParameterError(
+            "MSHR bookkeeping corrupt: full file with an empty heap")
 
     def allocate(self, line: int, fill_time: float, now: float) -> None:
         """Record a new outstanding miss (primary).
@@ -63,18 +97,23 @@ class MSHRFile:
         Raises if the file is full — callers must first consult
         :meth:`earliest_free_time` and delay allocation accordingly.
         """
-        self._retire(now)
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self._retire(now)
         if line in self._pending:
             raise InvalidParameterError(
                 f"line {line} already outstanding; merge instead")
         if len(self._pending) >= self.capacity:
             raise InvalidParameterError("MSHR file full at allocation time")
         self._pending[line] = fill_time
+        heapq.heappush(self._heap, (fill_time, line))
         self.primary_misses += 1
 
     def merge(self, line: int, now: float) -> float:
         """Attach to an outstanding miss; returns its fill time."""
-        self._retire(now)
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            self._retire(now)
         if line not in self._pending:
             raise InvalidParameterError(f"no outstanding miss to line {line}")
         self.secondary_merges += 1

@@ -28,6 +28,16 @@ class MeshNoC:
         self.config = config
         self.side = max(int(math.ceil(math.sqrt(n_nodes))), 1)
         self.traversals = 0
+        # Flat (src * n + dst) -> latency table: the event loop asks for
+        # the same few pairs millions of times, so the Manhattan-hop
+        # arithmetic is hoisted out of the hot path entirely.
+        side = self.side
+        coords = [(node % side, node // side) for node in range(n_nodes)]
+        self._lat = [
+            config.router_latency
+            + config.hop_latency * (abs(sx - dx) + abs(sy - dy))
+            for sx, sy in coords for dx, dy in coords
+        ]
 
     def coordinates(self, node: int) -> tuple[int, int]:
         """(x, y) position of a tile."""
@@ -44,9 +54,11 @@ class MeshNoC:
 
     def latency(self, src: int, dst: int) -> int:
         """One-way latency in cycles."""
+        if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+            raise InvalidParameterError(
+                f"node pair ({src}, {dst}) outside [0, {self.n_nodes})")
         self.traversals += 1
-        return (self.config.router_latency
-                + self.config.hop_latency * self.hops(src, dst))
+        return self._lat[src * self.n_nodes + dst]
 
     def round_trip(self, src: int, dst: int) -> int:
         """Request + response latency."""

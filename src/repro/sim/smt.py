@@ -97,6 +97,13 @@ class SMTCoreModel:
         _, pick = min(ready)
         return self.threads[pick].step(hierarchy)
 
+    def advance(self, hierarchy: MemoryHierarchy) -> "int | None":
+        """Process one op; returns the next op's issue bound (or None)."""
+        self.step(hierarchy)
+        if self.done:
+            return None
+        return self.peek_issue_time()
+
     # ----- results ----------------------------------------------------------
     def result(self) -> CoreResult:
         """Merged per-core result (records interleaved by start cycle)."""

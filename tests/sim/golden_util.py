@@ -1,0 +1,158 @@
+"""Golden-digest helper for the simulator differential tests.
+
+The fast-path optimizations (columnar traces, MSHR heap, watermark
+issue tracking, list-backed tag stores) must not change simulator
+*behavior* at all: :mod:`tests.sim.test_differential_golden` compares a
+digest of every observable output — per-core records, exec cycles,
+counters, per-layer traces, layer APC and C-AMAT statistics — against
+``tests/data/sim_golden.json``, which was generated with the
+pre-optimization implementation.  Regenerate (only after an intentional
+semantic change, alongside a bump of
+:data:`repro.sim.cache_store.SIM_MODEL_VERSION`) with::
+
+    PYTHONPATH=src:tests python tests/sim/golden_util.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "sim_golden.json"
+
+
+def golden_cases() -> "list[tuple[str, object, object, int]]":
+    """The seeded (name, chip, workload, seed) differential test matrix.
+
+    Small enough to run in a few seconds, broad enough to cover every
+    event-loop mechanism: coherent writes, SMT, prefetching, MSHR
+    starvation and the default configuration.
+    """
+    from repro.sim.config import CacheConfig, CoreMicroConfig, SimulatedChip
+    from repro.workloads.gups import GUPS
+    from repro.workloads.matmul import TiledMatMul
+    from repro.workloads.parsec import parsec_like
+
+    base = SimulatedChip()
+    return [
+        ("default_fluidanimate",
+         replace(base, n_cores=4),
+         parsec_like("fluidanimate", n_ops=4000), 7),
+        ("writes_coherent_matmul",
+         replace(base, n_cores=2),
+         TiledMatMul(n=24, tile=6), 11),
+        ("smt_fluidanimate",
+         replace(base, n_cores=2,
+                 core=CoreMicroConfig(issue_width=4, rob_size=64,
+                                      smt_threads=2)),
+         parsec_like("fluidanimate", n_ops=2000), 13),
+        ("prefetch_stream",
+         replace(base, n_cores=2,
+                 l1=replace(base.l1, prefetch="stride", prefetch_degree=2)),
+         parsec_like("streamcluster", n_ops=3000), 17),
+        ("mshr_starved_gups",
+         replace(base, n_cores=2,
+                 l1=replace(base.l1, size_kib=4.0, mshr_entries=2, banks=1),
+                 l2_slice=replace(base.l2_slice, size_kib=32.0,
+                                  mshr_entries=2)),
+         GUPS(updates=3000, table_kib=4096.0), 19),
+    ]
+
+
+def _sha(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, separators=(",", ":")).encode()).hexdigest()
+
+
+def _trace_digest(trace) -> "dict | None":
+    if trace is None:
+        return None
+    return {
+        "len": len(trace),
+        "sha": _sha([trace.starts.tolist(), trace.hit_lengths.tolist(),
+                     trace.miss_penalties.tolist()]),
+        "first_cycle": int(trace.first_cycle),
+        "last_cycle": int(trace.last_cycle),
+    }
+
+
+def _stats_digest(stats) -> dict:
+    return {
+        "accesses": stats.accesses,
+        "misses": stats.misses,
+        "pure_misses": stats.pure_misses,
+        "total_hit_access_cycles": stats.total_hit_access_cycles,
+        "total_miss_penalty_cycles": stats.total_miss_penalty_cycles,
+        "total_pure_miss_access_cycles": stats.total_pure_miss_access_cycles,
+        "hit_active_wall_cycles": stats.hit_active_wall_cycles,
+        "pure_miss_wall_cycles": stats.pure_miss_wall_cycles,
+        "memory_active_wall_cycles": stats.memory_active_wall_cycles,
+        "span_cycles": stats.span_cycles,
+        "camat": repr(stats.camat),
+        "amat": repr(stats.amat),
+    }
+
+
+def result_digest(result, cost: float) -> dict:
+    """Every observable output of one simulation, as a JSON-able dict."""
+    apc = result.layer_apc()
+    return {
+        "exec_cycles": int(result.exec_cycles),
+        "total_instructions": int(result.total_instructions),
+        "ipc": repr(result.ipc),
+        "cost": repr(cost),
+        "l1_writebacks": int(result.l1_writebacks),
+        "invalidations": int(result.invalidations),
+        "upgrades": int(result.upgrades),
+        "dram_writes": int(result.dram_writes),
+        "cores": [{
+            "instructions": c.instructions,
+            "mem_ops": c.mem_ops,
+            "finish_cycle": c.finish_cycle,
+            "l1_hits": c.l1_hits,
+            "l1_misses": c.l1_misses,
+            "prefetches_issued": c.prefetches_issued,
+            "prefetches_useful": c.prefetches_useful,
+            "records_sha": _sha([list(r) for r in c.records]),
+        } for c in result.cores],
+        "l2_trace": _trace_digest(result.l2_trace),
+        "dram_trace": _trace_digest(result.dram_trace),
+        "layer_apc": {
+            layer: {"accesses": m.accesses,
+                    "active_cycles": m.active_cycles,
+                    "apc": repr(m.apc)}
+            for layer, m in (("l1", apc.l1), ("llc", apc.llc),
+                             ("dram", apc.dram))
+        },
+        "core0_stats": _stats_digest(result.core_stats(0)),
+    }
+
+
+def run_case(chip, workload, seed: int) -> dict:
+    """Simulate one golden case and digest it."""
+    from repro.sim.cmp import CMPSimulator, simulate_chip_cost
+
+    rng = np.random.default_rng(seed)
+    smt = chip.core.smt_threads
+    result = CMPSimulator(chip).run(
+        workload.streams(chip.n_cores * smt, rng))
+    # simulate_chip_cost draws one stream per core (smt=1 chips only).
+    cost = (simulate_chip_cost(chip, workload, seed) if smt == 1
+            else float("nan"))
+    return result_digest(result, cost)
+
+
+def main() -> None:
+    golden = {name: run_case(chip, workload, seed)
+              for name, chip, workload, seed in golden_cases()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden)} cases)")
+
+
+if __name__ == "__main__":
+    main()

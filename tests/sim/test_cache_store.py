@@ -1,0 +1,210 @@
+"""Unit tests for the persistent content-addressed simulation store."""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import get_registry
+from repro.sim.cache_store import (
+    ENV_VAR,
+    SIM_MODEL_VERSION,
+    SimCacheStore,
+    cached_simulate_chip_cost,
+    fingerprint,
+    get_default_store,
+    resolve_store,
+    set_default_store,
+    sim_cache_key,
+)
+from repro.sim.config import CoreMicroConfig, SimulatedChip
+from repro.workloads.gups import GUPS
+from repro.workloads.parsec import parsec_like
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_store(monkeypatch):
+    """Each test starts with no default store and no env override."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    set_default_store(None)
+    yield
+    set_default_store(None)
+
+
+# ----- keys ----------------------------------------------------------------
+def test_key_is_stable_across_equal_inputs():
+    chip = replace(SimulatedChip(), n_cores=2)
+    assert sim_cache_key(chip, parsec_like("fluidanimate", n_ops=500), 7) \
+        == sim_cache_key(replace(SimulatedChip(), n_cores=2),
+                         parsec_like("fluidanimate", n_ops=500), 7)
+
+
+def test_key_is_sensitive_to_every_input():
+    chip = replace(SimulatedChip(), n_cores=2)
+    wl = parsec_like("fluidanimate", n_ops=500)
+    base = sim_cache_key(chip, wl, 7)
+    assert sim_cache_key(replace(chip, n_cores=4), wl, 7) != base
+    assert sim_cache_key(
+        replace(chip, core=CoreMicroConfig(issue_width=2)), wl, 7) != base
+    assert sim_cache_key(
+        replace(chip, l1=replace(chip.l1, size_kib=64.0)), wl, 7) != base
+    assert sim_cache_key(chip, parsec_like("fluidanimate", n_ops=501),
+                         7) != base
+    assert sim_cache_key(chip, GUPS(updates=500, table_kib=64.0), 7) != base
+    assert sim_cache_key(chip, wl, 8) != base
+
+
+def test_key_folds_in_the_model_version_salt(monkeypatch):
+    chip = replace(SimulatedChip(), n_cores=2)
+    wl = parsec_like("fluidanimate", n_ops=500)
+    base = sim_cache_key(chip, wl, 7)
+    monkeypatch.setattr("repro.sim.cache_store.SIM_MODEL_VERSION",
+                        SIM_MODEL_VERSION + ".bumped")
+    assert sim_cache_key(chip, wl, 7) != base
+
+
+def test_fingerprint_handles_arrays_floats_and_plain_objects():
+    assert fingerprint(1.5) == ["f", "1.5"]
+    assert fingerprint(np.float64(1.5)) == ["f", "1.5"]
+    a = fingerprint(np.arange(4))
+    b = fingerprint(np.arange(4))
+    assert a == b
+    assert fingerprint(np.arange(5)) != a
+
+    class Odd:
+        __slots__ = ()
+    with pytest.raises(InvalidParameterError, match="cannot fingerprint"):
+        fingerprint(Odd())
+
+
+# ----- store mechanics -----------------------------------------------------
+def test_put_get_round_trip_is_exact(tmp_path):
+    store = SimCacheStore(tmp_path / "cache")
+    cost = 0.1 + 0.2  # a float whose repr exposes rounding (0.30000...4)
+    key = "ab" + "0" * 62
+    store.put(key, cost)
+    assert store.get(key) == cost
+    # Bypass the memory front: a fresh instance reads from disk.
+    assert SimCacheStore(tmp_path / "cache").get(key) == cost
+
+
+def test_get_miss_and_corrupt_entry(tmp_path):
+    store = SimCacheStore(tmp_path / "cache")
+    key = "cd" + "1" * 62
+    assert store.get(key) is None
+    path = store.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")
+    assert store.get(key) is None  # corrupt entry is a plain miss
+    assert store.misses == 2
+
+
+def test_entry_records_provenance(tmp_path):
+    store = SimCacheStore(tmp_path / "cache")
+    key = "ef" + "2" * 62
+    store.put(key, 3.25, seed=7, workload="GUPS")
+    entry = json.loads(store.path_for(key).read_text())
+    assert entry == {"cost": "3.25", "model_version": SIM_MODEL_VERSION,
+                     "seed": 7, "workload": "GUPS"}
+
+
+def test_memory_front_evicts_lru(tmp_path):
+    registry = get_registry()
+    registry.reset()
+    store = SimCacheStore(tmp_path / "cache", memory_entries=2)
+    keys = [f"{i:02d}" + "3" * 62 for i in range(3)]
+    for i, key in enumerate(keys):
+        store.put(key, float(i))
+    assert len(store._mem) == 2
+    assert registry.counter("sim.cache.evictions").value == 1
+    # The evicted key still reads (from disk) and every value survives.
+    assert [store.get(k) for k in keys] == [0.0, 1.0, 2.0]
+
+
+def test_stats_and_clear(tmp_path):
+    store = SimCacheStore(tmp_path / "cache")
+    for i in range(3):
+        store.put(f"{i:02d}" + "4" * 62, float(i))
+    stats = store.stats()
+    assert stats["entries"] == 3
+    assert stats["bytes"] > 0
+    assert stats["model_version"] == SIM_MODEL_VERSION
+    assert store.clear() == 3
+    assert store.stats()["entries"] == 0
+    assert store.get("00" + "4" * 62) is None
+
+
+def test_pickle_ships_configuration_only(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", memory_entries=7)
+    store.put("aa" + "5" * 62, 1.5)
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.root == store.root
+    assert clone.memory_entries == 7
+    assert len(clone._mem) == 0          # fresh LRU front
+    assert clone.get("aa" + "5" * 62) == 1.5  # disk is shared
+
+
+def test_concurrent_style_double_put_is_idempotent(tmp_path):
+    a = SimCacheStore(tmp_path / "cache")
+    b = SimCacheStore(tmp_path / "cache")
+    key = "bb" + "6" * 62
+    a.put(key, 2.5)
+    b.put(key, 2.5)  # second writer replaces atomically with same value
+    assert SimCacheStore(tmp_path / "cache").get(key) == 2.5
+
+
+# ----- default-store resolution -------------------------------------------
+def test_resolve_store_modes(tmp_path):
+    assert resolve_store(None) is None
+    assert resolve_store("default") is None  # no default configured
+    store = SimCacheStore(tmp_path / "cache")
+    assert resolve_store(store) is store
+    made = resolve_store(tmp_path / "other")
+    assert isinstance(made, SimCacheStore)
+    assert made.root == tmp_path / "other"
+
+
+def test_default_store_from_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "envcache"))
+    # Force re-resolution of the (test-isolated) default.
+    import repro.sim.cache_store as mod
+    mod._default_configured = False
+    mod._default_store = None
+    store = get_default_store()
+    assert store is not None
+    assert store.root == tmp_path / "envcache"
+    # set_default_store(None) overrides the environment.
+    set_default_store(None)
+    assert get_default_store() is None
+
+
+# ----- the cached entry point ---------------------------------------------
+def test_cached_simulate_matches_direct_and_skips_resimulation(tmp_path):
+    from repro.sim.cmp import simulate_chip_cost
+
+    chip = replace(SimulatedChip(), n_cores=2)
+    wl = parsec_like("fluidanimate", n_ops=800)
+    store = SimCacheStore(tmp_path / "cache")
+    registry = get_registry()
+    registry.reset()
+    cold = cached_simulate_chip_cost(chip, wl, 7, store)
+    assert registry.counter("sim.runs").value == 1
+    warm = cached_simulate_chip_cost(chip, wl, 7, store)
+    assert registry.counter("sim.runs").value == 1  # no new simulation
+    direct = simulate_chip_cost(chip, wl, 7)
+    assert cold == warm == direct
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_cached_simulate_without_any_store_is_uncached(tmp_path):
+    from repro.sim.cmp import simulate_chip_cost
+
+    chip = replace(SimulatedChip(), n_cores=2)
+    wl = parsec_like("fluidanimate", n_ops=400)
+    assert cached_simulate_chip_cost(chip, wl, 7) \
+        == simulate_chip_cost(chip, wl, 7)

@@ -1,0 +1,46 @@
+"""Differential tests: the optimized simulator is bit-identical to the seed.
+
+``tests/data/sim_golden.json`` holds digests of every observable output
+(per-core records, exec cycles, coherence counters, per-layer traces,
+layer APC, C-AMAT statistics and ``simulate_chip_cost``) produced by the
+pre-optimization implementation.  The fast-path rework — columnar
+traces, the MSHR retirement heap, the committed-done watermark, the
+list-backed tag stores and the NoC latency table — must reproduce them
+exactly, field for field.
+
+See :mod:`tests.sim.golden_util` for the case matrix and regeneration
+instructions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.sim.golden_util import GOLDEN_PATH, golden_cases, run_case
+
+_CASES = golden_cases()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_golden_file_covers_all_cases(golden):
+    assert sorted(golden) == sorted(name for name, *_ in _CASES)
+
+
+@pytest.mark.parametrize(
+    "name,chip,workload,seed", _CASES, ids=[c[0] for c in _CASES])
+def test_bit_identical_to_seed_implementation(golden, name, chip,
+                                              workload, seed):
+    digest = run_case(chip, workload, seed)
+    reference = golden[name]
+    # Compare field-by-field for a readable failure before the full
+    # equality (which guards any keys the loop might miss).
+    for key in reference:
+        assert digest[key] == reference[key], f"{name}: {key} diverged"
+    assert digest == reference

@@ -1,0 +1,189 @@
+"""Property tests: heap-retirement MSHR file vs the dict-scan oracle.
+
+:class:`repro.sim.mshr.MSHRFile` retires entries through a min-heap in
+amortized O(log k).  The seed implementation retired by scanning every
+live entry — O(k) per call but trivially correct — and is kept here
+verbatim as ``DictScanMSHRFile``, the reference oracle.  Randomized
+operation sequences (allocate / merge / lookup / outstanding /
+earliest_free_time, with non-decreasing *and* repeated timestamps, fill
+-time ties and full-file stalls) must drive both implementations through
+identical observable behavior: return values, exceptions and the
+``stall_events`` / ``primary_misses`` / ``secondary_merges`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sim.mshr import MSHRFile
+
+
+class DictScanMSHRFile:
+    """The seed MSHR implementation (verbatim O(k)-retire dict scan)."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise InvalidParameterError(
+                f"MSHR entries must be >= 1, got {entries}")
+        self.capacity = entries
+        self._pending: dict[int, float] = {}
+        self.primary_misses = 0
+        self.secondary_merges = 0
+        self.stall_events = 0
+
+    def _retire(self, now: float) -> None:
+        done = [line for line, t in self._pending.items() if t <= now]
+        for line in done:
+            del self._pending[line]
+
+    def outstanding(self, now: float) -> int:
+        self._retire(now)
+        return len(self._pending)
+
+    def lookup(self, line: int, now: float) -> "float | None":
+        self._retire(now)
+        return self._pending.get(line)
+
+    def earliest_free_time(self, now: float) -> float:
+        self._retire(now)
+        if len(self._pending) < self.capacity:
+            return now
+        self.stall_events += 1
+        return min(self._pending.values())
+
+    def allocate(self, line: int, fill_time: float, now: float) -> None:
+        self._retire(now)
+        if line in self._pending:
+            raise InvalidParameterError(
+                f"line {line} already outstanding; merge instead")
+        if len(self._pending) >= self.capacity:
+            raise InvalidParameterError("MSHR file full at allocation time")
+        self._pending[line] = fill_time
+        self.primary_misses += 1
+
+    def merge(self, line: int, now: float) -> float:
+        self._retire(now)
+        if line not in self._pending:
+            raise InvalidParameterError(f"no outstanding miss to line {line}")
+        self.secondary_merges += 1
+        return self._pending[line]
+
+    def stats(self) -> dict:
+        return {"primary_misses": self.primary_misses,
+                "secondary_merges": self.secondary_merges,
+                "stall_events": self.stall_events}
+
+
+def _apply(mshr, op: str, line: int, now: float, fill: float):
+    """Run one operation; returns (tag, value) capturing the outcome."""
+    try:
+        if op == "allocate":
+            return ("ok", mshr.allocate(line, fill, now))
+        if op == "merge":
+            return ("ok", mshr.merge(line, now))
+        if op == "lookup":
+            return ("ok", mshr.lookup(line, now))
+        if op == "outstanding":
+            return ("ok", mshr.outstanding(now))
+        return ("ok", mshr.earliest_free_time(now))
+    except InvalidParameterError as err:
+        return ("raise", str(err))
+
+
+def _run_sequence(capacity: int, ops: "list[tuple]") -> None:
+    """Drive both implementations through ``ops``; compare every step."""
+    fast = MSHRFile(capacity)
+    oracle = DictScanMSHRFile(capacity)
+    for i, (op, line, now, fill) in enumerate(ops):
+        got = _apply(fast, op, line, now, fill)
+        want = _apply(oracle, op, line, now, fill)
+        assert got == want, f"step {i}: {op}(line={line}, now={now}) " \
+                            f"-> {got} but oracle {want}"
+        assert fast.stats() == oracle.stats(), f"counters diverged at {i}"
+
+
+def _sequence_from_seed(seed: int, length: int = 300) -> "list[tuple]":
+    """A seeded operation sequence biased toward collisions and stalls.
+
+    Lines are drawn from a tiny pool (forcing duplicate-allocate and
+    merge paths), fill times from a coarse grid (forcing
+    ``earliest_free_time`` ties), and ``now`` advances non-monotonically
+    within a window (replaying the repeated peeks of the event loop).
+    """
+    gen = np.random.default_rng(seed)
+    ops = []
+    base = 0.0
+    for _ in range(length):
+        op = ["allocate", "merge", "lookup", "outstanding",
+              "earliest_free_time"][int(gen.integers(0, 5))]
+        line = int(gen.integers(0, 6))
+        base += float(gen.integers(0, 3))
+        # Occasionally re-ask at an *earlier* time inside the window —
+        # the simulator peeks several cores at interleaved timestamps.
+        now = base - float(gen.integers(0, 2))
+        fill = now + float(gen.integers(1, 8))
+        ops.append((op, line, max(now, 0.0), fill))
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_randomized_sequences_match_oracle(seed):
+    _run_sequence(capacity=4, ops=_sequence_from_seed(seed))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_capacity_one_file_matches_oracle(seed):
+    # Capacity 1 maximizes full-file stalls and re-allocation churn.
+    _run_sequence(capacity=1, ops=_sequence_from_seed(100 + seed))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=3),
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from(["allocate", "merge", "lookup",
+                             "outstanding", "earliest_free_time"]),
+            st.integers(min_value=0, max_value=4),   # line
+            st.integers(min_value=0, max_value=3),   # time increment
+            st.integers(min_value=1, max_value=5),   # fill delta
+        ),
+        min_size=1, max_size=80),
+)
+def test_hypothesis_sequences_match_oracle(capacity, steps):
+    now = 0.0
+    ops = []
+    for op, line, dt, dfill in steps:
+        now += dt
+        ops.append((op, line, now, now + dfill))
+    _run_sequence(capacity, ops)
+
+
+def test_earliest_free_time_tie_prefers_the_shared_minimum():
+    """Several entries filling at the same cycle: both report that cycle."""
+    fast, oracle = MSHRFile(2), DictScanMSHRFile(2)
+    for m in (fast, oracle):
+        m.allocate(1, 50.0, 0.0)
+        m.allocate(2, 50.0, 0.0)
+    assert fast.earliest_free_time(10.0) == oracle.earliest_free_time(10.0) \
+        == 50.0
+    assert fast.stall_events == oracle.stall_events == 1
+    # At the tie's fill time both entries retire together.
+    assert fast.outstanding(50.0) == oracle.outstanding(50.0) == 0
+
+
+def test_reallocating_a_retired_line_is_clean():
+    """Heap pairs from a retired generation must not shadow a new entry."""
+    fast, oracle = MSHRFile(2), DictScanMSHRFile(2)
+    for m in (fast, oracle):
+        m.allocate(7, 10.0, 0.0)
+        assert m.lookup(7, 10.0) is None      # retired exactly at fill
+        m.allocate(7, 30.0, 11.0)             # same line, new generation
+        assert m.lookup(7, 11.0) == 30.0
+        m.allocate(8, 25.0, 11.0)
+        assert m.earliest_free_time(12.0) == 25.0
+    assert fast.stats() == oracle.stats()
