@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — alias of ``c2bound lint``."""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

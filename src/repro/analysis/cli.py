@@ -1,0 +1,87 @@
+"""Command-line front end: ``c2bound lint`` / ``python -m repro.analysis``.
+
+Exit codes: ``0`` clean (below the ``--fail-on`` threshold), ``1``
+findings at or above the threshold, ``2`` usage errors (unknown rule,
+missing target, bad catalog path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import rule_catalog
+from repro.errors import AnalysisError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="c2bound lint",
+        description="Repo-aware static analysis: determinism, cache-key "
+                    "completeness, metric-catalog consistency, "
+                    "picklability, trace invariants and hygiene "
+                    "(rule catalog in docs/STATIC_ANALYSIS.md).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        metavar="PATH",
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--rules", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--catalog", type=Path, default=None,
+                        metavar="FILE",
+                        help="metric catalog for C2L003 (default: "
+                             "<root>/docs/OBSERVABILITY.md when present)")
+    parser.add_argument("--root", type=Path, default=None, metavar="DIR",
+                        help="project root for relative paths and the "
+                             "catalog default (default: auto-detected)")
+    parser.add_argument("--fail-on", default="warning",
+                        choices=("error", "warning", "info", "never"),
+                        help="lowest severity that fails the run "
+                             "(default: warning)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for code, cls in sorted(rule_catalog().items()):
+        lines.append(f"{code}  {cls.name:22s} [{cls.severity}] "
+                     f"{cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rules = ([c for c in args.rules.split(",") if c.strip()]
+             if args.rules else None)
+    try:
+        result = lint_paths(args.paths, rules=rules, root=args.root,
+                            catalog=args.catalog)
+    except AnalysisError as exc:
+        print(f"c2bound lint: error: {exc}", file=sys.stderr)
+        return 2
+    report = (render_json(result) if args.format == "json"
+              else render_text(result) + "\n")
+    sys.stdout.write(report)
+    if args.fail_on == "never":
+        return 0
+    return result.exit_code(Severity.parse(args.fail_on))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

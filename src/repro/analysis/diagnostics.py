@@ -1,0 +1,74 @@
+"""Diagnostics: severities, findings and suppression bookkeeping.
+
+A :class:`Diagnostic` is one finding — rule code, severity, location and
+message — ordered by location so reports are stable across rule
+execution order.  Suppressions are carried by the source files (parsed
+from ``# c2lint:`` comments, see :mod:`repro.analysis.source`); the
+engine consults them when it collects findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordered so thresholds compare naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """``"error"`` → :attr:`ERROR` (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Attributes
+    ----------
+    path:
+        File the finding is anchored to (repo-relative when possible).
+    line, col:
+        1-based line and 0-based column of the offending node (line 0
+        for whole-file findings such as a missing ``__all__``).
+    code:
+        Rule code (``C2L001`` ...).
+    severity:
+        One of :class:`Severity`.
+    message:
+        Human-readable description, actionable in place.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str = field(compare=False)
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: severity C2Lxxx message`` (one line)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity} {self.code} {self.message}")
+
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-ready mapping (used by the ``--format json`` reporter)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "severity": str(self.severity),
+                "message": self.message}

@@ -1,0 +1,95 @@
+"""The lint engine: run rules over a project, honor suppressions.
+
+:class:`LintEngine` owns a rule selection; :meth:`LintEngine.run` loads
+the project view, executes every per-file and per-project hook, drops
+findings disabled by ``# c2lint:`` comments, and returns a sorted
+:class:`LintResult`.  Files that fail to parse surface as ``C2L000``
+errors rather than aborting the run — a broken file must not hide
+findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import Rule, make_rules
+from repro.analysis.source import Project, load_project
+
+__all__ = ["LintEngine", "LintResult", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: "list[Diagnostic]" = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    def count(self, severity: Severity) -> int:
+        """Findings at exactly ``severity``."""
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def worst(self) -> "Severity | None":
+        """Highest severity present, or ``None`` when clean."""
+        return max((d.severity for d in self.diagnostics), default=None)
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        """``1`` when any finding reaches ``fail_on``, else ``0``."""
+        worst = self.worst()
+        return 1 if worst is not None and worst >= fail_on else 0
+
+
+class LintEngine:
+    """Run a rule selection over lint targets."""
+
+    def __init__(self, rules: "Sequence[Rule] | None" = None) -> None:
+        self.rules: "list[Rule]" = (list(rules) if rules is not None
+                                    else make_rules())
+
+    def run(self, targets: "Iterable[Path | str]", *,
+            root: "Path | None" = None,
+            catalog: "Path | None" = None) -> LintResult:
+        """Lint ``targets`` (files or directories)."""
+        project = load_project([Path(t) for t in targets], root=root,
+                               catalog=catalog)
+        return self.run_project(project)
+
+    def run_project(self, project: Project) -> LintResult:
+        """Lint an already-loaded :class:`Project`."""
+        result = LintResult(files_checked=len(project.files))
+        by_path = {source.rel: source for source in project.files}
+        raw: list[Diagnostic] = []
+        for source in project.files:
+            if source.syntax_error is not None:
+                err = source.syntax_error
+                raw.append(Diagnostic(
+                    path=source.rel, line=err.lineno or 0,
+                    col=(err.offset or 1) - 1, code="C2L000",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {err.msg}"))
+            for rule in self.rules:
+                raw.extend(rule.check_file(source, project))
+        for rule in self.rules:
+            raw.extend(rule.check_project(project))
+        for diagnostic in raw:
+            source = by_path.get(diagnostic.path)
+            if source is not None and source.is_suppressed(
+                    diagnostic.code, diagnostic.line):
+                result.suppressed += 1
+                continue
+            result.diagnostics.append(diagnostic)
+        result.diagnostics.sort()
+        return result
+
+
+def lint_paths(targets: "Iterable[Path | str]", *,
+               rules: "Sequence[str] | None" = None,
+               root: "Path | None" = None,
+               catalog: "Path | None" = None) -> LintResult:
+    """One-call API: lint ``targets`` with a rule-code selection."""
+    return LintEngine(make_rules(rules)).run(targets, root=root,
+                                             catalog=catalog)

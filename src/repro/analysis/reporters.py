@@ -1,0 +1,49 @@
+"""Reporters: render a :class:`~repro.analysis.engine.LintResult`.
+
+Two formats: ``text`` (one ``path:line:col: severity code message`` line
+per finding plus a summary line — the human and pre-commit view) and
+``json`` (a stable machine-readable document with schema tag
+``c2bound.lint/1`` — the CI view).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.engine import LintResult
+
+__all__ = ["render_text", "render_json", "REPORT_SCHEMA"]
+
+REPORT_SCHEMA = "c2bound.lint/1"
+
+
+def _summary_counts(result: LintResult) -> "dict[str, int]":
+    return {str(severity): result.count(severity)
+            for severity in (Severity.ERROR, Severity.WARNING,
+                             Severity.INFO)}
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report; empty-diagnostics runs still summarize."""
+    lines = [d.render() for d in result.diagnostics]
+    counts = _summary_counts(result)
+    tail = (f"{result.files_checked} file(s) checked: "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info, {result.suppressed} suppressed")
+    if not result.diagnostics:
+        tail = f"clean — {tail}"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (sorted, schema-tagged, newline-ended)."""
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "files_checked": result.files_checked,
+        "summary": {**_summary_counts(result),
+                    "suppressed": result.suppressed},
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

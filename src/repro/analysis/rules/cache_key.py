@@ -1,0 +1,231 @@
+"""C2L002 — cache-key completeness for the simulation result cache.
+
+The content-addressed store (:mod:`repro.sim.cache_store`) is only
+correct if *every* field that can change a simulation's outcome reaches
+the cache key.  ``fingerprint()`` walks dataclass fields generically, so
+the failure mode is subtle: add a field to a chip dataclass, forget that
+old persisted entries were keyed without it, and warm runs silently
+return costs computed under different semantics.
+
+The defense is a declared manifest: ``cache_store.py`` lists the exact
+fields it covers per config class (``FINGERPRINT_SCHEMA``).  This rule
+re-derives the field lists from the dataclass definitions in
+``sim/config.py`` and flags any drift in either direction, with the
+required remedy spelled out (update the manifest *and* bump
+``SIM_MODEL_VERSION`` so stale entries are orphaned, never returned).
+It also checks the structural anchors the whole scheme rests on:
+
+- ``fingerprint()`` still walks ``dataclasses.fields`` (generic
+  coverage) and sorts generic-object attributes (workload coverage);
+- ``SIM_MODEL_VERSION`` is still a literal string (a computed version
+  could differ across processes sharing one store);
+- ``dse/evaluate.py::canonical_key`` still sorts the config items, so
+  budget-cache identity is insertion-order independent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules.base import Rule, dotted_name
+from repro.analysis.source import Project, SourceFile
+
+__all__ = ["CacheKeyRule"]
+
+_BUMP = "update FINGERPRINT_SCHEMA and bump SIM_MODEL_VERSION"
+
+
+def _dataclass_fields(tree: ast.Module) -> "dict[str, tuple[ast.ClassDef, list[str]]]":
+    """Class name → (node, annotated field names) for dataclasses."""
+    out: dict[str, tuple[ast.ClassDef, list[str]]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorated = False
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = dotted_name(target) or ""
+            if name.split(".")[-1] == "dataclass":
+                decorated = True
+        if not decorated:
+            continue
+        fields = [
+            stmt.target.id for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and "ClassVar" not in ast.dump(stmt.annotation)
+        ]
+        out[node.name] = (node, fields)
+    return out
+
+
+def _top_level_assign(tree: ast.Module, name: str) -> "ast.AST | None":
+    """Value node of a module-level ``name = ...`` / ``name: T = ...``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (isinstance(node.target, ast.Name) and node.target.id == name
+                    and node.value is not None):
+                return node.value
+    return None
+
+
+def _schema_literal(node: ast.AST) -> "dict[str, tuple[list[str], ast.AST]] | None":
+    """Parse a ``{"Cls": ("f1", ...)}`` dict literal; None if not one."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, tuple[list[str], ast.AST]] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        names: list[str] = []
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            names.append(element.value)
+        out[key.value] = (names, value)
+    return out
+
+
+def _find_function(tree: ast.Module, name: str) -> "ast.FunctionDef | None":
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _calls_in(node: ast.AST) -> "set[str]":
+    """Leaf names of every call target inside ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name is not None:
+                out.add(name.split(".")[-1])
+    return out
+
+
+class CacheKeyRule(Rule):
+    code = "C2L002"
+    name = "cache-key-completeness"
+    description = ("sim/config.py dataclass fields must match the "
+                   "FINGERPRINT_SCHEMA manifest in sim/cache_store.py")
+
+    def check_project(self, project: Project) -> "Iterable[Diagnostic]":
+        config = project.file_ending_with("sim/config.py")
+        store = project.file_ending_with("sim/cache_store.py")
+        if config is None or store is None:
+            return  # not this repo's shape (e.g. a partial lint target)
+        if config.tree is None or store.tree is None:
+            return  # syntax errors are reported separately as C2L000
+
+        yield from self._check_schema(config, store)
+        yield from self._check_anchors(store)
+        evaluate = project.file_ending_with("dse/evaluate.py")
+        if evaluate is not None and evaluate.tree is not None:
+            yield from self._check_canonical_key(evaluate)
+
+    def _check_schema(self, config: SourceFile,
+                      store: SourceFile) -> "Iterable[Diagnostic]":
+        assert config.tree is not None and store.tree is not None
+        classes = _dataclass_fields(config.tree)
+        schema_node = _top_level_assign(store.tree, "FINGERPRINT_SCHEMA")
+        if schema_node is None:
+            yield self.diag(
+                store, store.tree,
+                "sim/cache_store.py must declare a FINGERPRINT_SCHEMA "
+                "literal mapping each config dataclass to the fields its "
+                "cache key covers")
+            return
+        schema = _schema_literal(schema_node)
+        if schema is None:
+            yield self.diag(
+                store, schema_node,
+                "FINGERPRINT_SCHEMA must be a literal dict of "
+                '{"ClassName": ("field", ...)} so it can be checked '
+                "statically")
+            return
+        for cls_name, (node, fields) in sorted(classes.items()):
+            if cls_name not in schema:
+                yield self.diag(
+                    config, node,
+                    f"config dataclass {cls_name} is absent from "
+                    f"FINGERPRINT_SCHEMA in {store.rel}; its fields would "
+                    f"be fingerprinted without a declared contract — "
+                    f"{_BUMP}")
+                continue
+            declared, value_node = schema[cls_name]
+            for field in fields:
+                if field not in declared:
+                    yield self.diag(
+                        config, node,
+                        f"field {cls_name}.{field} is not covered by "
+                        f"FINGERPRINT_SCHEMA; cached costs keyed without "
+                        f"it would be silently wrong — {_BUMP}")
+            for field in declared:
+                if field not in fields:
+                    yield self.diag(
+                        store, value_node,
+                        f"FINGERPRINT_SCHEMA lists {cls_name}.{field} "
+                        f"but the dataclass has no such field — {_BUMP}")
+        for cls_name, (declared, value_node) in sorted(schema.items()):
+            if cls_name not in classes:
+                yield self.diag(
+                    store, value_node,
+                    f"FINGERPRINT_SCHEMA entry {cls_name} has no matching "
+                    f"dataclass in {config.rel} — {_BUMP}")
+
+    def _check_anchors(self, store: SourceFile) -> "Iterable[Diagnostic]":
+        assert store.tree is not None
+        version = _top_level_assign(store.tree, "SIM_MODEL_VERSION")
+        if not (isinstance(version, ast.Constant)
+                and isinstance(version.value, str)):
+            yield self.diag(
+                store, version or store.tree,
+                "SIM_MODEL_VERSION must be a literal string: a computed "
+                "version could differ between processes sharing a store")
+        fingerprint = _find_function(store.tree, "fingerprint")
+        if fingerprint is None:
+            yield self.diag(
+                store, store.tree,
+                "sim/cache_store.py must define fingerprint(); the cache "
+                "key derivation has moved or been renamed")
+            return
+        calls = _calls_in(fingerprint)
+        if "fields" not in calls:
+            yield self.diag(
+                store, fingerprint,
+                "fingerprint() no longer walks dataclasses.fields(); "
+                "generic coverage of chip dataclass fields is lost")
+        if "sorted" not in calls:
+            yield self.diag(
+                store, fingerprint,
+                "fingerprint() no longer sorts generic-object attributes; "
+                "workload fingerprints would depend on dict order")
+
+    def _check_canonical_key(
+            self, evaluate: SourceFile) -> "Iterable[Diagnostic]":
+        assert evaluate.tree is not None
+        fn = _find_function(evaluate.tree, "canonical_key")
+        if fn is None:
+            yield self.diag(
+                evaluate, evaluate.tree,
+                "dse/evaluate.py must define canonical_key(); budget "
+                "memoization identity has moved or been renamed",
+                severity=Severity.WARNING)
+            return
+        calls = _calls_in(fn)
+        if "sorted" not in calls or "items" not in calls:
+            yield self.diag(
+                evaluate, fn,
+                "canonical_key() must sort config.items(): identity has "
+                "to be insertion-order independent or batching re-charges "
+                "duplicate configurations")

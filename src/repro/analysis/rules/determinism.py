@@ -1,0 +1,115 @@
+"""C2L001 — determinism of the simulation and evaluation paths.
+
+The golden-digest tests (``tests/sim/test_differential_golden.py``) and
+the content-addressed simulation cache both assume that everything under
+``repro.sim``, ``repro.camat`` and ``repro.dse`` is a pure function of
+its inputs: the same chip/workload/seed triple must produce bit-identical
+results in every process, forever.  One wall-clock read or one draw from
+an *unseeded* RNG quietly breaks that — warm cache hits then return
+costs the current code would not produce, and C-AMAT's
+``memory-active-cycles / accesses`` identity stops being reproducible.
+
+This rule bans, inside those modules:
+
+- wall-clock reads that can flow into results: ``time.time``,
+  ``time.time_ns``, ``datetime.now``/``utcnow``/``today`` (monotonic
+  *timing* reads such as ``time.perf_counter`` stay legal — they feed
+  observability histograms, never results);
+- the process-global stdlib RNG (any ``random.*`` call except
+  constructing a seeded ``random.Random(seed)``);
+- NumPy's module-level RNG state (``np.random.rand``, ``np.random.seed``
+  and friends);
+- **unseeded** ``np.random.default_rng()`` / ``random.Random()``.
+
+The allowed idiom is an explicitly seeded generator threaded through
+parameters: ``rng = np.random.default_rng(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import (
+    Rule,
+    iter_calls,
+    resolve_call_name,
+    walk_imports,
+)
+from repro.analysis.source import Project, SourceFile
+
+__all__ = ["DeterminismRule"]
+
+#: Module-path segments that put a file in scope for this rule.
+SCOPED_SEGMENTS = ("sim", "camat", "dse")
+
+#: Wall-clock reads whose values could flow into simulation results.
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: ``numpy.random`` attributes that are *not* the global-state RNG.
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "RandomState",
+}
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """No positional seed and no ``seed=`` keyword → unseeded."""
+    if call.args:
+        return False
+    return not any(kw.arg == "seed" for kw in call.keywords)
+
+
+class DeterminismRule(Rule):
+    code = "C2L001"
+    name = "determinism"
+    description = ("no wall-clock reads or unseeded/global RNG state in "
+                   "repro.sim / repro.camat / repro.dse")
+
+    def check_file(self, source: SourceFile,
+                   project: Project) -> "Iterable[Diagnostic]":
+        if source.tree is None:
+            return
+        if not any(seg in source.module_parts for seg in SCOPED_SEGMENTS):
+            return
+        aliases = walk_imports(source.tree)
+        for call in iter_calls(source.tree):
+            name = resolve_call_name(call.func, aliases)
+            if name is None:
+                continue
+            if name in _CLOCK_CALLS:
+                yield self.diag(
+                    source, call,
+                    f"wall-clock read {name}() in a deterministic path; "
+                    "results must be pure functions of their inputs "
+                    "(time.perf_counter is fine for timing metrics)")
+            elif name == "numpy.random.default_rng":
+                if _is_unseeded(call):
+                    yield self.diag(
+                        source, call,
+                        "unseeded np.random.default_rng(); thread an "
+                        "explicit seed through the call's parameters")
+            elif name.startswith("numpy.random."):
+                attr = name[len("numpy.random."):]
+                if attr not in _NP_RANDOM_OK:
+                    yield self.diag(
+                        source, call,
+                        f"np.random.{attr}() uses NumPy's module-level "
+                        "RNG state; use a seeded np.random.default_rng("
+                        "seed) Generator instead")
+            elif name == "random.Random":
+                if _is_unseeded(call):
+                    yield self.diag(
+                        source, call,
+                        "unseeded random.Random(); pass an explicit seed")
+            elif name.startswith("random.") and name.count(".") == 1:
+                yield self.diag(
+                    source, call,
+                    f"{name}() draws from the process-global stdlib RNG; "
+                    "use a seeded np.random.default_rng(seed) Generator "
+                    "threaded via parameters")

@@ -1,0 +1,140 @@
+"""C2L003 — metric names in code and docs/OBSERVABILITY.md must agree.
+
+The observability layer's value rests on the catalog being trustworthy:
+an undocumented counter is invisible to anyone reading the docs, and a
+documented-but-removed one sends readers hunting for numbers that no
+longer exist.  This rule extracts:
+
+- **from code** — every literal first argument of a
+  ``registry.counter/gauge/histogram(...)`` call (any receiver), every
+  literal ``metric="..."`` keyword, and every *dynamic prefix* from
+  f-string names (``f"sim.{name}"`` registers the ``sim.`` namespace as
+  dynamically published);
+- **from the catalog** — every backticked dotted lowercase identifier
+  in the ``## Metric catalog`` section.  ``{k=v}`` label suffixes are
+  stripped; ``{a,b,c}`` brace alternation is expanded
+  (``fig12.{aps,ann}_sims`` → ``fig12.aps_sims``, ``fig12.ann_sims``).
+
+Every code literal must appear in the catalog; every catalog name must
+be a code literal or fall under a dynamic prefix.  Metric calls whose
+name cannot be resolved statically (a variable) are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import Rule, iter_calls
+from repro.analysis.source import Project, SourceFile
+
+__all__ = ["MetricsCatalogRule", "catalog_metric_names"]
+
+_METRIC_METHODS = {"counter", "gauge", "histogram"}
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_SECTION_HEAD = "## Metric catalog"
+
+
+def _expand_braces(token: str) -> "list[str]":
+    """``a.{x,y}_s`` → ``["a.x_s", "a.y_s"]``; label braces drop."""
+    match = re.search(r"\{([^{}]*)\}", token)
+    if match is None:
+        return [token]
+    inner = match.group(1)
+    head, tail = token[:match.start()], token[match.end():]
+    if "=" in inner:  # a label pattern like {method=aps|ann}: strip it
+        return _expand_braces(head + tail)
+    out: list[str] = []
+    for alt in inner.split(","):
+        out.extend(_expand_braces(head + alt.strip() + tail))
+    return out
+
+
+def catalog_metric_names(text: str) -> "dict[str, int]":
+    """Metric name → first line number, from the catalog section."""
+    names: dict[str, int] = {}
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = line.strip() == _SECTION_HEAD
+            continue
+        if not in_section:
+            continue
+        for raw in _BACKTICK_RE.findall(line):
+            for token in _expand_braces(raw.replace("\\", "")):
+                if _NAME_RE.match(token):
+                    names.setdefault(token, lineno)
+    return names
+
+
+def _code_metrics(source: SourceFile):
+    """(literal name, node) pairs and dynamic prefixes in one file."""
+    literals: list[tuple[str, ast.AST]] = []
+    prefixes: set[str] = set()
+    assert source.tree is not None
+    for call in iter_calls(source.tree):
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _METRIC_METHODS and call.args):
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                literals.append((arg.value, call))
+            elif (isinstance(arg, ast.JoinedStr) and arg.values
+                  and isinstance(arg.values[0], ast.Constant)
+                  and isinstance(arg.values[0].value, str)
+                  and "." in arg.values[0].value):
+                prefixes.add(arg.values[0].value)
+        for kw in call.keywords:
+            if (kw.arg == "metric" and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)):
+                literals.append((kw.value.value, call))
+    return literals, prefixes
+
+
+class MetricsCatalogRule(Rule):
+    code = "C2L003"
+    name = "metric-catalog"
+    description = ("registry metric names and the docs/OBSERVABILITY.md "
+                   "catalog must match in both directions")
+
+    def check_project(self, project: Project) -> "Iterable[Diagnostic]":
+        if project.catalog_path is None:
+            return  # no catalog in this tree: nothing to check against
+        catalog = catalog_metric_names(
+            project.catalog_path.read_text(encoding="utf-8"))
+        try:
+            catalog_rel = str(project.catalog_path.relative_to(project.root))
+        except ValueError:
+            catalog_rel = str(project.catalog_path)
+
+        used: set[str] = set()
+        prefixes: set[str] = set()
+        pending: list[tuple[SourceFile, str, ast.AST]] = []
+        for source in project.files:
+            if source.tree is None:
+                continue
+            literals, file_prefixes = _code_metrics(source)
+            prefixes |= file_prefixes
+            for name, node in literals:
+                used.add(name)
+                if name not in catalog:
+                    pending.append((source, name, node))
+        for source, name, node in pending:
+            yield self.diag(
+                source, node,
+                f"metric {name!r} is not documented in the "
+                f"'{_SECTION_HEAD[3:]}' section of {catalog_rel}")
+        for name, lineno in sorted(catalog.items()):
+            if name in used:
+                continue
+            if any(name.startswith(prefix) for prefix in prefixes):
+                continue  # published through a dynamic f-string namespace
+            yield Diagnostic(
+                path=catalog_rel, line=lineno, col=0, code=self.code,
+                severity=self.severity,
+                message=(f"documented metric {name!r} is never published "
+                         "by the code; remove the catalog row or restore "
+                         "the metric"))

@@ -1,0 +1,84 @@
+"""C2L005 — AccessTrace columns are immutable outside their module.
+
+:class:`repro.camat.trace.AccessTrace` keeps derived columns
+(``hit_ends = starts + hit_lengths``, ``miss_ends = hit_ends +
+miss_penalties``) and memoizes analyzer passes over them; the simulator
+fast path shares those arrays without copying.  Mutating a column from
+outside the class desynchronizes the derived columns and every memoized
+view — the C-AMAT identity ``memory-active-cycles / accesses`` then
+fails in ways no local test notices.
+
+This rule flags any *store* to an attribute named like a trace column
+(plain, augmented, or through a subscript: ``t.starts = ...``,
+``t.starts[i] = ...``, ``t.hit_ends += 1``) when the receiver is not
+``self`` — a class managing columns it owns (the trace itself, the
+simulator core's record arrays) stays free to.  The defining module
+(``camat/trace.py``) is exempt wholesale; everyone else must build
+traces through ``AccessTrace.from_arrays`` or the object constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import Project, SourceFile
+
+__all__ = ["TraceGuardRule", "TRACE_COLUMNS"]
+
+#: The columnar attributes of AccessTrace (authoritative + derived).
+TRACE_COLUMNS = frozenset({
+    "starts", "hit_lengths", "miss_penalties", "addresses",
+    "hit_ends", "miss_ends",
+})
+
+
+def _column_store(node: ast.AST) -> "ast.Attribute | None":
+    """The written-to trace-column attribute inside a store target."""
+    if isinstance(node, ast.Attribute) and node.attr in TRACE_COLUMNS:
+        return node
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr in TRACE_COLUMNS:
+            return value
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            found = _column_store(element)
+            if found is not None:
+                return found
+    return None
+
+
+class TraceGuardRule(Rule):
+    code = "C2L005"
+    name = "trace-invariants"
+    description = ("AccessTrace columns may only be written by the "
+                   "owning object (camat/trace.py or self attributes)")
+
+    def check_file(self, source: SourceFile,
+                   project: Project) -> "Iterable[Diagnostic]":
+        if source.tree is None:
+            return
+        if source.path.as_posix().endswith("camat/trace.py"):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                attr = _column_store(target)
+                if attr is None:
+                    continue
+                receiver = attr.value
+                if isinstance(receiver, ast.Name) and receiver.id == "self":
+                    continue  # a class mutating its own column arrays
+                yield self.diag(
+                    source, target,
+                    f"write to trace column .{attr.attr} outside its "
+                    "owner desynchronizes derived columns and memoized "
+                    "analyzer views; rebuild via AccessTrace.from_arrays")

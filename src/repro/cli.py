@@ -160,7 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {package_version()}")
     parser.add_argument("experiment",
                         help="experiment id, 'list', 'all', "
-                             "'characterize', or 'cache'")
+                             "'characterize', 'cache', or 'lint'")
     parser.add_argument("subcommand", nargs="?", default=None,
                         help="subcommand for 'cache' (stats | clear)")
     parser.add_argument("--out", type=Path, default=None,
@@ -199,7 +199,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point for the ``c2bound`` console script."""
-    args = _build_parser().parse_args(argv)
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        # The lint subcommand has its own flag set; dispatch before the
+        # experiment parser can reject them.
+        from repro.analysis.cli import main as lint_main
+        return lint_main(raw[1:])
+    args = _build_parser().parse_args(raw)
     reporter = Reporter(quiet=args.quiet)
 
     if args.experiment == "list":

@@ -6,6 +6,17 @@ callers can catch library failures without masking programming errors.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConvergenceError",
+    "InvalidParameterError",
+    "TraceError",
+    "SimulationError",
+    "DesignSpaceError",
+    "ObservabilityError",
+    "AnalysisError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the C2-Bound library."""
@@ -47,3 +58,7 @@ class DesignSpaceError(ReproError, ValueError):
 
 class ObservabilityError(ReproError, ValueError):
     """A metrics-registry or tracing operation is invalid."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """A static-analysis (``c2bound lint``) invocation is invalid."""

@@ -22,15 +22,15 @@ from __future__ import annotations
 import json
 import threading
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Mapping, Type, TypeVar, Union
 
 from repro.errors import ObservabilityError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+__all__ = ["Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
            "get_registry", "set_registry"]
 
 
-def _flat_key(name: str, labels: dict) -> str:
+def _flat_key(name: str, labels: "Mapping[str, object]") -> str:
     if not labels:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
@@ -42,10 +42,10 @@ class Counter:
 
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: dict) -> None:
+    def __init__(self, name: str, labels: "Mapping[str, object]") -> None:
         self.name = name
         self.labels = dict(labels)
-        self.value = 0
+        self.value: "int | float" = 0
 
     def inc(self, amount: "int | float" = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -57,7 +57,7 @@ class Counter:
     def _reset(self) -> None:
         self.value = 0
 
-    def _snapshot(self):
+    def _snapshot(self) -> "int | float":
         return self.value
 
 
@@ -66,10 +66,10 @@ class Gauge:
 
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: dict) -> None:
+    def __init__(self, name: str, labels: "Mapping[str, object]") -> None:
         self.name = name
         self.labels = dict(labels)
-        self.value = 0.0
+        self.value: "int | float" = 0.0
 
     def set(self, value: "int | float") -> None:
         """Record the current value."""
@@ -78,7 +78,7 @@ class Gauge:
     def _reset(self) -> None:
         self.value = 0.0
 
-    def _snapshot(self):
+    def _snapshot(self) -> "int | float":
         return self.value
 
 
@@ -93,7 +93,7 @@ class Histogram:
     __slots__ = ("name", "labels", "count", "total", "min", "max",
                  "max_samples", "_samples")
 
-    def __init__(self, name: str, labels: dict, *,
+    def __init__(self, name: str, labels: "Mapping[str, object]", *,
                  max_samples: int = 512) -> None:
         self.name = name
         self.labels = dict(labels)
@@ -138,12 +138,18 @@ class Histogram:
         self.max = float("-inf")
         self._samples.clear()
 
-    def _snapshot(self):
+    def _snapshot(self) -> "dict[str, float | int | None]":
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "min": None, "max": None,
                     "mean": 0.0}
         return {"count": self.count, "sum": self.total, "min": self.min,
                 "max": self.max, "mean": self.mean}
+
+
+#: Any registry-managed metric object.
+Metric = Union[Counter, Gauge, Histogram]
+
+_M = TypeVar("_M", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -155,17 +161,18 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, object] = {}
+        self._metrics: "dict[str, Metric]" = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+    def _get_or_create(self, cls: "Type[_M]", name: str,
+                       labels: "Mapping[str, object]") -> "_M":
         key = _flat_key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
             with self._lock:
                 metric = self._metrics.get(key)
                 if metric is None:
-                    metric = cls(name, labels, **kwargs)
+                    metric = cls(name, labels)
                     self._metrics[key] = metric
         if not isinstance(metric, cls):
             raise ObservabilityError(
@@ -173,24 +180,25 @@ class MetricsRegistry:
                 f"{type(metric).__name__}, not {cls.__name__}")
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         """The counter named ``name`` (created on first use)."""
         return self._get_or_create(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         """The gauge named ``name`` (created on first use)."""
         return self._get_or_create(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         """The histogram named ``name`` (created on first use)."""
         return self._get_or_create(Histogram, name, labels)
 
-    def get(self, name: str, **labels):
+    def get(self, name: str,
+            **labels: object) -> "int | float | dict[str, float | int | None] | None":
         """The metric's snapshot value, or ``None`` if never created."""
         metric = self._metrics.get(_flat_key(name, labels))
         return None if metric is None else metric._snapshot()
 
-    def __iter__(self) -> Iterator[tuple[str, object]]:
+    def __iter__(self) -> "Iterator[tuple[str, Metric]]":
         return iter(sorted(self._metrics.items()))
 
     def __len__(self) -> int:

@@ -34,7 +34,7 @@ class _NullSpan:
     def __exit__(self, *exc) -> bool:
         return False
 
-    def set_attr(self, **attrs) -> None:
+    def set_attr(self, **attrs: object) -> None:
         """No-op attribute write."""
 
 
@@ -47,7 +47,8 @@ class Span:
     __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
                  "t_wall", "_t0", "duration_s")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: "dict[str, object]") -> None:
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -57,7 +58,7 @@ class Span:
         self._t0 = 0.0
         self.duration_s = 0.0
 
-    def set_attr(self, **attrs) -> None:
+    def set_attr(self, **attrs: object) -> None:
         """Attach attributes discovered mid-span."""
         self.attrs.update(attrs)
 
@@ -99,7 +100,7 @@ class Tracer:
         self.aggregates: dict[str, list] = {}
 
     # ----- span lifecycle -------------------------------------------------
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object):
         """A new child span of the innermost live span (or a root)."""
         if not self.enabled:
             return _NULL_SPAN
@@ -134,7 +135,7 @@ class Tracer:
             })
 
     # ----- point events ---------------------------------------------------
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: object) -> None:
         """Emit an instantaneous event inside the current span."""
         if not self.enabled or self.sink is None:
             return
@@ -197,11 +198,11 @@ def disable_tracing() -> None:
     configure_tracing(None, enabled=False)
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object):
     """Convenience: a span on the process-wide tracer."""
     return _tracer.span(name, **attrs)
 
 
-def trace_event(name: str, **attrs) -> None:
+def trace_event(name: str, **attrs: object) -> None:
     """Convenience: a point event on the process-wide tracer."""
     _tracer.event(name, **attrs)

@@ -47,15 +47,70 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.obs import get_registry
 
-__all__ = ["SIM_MODEL_VERSION", "SimCacheStore", "sim_cache_key",
-           "fingerprint", "cached_simulate_chip_cost",
-           "set_default_store", "get_default_store", "resolve_store"]
+__all__ = ["SIM_MODEL_VERSION", "FINGERPRINT_SCHEMA", "SimCacheStore",
+           "sim_cache_key", "fingerprint", "cached_simulate_chip_cost",
+           "verify_fingerprint_schema", "set_default_store",
+           "get_default_store", "resolve_store"]
 
 #: Salt folded into every cache key.  Bump on ANY intentional change to
 #: simulator semantics (i.e. whenever ``tests/data/sim_golden.json`` is
 #: legitimately regenerated) so persisted costs from older model
 #: versions can never be returned for the new model.
 SIM_MODEL_VERSION = "2026.08-1"
+
+#: The declared cache-key surface: every configuration dataclass in
+#: :mod:`repro.sim.config` and the exact fields :func:`fingerprint`
+#: covers for it (via the generic ``dataclasses.fields`` walk).  This
+#: manifest exists so drift is *detectable*: the ``C2L002`` lint rule
+#: cross-checks it against the dataclass definitions on every run, and
+#: :func:`verify_fingerprint_schema` re-checks it at runtime in the test
+#: suite.  Adding a field to a chip dataclass therefore fails the lint
+#: until the field is added here — and any such change to fingerprinted
+#: semantics must also bump :data:`SIM_MODEL_VERSION`, which orphans
+#: stale persisted entries instead of silently returning wrong costs.
+FINGERPRINT_SCHEMA: "dict[str, tuple[str, ...]]" = {
+    "CacheConfig": ("size_kib", "assoc", "line_bytes", "hit_latency",
+                    "mshr_entries", "banks", "prefetch", "prefetch_degree"),
+    "CoreMicroConfig": ("issue_width", "rob_size", "smt_threads"),
+    "DRAMConfig": ("banks", "row_hit", "row_miss", "row_conflict",
+                   "row_bytes", "bus_cycles"),
+    "NoCConfig": ("hop_latency", "router_latency"),
+    "SimulatedChip": ("n_cores", "core", "l1", "l2_slice", "dram", "noc"),
+}
+
+
+def verify_fingerprint_schema() -> None:
+    """Assert :data:`FINGERPRINT_SCHEMA` matches the live dataclasses.
+
+    Raises :class:`~repro.errors.InvalidParameterError` naming every
+    drifted class/field.  This is the runtime twin of the ``C2L002``
+    static rule; ``tests/analysis`` runs it so the manifest can never go
+    stale while tests pass.
+    """
+    import repro.sim.config as simconfig
+
+    problems: list[str] = []
+    for name, declared in FINGERPRINT_SCHEMA.items():
+        cls = getattr(simconfig, name, None)
+        if cls is None or not is_dataclass(cls):
+            problems.append(f"{name}: not a dataclass in repro.sim.config")
+            continue
+        actual = tuple(f.name for f in fields(cls))
+        if set(actual) != set(declared):
+            missing = sorted(set(actual) - set(declared))
+            stale = sorted(set(declared) - set(actual))
+            problems.append(
+                f"{name}: schema missing {missing}, stale {stale} "
+                "(update FINGERPRINT_SCHEMA and bump SIM_MODEL_VERSION)")
+    for name in getattr(simconfig, "__all__", ()):
+        cls = getattr(simconfig, name, None)
+        if (isinstance(cls, type) and is_dataclass(cls)
+                and name not in FINGERPRINT_SCHEMA):
+            problems.append(
+                f"{name}: config dataclass absent from FINGERPRINT_SCHEMA")
+    if problems:
+        raise InvalidParameterError(
+            "fingerprint schema drift: " + "; ".join(problems))
 
 #: Environment variable enabling the default store for a whole process
 #: tree (the CLI flag takes precedence).

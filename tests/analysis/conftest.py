@@ -1,0 +1,40 @@
+"""Fixtures for the static-analysis tests.
+
+``lint_tree`` writes a throwaway file tree and lints it with a chosen
+rule subset, so each rule's good/bad fixtures stay small and isolated
+from the other rules (a fixture triggering C2L001 should not also have
+to satisfy C2L103).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintResult, lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """``run(files, rules=[...])`` → LintResult over a temp tree."""
+
+    def run(files: "dict[str, str]", *, rules=None,
+            catalog: "str | None" = None) -> LintResult:
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        catalog_path = tmp_path / catalog if catalog else None
+        return lint_paths([tmp_path], rules=rules, root=tmp_path,
+                          catalog=catalog_path)
+
+    run.root = tmp_path
+    return run
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    import repro
+    return Path(repro.__file__).resolve().parents[2]

@@ -1,0 +1,94 @@
+"""C2L001: wall clocks and global/unseeded RNG in deterministic paths."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def messages(result):
+    return " | ".join(d.message for d in result.diagnostics)
+
+
+def test_wall_clock_flagged(lint_tree):
+    result = lint_tree(
+        {"sim/a.py": "import time\nT = time.time()\n"}, rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_from_import_clock_flagged(lint_tree):
+    result = lint_tree(
+        {"camat/a.py": "from time import time\nT = time()\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_datetime_now_flagged(lint_tree):
+    result = lint_tree(
+        {"dse/a.py": "import datetime\nT = datetime.datetime.now()\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_numpy_global_rng_flagged(lint_tree):
+    result = lint_tree(
+        {"dse/a.py": "import numpy as np\nX = np.random.rand(4)\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+    assert "module-level RNG state" in messages(result)
+
+
+def test_numpy_seed_call_flagged(lint_tree):
+    result = lint_tree(
+        {"sim/a.py": "import numpy as np\nnp.random.seed(0)\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_unseeded_default_rng_flagged(lint_tree):
+    result = lint_tree(
+        {"dse/a.py": "import numpy as np\nRNG = np.random.default_rng()\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+    assert "unseeded" in messages(result)
+
+
+def test_stdlib_random_flagged(lint_tree):
+    result = lint_tree(
+        {"sim/a.py": "import random\nX = random.randint(0, 9)\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_unseeded_stdlib_random_instance_flagged(lint_tree):
+    result = lint_tree(
+        {"sim/a.py": "import random\nR = random.Random()\n"},
+        rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_seeded_idioms_allowed(lint_tree):
+    source = """\
+    import random
+    import time
+
+    import numpy as np
+
+
+    def run(seed):
+        rng = np.random.default_rng(seed)
+        rng2 = np.random.default_rng(seed=seed)
+        r = random.Random(1234)
+        t0 = time.perf_counter()
+        return rng, rng2, r, t0
+    """
+    result = lint_tree({"dse/a.py": source}, rules=["C2L001"])
+    assert codes(result) == []
+
+
+def test_out_of_scope_modules_ignored(lint_tree):
+    # The obs layer legitimately reads wall clocks for trace timestamps.
+    result = lint_tree(
+        {"obs/a.py": "import time\nT = time.time()\n"}, rules=["C2L001"])
+    assert codes(result) == []

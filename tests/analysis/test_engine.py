@@ -1,0 +1,107 @@
+"""Engine behavior: suppressions, syntax errors, ordering, exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, lint_paths
+from repro.analysis.reporters import render_json, render_text
+from repro.errors import AnalysisError
+
+BAD_CLOCK = """\
+import time
+
+
+def now():
+    return time.time(){suffix}
+"""
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def test_finding_reported(lint_tree):
+    result = lint_tree({"sim/clock.py": BAD_CLOCK.format(suffix="")},
+                       rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+    diag = result.diagnostics[0]
+    assert diag.line == 5 and "time.time" in diag.message
+    assert result.exit_code() == 1
+
+
+def test_line_suppression(lint_tree):
+    source = BAD_CLOCK.format(suffix="  # c2lint: disable=C2L001")
+    result = lint_tree({"sim/clock.py": source}, rules=["C2L001"])
+    assert codes(result) == []
+    assert result.suppressed == 1
+    assert result.exit_code() == 0
+
+
+def test_disable_all_suppression(lint_tree):
+    source = BAD_CLOCK.format(suffix="  # c2lint: disable=all")
+    result = lint_tree({"sim/clock.py": source}, rules=["C2L001"])
+    assert codes(result) == [] and result.suppressed == 1
+
+
+def test_file_wide_suppression(lint_tree):
+    source = "# c2lint: disable-file=C2L001\n" + BAD_CLOCK.format(suffix="")
+    result = lint_tree({"sim/clock.py": source}, rules=["C2L001"])
+    assert codes(result) == [] and result.suppressed == 1
+
+
+def test_suppression_is_per_rule(lint_tree):
+    # A C2L999 suppression must not hide a C2L001 finding.
+    source = BAD_CLOCK.format(suffix="  # c2lint: disable=C2L999")
+    result = lint_tree({"sim/clock.py": source}, rules=["C2L001"])
+    assert codes(result) == ["C2L001"]
+
+
+def test_syntax_error_is_a_finding_not_a_crash(lint_tree):
+    result = lint_tree({"sim/broken.py": "def f(:\n"}, rules=["C2L001"])
+    assert codes(result) == ["C2L000"]
+    assert result.diagnostics[0].severity is Severity.ERROR
+
+
+def test_diagnostics_sorted_by_location(lint_tree):
+    source = "import time\n\n\ndef f():\n    a = time.time()\n    b = time.time()\n    return a, b\n"
+    result = lint_tree({"sim/a.py": source, "sim/b.py": source},
+                       rules=["C2L001"])
+    locations = [(d.path, d.line) for d in result.diagnostics]
+    assert locations == sorted(locations)
+
+
+def test_reporters_render(lint_tree):
+    import json
+
+    result = lint_tree({"sim/clock.py": BAD_CLOCK.format(suffix="")},
+                       rules=["C2L001"])
+    text = render_text(result)
+    assert "sim/clock.py:5" in text and "C2L001" in text
+    doc = json.loads(render_json(result))
+    assert doc["schema"] == "c2bound.lint/1"
+    assert doc["summary"]["error"] == 1
+    assert doc["diagnostics"][0]["code"] == "C2L001"
+
+
+def test_clean_run_summary(lint_tree):
+    result = lint_tree({"sim/ok.py": "X = 1\n"}, rules=["C2L001"])
+    assert result.diagnostics == []
+    assert "clean" in render_text(result)
+
+
+def test_unknown_rule_rejected(tmp_path):
+    (tmp_path / "x.py").write_text("X = 1\n")
+    with pytest.raises(AnalysisError, match="unknown rule"):
+        lint_paths([tmp_path], rules=["C2L777"], root=tmp_path)
+
+
+def test_missing_target_rejected(tmp_path):
+    with pytest.raises(AnalysisError, match="does not exist"):
+        lint_paths([tmp_path / "nope"], root=tmp_path)
+
+
+def test_severity_parse():
+    assert Severity.parse("ERROR") is Severity.ERROR
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.parse("fatal")

@@ -1,0 +1,65 @@
+"""C2L101/C2L102/C2L103: bare except, mutable defaults, missing __all__."""
+
+from __future__ import annotations
+
+from repro.analysis import Severity
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def test_bare_except_flagged(lint_tree):
+    source = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L101"])
+    assert codes(result) == ["C2L101"]
+
+
+def test_typed_except_allowed(lint_tree):
+    source = ("def f():\n    try:\n        g()\n"
+              "    except (OSError, ValueError):\n        pass\n")
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L101"])
+    assert codes(result) == []
+
+
+def test_mutable_default_literal_flagged(lint_tree):
+    source = "def f(xs=[]):\n    return xs\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L102"])
+    assert codes(result) == ["C2L102"]
+
+
+def test_mutable_default_constructor_flagged(lint_tree):
+    source = "def f(*, table=dict()):\n    return table\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L102"])
+    assert codes(result) == ["C2L102"]
+
+
+def test_none_default_allowed(lint_tree):
+    source = "def f(xs=None, n=3, name='x'):\n    return xs, n, name\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L102"])
+    assert codes(result) == []
+
+
+def test_missing_all_flagged_as_warning(lint_tree):
+    source = "def api():\n    return 1\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L103"])
+    assert codes(result) == ["C2L103"]
+    assert result.diagnostics[0].severity is Severity.WARNING
+
+
+def test_declared_all_allowed(lint_tree):
+    source = "__all__ = ['api']\n\n\ndef api():\n    return 1\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L103"])
+    assert codes(result) == []
+
+
+def test_private_only_module_allowed(lint_tree):
+    source = "def _helper():\n    return 1\n"
+    result = lint_tree({"pkg/a.py": source}, rules=["C2L103"])
+    assert codes(result) == []
+
+
+def test_main_module_exempt(lint_tree):
+    source = "def main():\n    return 0\n"
+    result = lint_tree({"pkg/__main__.py": source}, rules=["C2L103"])
+    assert codes(result) == []

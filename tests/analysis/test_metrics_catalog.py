@@ -1,0 +1,104 @@
+"""C2L003: metric literals in code vs the documented catalog."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.metrics_catalog import catalog_metric_names
+
+CATALOG = """\
+# Observability
+
+## Metric catalog
+
+| Metric | Meaning |
+| --- | --- |
+| `dse.evaluations` | fresh evaluations |
+| `dse.evaluations{method=aps\\|ann}` | the same, per method |
+| `fig12.{aps,ann}_sims` | bar heights |
+| `sim.runs` | completed runs |
+
+## Span catalog
+
+`sim.run` spans are not metrics.
+"""
+
+CODE_OK = """\
+from repro.obs import get_registry
+
+registry = get_registry()
+registry.counter("dse.evaluations").inc()
+registry.counter("dse.evaluations", method="aps").inc()
+registry.gauge("fig12.aps_sims").set(1)
+registry.gauge("fig12.ann_sims").set(2)
+
+
+def publish(name, value):
+    registry.counter(f"sim.{name}").inc(value)
+"""
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def messages(result):
+    return " | ".join(d.message for d in result.diagnostics)
+
+
+def test_catalog_extraction_expands_and_strips():
+    names = catalog_metric_names(CATALOG)
+    assert "dse.evaluations" in names
+    assert "fig12.aps_sims" in names and "fig12.ann_sims" in names
+    assert "sim.runs" in names
+    # Span-catalog names are out of section, dotted-or-not.
+    assert "sim.run" not in names
+
+
+def test_matching_code_and_catalog_is_clean(lint_tree):
+    result = lint_tree(
+        {"obs/code.py": CODE_OK, "docs/OBSERVABILITY.md": CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert codes(result) == []
+
+
+def test_undocumented_metric_flagged(lint_tree):
+    code = CODE_OK + 'registry.counter("dse.rogue_metric").inc()\n'
+    result = lint_tree(
+        {"obs/code.py": code, "docs/OBSERVABILITY.md": CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert codes(result) == ["C2L003"]
+    assert "dse.rogue_metric" in messages(result)
+    assert result.diagnostics[0].path.endswith("code.py")
+
+
+def test_documented_but_unpublished_metric_flagged(lint_tree):
+    catalog = CATALOG.replace(
+        "| `sim.runs` | completed runs |",
+        "| `sim.runs` | completed runs |\n| `dse.phantom` | gone |")
+    result = lint_tree(
+        {"obs/code.py": CODE_OK, "docs/OBSERVABILITY.md": catalog},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert codes(result) == ["C2L003"]
+    assert "dse.phantom" in messages(result)
+    assert result.diagnostics[0].path.endswith("OBSERVABILITY.md")
+
+
+def test_dynamic_prefix_covers_documented_namespace(lint_tree):
+    # `sim.runs` has no literal call site, but f"sim.{name}" publishes
+    # the namespace dynamically — documented names under it are fine.
+    result = lint_tree(
+        {"obs/code.py": CODE_OK, "docs/OBSERVABILITY.md": CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert codes(result) == []
+
+
+def test_metric_keyword_literal_is_checked(lint_tree):
+    code = 'def note(**kw):\n    pass\n\n\nnote(metric="dse.unknown", value=1)\n'
+    result = lint_tree(
+        {"obs/code.py": code, "docs/OBSERVABILITY.md": CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert "dse.unknown" in messages(result)
+
+
+def test_no_catalog_no_findings(lint_tree):
+    result = lint_tree({"obs/code.py": CODE_OK}, rules=["C2L003"])
+    assert codes(result) == []

@@ -1,0 +1,59 @@
+"""C2L004: pool-crossing callables must be module-level."""
+
+from __future__ import annotations
+
+HEADER = "from concurrent.futures import ProcessPoolExecutor\n\n\n"
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def messages(result):
+    return " | ".join(d.message for d in result.diagnostics)
+
+
+def test_lambda_submission_flagged(lint_tree):
+    source = HEADER + (
+        "def run(pool, xs):\n"
+        "    return [pool.submit(lambda x: x + 1, x) for x in xs]\n")
+    result = lint_tree({"dse/a.py": source}, rules=["C2L004"])
+    assert codes(result) == ["C2L004"]
+    assert "lambda" in messages(result)
+
+
+def test_nested_def_submission_flagged(lint_tree):
+    source = HEADER + (
+        "def run(pool, xs):\n"
+        "    def work(x):\n"
+        "        return x + 1\n"
+        "    return [pool.submit(work, x) for x in xs]\n")
+    result = lint_tree({"dse/a.py": source}, rules=["C2L004"])
+    assert codes(result) == ["C2L004"]
+    assert "closure" in messages(result)
+
+
+def test_module_level_function_allowed(lint_tree):
+    source = HEADER + (
+        "def work(x):\n"
+        "    return x + 1\n\n\n"
+        "def run(pool, xs):\n"
+        "    return [pool.submit(work, x) for x in xs]\n")
+    result = lint_tree({"dse/a.py": source}, rules=["C2L004"])
+    assert codes(result) == []
+
+
+def test_pool_map_with_lambda_flagged(lint_tree):
+    source = HEADER + (
+        "def run(pool, xs):\n"
+        "    return list(pool.map(lambda x: x * 2, xs))\n")
+    result = lint_tree({"dse/a.py": source}, rules=["C2L004"])
+    assert codes(result) == ["C2L004"]
+
+
+def test_files_without_pools_are_ignored(lint_tree):
+    # .map on arbitrary objects is not a pool submission unless the
+    # module touches concurrent.futures/multiprocessing.
+    source = "def run(frame):\n    return frame.map(lambda x: x * 2)\n"
+    result = lint_tree({"dse/a.py": source}, rules=["C2L004"])
+    assert codes(result) == []

@@ -1,0 +1,62 @@
+"""The repo must pass its own linter, and the CLI surfaces must work."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.cli
+from repro.analysis import DEFAULT_RULES, lint_paths
+from repro.analysis.cli import main as lint_main
+from repro.analysis.reporters import REPORT_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def src_dir(repo_root: Path) -> Path:
+    return repo_root / "src"
+
+
+def test_repo_lints_clean(src_dir: Path) -> None:
+    result = lint_paths([src_dir])
+    assert result.diagnostics == [], "\n".join(
+        d.render() for d in result.diagnostics)
+    assert result.files_checked > 50
+
+
+def test_lint_cli_exits_zero_on_repo(src_dir: Path, capsys) -> None:
+    assert lint_main([str(src_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_c2bound_lint_subcommand_delegates(src_dir: Path, capsys) -> None:
+    assert repro.cli.main(["lint", str(src_dir)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report_schema(src_dir: Path, capsys) -> None:
+    assert lint_main([str(src_dir), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == REPORT_SCHEMA
+    assert doc["summary"]["error"] == 0
+    assert doc["summary"]["warning"] == 0
+    assert doc["files_checked"] > 50
+    assert doc["diagnostics"] == []
+
+
+def test_list_rules_names_every_code(capsys) -> None:
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in DEFAULT_RULES:
+        assert rule.code in out
+
+
+def test_unknown_rule_is_usage_error(src_dir: Path, capsys) -> None:
+    assert lint_main([str(src_dir), "--rules", "C2L999"]) == 2
+    assert "C2L999" in capsys.readouterr().err
+
+
+def test_missing_target_is_usage_error(tmp_path: Path, capsys) -> None:
+    assert lint_main([str(tmp_path / "nope")]) == 2

@@ -1,0 +1,48 @@
+"""C2L005: AccessTrace columns are immutable outside their owner."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def test_direct_column_assignment_flagged(lint_tree):
+    source = "def bad(trace):\n    trace.starts = None\n"
+    result = lint_tree({"camat/a.py": source}, rules=["C2L005"])
+    assert codes(result) == ["C2L005"]
+
+
+def test_subscript_column_write_flagged(lint_tree):
+    source = "def bad(trace):\n    trace.hit_ends[0] = 7\n"
+    result = lint_tree({"camat/a.py": source}, rules=["C2L005"])
+    assert codes(result) == ["C2L005"]
+
+
+def test_augmented_column_write_flagged(lint_tree):
+    source = "def bad(trace):\n    trace.miss_penalties += 1\n"
+    result = lint_tree({"camat/a.py": source}, rules=["C2L005"])
+    assert codes(result) == ["C2L005"]
+
+
+def test_self_owned_columns_allowed(lint_tree):
+    source = (
+        "class Recorder:\n"
+        "    def __init__(self, n):\n"
+        "        self.starts = [0] * n\n"
+        "    def record(self, i, t):\n"
+        "        self.starts[i] = t\n")
+    result = lint_tree({"sim/a.py": source}, rules=["C2L005"])
+    assert codes(result) == []
+
+
+def test_defining_module_is_exempt(lint_tree):
+    source = "def _init(trace, starts):\n    trace.starts = starts\n"
+    result = lint_tree({"camat/trace.py": source}, rules=["C2L005"])
+    assert codes(result) == []
+
+
+def test_unrelated_attributes_allowed(lint_tree):
+    source = "def ok(obj):\n    obj.start = 3\n    obj.begins = []\n"
+    result = lint_tree({"camat/a.py": source}, rules=["C2L005"])
+    assert codes(result) == []
