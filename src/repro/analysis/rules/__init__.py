@@ -22,13 +22,14 @@ from repro.analysis.rules.hygiene import (
 )
 from repro.analysis.rules.metrics_catalog import MetricsCatalogRule
 from repro.analysis.rules.picklability import PicklabilityRule
+from repro.analysis.rules.resilience import ResilienceRule
 from repro.analysis.rules.trace_guard import TraceGuardRule
 from repro.errors import AnalysisError
 
 __all__ = ["Rule", "DEFAULT_RULES", "make_rules", "rule_catalog",
            "DeterminismRule", "CacheKeyRule", "MetricsCatalogRule",
            "PicklabilityRule", "TraceGuardRule", "BareExceptRule",
-           "MutableDefaultRule", "ExportsRule"]
+           "MutableDefaultRule", "ExportsRule", "ResilienceRule"]
 
 DEFAULT_RULES: "tuple[Type[Rule], ...]" = (
     DeterminismRule,
@@ -39,6 +40,7 @@ DEFAULT_RULES: "tuple[Type[Rule], ...]" = (
     BareExceptRule,
     MutableDefaultRule,
     ExportsRule,
+    ResilienceRule,
 )
 
 

@@ -1,0 +1,128 @@
+"""C2L006 — deterministic retry paths (no wall-clock sleeps, no RNG jitter).
+
+The resilience layer's promise is that a run which survives faults is
+*bit-identical* to one that never saw them — and that a failing retry
+schedule can be replayed exactly.  Two idioms quietly break that
+promise:
+
+- a **direct** ``time.sleep(...)`` call buried in a retry loop: tests
+  and the chaos harness can no longer run the schedule instantly or
+  observe it, and the delay disappears from the deterministic record.
+  The sanctioned idiom is an injectable hook with the real clock as the
+  *default parameter value*::
+
+      def retry_call(..., sleep: Callable[[float], None] = time.sleep):
+          ...
+          sleep(policy.delay(attempt))   # injected, recordable
+
+  (referencing ``time.sleep`` is legal; *calling* it is not);
+- jitter drawn from **global or unseeded RNG state**: two runs of the
+  same failing workload then back off on different schedules.  Jitter
+  must come from :func:`repro.resilience.policy.deterministic_unit`
+  (a hash of ``(seed, attempt)``) or a seeded generator threaded
+  through parameters.
+
+Scope: ``repro.resilience`` and ``repro.dse`` (the retry/backoff
+surface).  The RNG checks apply only under ``repro.resilience`` —
+inside ``repro.dse`` they are already covered by ``C2L001``, and one
+finding per offense is enough.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import (
+    Rule,
+    iter_calls,
+    resolve_call_name,
+    walk_imports,
+)
+from repro.analysis.source import Project, SourceFile
+
+__all__ = ["ResilienceRule"]
+
+#: Module-path segments that put a file in scope for the sleep check.
+SCOPED_SEGMENTS = ("resilience", "dse")
+
+#: Segments where this rule also polices RNG state (``C2L001`` already
+#: covers ``dse``).
+RNG_SEGMENTS = ("resilience",)
+
+#: Blocking sleeps that must go through an injectable hook instead.
+_SLEEP_CALLS = {"time.sleep", "asyncio.sleep"}
+
+#: ``numpy.random`` attributes that are *not* the global-state RNG
+#: (mirrors ``C2L001``).
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64", "RandomState",
+}
+
+
+def _is_unseeded(call) -> bool:
+    """No positional seed and no ``seed=`` keyword → unseeded."""
+    if call.args:
+        return False
+    return not any(kw.arg == "seed" for kw in call.keywords)
+
+
+class ResilienceRule(Rule):
+    code = "C2L006"
+    name = "resilience-determinism"
+    description = ("no direct wall-clock sleeps or unseeded jitter in "
+                   "retry paths (repro.resilience / repro.dse); inject "
+                   "sleep hooks and use deterministic_unit for jitter")
+
+    def check_file(self, source: SourceFile,
+                   project: Project) -> "Iterable[Diagnostic]":
+        if source.tree is None:
+            return
+        parts = source.module_parts
+        if not any(seg in parts for seg in SCOPED_SEGMENTS):
+            return
+        check_rng = any(seg in parts for seg in RNG_SEGMENTS)
+        aliases = walk_imports(source.tree)
+        for call in iter_calls(source.tree):
+            name = resolve_call_name(call.func, aliases)
+            if name is None:
+                continue
+            if name in _SLEEP_CALLS:
+                yield self.diag(
+                    source, call,
+                    f"direct {name}() call in a retry path; accept an "
+                    "injectable hook instead (e.g. ``sleep: Callable"
+                    "[[float], None] = time.sleep`` as a default "
+                    "parameter) so tests and the chaos harness control "
+                    "the clock")
+            elif not check_rng:
+                continue
+            elif name == "numpy.random.default_rng":
+                if _is_unseeded(call):
+                    yield self.diag(
+                        source, call,
+                        "unseeded np.random.default_rng() in a "
+                        "resilience path; thread an explicit seed, or "
+                        "derive jitter from deterministic_unit(...)")
+            elif name.startswith("numpy.random."):
+                attr = name[len("numpy.random."):]
+                if attr not in _NP_RANDOM_OK:
+                    yield self.diag(
+                        source, call,
+                        f"np.random.{attr}() draws from NumPy's global "
+                        "RNG state; retry jitter must be reproducible — "
+                        "use deterministic_unit(...) or a seeded "
+                        "generator")
+            elif name == "random.Random":
+                if _is_unseeded(call):
+                    yield self.diag(
+                        source, call,
+                        "unseeded random.Random() in a resilience path; "
+                        "pass an explicit seed")
+            elif name.startswith("random.") and name.count(".") == 1:
+                yield self.diag(
+                    source, call,
+                    f"{name}() draws from the process-global stdlib "
+                    "RNG; retry jitter must be reproducible — use "
+                    "deterministic_unit(...) instead")

@@ -183,6 +183,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=None, metavar="B",
                         help="design points per batched evaluator call "
                              "(default 2048)")
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        metavar="DIR",
+                        help="journal every charged DSE evaluation into DIR "
+                             "(one JSONL ledger per search method)")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore existing journals in --checkpoint DIR "
+                             "before running (a resumed run is bit-identical "
+                             "to an uninterrupted one)")
     parser.add_argument("--sim-cache", type=Path, default=None, metavar="DIR",
                         help="persistent simulation-result cache directory "
                              "(default: $C2BOUND_SIM_CACHE when set)")
@@ -228,6 +236,9 @@ def main(argv: "list[str] | None" = None) -> int:
     from repro.dse.batch import set_batch_defaults
     defaults = set_batch_defaults(batch_size=args.batch_size,
                                   workers=args.workers)
+    run_id, parent_run_ids = _configure_checkpoints(args, reporter)
+    if run_id is None:
+        return 2
     manifest = RunManifest(
         args.experiment,
         config={"out": str(args.out) if args.out else None,
@@ -235,8 +246,15 @@ def main(argv: "list[str] | None" = None) -> int:
                 "workload": args.workload, "n_ops": args.n_ops,
                 "workers": defaults.workers,
                 "batch_size": defaults.batch_size,
-                "sim_cache": str(sim_store.root) if sim_store else None},
-        argv=list(sys.argv[1:]) if argv is None else list(argv))
+                "sim_cache": str(sim_store.root) if sim_store else None,
+                "checkpoint": (str(args.checkpoint)
+                               if args.checkpoint else None),
+                "resume": bool(args.resume)},
+        argv=list(sys.argv[1:]) if argv is None else list(argv),
+        run_id=run_id)
+    if args.checkpoint is not None:
+        manifest.set_lineage(resumed=bool(args.resume),
+                             parent_run_ids=parent_run_ids)
     try:
         if args.experiment == "characterize":
             status = _characterize_command(args, reporter)
@@ -251,6 +269,37 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs import disable_tracing
         disable_tracing()
     return status
+
+
+def _configure_checkpoints(args, reporter: Reporter):
+    """Install the process-wide checkpoint wiring from the CLI flags.
+
+    Returns ``(run_id, parent_run_ids)``; a ``None`` run id signals a
+    usage error (``--resume`` without ``--checkpoint``).  Parent run
+    ids are read from the journals about to be restored — the lineage
+    linking a resumed run to the interrupted run(s) that wrote them.
+    """
+    from repro.resilience.checkpoint import (
+        new_run_id,
+        read_journal_headers,
+        set_checkpoint_defaults,
+    )
+
+    if args.checkpoint is None:
+        if args.resume:
+            reporter.error("--resume requires --checkpoint DIR")
+            return None, []
+        set_checkpoint_defaults(directory=None)
+        return new_run_id(), []
+    run_id = new_run_id()
+    parents: list[str] = []
+    if args.resume:
+        parents = sorted({h["run_id"] for h in
+                          read_journal_headers(args.checkpoint)
+                          if h.get("run_id")})
+    set_checkpoint_defaults(directory=args.checkpoint, resume=args.resume,
+                            run_id=run_id)
+    return run_id, parents
 
 
 def _configure_sim_cache(args):
@@ -317,12 +366,38 @@ def _write_outputs(args, reporter: Reporter, tracer, manifest,
         reporter.table(timing, trailing_blank=False)
     if args.metrics_out is not None:
         reporter.saved(registry.write_json(args.metrics_out))
+    _finish_lineage(args, manifest, registry)
     manifest_path = args.manifest
     if manifest_path is None and args.out is not None:
         manifest_path = args.out / f"manifest_{args.experiment}.json"
     if manifest_path is not None:
         reporter.saved(manifest.write(manifest_path,
                                       metrics=registry.snapshot()))
+
+
+def _finish_lineage(args, manifest, registry) -> None:
+    """Complete the manifest's resume/failover lineage after the run.
+
+    Records, per checkpoint journal, the creating run's id and the
+    ledger's content hash, plus this run's retry/failover counters —
+    the audit trail for "what did this run survive, and what did it
+    restart from".
+    """
+    counters = registry.snapshot().get("counters", {})
+    failover = {name: counters[name] for name in sorted(counters)
+                if name.startswith("resilience.")}
+    if failover:
+        manifest.set_lineage(failover=failover)
+    if args.checkpoint is None:
+        return
+    from repro.resilience.checkpoint import (
+        checkpoint_hash,
+        read_journal_headers,
+    )
+    manifest.set_lineage(checkpoints=[
+        {"path": h["path"], "run_id": h.get("run_id"),
+         "method": h.get("method"), "sha256": checkpoint_hash(h["path"])}
+        for h in read_journal_headers(args.checkpoint)])
 
 
 def _characterize_command(args, reporter: Reporter) -> int:

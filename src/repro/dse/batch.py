@@ -30,15 +30,24 @@ experiments rely on are parent-side.)
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from itertools import islice
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.dse.evaluate import batch_evaluate, is_feasible
-from repro.errors import DesignSpaceError
+from repro.errors import (
+    DesignSpaceError,
+    FatalError,
+    ReproError,
+    TransientError,
+)
+from repro.obs import get_registry
+from repro.resilience.policy import RetryPolicy, retry_call
 
 __all__ = ["BatchDefaults", "ParallelEvaluator", "chunked",
            "get_batch_defaults", "set_batch_defaults", "resolve_batch_size",
@@ -152,26 +161,68 @@ class ParallelEvaluator:
         ``ceil(len(batch) / (4 * workers))`` per call — enough tasks
         that a slow chunk cannot serialize the batch, few enough that
         pickling does not dominate.
+    retry_policy:
+        Governs chunk resubmission after worker crashes / timeouts /
+        transient errors (default :class:`~repro.resilience.policy.RetryPolicy`).
+    chunk_timeout:
+        Per-chunk deadline in seconds; a chunk that does not complete in
+        time is treated as lost (the pool is rebuilt — running tasks
+        cannot be cancelled) and resubmitted.  ``None`` waits forever.
+    sleep:
+        Backoff hook between recovery rounds — injectable so tests run
+        instantly while recording the deterministic schedule.
 
     The pool is created lazily on the first parallel batch and reused
     until :meth:`close` (also a context manager).  Results are
     reassembled in submission order, so the output array is identical
     to a sequential loop — only faster.
+
+    Fault tolerance: chunks lost to a dead worker
+    (``BrokenProcessPool``), a per-chunk timeout, or a pickled-back
+    :class:`~repro.errors.TransientError` are resubmitted to a rebuilt
+    pool up to ``retry_policy.max_attempts`` times; beyond that a chunk
+    degrades to serial in-parent evaluation, so one poisoned input
+    cannot sink a sweep.  Because every evaluator is a pure function of
+    the configuration, recovery changes wall time only — results remain
+    bit-identical to a fault-free run.  :class:`~repro.errors.FatalError`
+    (and any exception outside the taxonomy) propagates immediately.
     """
 
     def __init__(self, inner, *, workers: "int | None" = None,
-                 chunk_size: "int | None" = None) -> None:
+                 chunk_size: "int | None" = None,
+                 retry_policy: "RetryPolicy | None" = None,
+                 chunk_timeout: "float | None" = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.inner = inner
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
             raise DesignSpaceError(
                 f"chunk size must be >= 1, got {chunk_size}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise DesignSpaceError(
+                f"chunk timeout must be > 0 or None, got {chunk_timeout}")
         self.chunk_size = chunk_size
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self.chunk_timeout = chunk_timeout
+        self._sleep = sleep
         self._pool: "ProcessPoolExecutor | None" = None
+        registry = get_registry()
+        self._ctr_timeouts = registry.counter("resilience.chunk_timeouts")
+        self._ctr_crashes = registry.counter("resilience.worker_crashes")
+        self._ctr_rebuilds = registry.counter("resilience.pool_rebuilds")
+        self._ctr_serial = registry.counter("resilience.serial_fallbacks")
+        self._ctr_retries = registry.counter("resilience.retries")
 
     def evaluate(self, config: dict) -> float:
-        """Scalar pass-through (no pool round-trip for one point)."""
-        return float(self.inner.evaluate(config))
+        """Scalar pass-through (no pool round-trip for one point).
+
+        Transient failures retry in-process under the evaluator's
+        policy; fatal ones propagate.
+        """
+        return retry_call(lambda: float(self.inner.evaluate(config)),
+                          policy=self.retry_policy, sleep=self._sleep,
+                          what="scalar evaluation")
 
     def is_feasible(self, config: dict) -> bool:
         """Delegates to the wrapped evaluator's design-rule check."""
@@ -183,30 +234,117 @@ class ParallelEvaluator:
         if not configs:
             return np.empty(0, dtype=float)
         if self.workers == 1:
-            return batch_evaluate(self.inner, configs)
+            return self._serial_batch(configs, what="inline batch")
         chunk_size = self.chunk_size
         if chunk_size is None:
             chunk_size = max(1, -(-len(configs) // (4 * self.workers)))
         chunks = list(chunked(configs, chunk_size))
         if len(chunks) == 1:
-            return batch_evaluate(self.inner, configs)
-        pool = self._ensure_pool()
-        futures = [pool.submit(_evaluate_chunk, self.inner, chunk)
-                   for chunk in chunks]
-        parts = [f.result() for f in futures]
+            return self._serial_batch(configs, what="single-chunk batch")
+        parts = self._run_chunks(chunks)
         return np.array([cost for part in parts for cost in part],
                         dtype=float)
+
+    def _serial_batch(self, configs: list[dict], *, what: str) -> np.ndarray:
+        """In-parent batch with transient-failure retries."""
+        return retry_call(lambda: batch_evaluate(self.inner, configs),
+                          policy=self.retry_policy, sleep=self._sleep,
+                          what=what)
+
+    def _run_chunks(self, chunks: "list[list[dict]]") -> "list[list[float]]":
+        """Dispatch chunks to the pool, recovering lost or failed ones.
+
+        Round-based: each round submits every unfinished chunk, collects
+        results, and classifies failures.  A broken pool or a timed-out
+        chunk forces a pool rebuild (in-flight chunks of that round may
+        be charged an attempt collaterally — the bound still holds
+        because the fallback is exact serial evaluation).  Chunks that
+        exhaust ``retry_policy.max_attempts`` pool attempts degrade to
+        serial in-parent evaluation.
+        """
+        policy = self.retry_policy
+        n = len(chunks)
+        results: "list[list[float] | None]" = [None] * n
+        attempts = [0] * n
+        remaining = list(range(n))
+        round_no = 0
+        while remaining:
+            round_no += 1
+            pool = self._ensure_pool()
+            futures = {i: pool.submit(_evaluate_chunk, self.inner, chunks[i])
+                       for i in remaining}
+            failed: list[int] = []
+            need_rebuild = False
+            for i in remaining:
+                try:
+                    results[i] = futures[i].result(timeout=self.chunk_timeout)
+                except FuturesTimeoutError:
+                    self._ctr_timeouts.inc()
+                    failed.append(i)
+                    need_rebuild = True
+                except BrokenExecutor:
+                    self._ctr_crashes.inc()
+                    failed.append(i)
+                    need_rebuild = True
+                except TransientError:
+                    failed.append(i)
+                except FatalError:
+                    raise
+            if need_rebuild:
+                self._teardown_pool(kill=True)
+                self._ctr_rebuilds.inc()
+            retry_now: list[int] = []
+            serial_now: list[int] = []
+            for i in failed:
+                attempts[i] += 1
+                if attempts[i] >= policy.max_attempts:
+                    serial_now.append(i)
+                else:
+                    retry_now.append(i)
+                    self._ctr_retries.inc()
+            for i in serial_now:
+                # Pool attempts exhausted: the chunk is excluded from the
+                # pool and evaluated in-parent (graceful degradation).
+                self._ctr_serial.inc()
+                results[i] = list(
+                    self._serial_batch(chunks[i],
+                                       what=f"serial fallback chunk {i}"))
+            remaining = retry_now
+            if remaining:
+                self._sleep(policy.delay(round_no))
+        return [part for part in results if part is not None]
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _teardown_pool(self, *, kill: bool = False) -> None:
+        """Shut the current pool down, hard-stopping workers if asked.
+
+        ``ProcessPoolExecutor`` cannot cancel a running task, so after a
+        timeout the only way to reclaim the worker is to terminate it;
+        ``shutdown`` then reaps processes and queue threads so nothing
+        leaks across rebuilds.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                if proc.is_alive():
+                    proc.terminate()
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except (OSError, RuntimeError):
+            # A pool whose workers died mid-shutdown can raise while
+            # reaping; the processes are gone either way.
+            pass
+
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the pool down (idempotent, broken-pool safe)."""
+        self._teardown_pool()
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -217,5 +355,7 @@ class ParallelEvaluator:
     def __del__(self) -> None:  # pragma: no cover - GC-time best effort
         try:
             self.close()
-        except Exception:
+        except (ReproError, OSError, RuntimeError):
+            # Interpreter teardown: modules may be half-gone; anything
+            # else (e.g. KeyboardInterrupt) should surface.
             pass

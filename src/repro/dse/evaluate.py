@@ -132,15 +132,29 @@ class BudgetedEvaluator:
     time or in batches: within a batch the first occurrence of a new
     configuration is charged, every duplicate and every already-cached
     point is a free reread.
+
+    Checkpointing: when wired to a
+    :class:`~repro.resilience.checkpoint.CheckpointJournal` (explicitly
+    via ``checkpoint=``, or implicitly through the process-wide
+    :func:`~repro.resilience.checkpoint.set_checkpoint_defaults` the
+    CLI's ``--checkpoint`` flag installs), every charged evaluation is
+    ledgered the moment the budget is spent.  On resume, the restored
+    ledger pre-warms the cache; as the deterministic search replays, the
+    first hit on each restored point is *accounted as the fresh charge
+    it was in the interrupted run* (no journal re-append, no double
+    charge), so budget counters, metrics and results end bit-identical
+    to a run that was never interrupted.
     """
 
     def __init__(self, inner: Evaluator, *,
-                 method: "str | None" = None) -> None:
+                 method: "str | None" = None,
+                 checkpoint=None, resume: bool = False) -> None:
         self.inner = inner
         self.method = method
         self.evaluations = 0
         self.evaluations_cached = 0
         self._cache: dict[tuple, float] = {}
+        self._restored_pending: set[tuple] = set()
         registry = get_registry()
         self._ctr_fresh = registry.counter("dse.evaluations")
         self._ctr_cached = registry.counter("dse.evaluations_cached")
@@ -149,13 +163,80 @@ class BudgetedEvaluator:
             if method is not None else None)
         self._hist_batch_size = registry.histogram("dse.batch_size")
         self._hist_batch_seconds = registry.histogram("dse.batch_seconds")
+        self._ctr_restored = registry.counter(
+            "resilience.checkpoint.restored")
+        self._journal = None
+        self._attach_checkpoint(checkpoint, resume)
+
+    def _attach_checkpoint(self, checkpoint, resume: bool) -> None:
+        """Resolve the journal wiring (explicit arg or process defaults).
+
+        ``checkpoint`` may be a live
+        :class:`~repro.resilience.checkpoint.CheckpointJournal`, a path
+        (fresh journal, or resumed when ``resume=True``), or ``None`` —
+        in which case the process-wide checkpoint defaults decide
+        (usually: journaling off).
+        """
+        # Imported lazily: repro.resilience.faults imports this module.
+        from repro.resilience.checkpoint import (
+            CheckpointJournal,
+            journal_for_method,
+        )
+
+        entries: list = []
+        if checkpoint is None:
+            opened = journal_for_method(self.method)
+            if opened is None:
+                return
+            self._journal, entries = opened
+        elif isinstance(checkpoint, CheckpointJournal):
+            self._journal = checkpoint
+        elif resume:
+            self._journal, entries, _states = CheckpointJournal.open_resume(
+                checkpoint, method=self.method)
+        else:
+            self._journal = CheckpointJournal.create(
+                checkpoint, method=self.method)
+        if entries:
+            self.restore(entries)
+
+    def restore(self, entries) -> None:
+        """Warm the cache from a journal ledger of ``(key, cost)`` pairs.
+
+        Restored points are marked pending-replay: the search's first
+        hit on each is accounted as the fresh charge it was in the
+        interrupted run (and not re-journaled), keeping budget
+        accounting exactly-once across the interruption.
+        """
+        restored = 0
+        for key, cost in entries:
+            if key in self._cache:
+                continue
+            self._cache[key] = float(cost)
+            self._restored_pending.add(key)
+            restored += 1
+        self._ctr_restored.inc(restored)
+
+    def close(self) -> None:
+        """Flush and close the attached journal, if any (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
 
     def evaluate(self, config: dict) -> float:
         key = canonical_key(config)
         cached = self._cache.get(key)
         if cached is not None:
-            self.evaluations_cached += 1
-            self._ctr_cached.inc()
+            if key in self._restored_pending:
+                # Replay of a checkpointed charge: account it as the
+                # fresh evaluation it was; the journal already has it.
+                self._restored_pending.discard(key)
+                self.evaluations += 1
+                self._ctr_fresh.inc()
+                if self._ctr_fresh_method is not None:
+                    self._ctr_fresh_method.inc()
+            else:
+                self.evaluations_cached += 1
+                self._ctr_cached.inc()
             return cached
         cost = float(self.inner.evaluate(config))
         self._cache[key] = cost
@@ -163,6 +244,8 @@ class BudgetedEvaluator:
         self._ctr_fresh.inc()
         if self._ctr_fresh_method is not None:
             self._ctr_fresh_method.inc()
+        if self._journal is not None:
+            self._journal.append_eval(key, cost)
         return cost
 
     def evaluate_batch(self, configs: Sequence[dict]) -> np.ndarray:
@@ -181,12 +264,18 @@ class BudgetedEvaluator:
         fresh_index: dict[tuple, int] = {}
         slots: list[tuple[int, int]] = []
         n_cached = 0
+        n_replayed = 0
         for i, config in enumerate(configs):
             key = canonical_key(config)
             cached = self._cache.get(key)
             if cached is not None:
                 out[i] = cached
-                n_cached += 1
+                if key in self._restored_pending:
+                    # Replay of a checkpointed charge (see restore()).
+                    self._restored_pending.discard(key)
+                    n_replayed += 1
+                else:
+                    n_cached += 1
                 continue
             j = fresh_index.get(key)
             if j is None:
@@ -206,11 +295,16 @@ class BudgetedEvaluator:
                 for i, j in slots:
                     out[i] = costs[j]
             elapsed = time.perf_counter() - t0
-        if fresh_configs:
-            self.evaluations += len(fresh_configs)
-            self._ctr_fresh.inc(len(fresh_configs))
+        n_charged = len(fresh_configs) + n_replayed
+        if n_charged:
+            self.evaluations += n_charged
+            self._ctr_fresh.inc(n_charged)
             if self._ctr_fresh_method is not None:
-                self._ctr_fresh_method.inc(len(fresh_configs))
+                self._ctr_fresh_method.inc(n_charged)
+        if fresh_configs and self._journal is not None:
+            # Ledger the batch the moment it is charged (one flush).
+            self._journal.append_evals(
+                [(key, float(costs[j])) for key, j in fresh_index.items()])
         if n_cached:
             self.evaluations_cached += n_cached
             self._ctr_cached.inc(n_cached)
@@ -231,6 +325,7 @@ class BudgetedEvaluator:
         self.evaluations = 0
         self.evaluations_cached = 0
         self._cache.clear()
+        self._restored_pending.clear()
 
 
 class SurrogateEvaluator:

@@ -15,6 +15,13 @@ __all__ = [
     "DesignSpaceError",
     "ObservabilityError",
     "AnalysisError",
+    "ResilienceError",
+    "TransientError",
+    "FatalError",
+    "WorkerCrashError",
+    "EvaluationTimeoutError",
+    "RetryExhaustedError",
+    "CheckpointError",
 ]
 
 
@@ -62,3 +69,77 @@ class ObservabilityError(ReproError, ValueError):
 
 class AnalysisError(ReproError, ValueError):
     """A static-analysis (``c2bound lint``) invocation is invalid."""
+
+
+class ResilienceError(ReproError):
+    """Base class of the fault-tolerance taxonomy (:mod:`repro.resilience`).
+
+    Failures during long-horizon DSE runs split into two kinds that
+    retry logic must treat differently, so the split is encoded in the
+    type system rather than in string matching:
+
+    - :class:`TransientError` — safe to retry (a crashed pool worker, a
+      hung simulation, a glitching filesystem);
+    - :class:`FatalError` — retrying cannot help (a poisoned
+      configuration, an exhausted retry budget, corrupted state).
+    """
+
+
+class TransientError(ResilienceError):
+    """A failure that a deterministic retry may resolve."""
+
+
+class FatalError(ResilienceError):
+    """A failure that retrying cannot fix; propagate immediately."""
+
+
+class WorkerCrashError(TransientError):
+    """A process-pool worker died mid-task (``BrokenProcessPool``).
+
+    Attributes
+    ----------
+    chunk_index:
+        Index of the work chunk whose future observed the crash
+        (``-1`` when unattributable).
+    """
+
+    def __init__(self, message: str, *, chunk_index: int = -1) -> None:
+        super().__init__(message)
+        self.chunk_index = int(chunk_index)
+
+
+class EvaluationTimeoutError(TransientError):
+    """A work chunk exceeded its deadline.
+
+    Attributes
+    ----------
+    timeout_s:
+        The deadline that was exceeded (``nan`` if unknown).
+    """
+
+    def __init__(self, message: str, *, timeout_s: float = float("nan")) -> None:
+        super().__init__(message)
+        self.timeout_s = float(timeout_s)
+
+
+class RetryExhaustedError(FatalError):
+    """A retry policy spent every attempt without success.
+
+    Attributes
+    ----------
+    attempts:
+        Number of attempts performed.
+    last_error:
+        The exception raised by the final attempt (also chained as
+        ``__cause__``).
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: "BaseException | None" = None) -> None:
+        super().__init__(message)
+        self.attempts = int(attempts)
+        self.last_error = last_error
+
+
+class CheckpointError(ResilienceError, ValueError):
+    """A checkpoint journal is malformed, mismatched, or unusable."""

@@ -25,8 +25,11 @@ __all__ = ["MANIFEST_SCHEMA", "VOLATILE_KEYS", "RunManifest", "git_sha",
 MANIFEST_SCHEMA = "c2bound.manifest/1"
 
 #: Keys excluded by :func:`stable_view` (legitimately differ between
-#: repeat runs of the same configuration).
-VOLATILE_KEYS = ("started_at", "wall_time_s", "git_sha")
+#: repeat runs of the same configuration).  ``run_id`` is fresh per
+#: invocation and ``lineage`` records interruption/resume provenance —
+#: a resumed run must still compare equal to an uninterrupted one.
+VOLATILE_KEYS = ("started_at", "wall_time_s", "git_sha", "run_id",
+                 "lineage")
 
 
 def git_sha() -> "str | None":
@@ -77,17 +80,35 @@ class RunManifest:
         The run's RNG seed, when one exists.
     argv:
         Command-line arguments, for exact reruns.
+    run_id:
+        Identifier of this invocation (e.g. the id stamped into
+        checkpoint journals), when one exists.
     """
 
     def __init__(self, experiment: str, *, config: "dict | None" = None,
                  seed: "int | None" = None,
-                 argv: "list[str] | None" = None) -> None:
+                 argv: "list[str] | None" = None,
+                 run_id: "str | None" = None) -> None:
         self.experiment = experiment
         self.config = dict(config) if config else {}
         self.seed = seed
         self.argv = list(argv) if argv is not None else None
+        self.run_id = run_id
+        self.lineage: dict = {}
         self.started_at = time.time()
         self._t0 = time.perf_counter()
+
+    def set_lineage(self, **fields: object) -> None:
+        """Merge interruption/resume provenance into the manifest.
+
+        Typical fields: ``resumed``, ``parent_run_ids`` (runs whose
+        checkpoint journals this run restored), ``checkpoints`` (per
+        journal: path, run id, method, content hash) and the
+        retry/failover counters.  Lineage is a volatile key: it
+        documents *how* the run got here without breaking
+        :func:`stable_view` equality with an uninterrupted run.
+        """
+        self.lineage.update(fields)
 
     def finish(self, *, metrics: "dict | None" = None) -> dict:
         """The completed manifest as a plain dict."""
@@ -97,6 +118,8 @@ class RunManifest:
             "argv": self.argv,
             "config": self.config,
             "seed": self.seed,
+            "run_id": self.run_id,
+            "lineage": dict(self.lineage),
             "package_version": package_version(),
             "git_sha": git_sha(),
             "started_at": self.started_at,

@@ -1,0 +1,238 @@
+"""Deterministic retry/timeout/backoff policies.
+
+Long DSE sweeps meet transient failures — a pool worker OOM-killed, a
+filesystem hiccup, a hung simulation — and the correct response is
+almost always "try again, a bounded number of times, with growing
+delays".  This module makes that response *reproducible*:
+
+- :class:`RetryPolicy` computes every backoff delay as a pure function
+  of ``(seed, attempt)`` — the jitter that de-synchronizes concurrent
+  retriers is a hash, not a draw from a global RNG — so two runs of the
+  same failing workload retry on an identical schedule;
+- :class:`Deadline` wraps a monotonic clock (injectable for tests) into
+  a remaining-time budget;
+- :func:`retry_call` runs a callable under a policy with an injectable
+  ``sleep`` hook, classifying failures through the
+  :class:`~repro.errors.TransientError` / :class:`~repro.errors.FatalError`
+  taxonomy.
+
+The ``C2L006`` lint rule enforces the injection idiom: code in retry
+paths may *reference* ``time.sleep`` as a default hook but never call
+it directly, and may not draw jitter from unseeded RNG state.
+
+Every retry and give-up is published to the metrics registry
+(``resilience.retries`` / ``resilience.giveups``), so failure handling
+is visible in metrics snapshots and run manifests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import (
+    FatalError,
+    InvalidParameterError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.obs import get_registry
+
+__all__ = ["RetryPolicy", "Deadline", "retry_call", "deterministic_unit"]
+
+_T = TypeVar("_T")
+
+
+def deterministic_unit(*parts: object) -> float:
+    """A reproducible pseudo-uniform value in ``[0, 1)`` from ``parts``.
+
+    SHA-256 over the ``repr`` of the parts — identical on every
+    platform and in every process, unlike anything drawn from RNG
+    state.  This is the only sanctioned jitter source in retry paths
+    (rule ``C2L006``).
+    """
+    payload = "\x1f".join(repr(p) for p in parts).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, and how long to wait between attempts.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts (first try included); must be >= 1.
+    base_delay:
+        Delay before the first retry, in seconds.
+    multiplier:
+        Exponential backoff factor per further retry.
+    max_delay:
+        Cap on any single delay.
+    jitter:
+        Relative jitter amplitude in ``[0, 1]``: the delay for attempt
+        ``k`` is scaled by ``1 + jitter * (2*u - 1)`` where ``u`` is
+        :func:`deterministic_unit` of ``(seed, k)`` — reproducible, not
+        random.
+    seed:
+        Folded into the jitter hash so distinct retriers (e.g. chunk
+        indices) de-synchronize while each stays deterministic.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise InvalidParameterError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise InvalidParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay (seconds) after failed attempt ``attempt`` (1-based).
+
+        Pure function of ``(policy, attempt)``: exponential growth from
+        ``base_delay``, capped at ``max_delay``, scaled by the
+        deterministic jitter.
+        """
+        if attempt < 1:
+            raise InvalidParameterError(
+                f"attempt must be >= 1, got {attempt}")
+        raw = self.base_delay * (self.multiplier ** (attempt - 1))
+        capped = min(raw, self.max_delay)
+        if not self.jitter:
+            return capped
+        unit = deterministic_unit("retry-jitter", self.seed, attempt)
+        return capped * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is worth another attempt.
+
+        :class:`~repro.errors.TransientError` (and subclasses) retry;
+        :class:`~repro.errors.FatalError` never does; anything outside
+        the taxonomy is treated as fatal — unknown failures should
+        surface, not loop.
+        """
+        if isinstance(error, FatalError):
+            return False
+        return isinstance(error, TransientError)
+
+    def with_seed(self, seed: int) -> "RetryPolicy":
+        """The same policy with a different jitter seed."""
+        return RetryPolicy(max_attempts=self.max_attempts,
+                           base_delay=self.base_delay,
+                           multiplier=self.multiplier,
+                           max_delay=self.max_delay,
+                           jitter=self.jitter, seed=seed)
+
+
+class Deadline:
+    """A remaining-time budget over an injectable monotonic clock.
+
+    Parameters
+    ----------
+    timeout_s:
+        Total budget in seconds; ``None`` means unbounded.
+    clock:
+        Monotonic time source (``time.monotonic`` by default; tests
+        inject a fake).
+    """
+
+    __slots__ = ("timeout_s", "_clock", "_start")
+
+    def __init__(self, timeout_s: "float | None", *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise InvalidParameterError(
+                f"timeout must be > 0 or None, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return self._clock() - self._start
+
+    def remaining(self) -> "float | None":
+        """Seconds left (clamped at 0), or ``None`` when unbounded."""
+        if self.timeout_s is None:
+            return None
+        return max(0.0, self.timeout_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is spent (never for unbounded)."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+
+def retry_call(fn: "Callable[[], _T]", *,
+               policy: "RetryPolicy | None" = None,
+               sleep: Callable[[float], None] = time.sleep,
+               deadline: "Deadline | None" = None,
+               on_retry: "Callable[[int, BaseException], None] | None" = None,
+               what: str = "call") -> _T:
+    """Run ``fn`` under ``policy``, retrying transient failures.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable (bind arguments with a closure/partial).
+    policy:
+        Retry policy (default: ``RetryPolicy()``).
+    sleep:
+        Delay hook — injectable so tests (and the fault harness) run
+        instantly while recording the deterministic schedule.
+    deadline:
+        Optional overall time budget; once expired, no further attempts
+        are made.
+    on_retry:
+        Called as ``on_retry(attempt, error)`` before each backoff.
+    what:
+        Human-readable label for error messages and metrics.
+
+    Raises
+    ------
+    RetryExhaustedError
+        After ``policy.max_attempts`` transient failures (or an expired
+        deadline), chaining the last error.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    registry = get_registry()
+    retries = registry.counter("resilience.retries")
+    giveups = registry.counter("resilience.giveups")
+    last_error: "BaseException | None" = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except BaseException as exc:  # noqa: B036 - classified below
+            if not policy.retryable(exc):
+                raise
+            last_error = exc
+        out_of_time = deadline is not None and deadline.expired
+        if attempt >= policy.max_attempts or out_of_time:
+            break
+        retries.inc()
+        if on_retry is not None:
+            on_retry(attempt, last_error)
+        sleep(policy.delay(attempt))
+    giveups.inc()
+    raise RetryExhaustedError(
+        f"{what} failed after {policy.max_attempts} attempt(s): "
+        f"{last_error!r}",
+        attempts=policy.max_attempts, last_error=last_error,
+    ) from last_error

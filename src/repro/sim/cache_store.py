@@ -189,6 +189,7 @@ class SimCacheStore:
         self._mem: OrderedDict[str, float] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self._bind_counters()
 
     def _bind_counters(self) -> None:
@@ -197,6 +198,7 @@ class SimCacheStore:
         self._ctr_misses = registry.counter("sim.cache.misses")
         self._ctr_stores = registry.counter("sim.cache.stores")
         self._ctr_evictions = registry.counter("sim.cache.evictions")
+        self._ctr_corrupt = registry.counter("sim.cache.corrupt")
 
     # Pickling ships only the configuration (for process-pool workers);
     # each worker rebuilds its own LRU front and registry counters.
@@ -209,6 +211,7 @@ class SimCacheStore:
         self._mem = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         self._bind_counters()
 
     def path_for(self, key: str) -> Path:
@@ -225,8 +228,36 @@ class SimCacheStore:
             mem.popitem(last=False)
             self._ctr_evictions.inc()
 
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved (outside the ``??/`` fan-out,
+        so :meth:`stats`/:meth:`clear` globs never see them)."""
+        return self.root / ".quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is never parsed again.
+
+        ``os.replace`` keeps the bytes for post-mortem inspection; if
+        even that fails the entry is deleted — a corrupt file must not
+        stay on the lookup path either way.
+        """
+        qdir = self.quarantine_dir()
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, key: str) -> "float | None":
-        """Stored cost for ``key``, or ``None`` on a miss."""
+        """Stored cost for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (unparsable JSON, missing or non-numeric
+        ``cost``) is counted (``sim.cache.corrupt``), quarantined under
+        ``.quarantine/`` and reported as a miss — the caller re-runs the
+        simulation and the atomic :meth:`put` writes a sound entry.
+        """
         mem = self._mem
         if key in mem:
             mem.move_to_end(key)
@@ -235,15 +266,22 @@ class SimCacheStore:
             return mem[key]
         path = self.path_for(key)
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
-            # Missing file, or a truncated entry from a crashed writer:
-            # both are plain misses (the writer path is atomic, so this
-            # is defensive, not expected).
+            data = path.read_bytes()
+        except OSError:
+            # Missing (or unreadable) file: a plain miss.
             self.misses += 1
             self._ctr_misses.inc()
             return None
-        cost = float(entry["cost"])
+        try:
+            entry = json.loads(data)
+            cost = float(entry["cost"])
+        except (KeyError, TypeError, ValueError):
+            self.corrupt += 1
+            self._ctr_corrupt.inc()
+            self._quarantine(path)
+            self.misses += 1
+            self._ctr_misses.inc()
+            return None
         self._remember(key, cost)
         self.hits += 1
         self._ctr_hits.inc()
@@ -282,9 +320,14 @@ class SimCacheStore:
                     total_bytes += path.stat().st_size
                 except OSError:
                     pass
+        quarantined = 0
+        qdir = self.quarantine_dir()
+        if qdir.is_dir():
+            quarantined = sum(1 for _ in qdir.glob("*.json"))
         return {"root": str(self.root), "entries": entries,
                 "bytes": total_bytes, "memory_entries": len(self._mem),
                 "hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt, "quarantined": quarantined,
                 "model_version": SIM_MODEL_VERSION}
 
     def clear(self) -> int:

@@ -1,0 +1,135 @@
+"""C2L006: injectable sleeps and deterministic jitter in retry paths."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def messages(result):
+    return " | ".join(d.message for d in result.diagnostics)
+
+
+def test_direct_sleep_flagged_in_resilience(lint_tree):
+    result = lint_tree(
+        {"resilience/a.py": "import time\ntime.sleep(1.0)\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+    assert "injectable hook" in messages(result)
+
+
+def test_direct_sleep_flagged_in_dse(lint_tree):
+    result = lint_tree(
+        {"dse/a.py": "import time\ntime.sleep(0.1)\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+
+
+def test_from_import_sleep_flagged(lint_tree):
+    result = lint_tree(
+        {"resilience/a.py": "from time import sleep\nsleep(2)\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+
+
+def test_asyncio_sleep_flagged(lint_tree):
+    result = lint_tree(
+        {"dse/a.py":
+         "import asyncio\n\n\nasync def f():\n    await asyncio.sleep(1)\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+
+
+def test_default_parameter_reference_allowed(lint_tree):
+    source = """\
+    import time
+    from typing import Callable
+
+
+    def retry(sleep: Callable[[float], None] = time.sleep) -> None:
+        sleep(0.5)
+    """
+    result = lint_tree({"resilience/a.py": source}, rules=["C2L006"])
+    assert codes(result) == []
+
+
+def test_injected_hook_call_allowed(lint_tree):
+    source = """\
+    class Waiter:
+        def __init__(self, sleep):
+            self._sleep = sleep
+
+        def wait(self, s):
+            self._sleep(s)
+    """
+    result = lint_tree({"resilience/a.py": source}, rules=["C2L006"])
+    assert codes(result) == []
+
+
+def test_global_stdlib_rng_flagged_in_resilience(lint_tree):
+    result = lint_tree(
+        {"resilience/a.py": "import random\nJ = random.random()\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+    assert "deterministic_unit" in messages(result)
+
+
+def test_unseeded_random_instance_flagged(lint_tree):
+    result = lint_tree(
+        {"resilience/a.py": "import random\nR = random.Random()\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+
+
+def test_unseeded_default_rng_flagged(lint_tree):
+    result = lint_tree(
+        {"resilience/a.py":
+         "import numpy as np\nRNG = np.random.default_rng()\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+
+
+def test_numpy_global_state_flagged(lint_tree):
+    result = lint_tree(
+        {"resilience/a.py": "import numpy as np\nX = np.random.rand()\n"},
+        rules=["C2L006"])
+    assert codes(result) == ["C2L006"]
+
+
+def test_rng_in_dse_left_to_c2l001(lint_tree):
+    # Inside dse/, RNG misuse is C2L001's finding; C2L006 stays silent
+    # so one offense yields one diagnostic.
+    files = {"dse/a.py": "import random\nX = random.random()\n"}
+    assert codes(lint_tree(files, rules=["C2L006"])) == []
+    both = lint_tree(files, rules=["C2L001", "C2L006"])
+    assert codes(both) == ["C2L001"]
+
+
+def test_seeded_idioms_allowed(lint_tree):
+    source = """\
+    import random
+
+    import numpy as np
+
+
+    def jitter(seed, attempt):
+        rng = np.random.default_rng(seed)
+        r = random.Random(seed)
+        return rng.uniform() + r.random()
+    """
+    result = lint_tree({"resilience/a.py": source}, rules=["C2L006"])
+    assert codes(result) == []
+
+
+def test_out_of_scope_module_ignored(lint_tree):
+    result = lint_tree(
+        {"sim/a.py": "import time\ntime.sleep(1.0)\n"}, rules=["C2L006"])
+    assert codes(result) == []
+
+
+def test_src_tree_is_clean(repo_root):
+    from repro.analysis import lint_paths
+
+    result = lint_paths([repo_root / "src"], rules=["C2L006"])
+    assert codes(result) == []

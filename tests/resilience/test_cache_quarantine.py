@@ -1,0 +1,95 @@
+"""SimCacheStore corruption handling: detect, count, quarantine, recover."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import corrupt_cache_entries
+from repro.sim.cache_store import SimCacheStore
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+@pytest.fixture
+def store(tmp_path) -> SimCacheStore:
+    store = SimCacheStore(tmp_path / "cache", memory_entries=2)
+    for i in range(6):
+        store.put(_key(i), float(i) + 0.5)
+    return store
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "wrong_type"])
+    def test_corrupt_entry_is_a_counted_miss(self, store, fresh_registry,
+                                             mode):
+        cold = SimCacheStore(store.root, memory_entries=2)  # empty LRU front
+        [victim] = corrupt_cache_entries(store.root, seed=2,
+                                         fraction=0.01, mode=mode)
+        key = victim.stem
+        assert cold.get(key) is None
+        assert cold.corrupt == 1 and cold.misses == 1 and cold.hits == 0
+        counters = fresh_registry.snapshot()["counters"]
+        assert counters["sim.cache.corrupt"] == 1
+        # The damaged file moved aside; the miss is now a plain miss.
+        assert not victim.exists()
+        assert (cold.quarantine_dir() / victim.name).exists()
+        assert cold.get(key) is None
+        assert cold.corrupt == 1
+
+    def test_rewrite_after_quarantine_recovers(self, store):
+        cold = SimCacheStore(store.root, memory_entries=2)
+        [victim] = corrupt_cache_entries(store.root, seed=2, fraction=0.01)
+        key = victim.stem
+        assert cold.get(key) is None
+        cold.put(key, 9.25)
+        assert cold.get(key) == 9.25
+        assert cold.stats()["quarantined"] == 1
+
+    def test_missing_cost_field_is_corruption(self, store):
+        cold = SimCacheStore(store.root, memory_entries=2)
+        path = store.path_for(_key(0))
+        path.write_text(json.dumps({"model_version": "x"}))
+        assert cold.get(_key(0)) is None
+        assert cold.corrupt == 1
+
+    def test_memory_front_untouched_by_disk_corruption(self, store):
+        # Key 5 is in this instance's LRU front; damaging its file
+        # doesn't affect in-memory hits.
+        store.path_for(_key(5)).write_bytes(b"\x00garbage")
+        assert store.get(_key(5)) == 5.5
+        assert store.corrupt == 0
+
+    def test_stats_and_quarantined_count(self, store, tmp_path):
+        cold = SimCacheStore(store.root)
+        picked = corrupt_cache_entries(store.root, seed=7, fraction=0.5)
+        for path in picked:
+            assert cold.get(path.stem) is None
+        stats = cold.stats()
+        assert stats["corrupt"] == len(picked) == 3
+        assert stats["quarantined"] == 3
+        assert stats["entries"] == 6 - 3
+
+    def test_pickled_clone_starts_clean(self, store):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.corrupt == 0
+        assert clone.get(_key(1)) == 1.5
+
+
+class TestCacheStatsCLI:
+    def test_stats_surfaces_corruption(self, store, capsys):
+        cold = SimCacheStore(store.root)
+        [victim] = corrupt_cache_entries(store.root, seed=2, fraction=0.01)
+        cold.get(victim.stem)
+
+        assert main(["cache", "stats", "--sim-cache",
+                     str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "quarantined" in out

@@ -1,0 +1,180 @@
+"""The fault-injection harness itself: deterministic, bounded, transparent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FatalError, InvalidParameterError, TransientError
+from repro.resilience import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultyEvaluator,
+    config_token,
+    corrupt_cache_entries,
+)
+from repro.sim.cache_store import SimCacheStore
+
+
+class TestConfigToken:
+    def test_stable_and_order_insensitive(self):
+        a = {"n": 8, "a0": 0.5, "issue_width": 2}
+        b = {"issue_width": 2, "a0": 0.5, "n": 8}
+        assert config_token(a) == config_token(b)
+        assert len(config_token(a)) == 16
+
+    def test_distinct_configs_distinct_tokens(self):
+        assert config_token({"n": 8}) != config_token({"n": 16})
+
+
+class TestFaultValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            Fault(kind="meteor", token="t")
+
+    def test_bad_times(self):
+        with pytest.raises(InvalidParameterError):
+            Fault(kind="transient", token="t", times=0)
+
+    def test_bad_delay(self):
+        with pytest.raises(InvalidParameterError):
+            Fault(kind="delay", token="t", delay_s=-1.0)
+
+
+class TestFuses:
+    def test_times_bounds_across_injectors(self, tmp_path):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="transient", token="t",
+                                       times=2),))
+        # Two injector instances share the on-disk fuses — the way a
+        # rebuilt pool's fresh workers do.
+        first, second = plan.injector(), plan.injector()
+        with pytest.raises(TransientError):
+            first.fire("t")
+        with pytest.raises(TransientError):
+            second.fire("t")
+        first.fire("t")   # burned out: no-ops from here on
+        second.fire("t")
+
+    def test_unbounded_fault_always_fires(self, tmp_path):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="transient", token="t",
+                                       times=None),))
+        injector = plan.injector()
+        for _ in range(5):
+            with pytest.raises(TransientError):
+                injector.fire("t")
+
+    def test_worker_only_skips_the_parent(self, tmp_path):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="fatal", token="t",
+                                       worker_only=True),))
+        plan.injector().fire("t")  # we *are* the parent: nothing happens
+
+    def test_delay_uses_the_injected_sleep(self, tmp_path):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="delay", token="t",
+                                       delay_s=30.0),))
+        slept: list[float] = []
+        FaultInjector(plan, sleep=slept.append).fire("t")
+        assert slept == [30.0]
+
+    def test_fatal_raises(self, tmp_path):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="fatal", token="t"),))
+        with pytest.raises(FatalError):
+            plan.injector().fire("t")
+
+    def test_unmatched_token_is_a_no_op(self, tmp_path):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="fatal", token="t"),))
+        plan.injector().fire("someone-else")
+
+
+class TestFaultyEvaluator:
+    def test_transparent_when_no_fault_fires(self, tmp_path, surrogate,
+                                             configs):
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path))
+        faulty = FaultyEvaluator(surrogate, plan)
+        want = surrogate.evaluate_batch(configs)
+        got = faulty.evaluate_batch(configs)
+        assert (got == want).all()
+        assert faulty.evaluate(configs[0]) == float(want[0])
+        assert faulty.is_feasible(configs[0])
+
+    def test_fault_lands_on_its_own_configuration(self, tmp_path,
+                                                  surrogate, configs):
+        victim = configs[3]
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="transient",
+                                       token=config_token(victim)),))
+        faulty = FaultyEvaluator(surrogate, plan)
+        assert faulty.evaluate(configs[0]) == float(
+            surrogate.evaluate(configs[0]))
+        with pytest.raises(TransientError):
+            faulty.evaluate(victim)
+        # Fuse burned: the retry succeeds with the exact cost.
+        assert faulty.evaluate(victim) == float(surrogate.evaluate(victim))
+
+    def test_survives_pickling(self, tmp_path, surrogate, configs):
+        import pickle
+
+        plan = FaultPlan(seed=0, state_dir=str(tmp_path),
+                         faults=(Fault(kind="transient",
+                                       token=config_token(configs[0])),))
+        clone = pickle.loads(pickle.dumps(FaultyEvaluator(surrogate, plan)))
+        with pytest.raises(TransientError):
+            clone.evaluate(configs[0])
+
+
+def _seeded_store(root) -> SimCacheStore:
+    import hashlib
+
+    store = SimCacheStore(root)
+    for i in range(8):
+        key = hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+        store.put(key, float(i))
+    return store
+
+
+class TestCorruptCacheEntries:
+    def test_deterministic_pick(self, tmp_path):
+        _seeded_store(tmp_path / "cache")
+        picked = corrupt_cache_entries(tmp_path / "cache", seed=11,
+                                       fraction=0.5)
+        # A second identical store corrupted with the same seed loses
+        # the same entries.
+        _seeded_store(tmp_path / "cache2")
+        picked2 = corrupt_cache_entries(tmp_path / "cache2", seed=11,
+                                        fraction=0.5)
+        assert [p.name for p in picked] == [p.name for p in picked2]
+        assert len(picked) == 4
+
+    def test_counter_and_validation(self, tmp_path, fresh_registry):
+        _seeded_store(tmp_path / "cache")
+        picked = corrupt_cache_entries(tmp_path / "cache", seed=1,
+                                       fraction=0.25, mode="garbage")
+        assert fresh_registry.snapshot()["counters"][
+            "resilience.faults.cache_corrupted"] == len(picked)
+        with pytest.raises(InvalidParameterError):
+            corrupt_cache_entries(tmp_path / "cache", seed=1, fraction=2.0)
+        with pytest.raises(InvalidParameterError):
+            corrupt_cache_entries(tmp_path / "cache", seed=1, mode="melt")
+
+    def test_empty_store_is_a_no_op(self, tmp_path):
+        assert corrupt_cache_entries(tmp_path, seed=0) == []
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "wrong_type"])
+    def test_each_mode_defeats_json_parsing(self, tmp_path, mode):
+        _seeded_store(tmp_path / "cache")
+        picked = corrupt_cache_entries(tmp_path / "cache", seed=3,
+                                       fraction=0.3, mode=mode)
+        import json
+        for path in picked:
+            try:
+                entry = json.loads(path.read_bytes())
+                float(entry["cost"])
+            except (ValueError, KeyError, TypeError):
+                continue
+            raise AssertionError(f"{mode} left {path} readable")

@@ -1,0 +1,169 @@
+"""Retry/backoff/deadline primitives: deterministic by construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EvaluationTimeoutError,
+    FatalError,
+    InvalidParameterError,
+    RetryExhaustedError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.resilience import Deadline, RetryPolicy, deterministic_unit, retry_call
+
+
+class TestDeterministicUnit:
+    def test_range_and_stability(self):
+        u = deterministic_unit("retry-jitter", 0, 1)
+        assert 0.0 <= u < 1.0
+        assert u == deterministic_unit("retry-jitter", 0, 1)
+
+    def test_distinct_inputs_distinct_values(self):
+        values = {deterministic_unit("j", seed, attempt)
+                  for seed in range(4) for attempt in range(1, 5)}
+        assert len(values) == 16
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        assert [policy.delay(k) for k in (1, 2, 3, 4, 5)] == [
+            0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded_and_reproducible(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25,
+                             seed=7)
+        delays = [policy.delay(k) for k in range(1, 20)]
+        assert delays == [policy.delay(k) for k in range(1, 20)]
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually de-synchronizes
+
+    def test_with_seed_changes_schedule_only(self):
+        policy = RetryPolicy(jitter=0.5)
+        other = policy.with_seed(99)
+        assert other.max_attempts == policy.max_attempts
+        assert other.delay(1) != policy.delay(1)
+
+    def test_retryable_follows_the_taxonomy(self):
+        policy = RetryPolicy()
+        assert policy.retryable(TransientError("x"))
+        assert policy.retryable(WorkerCrashError("x"))
+        assert policy.retryable(EvaluationTimeoutError("x"))
+        assert not policy.retryable(FatalError("x"))
+        assert not policy.retryable(RetryExhaustedError("x"))
+        assert not policy.retryable(ValueError("outside the taxonomy"))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0}, {"base_delay": -1.0}, {"multiplier": 0.5},
+        {"jitter": 1.5}, {"max_delay": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_needs_positive_attempt(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy().delay(0)
+
+
+class TestDeadline:
+    def test_fake_clock(self):
+        now = [100.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        assert deadline.remaining() == 5.0
+        assert not deadline.expired
+        now[0] += 4.0
+        assert deadline.elapsed() == 4.0
+        assert deadline.remaining() == 1.0
+        now[0] += 2.0
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+    def test_unbounded(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Deadline(0.0)
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self, fresh_registry):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("not yet")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        assert retry_call(flaky, policy=policy,
+                          sleep=sleeps.append) == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [0.5, 1.0]  # the deterministic schedule
+        counters = fresh_registry.snapshot()["counters"]
+        assert counters["resilience.retries"] == 2
+        assert counters.get("resilience.giveups", 0) == 0
+
+    def test_exhaustion_raises_fatal_and_chains(self, fresh_registry):
+        def always():
+            raise TransientError("still broken")
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as err:
+            retry_call(always, policy=policy, sleep=lambda s: None,
+                       what="doomed call")
+        assert err.value.attempts == 2
+        assert isinstance(err.value.last_error, TransientError)
+        assert isinstance(err.value, FatalError)  # never retried again
+        assert "doomed call" in str(err.value)
+        assert fresh_registry.snapshot()["counters"][
+            "resilience.giveups"] == 1
+
+    def test_fatal_and_unknown_errors_propagate_immediately(self):
+        def fatal():
+            raise FatalError("no point")
+
+        def unknown():
+            raise ValueError("outside the taxonomy")
+
+        with pytest.raises(FatalError):
+            retry_call(fatal, sleep=lambda s: None)
+        with pytest.raises(ValueError):
+            retry_call(unknown, sleep=lambda s: None)
+
+    def test_deadline_stops_retrying(self):
+        now = [0.0]
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            now[0] += 10.0  # each attempt burns the whole budget
+            raise TransientError("slow failure")
+
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            retry_call(flaky, policy=policy, sleep=lambda s: None,
+                       deadline=deadline)
+        assert calls["n"] == 1  # no second attempt after expiry
+
+    def test_on_retry_hook_observes_the_schedule(self):
+        seen: list[tuple[int, str]] = []
+
+        def flaky():
+            raise TransientError("again")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            retry_call(flaky, policy=policy, sleep=lambda s: None,
+                       on_retry=lambda k, e: seen.append((k, str(e))))
+        assert seen == [(1, "again"), (2, "again")]
