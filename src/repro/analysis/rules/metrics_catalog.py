@@ -18,6 +18,16 @@ longer exist.  This rule extracts:
 Every code literal must appear in the catalog; every catalog name must
 be a code literal or fall under a dynamic prefix.  Metric calls whose
 name cannot be resolved statically (a variable) are ignored.
+
+The rule also anchors the **profiler contract** the same way C2L002
+anchors the cache key: when the tree contains ``obs/profile.py``, its
+``PROFILE_SCHEMA`` string must be a literal documented in the catalog
+file, and ``PROFILE_BUCKETS`` must be a literal
+``{"bucket": ("prefix", ...)}`` dict whose bucket names agree — in
+both directions — with the backticked names in the catalog's
+``## Profile bucket catalog`` section.  A bucket that exists only in
+code is invisible to readers of a profile; one that exists only in the
+docs promises attribution the profiler never produces.
 """
 
 from __future__ import annotations
@@ -28,14 +38,18 @@ from typing import Iterable
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.rules.base import Rule, iter_calls
+from repro.analysis.rules.cache_key import _schema_literal, _top_level_assign
 from repro.analysis.source import Project, SourceFile
 
-__all__ = ["MetricsCatalogRule", "catalog_metric_names"]
+__all__ = ["MetricsCatalogRule", "catalog_metric_names",
+           "catalog_bucket_names"]
 
 _METRIC_METHODS = {"counter", "gauge", "histogram"}
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+_BUCKET_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 _BACKTICK_RE = re.compile(r"`([^`]+)`")
 _SECTION_HEAD = "## Metric catalog"
+_BUCKET_SECTION_HEAD = "## Profile bucket catalog"
 
 
 def _expand_braces(token: str) -> "list[str]":
@@ -67,6 +81,27 @@ def catalog_metric_names(text: str) -> "dict[str, int]":
             for token in _expand_braces(raw.replace("\\", "")):
                 if _NAME_RE.match(token):
                     names.setdefault(token, lineno)
+    return names
+
+
+def catalog_bucket_names(text: str) -> "dict[str, int]":
+    """Bucket name → first line number, from the profile-bucket section.
+
+    Only dot-free lowercase identifiers count as bucket names; dotted
+    tokens in that section are span-name prefixes, not buckets.
+    """
+    names: dict[str, int] = {}
+    in_section = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = line.strip() == _BUCKET_SECTION_HEAD
+            continue
+        if not in_section:
+            continue
+        for raw in _BACKTICK_RE.findall(line):
+            token = raw.replace("\\", "")
+            if _BUCKET_RE.match(token):
+                names.setdefault(token, lineno)
     return names
 
 
@@ -138,3 +173,62 @@ class MetricsCatalogRule(Rule):
                 message=(f"documented metric {name!r} is never published "
                          "by the code; remove the catalog row or restore "
                          "the metric"))
+
+        profile = project.file_ending_with("obs/profile.py")
+        if profile is not None and profile.tree is not None:
+            catalog_text = project.catalog_path.read_text(encoding="utf-8")
+            yield from self._check_profile_anchors(
+                profile, catalog_text, catalog_rel)
+
+    def _check_profile_anchors(self, profile: SourceFile,
+                               catalog_text: str,
+                               catalog_rel: str) -> "Iterable[Diagnostic]":
+        """The profiler's literal anchors vs the documented contract."""
+        assert profile.tree is not None
+        schema = _top_level_assign(profile.tree, "PROFILE_SCHEMA")
+        if not (isinstance(schema, ast.Constant)
+                and isinstance(schema.value, str)):
+            yield self.diag(
+                profile, schema or profile.tree,
+                "PROFILE_SCHEMA must be a literal string: profile "
+                "artifacts from different processes must carry the same "
+                "schema tag")
+        elif f"`{schema.value}`" not in catalog_text:
+            yield self.diag(
+                profile, schema,
+                f"profile schema {schema.value!r} is not documented in "
+                f"{catalog_rel}; add a backticked reference describing "
+                "the artifact layout")
+
+        buckets_node = _top_level_assign(profile.tree, "PROFILE_BUCKETS")
+        if buckets_node is None:
+            yield self.diag(
+                profile, profile.tree,
+                "obs/profile.py must declare a PROFILE_BUCKETS literal "
+                "mapping each attribution bucket to its span-name "
+                "prefixes")
+            return
+        buckets = _schema_literal(buckets_node)
+        if buckets is None:
+            yield self.diag(
+                profile, buckets_node,
+                "PROFILE_BUCKETS must be a literal dict of "
+                '{"bucket": ("span-prefix", ...)} so it can be checked '
+                "statically")
+            return
+        documented = catalog_bucket_names(catalog_text)
+        for name, (_prefixes, value_node) in sorted(buckets.items()):
+            if name not in documented:
+                yield self.diag(
+                    profile, value_node,
+                    f"profile bucket {name!r} is not documented in the "
+                    f"'{_BUCKET_SECTION_HEAD[3:]}' section of "
+                    f"{catalog_rel}")
+        for name, lineno in sorted(documented.items()):
+            if name not in buckets:
+                yield Diagnostic(
+                    path=catalog_rel, line=lineno, col=0, code=self.code,
+                    severity=self.severity,
+                    message=(f"documented profile bucket {name!r} does "
+                             "not exist in PROFILE_BUCKETS; remove the "
+                             "row or restore the bucket"))

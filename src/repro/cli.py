@@ -160,7 +160,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         version=f"%(prog)s {package_version()}")
     parser.add_argument("experiment",
                         help="experiment id, 'list', 'all', "
-                             "'characterize', 'cache', or 'lint'")
+                             "'characterize', 'cache', 'lint', "
+                             "'report', 'diff', or 'tail'")
     parser.add_argument("subcommand", nargs="?", default=None,
                         help="subcommand for 'cache' (stats | clear)")
     parser.add_argument("--out", type=Path, default=None,
@@ -213,6 +214,10 @@ def main(argv: "list[str] | None" = None) -> int:
         # experiment parser can reject them.
         from repro.analysis.cli import main as lint_main
         return lint_main(raw[1:])
+    if raw and raw[0] in ("report", "diff", "tail"):
+        # Run-analysis subcommands likewise own their flags.
+        from repro.obs.report import cli_main as analysis_main
+        return analysis_main(raw)
     args = _build_parser().parse_args(raw)
     reporter = Reporter(quiet=args.quiet)
 

@@ -46,7 +46,7 @@ from repro.errors import (
     ReproError,
     TransientError,
 )
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 from repro.resilience.policy import RetryPolicy, retry_call
 
 __all__ = ["BatchDefaults", "ParallelEvaluator", "chunked",
@@ -134,14 +134,24 @@ def resolve_workers(workers: "int | None") -> int:
     return int(workers)
 
 
-def _evaluate_chunk(evaluator, configs: list[dict]) -> list[float]:
+def _evaluate_chunk(evaluator,
+                    configs: list[dict]) -> "tuple[list[float], float, float]":
     """Worker-side unit of work: scalar-evaluate one chunk, in order.
 
     Module-level so the pool can pickle it; the evaluator rides along in
     the task payload (cheap for the simulator evaluator: a workload
     spec plus a chip dataclass).
+
+    Returns ``(costs, t_start, exec_s)``: ``t_start`` is the worker's
+    ``perf_counter`` reading when it picked the task up and ``exec_s``
+    the pure evaluation time.  On Linux ``perf_counter`` is
+    ``CLOCK_MONOTONIC`` — comparable across processes — which lets the
+    parent split submit-to-result latency into queue-wait, execute and
+    IPC components (clamped to zero where the clocks disagree).
     """
-    return [float(evaluator.evaluate(c)) for c in configs]
+    t_start = time.perf_counter()
+    costs = [float(evaluator.evaluate(c)) for c in configs]
+    return costs, t_start, time.perf_counter() - t_start
 
 
 class ParallelEvaluator:
@@ -263,6 +273,7 @@ class ParallelEvaluator:
         serial in-parent evaluation.
         """
         policy = self.retry_policy
+        tracer = get_tracer()
         n = len(chunks)
         results: "list[list[float] | None]" = [None] * n
         attempts = [0] * n
@@ -271,22 +282,45 @@ class ParallelEvaluator:
         while remaining:
             round_no += 1
             pool = self._ensure_pool()
-            futures = {i: pool.submit(_evaluate_chunk, self.inner, chunks[i])
-                       for i in remaining}
+            # Per-chunk latency decomposition: submit time here, done
+            # time via callback (fires when the result lands, not when
+            # the in-order collection loop gets around to it), worker
+            # start/exec times shipped back in the result tuple.
+            t_submit: "dict[int, float]" = {}
+            t_done: "dict[int, float]" = {}
+            futures = {}
+            for i in remaining:
+                t_submit[i] = time.perf_counter()
+                fut = pool.submit(_evaluate_chunk, self.inner, chunks[i])
+                fut.add_done_callback(
+                    lambda _f, i=i: t_done.setdefault(
+                        i, time.perf_counter()))
+                futures[i] = fut
             failed: list[int] = []
             need_rebuild = False
             for i in remaining:
                 try:
-                    results[i] = futures[i].result(timeout=self.chunk_timeout)
+                    costs, t_start, exec_s = futures[i].result(
+                        timeout=self.chunk_timeout)
+                    results[i] = costs
+                    self._record_chunk_timing(
+                        i, len(chunks[i]), t_submit[i], t_done.get(i),
+                        t_start, exec_s)
                 except FuturesTimeoutError:
                     self._ctr_timeouts.inc()
+                    tracer.event("resilience.chunk_lost", chunk=i,
+                                 reason="timeout")
                     failed.append(i)
                     need_rebuild = True
                 except BrokenExecutor:
                     self._ctr_crashes.inc()
+                    tracer.event("resilience.chunk_lost", chunk=i,
+                                 reason="crash")
                     failed.append(i)
                     need_rebuild = True
                 except TransientError:
+                    tracer.event("resilience.chunk_lost", chunk=i,
+                                 reason="transient")
                     failed.append(i)
                 except FatalError:
                     raise
@@ -306,13 +340,43 @@ class ParallelEvaluator:
                 # Pool attempts exhausted: the chunk is excluded from the
                 # pool and evaluated in-parent (graceful degradation).
                 self._ctr_serial.inc()
+                tracer.event("resilience.serial_fallback", chunk=i,
+                             attempts=attempts[i])
                 results[i] = list(
                     self._serial_batch(chunks[i],
                                        what=f"serial fallback chunk {i}"))
             remaining = retry_now
             if remaining:
-                self._sleep(policy.delay(round_no))
+                with tracer.span("resilience.backoff", round=round_no,
+                                 chunks=len(remaining)):
+                    self._sleep(policy.delay(round_no))
         return [part for part in results if part is not None]
+
+    def _record_chunk_timing(self, chunk: int, size: int, t_submit: float,
+                             t_done: "float | None", t_start: float,
+                             exec_s: float) -> None:
+        """Attribute one completed chunk's latency to three spans.
+
+        ``dse.chunk.queue_wait`` (submit to worker pick-up),
+        ``dse.chunk.execute`` (worker-side evaluation) and
+        ``dse.chunk.ipc`` (the remainder of submit-to-result: task and
+        result pickling plus result-queue transit).  All three are
+        parented under the live ``dse.batch`` span; no-ops while
+        tracing is disabled.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        queue_wait = max(0.0, t_start - t_submit)
+        exec_s = max(0.0, exec_s)
+        tracer.record_span("dse.chunk.queue_wait", queue_wait,
+                           chunk=chunk, size=size)
+        tracer.record_span("dse.chunk.execute", exec_s,
+                           chunk=chunk, size=size)
+        if t_done is not None:
+            ipc = max(0.0, (t_done - t_submit) - queue_wait - exec_s)
+            tracer.record_span("dse.chunk.ipc", ipc,
+                               chunk=chunk, size=size)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

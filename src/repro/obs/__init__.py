@@ -13,7 +13,12 @@ event schema):
 - :mod:`repro.obs.manifest` — per-run provenance records (config, seed,
   git SHA, wall time, final metrics);
 - :mod:`repro.obs.export` — metrics snapshots, timing summaries and the
-  CLI's structured reporter.
+  CLI's structured reporter;
+- :mod:`repro.obs.stream` — bounded-memory trace tailing and pub/sub
+  aggregation (the live-progress primitive);
+- :mod:`repro.obs.profile` — wall-clock attribution into
+  ``c2bound.profile/1`` buckets;
+- :mod:`repro.obs.report` — ``c2bound report`` / ``diff`` / ``tail``.
 """
 
 from repro.obs.events import (
@@ -32,6 +37,13 @@ from repro.obs.manifest import (
     package_version,
     stable_view,
 )
+from repro.obs.profile import (
+    PROFILE_BUCKETS,
+    PROFILE_SCHEMA,
+    build_profile,
+    profile_trace,
+    write_profile,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -48,6 +60,13 @@ from repro.obs.span import (
     get_tracer,
     span,
     trace_event,
+)
+from repro.obs.stream import (
+    EventBus,
+    MetricFold,
+    ProgressAggregator,
+    SpanRollup,
+    TraceReader,
 )
 
 __all__ = [
@@ -83,4 +102,16 @@ __all__ = [
     "Reporter",
     "write_metrics",
     "timing_table",
+    # stream
+    "TraceReader",
+    "EventBus",
+    "SpanRollup",
+    "MetricFold",
+    "ProgressAggregator",
+    # profile
+    "PROFILE_SCHEMA",
+    "PROFILE_BUCKETS",
+    "build_profile",
+    "profile_trace",
+    "write_profile",
 ]

@@ -134,6 +134,38 @@ class Tracer:
                 "attrs": span.attrs,
             })
 
+    # ----- externally timed spans -----------------------------------------
+    def record_span(self, name: str, dur_s: float,
+                    **attrs: object) -> None:
+        """Record a span whose duration was measured elsewhere.
+
+        For regions the tracer cannot wrap in a context manager — e.g.
+        a pool worker's execution time (measured worker-side, where the
+        tracer is disabled) or a queue-wait interval derived from two
+        clock reads.  The span is parented to the innermost live span,
+        aggregated, and mirrored to the sink exactly like a context
+        managed one; its ``ts`` is back-dated by ``dur_s`` so timeline
+        renderings place it where the work happened.  No-op while
+        disabled, same as :meth:`span`.
+        """
+        if not self.enabled:
+            return
+        span_id = self._next_id
+        self._next_id += 1
+        agg = self.aggregates.setdefault(name, [0, 0.0])
+        agg[0] += 1
+        agg[1] += dur_s
+        if self.sink is not None:
+            self.sink.write({
+                "type": "span",
+                "name": name,
+                "id": span_id,
+                "parent": self._stack[-1] if self._stack else None,
+                "ts": time.time() - dur_s,
+                "dur_s": dur_s,
+                "attrs": attrs,
+            })
+
     # ----- point events ---------------------------------------------------
     def event(self, name: str, **attrs: object) -> None:
         """Emit an instantaneous event inside the current span."""

@@ -38,7 +38,7 @@ from repro.errors import (
     RetryExhaustedError,
     TransientError,
 )
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["RetryPolicy", "Deadline", "retry_call", "deterministic_unit"]
 
@@ -229,7 +229,9 @@ def retry_call(fn: "Callable[[], _T]", *,
         retries.inc()
         if on_retry is not None:
             on_retry(attempt, last_error)
-        sleep(policy.delay(attempt))
+        with get_tracer().span("resilience.backoff", attempt=attempt,
+                               what=what):
+            sleep(policy.delay(attempt))
     giveups.inc()
     raise RetryExhaustedError(
         f"{what} failed after {policy.max_attempts} attempt(s): "

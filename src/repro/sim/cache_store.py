@@ -45,7 +45,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["SIM_MODEL_VERSION", "FINGERPRINT_SCHEMA", "SimCacheStore",
            "sim_cache_key", "fingerprint", "cached_simulate_chip_cost",
@@ -260,28 +260,34 @@ class SimCacheStore:
         """
         mem = self._mem
         if key in mem:
+            # Memory hits skip the span on purpose: they are not I/O,
+            # and a span per hot-path hit would swamp the trace.
             mem.move_to_end(key)
             self.hits += 1
             self._ctr_hits.inc()
             return mem[key]
         path = self.path_for(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            # Missing (or unreadable) file: a plain miss.
-            self.misses += 1
-            self._ctr_misses.inc()
-            return None
-        try:
-            entry = json.loads(data)
-            cost = float(entry["cost"])
-        except (KeyError, TypeError, ValueError):
-            self.corrupt += 1
-            self._ctr_corrupt.inc()
-            self._quarantine(path)
-            self.misses += 1
-            self._ctr_misses.inc()
-            return None
+        with get_tracer().span("sim.cache.lookup") as span:
+            try:
+                data = path.read_bytes()
+            except OSError:
+                # Missing (or unreadable) file: a plain miss.
+                span.set_attr(outcome="miss")
+                self.misses += 1
+                self._ctr_misses.inc()
+                return None
+            try:
+                entry = json.loads(data)
+                cost = float(entry["cost"])
+            except (KeyError, TypeError, ValueError):
+                span.set_attr(outcome="corrupt")
+                self.corrupt += 1
+                self._ctr_corrupt.inc()
+                self._quarantine(path)
+                self.misses += 1
+                self._ctr_misses.inc()
+                return None
+            span.set_attr(outcome="hit")
         self._remember(key, cost)
         self.hits += 1
         self._ctr_hits.inc()
@@ -291,21 +297,23 @@ class SimCacheStore:
         """Persist a cost (atomic write; concurrent writers are safe)."""
         cost = float(cost)
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"cost": repr(cost), "model_version": SIM_MODEL_VERSION}
-        entry.update(provenance)
-        payload = json.dumps(entry, sort_keys=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
+        with get_tracer().span("sim.cache.store"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {"cost": repr(cost),
+                     "model_version": SIM_MODEL_VERSION}
+            entry.update(provenance)
+            payload = json.dumps(entry, sort_keys=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self._remember(key, cost)
         self._ctr_stores.inc()
 

@@ -102,3 +102,113 @@ def test_metric_keyword_literal_is_checked(lint_tree):
 def test_no_catalog_no_findings(lint_tree):
     result = lint_tree({"obs/code.py": CODE_OK}, rules=["C2L003"])
     assert codes(result) == []
+
+
+# ---------------------------------------------------------------------------
+# Profiler anchors: PROFILE_SCHEMA / PROFILE_BUCKETS vs the bucket catalog
+
+
+BUCKET_CATALOG = CATALOG + """
+The profile artifact is tagged `c2bound.profile/1`.
+
+## Profile bucket catalog
+
+| Bucket | Span names |
+| --- | --- |
+| `simulation` | `sim.run` |
+| `framework` | catch-all |
+"""
+
+PROFILE_OK = '''\
+PROFILE_SCHEMA = "c2bound.profile/1"
+PROFILE_BUCKETS = {
+    "simulation": ("sim.run",),
+    "framework": (),
+}
+'''
+
+
+def test_catalog_bucket_names_scope_and_shape():
+    from repro.analysis.rules.metrics_catalog import catalog_bucket_names
+    names = catalog_bucket_names(BUCKET_CATALOG)
+    assert set(names) == {"simulation", "framework"}
+    # Dotted tokens in the section are span prefixes, not buckets;
+    # metric-catalog names are out of section entirely.
+    assert "sim.run" not in names
+    assert "dse.evaluations" not in names
+
+
+def test_matching_profile_anchors_are_clean(lint_tree):
+    result = lint_tree(
+        {"obs/code.py": CODE_OK,
+         "obs/profile.py": PROFILE_OK,
+         "docs/OBSERVABILITY.md": BUCKET_CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert codes(result) == []
+
+
+def test_undocumented_schema_flagged(lint_tree):
+    catalog = BUCKET_CATALOG.replace("`c2bound.profile/1`", "(no tag)")
+    result = lint_tree(
+        {"obs/code.py": CODE_OK,
+         "obs/profile.py": PROFILE_OK,
+         "docs/OBSERVABILITY.md": catalog},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert codes(result) == ["C2L003"]
+    assert "c2bound.profile/1" in messages(result)
+
+
+def test_non_literal_schema_flagged(lint_tree):
+    code = PROFILE_OK.replace(
+        'PROFILE_SCHEMA = "c2bound.profile/1"',
+        'PROFILE_SCHEMA = "c2bound.profile/" + "1"')
+    result = lint_tree(
+        {"obs/code.py": CODE_OK,
+         "obs/profile.py": code,
+         "docs/OBSERVABILITY.md": BUCKET_CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert "literal string" in messages(result)
+
+
+def test_undocumented_bucket_flagged(lint_tree):
+    code = PROFILE_OK.replace(
+        '"framework": (),',
+        '"framework": (),\n    "mystery": ("x.",),')
+    result = lint_tree(
+        {"obs/code.py": CODE_OK,
+         "obs/profile.py": code,
+         "docs/OBSERVABILITY.md": BUCKET_CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert "mystery" in messages(result)
+    assert result.diagnostics[0].path.endswith("profile.py")
+
+
+def test_phantom_documented_bucket_flagged(lint_tree):
+    catalog = BUCKET_CATALOG + "| `phantom` | vanished |\n"
+    result = lint_tree(
+        {"obs/code.py": CODE_OK,
+         "obs/profile.py": PROFILE_OK,
+         "docs/OBSERVABILITY.md": catalog},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert "phantom" in messages(result)
+    assert result.diagnostics[0].path.endswith("OBSERVABILITY.md")
+
+
+def test_missing_buckets_literal_flagged(lint_tree):
+    result = lint_tree(
+        {"obs/code.py": CODE_OK,
+         "obs/profile.py": 'PROFILE_SCHEMA = "c2bound.profile/1"\n',
+         "docs/OBSERVABILITY.md": BUCKET_CATALOG},
+        rules=["C2L003"], catalog="docs/OBSERVABILITY.md")
+    assert "PROFILE_BUCKETS" in messages(result)
+
+
+def test_real_tree_profile_anchors_are_clean(lint_tree, repo_root):
+    # The shipped profile module against the shipped catalog.
+    from repro.analysis import lint_paths
+    src = repo_root / "src"
+    result = lint_paths([src / "repro" / "obs" / "profile.py"],
+                        rules=["C2L003"], root=repo_root,
+                        catalog=repo_root / "docs" / "OBSERVABILITY.md")
+    assert [d for d in result.diagnostics
+            if "bucket" in d.message or "profile" in d.message] == []

@@ -1,0 +1,151 @@
+"""Wall-clock attribution profiler: buckets, coverage, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    PROFILE_BUCKETS,
+    PROFILE_SCHEMA,
+    bucket_for,
+    build_profile,
+    format_profile,
+    profile_trace,
+    render_flame,
+    write_profile,
+)
+from repro.obs.stream import SpanRollup
+
+
+def _span(name, sid, parent, ts, dur, **attrs):
+    return {"type": "span", "name": name, "id": sid, "parent": parent,
+            "ts": ts, "dur_s": dur, "attrs": attrs}
+
+
+def _rollup(events):
+    rollup = SpanRollup()
+    for event in events:
+        rollup.handle(event)
+    return rollup
+
+
+class TestBucketFor:
+    @pytest.mark.parametrize("name,bucket", [
+        ("sim.run", "simulation"),
+        ("dse.chunk.execute", "simulation"),
+        ("dse.batch", "simulation"),
+        ("sim.cache.lookup", "cache_io"),
+        ("sim.cache.store", "cache_io"),
+        ("dse.chunk.ipc", "ipc"),
+        ("dse.chunk.queue_wait", "queue_wait"),
+        ("resilience.backoff", "retry_backoff"),
+        ("dse.ann.round", "search"),
+        ("dse.aps.analytic", "search"),
+        ("dse.ga.search", "search"),
+        ("dse.rsm.search", "search"),
+        ("dse.brute.sweep", "search"),
+        ("experiment.fig12", "framework"),
+        ("sim.runner", "framework"),   # exact match, not a prefix
+    ])
+    def test_known_names(self, name, bucket):
+        assert bucket_for(name) == bucket
+
+    def test_every_bucket_reachable_or_catchall(self):
+        assert set(PROFILE_BUCKETS) == {
+            "simulation", "cache_io", "ipc", "queue_wait",
+            "retry_backoff", "search", "framework"}
+        assert PROFILE_BUCKETS["framework"] == ()
+
+
+class TestBuildProfile:
+    def test_buckets_sum_to_attributed_and_coverage(self):
+        # root experiment(10) holds sim.run(6) and sim.cache.lookup(1).
+        rollup = _rollup([
+            _span("sim.run", 2, 1, 1.0, 6.0),
+            _span("sim.cache.lookup", 3, 1, 7.0, 1.0),
+            _span("experiment.fig12", 1, None, 0.0, 10.0),
+        ])
+        profile = build_profile(rollup, trace="t.jsonl")
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["trace"] == "t.jsonl"
+        bucket_s = {b: slot["seconds"]
+                    for b, slot in profile["buckets"].items()}
+        assert bucket_s["simulation"] == pytest.approx(6.0)
+        assert bucket_s["cache_io"] == pytest.approx(1.0)
+        assert bucket_s["framework"] == pytest.approx(3.0)
+        assert sum(bucket_s.values()) == pytest.approx(
+            profile["attributed_s"])
+        # Self-time attribution: attributed == root duration == window.
+        assert profile["attributed_s"] == pytest.approx(10.0)
+        assert profile["coverage"] == pytest.approx(1.0)
+        assert profile["untraced_s"] == pytest.approx(0.0)
+        shares = [slot["share"] for slot in profile["buckets"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_gap_in_instrumentation_lowers_coverage(self):
+        # Two roots 4s apart with 1s of work each: half the window
+        # is unexplained.
+        rollup = _rollup([
+            _span("experiment.a", 1, None, 0.0, 1.0),
+            _span("experiment.b", 2, None, 3.0, 1.0),
+        ])
+        profile = build_profile(rollup)
+        assert profile["window_s"] == pytest.approx(4.0)
+        assert profile["coverage"] == pytest.approx(0.5)
+        assert profile["untraced_s"] == pytest.approx(2.0)
+
+    def test_empty_rollup(self):
+        profile = build_profile(SpanRollup())
+        assert profile["coverage"] == 0.0
+        assert profile["attributed_s"] == 0.0
+
+    def test_roundtrip_via_trace_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"type": "run", "schema": "c2bound.trace/1", "name": "t",
+             "ts": 0.0, "attrs": {}},
+            _span("sim.run", 2, 1, 0.0, 2.0),
+            _span("experiment.x", 1, None, 0.0, 2.0),
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        profile, rollup = profile_trace(path)
+        assert profile["spans_seen"] == 2
+        assert profile["buckets"]["simulation"]["seconds"] == (
+            pytest.approx(2.0))
+        out = write_profile(profile, tmp_path / "sub" / "profile.json")
+        again = json.loads(out.read_text())
+        assert again["schema"] == PROFILE_SCHEMA
+        assert again["buckets"]["simulation"]["seconds"] == (
+            pytest.approx(2.0))
+        # The rollup comes back usable for flame rendering.
+        assert "experiment.x" in render_flame(rollup)
+
+
+class TestRendering:
+    def test_format_profile_shows_nonempty_buckets(self):
+        rollup = _rollup([
+            _span("sim.run", 2, 1, 0.0, 3.0),
+            _span("experiment.x", 1, None, 0.0, 4.0),
+        ])
+        text = format_profile(build_profile(rollup))
+        assert "simulation" in text and "framework" in text
+        assert "queue_wait" not in text    # empty buckets are elided
+        assert "coverage" in text
+
+    def test_render_flame_tree_shape(self):
+        rollup = _rollup([
+            _span("sim.run", 2, 1, 0.0, 3.0),
+            _span("sim.run", 3, 1, 3.0, 1.0),
+            _span("experiment.x", 1, None, 0.0, 5.0),
+        ])
+        flame = render_flame(rollup)
+        lines = flame.splitlines()
+        assert lines[0].startswith("[")
+        assert "experiment.x" in lines[0]
+        assert lines[1].startswith("  [")      # child indented
+        assert "sim.run" in lines[1] and "×2" in lines[1]
+
+    def test_render_flame_empty(self):
+        assert render_flame(SpanRollup()) == "(no spans)"
