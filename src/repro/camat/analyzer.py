@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.camat.amat import AMATParameters
 from repro.camat.camat import CAMATParameters, concurrency_ratio
-from repro.camat.phases import hit_activity_timeline, miss_activity_timeline
 from repro.camat.trace import AccessTrace
 
 __all__ = ["TraceStatistics", "TraceAnalyzer"]
@@ -137,39 +136,77 @@ class TraceAnalyzer:
     """Compute :class:`TraceStatistics` from an :class:`AccessTrace`.
 
     The analyzer is stateless; :meth:`analyze` may be called on any number
-    of traces.  Runtime is O(accesses + span-cycles) using difference-array
-    interval counting.
+    of traces.  Runtime is O(accesses log accesses), independent of the
+    cycle span: concurrency is constant between consecutive interval
+    endpoints, so the per-cycle timeline of
+    :mod:`repro.camat.phases` is collapsed into an event sweep over the
+    sorted endpoint set, with each segment weighted by its length.  The
+    two routes count the same integer cycles and agree exactly (the
+    phase-based cross-checks in the test suite pin this).
     """
 
     def analyze(self, trace: AccessTrace) -> TraceStatistics:
         """Analyze one trace."""
-        origin, hit_counts = hit_activity_timeline(trace)
-        _, miss_counts = miss_activity_timeline(trace)
-        pure_cycle_mask = (hit_counts == 0) & (miss_counts > 0)
-
-        # Per-access pure-miss cycle counts, via a prefix sum over the
-        # pure-cycle indicator so each access's window is O(1).
-        pure_prefix = np.concatenate(
-            ([0], np.cumsum(pure_cycle_mask.astype(np.int64))))
+        starts = trace.starts
+        hit_ends = trace.hit_ends
         miss_mask = trace.miss_penalties > 0
-        lo = trace.hit_ends - origin
-        hi = trace.miss_ends - origin
-        per_access_pure = np.where(
-            miss_mask, pure_prefix[hi] - pure_prefix[lo], 0)
+        miss_lo = hit_ends[miss_mask]
+        miss_hi = trace.miss_ends[miss_mask]
 
-        pure_miss_mask = per_access_pure > 0
-        memory_active = int(np.count_nonzero(
-            (hit_counts > 0) | (miss_counts > 0)))
+        # Breakpoints: every cycle where any concurrency level can
+        # change.  Segment k spans [bp[k], bp[k+1]) at constant hit and
+        # miss concurrency.
+        # Sorted unique endpoints via an argsort + dedupe mask:
+        # identical to np.unique, but sidesteps its hash-table path,
+        # which measures an order of magnitude slower on these arrays.
+        # The sort permutation doubles as the position index — every
+        # endpoint's breakpoint rank falls out of the inverse
+        # permutation, so no binary searches are needed at all.
+        n = starts.size
+        endpoints = np.concatenate((starts, hit_ends, miss_hi))
+        perm = np.argsort(endpoints, kind="stable")
+        ordered = endpoints[perm]
+        changed = ordered[1:] != ordered[:-1]
+        rank = np.empty(ordered.size, dtype=np.int64)
+        rank[0] = 0
+        np.cumsum(changed, out=rank[1:])
+        pos = np.empty(ordered.size, dtype=np.int64)
+        pos[perm] = rank
+        bp = ordered[np.concatenate(([True], changed))]
+        m = bp.size
+        seg_len = np.diff(bp)
+        # The concatenation order slices the position array: starts,
+        # then hit ends, then miss ends.  Miss windows start where hit
+        # windows end, so their lower positions are a mask of the
+        # hit-end positions.
+        pos_starts = pos[:n]
+        pos_hit_ends = pos[n:2 * n]
+        pos_miss_lo = pos_hit_ends[miss_mask]
+        pos_miss_hi = pos[2 * n:]
+        hit_delta = (np.bincount(pos_starts, minlength=m)
+                     - np.bincount(pos_hit_ends, minlength=m))
+        miss_delta = (np.bincount(pos_miss_lo, minlength=m)
+                      - np.bincount(pos_miss_hi, minlength=m))
+        hit_on = np.cumsum(hit_delta)[:-1] > 0
+        miss_on = np.cumsum(miss_delta)[:-1] > 0
+        pure_on = ~hit_on & miss_on
+
+        # Per-access pure-miss cycle counts via a prefix sum of
+        # pure-segment lengths; each miss window's endpoints are
+        # breakpoints, so its pure-cycle count is one subtraction.
+        pure_prefix = np.concatenate(
+            ([0], np.cumsum(np.where(pure_on, seg_len, 0))))
+        per_miss_pure = pure_prefix[pos_miss_hi] - pure_prefix[pos_miss_lo]
 
         return TraceStatistics(
             accesses=len(trace),
             misses=int(np.count_nonzero(miss_mask)),
-            pure_misses=int(np.count_nonzero(pure_miss_mask)),
+            pure_misses=int(np.count_nonzero(per_miss_pure > 0)),
             total_hit_access_cycles=int(trace.hit_lengths.sum()),
             total_miss_penalty_cycles=int(trace.miss_penalties.sum()),
-            total_pure_miss_access_cycles=int(per_access_pure.sum()),
-            hit_active_wall_cycles=int(np.count_nonzero(hit_counts > 0)),
-            pure_miss_wall_cycles=int(np.count_nonzero(pure_cycle_mask)),
-            memory_active_wall_cycles=memory_active,
+            total_pure_miss_access_cycles=int(per_miss_pure.sum()),
+            hit_active_wall_cycles=int(seg_len[hit_on].sum()),
+            pure_miss_wall_cycles=int(seg_len[pure_on].sum()),
+            memory_active_wall_cycles=int(seg_len[hit_on | miss_on].sum()),
             span_cycles=trace.span,
         )

@@ -10,6 +10,7 @@ validation experiments (Figs. 12-13).
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass
 
@@ -23,6 +24,8 @@ from repro.obs import get_registry, get_tracer
 from repro.sim.config import SimulatedChip
 from repro.sim.core import CoreModel, CoreResult
 from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.kernel import (KernelStats, kernel_eligible, kernel_enabled,
+                              run_epoch_kernel)
 
 __all__ = ["CMPSimulator", "SimulationResult", "simulate_chip_cost"]
 
@@ -135,33 +138,67 @@ class SimulationResult:
         if cached is not None:
             return cached
         analyzer = TraceAnalyzer()
-        l1_acc = 0
-        l1_active = 0
-        for core_id in range(len(self.cores)):
-            stats = self.core_stats(core_id)
-            l1_acc += stats.accesses
-            l1_active += stats.memory_active_wall_cycles
-        def layer(trace: "AccessTrace | None") -> APCMeasurement:
-            if trace is None:
-                return APCMeasurement(accesses=0, active_cycles=0)
-            stats = analyzer.analyze(trace)
-            return APCMeasurement(accesses=stats.accesses,
-                                  active_cycles=stats.memory_active_wall_cycles)
-        result = LayerAPC(
-            l1=APCMeasurement(accesses=l1_acc, active_cycles=l1_active),
-            llc=layer(self.l2_trace),
-            dram=layer(self.dram_trace),
-        )
+        # Same collector pause as CMPSimulator.run: the analyzer sweep
+        # allocates only arrays that stay live until the measurement is
+        # assembled, so mid-analysis passes free nothing.
+        enabled = gc.isenabled()
+        if enabled:
+            gc.disable()
+        try:
+            l1_acc = 0
+            l1_active = 0
+            for core_id in range(len(self.cores)):
+                stats = self.core_stats(core_id)
+                l1_acc += stats.accesses
+                l1_active += stats.memory_active_wall_cycles
+            def layer(trace: "AccessTrace | None") -> APCMeasurement:
+                if trace is None:
+                    return APCMeasurement(accesses=0, active_cycles=0)
+                stats = analyzer.analyze(trace)
+                return APCMeasurement(
+                    accesses=stats.accesses,
+                    active_cycles=stats.memory_active_wall_cycles)
+            result = LayerAPC(
+                l1=APCMeasurement(accesses=l1_acc, active_cycles=l1_active),
+                llc=layer(self.l2_trace),
+                dram=layer(self.dram_trace),
+            )
+        finally:
+            if enabled:
+                gc.enable()
         object.__setattr__(self, "_layer_apc_cache", result)
         return result
 
 
 class CMPSimulator:
-    """Run per-core instruction streams through a shared hierarchy."""
+    """Run per-core instruction streams through a shared hierarchy.
 
-    def __init__(self, chip: SimulatedChip, *, coherent: bool = True) -> None:
+    Parameters
+    ----------
+    chip:
+        The configuration to simulate.
+    coherent:
+        Whether the per-core L1s join the MSI-lite directory.
+    use_kernel:
+        Force the batched epoch kernel (:mod:`repro.sim.kernel`) on or
+        off; ``None`` (default) follows the ambient
+        :func:`repro.sim.kernel.kernel_enabled` toggle.  Results are
+        bit-identical either way (pinned by the golden differential
+        tests); the flag therefore never enters ``SimCacheStore``
+        fingerprints.  Ineligible configurations (SMT, prefetch) run
+        the scalar loop regardless and count a
+        ``sim.kernel.bypass_runs``.
+    """
+
+    def __init__(self, chip: SimulatedChip, *, coherent: bool = True,
+                 use_kernel: "bool | None" = None) -> None:
         self.chip = chip
         self.coherent = coherent
+        self.use_kernel = use_kernel
+        # Flat per-layer counters of the most recent run() — the same
+        # dict the metrics publication uses, minus the kernel.* keys
+        # (so it digests identically with the kernel on or off).
+        self.last_layer_stats: dict = {}
 
     def run(self, streams: "list[tuple]") -> SimulationResult:
         """Simulate the chip on per-core streams.
@@ -174,7 +211,23 @@ class CMPSimulator:
         core.  With ``coherent=True`` (default) the per-core L1s
         participate in the MSI-lite directory at the shared L2 (the
         paper's "coherent ... L2 cache" variant).
+
+        The collector is paused for the whole run (and restored on
+        return, even on error): a simulation allocates hundreds of
+        thousands of small record tuples that all stay reachable until
+        the result is built, so generational passes mid-run are pure
+        overhead — they scan the entire live heap and free nothing.
         """
+        enabled = gc.isenabled()
+        if enabled:
+            gc.disable()
+        try:
+            return self._run(streams)
+        finally:
+            if enabled:
+                gc.enable()
+
+    def _run(self, streams: "list[tuple]") -> SimulationResult:
         smt = self.chip.core.smt_threads
         expected = self.chip.n_cores * smt
         if len(streams) != expected:
@@ -197,23 +250,32 @@ class CMPSimulator:
             ]
         if self.coherent:
             hierarchy.register_l1s([core.l1 for core in cores])
+        requested = (self.use_kernel if self.use_kernel is not None
+                     else kernel_enabled())
+        kernel_stats: "KernelStats | None" = None
+        bypassed = False
         with get_tracer().span("sim.run", cores=self.chip.n_cores,
                                smt=smt, coherent=self.coherent):
-            heap: list[tuple[int, int]] = []
-            for core in cores:
-                if not core.done:
-                    heapq.heappush(heap,
-                                   (core.peek_issue_time(), core.core_id))
-            heappush = heapq.heappush
-            heappop = heapq.heappop
-            while heap:
-                _, cid = heappop(heap)
-                nxt = cores[cid].advance(hierarchy)
-                if nxt is not None:
-                    heappush(heap, (nxt, cid))
+            if requested and kernel_eligible(self.chip):
+                kernel_stats = run_epoch_kernel(cores, hierarchy)
+            else:
+                bypassed = requested
+                heap: list[tuple[int, int]] = []
+                for core in cores:
+                    if not core.done:
+                        heapq.heappush(
+                            heap, (core.peek_issue_time(), core.core_id))
+                heappush = heapq.heappush
+                heappop = heapq.heappop
+                while heap:
+                    _, cid = heappop(heap)
+                    nxt = cores[cid].advance(hierarchy)
+                    if nxt is not None:
+                        heappush(heap, (nxt, cid))
         results = tuple(core.result() for core in cores)
         exec_cycles = max((r.finish_cycle for r in results), default=0)
-        self._publish_metrics(cores, results, hierarchy, exec_cycles)
+        self.last_layer_stats = self._publish_metrics(
+            cores, results, hierarchy, exec_cycles, kernel_stats, bypassed)
         return SimulationResult(
             chip=self.chip,
             cores=results,
@@ -227,10 +289,14 @@ class CMPSimulator:
         )
 
     @staticmethod
-    def _publish_metrics(cores, results, hierarchy, exec_cycles) -> None:
+    def _publish_metrics(cores, results, hierarchy, exec_cycles,
+                         kernel_stats: "KernelStats | None",
+                         bypassed: bool) -> dict:
         """Publish this run's per-layer counters under the ``sim.``
         namespace (cumulative over a process; one batch per run, so the
-        cost is independent of the instruction count)."""
+        cost is independent of the instruction count).  Returns the
+        layer-counter dict *without* the ``kernel.*`` keys — the
+        kernel-invariant view the golden digests pin."""
         registry = get_registry()
         stats: dict[str, float] = {
             "runs": 1,
@@ -248,6 +314,12 @@ class CMPSimulator:
                 key = f"l1.mshr_{name}"
                 stats[key] = stats.get(key, 0) + value
         stats.update(hierarchy.stats())
+        layer_stats = dict(stats)
+        if kernel_stats is not None:
+            stats.update(kernel_stats.as_dict())
+        if bypassed:
+            stats["kernel.bypass_runs"] = 1
         for name, value in stats.items():
             if value:
                 registry.counter(f"sim.{name}").inc(value)
+        return layer_stats

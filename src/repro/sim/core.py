@@ -24,6 +24,7 @@ per-access object is ever built.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass
 
@@ -156,8 +157,9 @@ class CoreModel:
         self.instr_index = (np.cumsum(gaps)
                             + np.arange(addresses.size, dtype=np.int64))
         # Hot-loop views: plain lists index ~10x faster than ndarrays.
-        self._addr_list: list[int] = addresses.tolist()
-        self._write_list: list[bool] = writes.tolist()
+        # The address/write columns are built lazily (__getattr__): only
+        # the scalar path reads them, so a kernel run that never falls
+        # back skips boxing them entirely.
         self._instr_list: list[int] = self.instr_index.tolist()
         # Bandwidth-limited issue cycle of each op, divided out once.
         self._base_issue: list[int] = (
@@ -167,10 +169,14 @@ class CoreModel:
         self._bank_free = (shared_banks if shared_banks is not None
                            else [0] * l1_config.banks)
         self._outstanding: deque[tuple[int, int]] = deque()  # (instr idx, done)
-        # Preallocated record columns — one slot per memory op.
-        self._rec_start = np.empty(self._n_ops, dtype=np.int64)
-        self._rec_hit = np.empty(self._n_ops, dtype=np.int64)
-        self._rec_penalty = np.empty(self._n_ops, dtype=np.int64)
+        # Preallocated record slots — one ``(start, hit, penalty)``
+        # tuple per memory op.  A single tuple store per access is
+        # cheaper than three column stores or NumPy element assignment;
+        # both the scalar path and the epoch kernel
+        # (:mod:`repro.sim.kernel`) write the same list in place, and
+        # :meth:`result` turns it into int64 columns once.
+        self._records: "list[tuple[int, int, int]]" = (
+            [(0, 0, 0)] * self._n_ops)
         self._last_done = 0
         # Committed-done watermark: the max completion time among entries
         # retired for the *current* op (reset per op), so peek/step never
@@ -189,6 +195,20 @@ class CoreModel:
         self._prefetched_lines: set[int] = set()
         self.prefetches_issued = 0
         self.prefetches_useful = 0
+
+    def __getattr__(self, name: str):
+        # Lazily boxed scalar-path columns: only ``advance`` reads
+        # them, so a kernel run with no fallbacks never pays the
+        # NumPy-to-list conversion.  Cached on first access.
+        if name == "_addr_list":
+            value: list = self.addresses.tolist()
+        elif name == "_write_list":
+            value = self.writes.tolist()
+        else:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}")
+        self.__dict__[name] = value
+        return value
 
     # ----- event-loop interface -------------------------------------------
     @property
@@ -327,9 +347,7 @@ class CoreModel:
                                               write=is_write)
                 mshr.allocate(line, done, alloc)
         penalty = done - issue - hit_lat
-        self._rec_start[j] = issue
-        self._rec_hit[j] = hit_lat
-        self._rec_penalty[j] = penalty if penalty > 0 else 0
+        self._records[j] = (issue, hit_lat, penalty if penalty > 0 else 0)
         outstanding.append((idx, done))
         if done > self._last_done:
             self._last_done = done
@@ -381,15 +399,19 @@ class CoreModel:
             finish_cycle=max(self._last_done, bw_finish),
             l1_hits=self.l1.hits,
             l1_misses=self.l1.misses,
-            records=tuple(zip(self._rec_start.tolist(),
-                              self._rec_hit.tolist(),
-                              self._rec_penalty.tolist())),
+            records=tuple(self._records),
             prefetches_issued=self.prefetches_issued,
             prefetches_useful=self.prefetches_useful,
         )
         if self._n_ops:
-            # Seed the memoized trace straight from the record columns,
+            # Seed the memoized trace straight from the record tuples,
             # skipping the records->array round trip in trace().
+            # fromiter over a chained flat stream converts n small
+            # tuples several times faster than asarray's
+            # sequence-of-sequences path.
+            columns = np.fromiter(
+                itertools.chain.from_iterable(self._records),
+                dtype=np.int64, count=3 * self._n_ops).reshape(-1, 3)
             object.__setattr__(result, "_trace", AccessTrace.from_arrays(
-                self._rec_start, self._rec_hit, self._rec_penalty))
+                columns[:, 0], columns[:, 1], columns[:, 2]))
         return result

@@ -12,6 +12,8 @@ standard :class:`repro.camat.TraceAnalyzer`.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.camat.trace import AccessTrace
@@ -203,7 +205,10 @@ class MemoryHierarchy:
             return None
         if self._l2_trace_cache is None or len(
                 self._l2_trace_cache) != len(self._l2_records):
-            columns = np.asarray(self._l2_records, dtype=np.int64)
+            columns = np.fromiter(
+                itertools.chain.from_iterable(self._l2_records),
+                dtype=np.int64,
+                count=3 * len(self._l2_records)).reshape(-1, 3)
             self._l2_trace_cache = AccessTrace.from_arrays(
                 columns[:, 0], columns[:, 1], columns[:, 2])
         return self._l2_trace_cache
@@ -217,7 +222,10 @@ class MemoryHierarchy:
             return None
         if self._dram_trace_cache is None or len(
                 self._dram_trace_cache) != len(self._dram_records):
-            columns = np.asarray(self._dram_records, dtype=np.int64)
+            columns = np.fromiter(
+                itertools.chain.from_iterable(self._dram_records),
+                dtype=np.int64,
+                count=2 * len(self._dram_records)).reshape(-1, 2)
             self._dram_trace_cache = AccessTrace.from_arrays(
                 columns[:, 0], np.maximum(columns[:, 1], 1),
                 np.zeros(len(columns), dtype=np.int64))

@@ -1,0 +1,943 @@
+"""Batched structure-of-arrays epoch kernel for the CMP event loop.
+
+The scalar event loop (:meth:`repro.sim.cmp.CMPSimulator.run` driving
+:meth:`repro.sim.core.CoreModel.advance`) pays Python dispatch per
+memory operation: a heap pop, a bound method call, a dozen attribute
+loads, and per-access address arithmetic.  This kernel removes all of
+it while reproducing the scalar semantics *bit for bit* (pinned by
+``tests/sim/test_differential_golden.py`` and the hypothesis
+differential suite ``tests/sim/test_kernel_differential.py``):
+
+- **Structure-of-arrays epoch prep** — every address decomposition the
+  event loop would compute one op at a time is lifted into NumPy int64
+  column arithmetic, once per core, then materialized as per-op rows: a
+  *hot* row ``(write, l1_line, l1_set, l1_tag, l1_bank)`` consulted on
+  every access, and a *cold* row ``(l2_line, home_slice, l2_set,
+  l2_tag, l2_bank, noc_out, noc_back, dram_bank, dram_row)`` consulted
+  only on L1 misses.  One list index + sequence unpack replaces five to
+  nine scalar column loads.
+- **Epoch batching** — after popping a core from the ready heap, the
+  kernel keeps advancing that core while its next op's issue bound
+  provably precedes every other core's next bound (strict
+  ``(bound, core_id)`` tuple order, exactly the scalar heap's
+  comparison).  Each such maximal run is one *epoch*: per-core state is
+  one flat list unpacked into locals in a single bytecode, and the heap
+  is touched once per epoch instead of once per op.  The popped bound
+  is *carried* into the op as its issue floor — it equals
+  ``CoreModel.peek_issue_time()`` by construction, and the ROB
+  watermark pops it folded in have already happened, so the scalar
+  re-derivation (barrier max, deque drain) is skipped entirely.
+- **Pointer-based ROB window** — the scalar path's ``_outstanding``
+  deque of ``(instr, done)`` pairs is replaced by a single integer
+  pointer ``p`` over the precomputed instruction-index column and a
+  flat per-op ``dones`` column: the in-order-commit watermark pops
+  become two list indexes, and the per-op append disappears.  The live
+  deque is materialized from the ``[p, j)`` window only at fallback
+  seams and on return, so the scalar path always sees its exact state.
+- **Monolithic inlining** — the L1 lookup, MSHR probe/retire/allocate,
+  MSI-lite directory bookkeeping, L2 slice lookup, DRAM bank/row-buffer
+  timing and NoC latency table are inlined into one loop body
+  operating on the *live containers* of the scalar models (tag rows,
+  LRU rows, MSHR dict+heap, DRAM bank lists, the sharers directory).
+  There is no shadow state: the kernel and the scalar path read and
+  write the same objects, so control can move between them at any op
+  boundary.  Writes are inlined too — the dirty bit, secondary-merge
+  ``set_dirty`` and the contention-free ownership grab (no other
+  sharer) are all plain dict/list operations.
+
+Fallback contract
+-----------------
+Rare structural events leave the fast path and execute through the
+unmodified scalar :meth:`CoreModel.advance`:
+
+- multi-sharer coherence transitions — a write to a line another core
+  shares (upgrade-with-invalidations on a hit, invalidate-on-miss),
+  where remote L1 tag stores and NoC round trips get involved;
+- prefetch-enabled and SMT configurations (whole-run bypass — the
+  kernel never engages; see :func:`kernel_eligible`).
+
+MSHR-full stalls (the structural ``_issue_barrier`` pipeline block) are
+*not* fallbacks: saturated workloads hit them on a large fraction of
+ops, so the kernel reproduces the scalar stall inline — the
+``stall_events`` count, the stale-pair heap walk and the barrier
+update, exactly as :meth:`MSHRFile.earliest_free_time` would.
+
+The fallback decision is taken *before the op's first irreversible
+mutation*: the only state touched by then is the ROB commit watermark
+and lazy MSHR retirement, both of which are idempotent under re-entry
+(the watermark resumes, retirement is monotonic), so the scalar path
+re-executes the op from an equivalent state.  Around each fallback the
+kernel flushes its scalar locals into the model objects and reloads
+them after — the containers themselves are always shared.  Per-op
+fallbacks are counted and published as ``sim.kernel.fallbacks``;
+whole-run bypasses as ``sim.kernel.bypass_runs``; fast-path ops and
+epochs as ``sim.kernel.ops`` / ``sim.kernel.epochs``.
+
+Toggling
+--------
+The kernel is on by default for eligible runs.  Set the environment
+variable :data:`ENV_KERNEL` (``C2BOUND_SIM_KERNEL``) to ``0``/``off``/
+``false``/``no`` — or pass ``CMPSimulator(chip, use_kernel=False)`` —
+to force the scalar path; results are identical either way, which the
+CI ``kernel-equivalence`` job asserts on a fixed seed matrix.  Because
+results never differ, the toggle does not enter ``SimCacheStore``
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sim.core import CoreModel
+    from repro.sim.hierarchy import MemoryHierarchy
+
+__all__ = ["ENV_KERNEL", "KernelStats", "kernel_enabled", "kernel_eligible",
+           "run_epoch_kernel"]
+
+ENV_KERNEL = "C2BOUND_SIM_KERNEL"
+
+_OFF_VALUES = {"0", "off", "false", "no"}
+
+
+def kernel_enabled() -> bool:
+    """Ambient kernel toggle (:data:`ENV_KERNEL`, default on)."""
+    return os.environ.get(ENV_KERNEL, "1").strip().lower() not in _OFF_VALUES
+
+
+def kernel_eligible(chip) -> bool:
+    """Whether a chip configuration can run through the epoch kernel.
+
+    SMT interleaving (shared L1/MSHR/bank state between thread
+    contexts) and prefetch-triggered fills are structural per-op events
+    by construction, so those configurations bypass the kernel
+    wholesale (counted as ``sim.kernel.bypass_runs``).
+    """
+    return chip.core.smt_threads == 1 and chip.l1.prefetch == "none"
+
+
+class KernelStats:
+    """Telemetry of one kernel run (plain counters)."""
+
+    __slots__ = ("ops", "fallbacks", "epochs")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.fallbacks = 0
+        self.epochs = 0
+
+    def as_dict(self) -> "dict[str, int]":
+        """Flat ``kernel.*`` metric suffixes for publication."""
+        return {"kernel.ops": self.ops, "kernel.fallbacks": self.fallbacks,
+                "kernel.epochs": self.epochs}
+
+
+# Per-core kernel state is one flat list (not an object): an epoch
+# binds all of it into locals with a single UNPACK_SEQUENCE, an order
+# of magnitude cheaper than ~30 slotted attribute loads at the observed
+# handful of ops per epoch.  Layout — indexes 0..20 are fixed for the
+# whole run (SoA rows, live container aliases, geometry), the tail
+# S[_MUT:] holds the mutable scalar snapshot written back at epoch end:
+#
+#   0 hot    per-op [write, l1_line, l1_set, l1_tag, l1_bank]
+#   1 cold   per-op [l2_line, home, l2_set, l2_tag, l2_bank,
+#                    noc_out, noc_back, dram_bank, dram_row]
+#            (kept as an int64 ndarray; rows are boxed lazily on the
+#            primary-miss path, which is the only consumer)
+#   2 instr        instruction index column (core._instr_list)
+#   3 base_issue   bandwidth-limited issue column (core._base_issue)
+#   4 pmax         ROB pop boundary column: the commit pointer after
+#                  op j's watermark drain is exactly
+#                  min(j, bisect_right(instr, instr[j] - rob_size)),
+#                  a pure function of the static columns — precomputed
+#                  so the per-op drain is a pointer compare
+#   5 dones        per-op completion cycles (kernel-maintained)
+#   6 bank_free  7 tags1  8 lru1  9 dirty1  10 pending  11 pending.get
+#   12 heap1  13 records          (live CoreModel containers)
+#   14 n_ops  15 hit_lat  16 sets1  17 mshr_capacity  18 line_bytes
+#   19 l1 object  20 core object
+#   -- mutable tail (_MUT = 21) --
+#   21 j  22 barrier  23 retire_max  24 last_done  25 tick1  26 hits1
+#   27 misses1  28 prim1  29 sec1  30 stall1  31 p
+#
+# ``last_done`` is carried but not maintained per op: the running max
+# of completion times is recovered at flush seams as
+# max(slot, max(dones[:j])) — the slot covers scalar-executed ops whose
+# deque pairs were already committed, ``dones`` covers every
+# kernel-executed op — so the per-op compare disappears from the loop.
+# ``l1.writebacks`` is deliberately NOT mirrored: a coherence
+# invalidation triggered by *another* core's write fallback bumps it on
+# the live object between this core's epochs, so the kernel always
+# increments it in place.  ``_retire_op`` needs no slot either — it is
+# ``j`` by construction at every seam (each op is peeked exactly once
+# before it is processed).
+_MUT = 21
+
+
+def _core_state(core: "CoreModel", hierarchy: "MemoryHierarchy",
+                noc_lat: "np.ndarray") -> list:
+    """Build one core's kernel state list (SoA columns + aliases)."""
+    chip = hierarchy.chip
+    addr = core.addresses
+    n = chip.n_cores
+    cid = core.core_id
+    l1cfg = core.l1.config
+    sets1 = core.l1.num_sets
+    line1 = addr // l1cfg.line_bytes
+    hotm = np.empty((addr.size, 5), dtype=np.int64)
+    hotm[:, 0] = core.writes
+    hotm[:, 1] = line1
+    hotm[:, 2] = line1 % sets1
+    hotm[:, 3] = line1 // sets1
+    hotm[:, 4] = line1 % l1cfg.banks
+    l2cfg = chip.l2_slice
+    dramcfg = chip.dram
+    sets2 = hierarchy.slices[0].num_sets
+    line2 = addr // l2cfg.line_bytes
+    home = line2 % n
+    coldm = np.empty((addr.size, 9), dtype=np.int64)
+    coldm[:, 0] = line2
+    coldm[:, 1] = home
+    coldm[:, 2] = line2 % sets2
+    coldm[:, 3] = line2 // sets2
+    coldm[:, 4] = line2 % l2cfg.banks
+    coldm[:, 5] = noc_lat[cid * n + home]
+    coldm[:, 6] = noc_lat[home * n + cid]
+    coldm[:, 7] = (addr // dramcfg.row_bytes) % dramcfg.banks
+    coldm[:, 8] = addr // (dramcfg.row_bytes * dramcfg.banks)
+    # The hot matrix is materialized to nested lists (every row is
+    # consumed exactly once, so eager boxing is strictly cheaper);
+    # the cold matrix stays an ndarray and rows are boxed lazily on
+    # the primary-miss path — only ~1/3 of ops ever read one.
+    instr_idx = core.instr_index
+    pmax = np.minimum(
+        np.searchsorted(instr_idx, instr_idx - core._rob_size,
+                        side="right"),
+        np.arange(core._n_ops, dtype=np.int64))
+    state = [
+        hotm.tolist(), coldm,
+        core._instr_list, core._base_issue,
+        pmax.tolist(),
+        [0] * core._n_ops,
+        core._bank_free, core.l1._tags, core.l1._lru, core.l1._dirty,
+        core.mshr._pending, core.mshr._pending.get, core.mshr._heap,
+        core._records, core._n_ops, core._hit_latency, sets1,
+        core.mshr.capacity, core._line_bytes, core.l1, core,
+    ]
+    state.extend(0 for _ in range(11))
+    _reload_core(state)
+    return state
+
+
+def _reload_core(state: list) -> None:
+    """Sync the mutable tail (and the dones window) from the live core.
+
+    Called after any scalar execution (initial peeks, fallback
+    ``advance``): the ROB pointer is re-derived from the deque length —
+    the deque always holds exactly the ops ``[p, core._next)`` — and
+    the completion column is refreshed from the deque pairs (covering
+    the op the scalar path just processed).
+    """
+    core = state[20]
+    out = core._outstanding
+    p = core._next - len(out)
+    dones = state[5]
+    for off, pair in enumerate(out):
+        dones[p + off] = pair[1]
+    l1 = core.l1
+    mshr = core.mshr
+    state[_MUT:] = (core._next, core._issue_barrier, core._retire_max,
+                    core._last_done, l1._tick, l1.hits, l1.misses,
+                    mshr.primary_misses, mshr.secondary_merges,
+                    mshr.stall_events, p)
+
+
+def _flush_core(state: list) -> None:
+    """Push the mutable tail back into the live core objects.
+
+    Materializes the ``_outstanding`` deque from the ``[p, j)`` window
+    so the scalar path (a fallback ``advance``, or anything after the
+    kernel returns) sees exactly the state its own loop would have
+    left.
+    """
+    core = state[20]
+    (j, barrier, retire_max, last_done, tick1, hits1, misses1,
+     prim1, sec1, stall1, p) = state[_MUT:]
+    core._next = j
+    core._issue_barrier = barrier
+    n_ops = state[14]
+    core._retire_op = j if j < n_ops else n_ops - 1
+    core._retire_max = retire_max
+    if j:
+        done_max = max(state[5][:j])
+        if done_max > last_done:
+            last_done = done_max
+    core._last_done = last_done
+    l1 = core.l1
+    l1._tick = tick1
+    l1.hits = hits1
+    l1.misses = misses1
+    mshr = core.mshr
+    mshr.primary_misses = prim1
+    mshr.secondary_merges = sec1
+    mshr.stall_events = stall1
+    out = core._outstanding
+    out.clear()
+    out.extend(zip(state[2][p:j], state[5][p:j]))
+
+
+class _HierState:
+    """Mirror of the hierarchy's scalar counters (kernel-local view).
+
+    Containers (tag rows, MSHR dict+heap, DRAM bank lists, record
+    lists, the sharers directory) are aliased, never copied; only flat
+    counters are mirrored, and :meth:`flush`/:meth:`reload` carry them
+    across the fallback seam.  ``invalidations``/``upgrades`` are
+    deliberately not mirrored — only scalar fallbacks touch them,
+    always on the live object.
+    """
+
+    __slots__ = (
+        "hierarchy", "n_cores", "hl2", "sets2", "cap2",
+        "tags2", "lru2", "dirty2", "tick2", "hits2", "misses2", "wb2",
+        "pend2", "heap2", "prim2", "sec2", "stall2",
+        "bank_free2", "l2_records", "dram_records", "sharers", "coherent",
+        "l2_accesses", "l2_hits", "traversals",
+        "dram_open", "dram_free", "row_hit_c", "row_miss_c", "row_conf_c",
+        "bus_c", "row_bytes", "dram_banks", "line_bytes2",
+        "dreq", "drh", "drm", "drc", "dbusy", "dwait", "dlast",
+        "dram_writes",
+    )
+
+    def __init__(self, hierarchy: "MemoryHierarchy") -> None:
+        self.hierarchy = hierarchy
+        chip = hierarchy.chip
+        self.n_cores = chip.n_cores
+        self.hl2 = chip.l2_slice.hit_latency
+        self.sets2 = hierarchy.slices[0].num_sets
+        self.cap2 = chip.l2_slice.mshr_entries
+        self.line_bytes2 = hierarchy._line_bytes
+        self.tags2 = [s._tags for s in hierarchy.slices]
+        self.lru2 = [s._lru for s in hierarchy.slices]
+        self.dirty2 = [s._dirty for s in hierarchy.slices]
+        self.pend2 = [m._pending for m in hierarchy.slice_mshrs]
+        self.heap2 = [m._heap for m in hierarchy.slice_mshrs]
+        self.bank_free2 = hierarchy._bank_free
+        self.l2_records = hierarchy._l2_records
+        self.dram_records = hierarchy._dram_records
+        self.sharers = hierarchy._sharers
+        self.coherent = hierarchy._l1_caches is not None
+        dram = hierarchy.dram
+        self.dram_open = dram._open_row
+        self.dram_free = dram._bank_free
+        cfg = dram.config
+        self.row_hit_c = cfg.row_hit
+        self.row_miss_c = cfg.row_miss
+        self.row_conf_c = cfg.row_conflict
+        self.bus_c = cfg.bus_cycles
+        self.row_bytes = cfg.row_bytes
+        self.dram_banks = cfg.banks
+        self.reload()
+
+    def reload(self) -> None:
+        """Pull the counter mirror from the live objects."""
+        h = self.hierarchy
+        self.tick2 = [s._tick for s in h.slices]
+        self.hits2 = [s.hits for s in h.slices]
+        self.misses2 = [s.misses for s in h.slices]
+        self.wb2 = [s.writebacks for s in h.slices]
+        self.prim2 = [m.primary_misses for m in h.slice_mshrs]
+        self.sec2 = [m.secondary_merges for m in h.slice_mshrs]
+        self.stall2 = [m.stall_events for m in h.slice_mshrs]
+        self.l2_accesses = h.l2_accesses
+        self.l2_hits = h.l2_hits
+        self.traversals = h.noc.traversals
+        dram = h.dram
+        self.dreq = dram.requests
+        self.drh = dram.row_hits
+        self.drm = dram.row_misses
+        self.drc = dram.row_conflicts
+        self.dbusy = dram.busy_cycles
+        self.dwait = dram.queue_wait_cycles
+        self.dlast = dram._last_end
+        self.dram_writes = h.dram_writes
+
+    def flush(self) -> None:
+        """Push the counter mirror back into the live objects."""
+        h = self.hierarchy
+        for i, s in enumerate(h.slices):
+            s._tick = self.tick2[i]
+            s.hits = self.hits2[i]
+            s.misses = self.misses2[i]
+            s.writebacks = self.wb2[i]
+        for i, m in enumerate(h.slice_mshrs):
+            m.primary_misses = self.prim2[i]
+            m.secondary_merges = self.sec2[i]
+            m.stall_events = self.stall2[i]
+        h.l2_accesses = self.l2_accesses
+        h.l2_hits = self.l2_hits
+        h.noc.traversals = self.traversals
+        dram = h.dram
+        dram.requests = self.dreq
+        dram.row_hits = self.drh
+        dram.row_misses = self.drm
+        dram.row_conflicts = self.drc
+        dram.busy_cycles = self.dbusy
+        dram.queue_wait_cycles = self.dwait
+        dram._last_end = self.dlast
+        h.dram_writes = self.dram_writes
+
+
+def run_epoch_kernel(cores: "list[CoreModel]",
+                     hierarchy: "MemoryHierarchy") -> KernelStats:
+    """Drain all cores through the epoch kernel (in-place).
+
+    Equivalent — observable-state bit-identical — to the scalar loop::
+
+        while heap:
+            _, cid = heappop(heap)
+            nxt = cores[cid].advance(hierarchy)
+            if nxt is not None:
+                heappush(heap, (nxt, cid))
+
+    On return every core is drained (``core.done``) and every model
+    object holds exactly the state the scalar loop would have left.
+
+    GC is paused for the drain: the kernel allocates only records and
+    heap tuples that stay reachable, so collector passes over the
+    per-op container churn are pure overhead.  The previous collector
+    state is restored even on error.
+    """
+    enabled = gc.isenabled()
+    if enabled:
+        gc.disable()
+    try:
+        return _run_epoch_kernel(cores, hierarchy)
+    finally:
+        if enabled:
+            gc.enable()
+
+
+def _run_epoch_kernel(cores: "list[CoreModel]",
+                      hierarchy: "MemoryHierarchy") -> KernelStats:
+    stats = KernelStats()
+    hpush = heappush
+    hpop = heappop
+    noc_lat = np.asarray(hierarchy.noc._lat, dtype=np.int64)
+    states = [_core_state(core, hierarchy, noc_lat) for core in cores]
+    hs = _HierState(hierarchy)
+
+    heap: "list[tuple[int, int]]" = []
+    for core in cores:
+        if not core.done:
+            hpush(heap, (core.peek_issue_time(), core.core_id))
+        # peek mutates the ROB watermark: refresh the snapshot.
+        _reload_core(states[core.core_id])
+
+    inf = float("inf")
+    # Hierarchy-level locals hoisted out of the epoch loop.  Counters
+    # (trav/l2acc/.../dwr) are rebound across every fallback seam;
+    # container aliases never need rebinding.
+    hl2 = hs.hl2
+    sets2 = hs.sets2
+    cap2 = hs.cap2
+    lb2 = hs.line_bytes2
+    tags2 = hs.tags2
+    lru2 = hs.lru2
+    dirty2 = hs.dirty2
+    tick2 = hs.tick2
+    hits2 = hs.hits2
+    misses2 = hs.misses2
+    wb2 = hs.wb2
+    pend2 = hs.pend2
+    heap2 = hs.heap2
+    prim2 = hs.prim2
+    stall2 = hs.stall2
+    bank_free2 = hs.bank_free2
+    l2rec_append = hs.l2_records.append
+    dramrec_append = hs.dram_records.append
+    sharers = hs.sharers
+    sharers_get = sharers.get
+    sharers_pop = sharers.pop
+    coherent = hs.coherent
+    n2 = hs.n_cores
+    l2b = hierarchy._l2_banks
+    noc_flat = hierarchy._noc_lat
+    dram_open = hs.dram_open
+    dram_free = hs.dram_free
+    row_hit_c = hs.row_hit_c
+    row_miss_c = hs.row_miss_c
+    row_conf_c = hs.row_conf_c
+    bus_c = hs.bus_c
+    dram_row_bytes = hs.row_bytes
+    dram_banks = hs.dram_banks
+    trav = hs.traversals
+    l2acc = hs.l2_accesses
+    l2h = hs.l2_hits
+    dreq = hs.dreq
+    drh = hs.drh
+    drm = hs.drm
+    drc = hs.drc
+    dbusy = hs.dbusy
+    dwait = hs.dwait
+    dlast = hs.dlast
+    dwr = hs.dram_writes
+    fallbacks = 0
+    epochs = 0
+
+    while heap:
+        t, cid = hpop(heap)
+        if heap:
+            top_t, top_c = heap[0]
+        else:
+            top_t, top_c = inf, -1
+        epochs += 1
+        S = states[cid]
+        (hot, cold, instr, base_issue, pmax, dones, bank_free, tags1,
+         lru1, dirty1, pending, pending_get, heap1, records, n_ops,
+         hit_lat, sets1, capacity1, lb1, l1_obj, core_obj,
+         j, barrier, retire_max, last_done, tick1, hits1, misses1,
+         prim1, sec1, stall1, p) = S
+        nf1 = heap1[0][0] if heap1 else inf
+
+        while True:
+            # ===== one memory op (scalar CoreModel.step, inlined) =====
+            # ``t`` carries this op's issue bound — the scalar heap key
+            # — so the ROB/barrier front-end (already folded into it by
+            # the previous peek) is not re-derived.  Only the L1 bank
+            # port can push the issue cycle later.
+            w, line, s1, tg, b1 = hot[j]
+            issue = t
+            bfb = bank_free[b1]
+            if bfb > issue:
+                issue = bfb
+            # Lazy MSHR retirement at the issue cycle (idempotent).
+            if nf1 <= issue:
+                while heap1 and heap1[0][0] <= issue:
+                    fill_t, ln = hpop(heap1)
+                    if pending_get(ln) == fill_t:
+                        del pending[ln]
+                nf1 = heap1[0][0] if heap1 else inf
+            fill = pending_get(line)
+            if fill is not None:
+                # ----- secondary miss: ride the in-flight fill -------
+                bank_free[b1] = issue + 1
+                misses1 += 1
+                sec1 += 1
+                if w:
+                    # set_dirty on the (possibly evicted) filled line.
+                    row = tags1[s1]
+                    if tg in row:
+                        dirty1[s1][row.index(tg)] = True
+                floor = issue + hit_lat
+                done = fill if fill >= floor else floor
+                pen = done - floor
+                records[j] = (issue, hit_lat, pen if pen > 0 else 0)
+            else:
+                fb = False
+                row = tags1[s1]
+                if tg in row:
+                    # ----- L1 hit ------------------------------------
+                    if w and coherent:
+                        ln2 = int(cold[j, 0])
+                        s = sharers_get(ln2)
+                        if s is not None and (cid not in s or len(s) > 1):
+                            # Upgrade with remote invalidations:
+                            # structural -> scalar fallback.
+                            fb = True
+                    if not fb:
+                        bank_free[b1] = issue + 1
+                        tick1 += 1
+                        way = row.index(tg)
+                        lru1[s1][way] = tick1
+                        hits1 += 1
+                        if w:
+                            dirty1[s1][way] = True
+                            if coherent:
+                                # Contention-free ownership grab
+                                # (hierarchy.upgrade, zero extra).
+                                sharers[ln2] = {cid}
+                        done = issue + hit_lat
+                        records[j] = (issue, hit_lat, 0)
+                else:
+                    # ----- primary miss ------------------------------
+                    (ln2, home, s2, tg2, b2, nout, nback, db,
+                     dr) = cold[j].tolist()
+                    if w and coherent:
+                        s = sharers_get(ln2)
+                        if s is not None and (cid not in s or len(s) > 1):
+                            # Write miss must invalidate remote
+                            # sharers: structural -> fallback.
+                            fb = True
+                    if not fb:
+                        bank_free[b1] = issue + 1
+                        tick1 += 1
+                        misses1 += 1
+                        lru_row = lru1[s1]
+                        victim = lru_row.index(min(lru_row))
+                        dirty_row = dirty1[s1]
+                        vt = row[victim]
+                        if dirty_row[victim] and vt >= 0:
+                            # Dirty victim drains through the hierarchy
+                            # (rare: only write workloads mint dirty
+                            # lines).  Live-object counter — see the
+                            # state-layout note.
+                            l1_obj.writebacks += 1
+                            wb_line = vt * sets1 + s1
+                        else:
+                            wb_line = -1
+                        row[victim] = tg
+                        lru_row[victim] = tick1
+                        dirty_row[victim] = w
+                        if wb_line >= 0:
+                            # hierarchy.writeback, inlined: NoC hop,
+                            # L2 bank queue, write-allocate fill at the
+                            # home slice (no l2_accesses count), dirty
+                            # L2 victim draining to DRAM, directory
+                            # entry dropped.
+                            wline = (wb_line * lb1) // lb2
+                            whome = wline % n2
+                            trav += 1
+                            warr = issue + noc_flat[cid * n2 + whome]
+                            wbf = bank_free2[whome]
+                            wbank = wline % l2b
+                            wfree = wbf[wbank]
+                            wstart = warr if warr >= wfree else wfree
+                            wbf[wbank] = wstart + 1
+                            wt = tick2[whome] + 1
+                            tick2[whome] = wt
+                            ws2 = wline % sets2
+                            wtg = wline // sets2
+                            wrow = tags2[whome][ws2]
+                            if wtg in wrow:
+                                wway = wrow.index(wtg)
+                                lru2[whome][ws2][wway] = wt
+                                dirty2[whome][ws2][wway] = True
+                                hits2[whome] += 1
+                            else:
+                                misses2[whome] += 1
+                                wlr = lru2[whome][ws2]
+                                wv = wlr.index(min(wlr))
+                                wdr = dirty2[whome][ws2]
+                                wvt = wrow[wv]
+                                if wdr[wv] and wvt >= 0:
+                                    wb2[whome] += 1
+                                    va = (wvt * sets2 + ws2) * lb2
+                                    vb = ((va // dram_row_bytes)
+                                          % dram_banks)
+                                    vr = va // (dram_row_bytes
+                                                * dram_banks)
+                                    dvf = dram_free[vb]
+                                    ds = (wstart if wstart >= dvf
+                                          else dvf)
+                                    dwait += ds - wstart
+                                    orow = dram_open[vb]
+                                    if orow == vr:
+                                        lat = row_hit_c
+                                        drh += 1
+                                    elif orow < 0:
+                                        lat = row_miss_c
+                                        drm += 1
+                                    else:
+                                        lat = row_conf_c
+                                        drc += 1
+                                    df = ds + lat + bus_c
+                                    dram_open[vb] = vr
+                                    dram_free[vb] = float(df)
+                                    dreq += 1
+                                    dbusy += df - ds
+                                    if df > dlast:
+                                        dlast = df
+                                    dwr += 1
+                                wrow[wv] = wtg
+                                wlr[wv] = wt
+                                wdr[wv] = True
+                            sharers_pop(wline, None)
+                        base = issue + hit_lat
+                        if len(pending) < capacity1:
+                            alloc = base
+                        else:
+                            # MSHR-full structural stall, inline:
+                            # earliest_free_time's stall count, stale-
+                            # pair walk and the issue-barrier update.
+                            stall1 += 1
+                            while heap1:
+                                fill_t, ln = heap1[0]
+                                if pending_get(ln) == fill_t:
+                                    break
+                                hpop(heap1)
+                            else:
+                                raise InvalidParameterError(
+                                    "MSHR bookkeeping corrupt: full "
+                                    "file with an empty heap")
+                            nf1 = fill_t
+                            alloc = base if base >= fill_t else fill_t
+                            if alloc > base and alloc > barrier:
+                                barrier = alloc
+                        # ----- hierarchy.service_miss, inlined -------
+                        trav += 1
+                        arrive = alloc + nout
+                        if coherent:
+                            if w:
+                                # _invalidate_sharers with no remote
+                                # sharer: claim ownership, zero extra.
+                                sharers[ln2] = {cid}
+                            else:
+                                s = sharers_get(ln2)
+                                if s is None:
+                                    sharers[ln2] = {cid}
+                                else:
+                                    s.add(cid)
+                        bf2 = bank_free2[home]
+                        b2f = bf2[b2]
+                        start = arrive if arrive >= b2f else b2f
+                        bf2[b2] = start + 1
+                        l2acc += 1
+                        m2p = pend2[home]
+                        m2h = heap2[home]
+                        if m2h and m2h[0][0] <= start:
+                            while m2h and m2h[0][0] <= start:
+                                fill_t, ln = hpop(m2h)
+                                if m2p.get(ln) == fill_t:
+                                    del m2p[ln]
+                        fill2 = m2p.get(ln2)
+                        if fill2 is not None:
+                            # Secondary miss at L2: ride the fill.
+                            done2 = fill2
+                            pen2 = done2 - start - hl2
+                            l2rec_append(
+                                (start, hl2, pen2 if pen2 > 0 else 0))
+                        else:
+                            t2 = tick2[home] + 1
+                            tick2[home] = t2
+                            row2 = tags2[home][s2]
+                            if tg2 in row2:
+                                lru2[home][s2][row2.index(tg2)] = t2
+                                hits2[home] += 1
+                                l2h += 1
+                                done2 = start + hl2
+                                l2rec_append((start, hl2, 0))
+                            else:
+                                misses2[home] += 1
+                                lr2 = lru2[home][s2]
+                                v2 = lr2.index(min(lr2))
+                                d2row = dirty2[home][s2]
+                                vt2 = row2[v2]
+                                if d2row[v2] and vt2 >= 0:
+                                    wb2[home] += 1
+                                    # Dirty L2 victim drains to DRAM.
+                                    va = (vt2 * sets2 + s2) * lb2
+                                    vb = ((va // dram_row_bytes)
+                                          % dram_banks)
+                                    vr = va // (dram_row_bytes
+                                                * dram_banks)
+                                    dvf = dram_free[vb]
+                                    ds = start if start >= dvf else dvf
+                                    dwait += ds - start
+                                    orow = dram_open[vb]
+                                    if orow == vr:
+                                        lat = row_hit_c
+                                        drh += 1
+                                    elif orow < 0:
+                                        lat = row_miss_c
+                                        drm += 1
+                                    else:
+                                        lat = row_conf_c
+                                        drc += 1
+                                    df = ds + lat + bus_c
+                                    dram_open[vb] = vr
+                                    dram_free[vb] = float(df)
+                                    dreq += 1
+                                    dbusy += df - ds
+                                    if df > dlast:
+                                        dlast = df
+                                    dwr += 1
+                                row2[v2] = tg2
+                                lr2[v2] = t2
+                                d2row[v2] = False
+                                base2 = start + hl2
+                                if len(m2p) < cap2:
+                                    alloc2 = base2
+                                else:
+                                    # L2 MSHR full: allocation stalls
+                                    # until the earliest live fill
+                                    # (MSHRFile.earliest_free_time).
+                                    stall2[home] += 1
+                                    while m2h:
+                                        fill_t, ln = m2h[0]
+                                        if m2p.get(ln) == fill_t:
+                                            break
+                                        hpop(m2h)
+                                    else:
+                                        raise InvalidParameterError(
+                                            "MSHR bookkeeping corrupt: "
+                                            "full file with an empty "
+                                            "heap")
+                                    alloc2 = (base2 if base2 >= fill_t
+                                              else fill_t)
+                                # ----- demand DRAM access ------------
+                                dbf = dram_free[db]
+                                ds = alloc2 if alloc2 >= dbf else dbf
+                                dwait += ds - alloc2
+                                orow = dram_open[db]
+                                if orow == dr:
+                                    lat = row_hit_c
+                                    drh += 1
+                                elif orow < 0:
+                                    lat = row_miss_c
+                                    drm += 1
+                                else:
+                                    lat = row_conf_c
+                                    drc += 1
+                                df = ds + lat + bus_c
+                                dram_open[db] = dr
+                                dram_free[db] = float(df)
+                                dreq += 1
+                                dbusy += df - ds
+                                if df > dlast:
+                                    dlast = df
+                                dram_done = int(df)
+                                dramrec_append(
+                                    (alloc2, dram_done - alloc2))
+                                if m2h and m2h[0][0] <= alloc2:
+                                    while m2h and m2h[0][0] <= alloc2:
+                                        fill_t, ln = hpop(m2h)
+                                        if m2p.get(ln) == fill_t:
+                                            del m2p[ln]
+                                m2p[ln2] = dram_done
+                                hpush(m2h, (dram_done, ln2))
+                                prim2[home] += 1
+                                done2 = dram_done
+                                l2rec_append(
+                                    (start, hl2, done2 - start - hl2))
+                        trav += 1
+                        done = done2 + nback
+                        # ----- L1 MSHR allocate (retire, insert) -----
+                        if nf1 <= alloc:
+                            while heap1 and heap1[0][0] <= alloc:
+                                fill_t, ln = hpop(heap1)
+                                if pending_get(ln) == fill_t:
+                                    del pending[ln]
+                            nf1 = heap1[0][0] if heap1 else inf
+                        pending[line] = done
+                        hpush(heap1, (done, line))
+                        if done < nf1:
+                            nf1 = done
+                        prim1 += 1
+                        pen = done - issue - hit_lat
+                        records[j] = (issue, hit_lat,
+                                      pen if pen > 0 else 0)
+                if fb:
+                    # ===== structural event: scalar fallback =========
+                    # Nothing irreversible has happened for op ``j``
+                    # (ROB watermark and MSHR retirement are
+                    # idempotent), so CoreModel.advance re-executes it
+                    # exactly.  Flush both mirrors, call, reload.
+                    S[_MUT:] = (j, barrier, retire_max, last_done,
+                                tick1, hits1, misses1, prim1, sec1,
+                                stall1, p)
+                    _flush_core(S)
+                    hs.traversals = trav
+                    hs.l2_accesses = l2acc
+                    hs.l2_hits = l2h
+                    hs.dreq = dreq
+                    hs.drh = drh
+                    hs.drm = drm
+                    hs.drc = drc
+                    hs.dbusy = dbusy
+                    hs.dwait = dwait
+                    hs.dlast = dlast
+                    hs.dram_writes = dwr
+                    hs.flush()
+                    nxt = core_obj.advance(hierarchy)
+                    fallbacks += 1
+                    _reload_core(S)
+                    hs.reload()
+                    (j, barrier, retire_max, last_done, tick1, hits1,
+                     misses1, prim1, sec1, stall1, p) = S[_MUT:]
+                    tick2 = hs.tick2
+                    hits2 = hs.hits2
+                    misses2 = hs.misses2
+                    wb2 = hs.wb2
+                    prim2 = hs.prim2
+                    stall2 = hs.stall2
+                    trav = hs.traversals
+                    l2acc = hs.l2_accesses
+                    l2h = hs.l2_hits
+                    dreq = hs.dreq
+                    drh = hs.drh
+                    drm = hs.drm
+                    drc = hs.drc
+                    dbusy = hs.dbusy
+                    dwait = hs.dwait
+                    dlast = hs.dlast
+                    dwr = hs.dram_writes
+                    nf1 = heap1[0][0] if heap1 else inf
+                    if nxt is None:
+                        break
+                    t = nxt
+                    if t < top_t or (t == top_t and cid < top_c):
+                        continue
+                    hpush(heap, (t, cid))
+                    break
+            # ===== commit bookkeeping + next-op issue bound ==========
+            dones[j] = done
+            j += 1
+            if j >= n_ops:
+                break
+            nt = base_issue[j]
+            if barrier > nt:
+                nt = barrier
+            # ROB in-order-commit watermark: the precomputed pop
+            # boundary makes the drain a pointer compare (one pop in
+            # steady state), folding the popped completion times into
+            # the issue bound exactly as the deque drain would.
+            q = pmax[j]
+            if p < q:
+                committed = dones[p]
+                p += 1
+                while p < q:
+                    d = dones[p]
+                    if d > committed:
+                        committed = d
+                    p += 1
+                retire_max = committed
+                if committed > nt:
+                    nt = committed
+            else:
+                retire_max = 0
+            t = nt
+            # ===== epoch continuation: provably still the front ======
+            if t < top_t or (t == top_t and cid < top_c):
+                continue
+            hpush(heap, (t, cid))
+            break
+        # ----- epoch end: write the scalar snapshot back -------------
+        S[_MUT:] = (j, barrier, retire_max, last_done, tick1, hits1,
+                    misses1, prim1, sec1, stall1, p)
+
+    hs.traversals = trav
+    hs.l2_accesses = l2acc
+    hs.l2_hits = l2h
+    hs.dreq = dreq
+    hs.drh = drh
+    hs.drm = drm
+    hs.drc = drc
+    hs.dbusy = dbusy
+    hs.dwait = dwait
+    hs.dlast = dlast
+    hs.dram_writes = dwr
+    for S in states:
+        _flush_core(S)
+    hs.flush()
+    stats.fallbacks = fallbacks
+    stats.epochs = epochs
+    stats.ops = sum(S[14] for S in states) - fallbacks
+    return stats

@@ -1,22 +1,33 @@
 """Golden-digest helper for the simulator differential tests.
 
 The fast-path optimizations (columnar traces, MSHR heap, watermark
-issue tracking, list-backed tag stores) must not change simulator
-*behavior* at all: :mod:`tests.sim.test_differential_golden` compares a
-digest of every observable output — per-core records, exec cycles,
-counters, per-layer traces, layer APC and C-AMAT statistics — against
-``tests/data/sim_golden.json``, which was generated with the
-pre-optimization implementation.  Regenerate (only after an intentional
-semantic change, alongside a bump of
-:data:`repro.sim.cache_store.SIM_MODEL_VERSION`) with::
+issue tracking, list-backed tag stores) and the batched epoch kernel
+(:mod:`repro.sim.kernel`) must not change simulator *behavior* at all:
+:mod:`tests.sim.test_differential_golden` compares a digest of every
+observable output — per-core records, exec cycles, counters, per-layer
+traces, per-layer statistics, layer APC and C-AMAT statistics — against
+``tests/data/sim_golden.json``, which pins the seed scalar-path
+semantics.  The golden file records the
+:data:`repro.sim.cache_store.SIM_MODEL_VERSION` it was generated under;
+:func:`main` refuses to regenerate when any existing digest changes
+without a version bump, so the pin cannot be silently rewritten.
+Regenerate (only after an intentional semantic change, alongside a bump
+of ``SIM_MODEL_VERSION``) with::
 
     PYTHONPATH=src:tests python tests/sim/golden_util.py
+
+Digest canonicalization: every hash goes through :func:`_sha`, which
+serializes with ``sort_keys=True`` — layer-stat dicts are assembled by
+unordered accumulation, so hashing them in insertion order would make
+the digest depend on dict iteration history rather than content
+(pinned by ``tests/sim/test_golden_guard.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from dataclasses import replace
 from pathlib import Path
 
@@ -24,15 +35,20 @@ import numpy as np
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "sim_golden.json"
 
+GOLDEN_SCHEMA = "c2bound.sim-golden/2"
+
 
 def golden_cases() -> "list[tuple[str, object, object, int]]":
     """The seeded (name, chip, workload, seed) differential test matrix.
 
     Small enough to run in a few seconds, broad enough to cover every
     event-loop mechanism: coherent writes, SMT, prefetching, MSHR
-    starvation and the default configuration.
+    starvation, the default configuration — plus the degenerate
+    geometries (single core, one MSHR, one-set caches, a free NoC)
+    where off-by-one bugs in a rewritten inner loop would hide.
     """
-    from repro.sim.config import CacheConfig, CoreMicroConfig, SimulatedChip
+    from repro.sim.config import (CacheConfig, CoreMicroConfig, NoCConfig,
+                                  SimulatedChip)
     from repro.workloads.gups import GUPS
     from repro.workloads.matmul import TiledMatMul
     from repro.workloads.parsec import parsec_like
@@ -60,12 +76,31 @@ def golden_cases() -> "list[tuple[str, object, object, int]]":
                  l2_slice=replace(base.l2_slice, size_kib=32.0,
                                   mshr_entries=2)),
          GUPS(updates=3000, table_kib=4096.0), 19),
+        # ----- edge-case geometries (added with the epoch kernel) ------
+        ("single_core_canneal",
+         replace(base, n_cores=1),
+         parsec_like("canneal", n_ops=2500), 23),
+        ("blocking_mshr1",
+         replace(base, n_cores=2,
+                 l1=replace(base.l1, mshr_entries=1),
+                 l2_slice=replace(base.l2_slice, mshr_entries=1)),
+         parsec_like("streamcluster", n_ops=2000), 29),
+        ("one_set_caches",
+         replace(base, n_cores=2,
+                 l1=CacheConfig(size_kib=0.5, assoc=8, banks=1),
+                 l2_slice=replace(base.l2_slice, size_kib=1.0, assoc=16)),
+         GUPS(updates=1500, table_kib=256.0), 31),
+        ("zero_latency_noc",
+         replace(base, n_cores=4,
+                 noc=NoCConfig(hop_latency=0, router_latency=0)),
+         parsec_like("fluidanimate", n_ops=2000), 37),
     ]
 
 
 def _sha(obj) -> str:
-    return hashlib.sha256(
-        json.dumps(obj, separators=(",", ":")).encode()).hexdigest()
+    """Canonical content hash: key order never leaks into the digest."""
+    return hashlib.sha256(json.dumps(
+        obj, separators=(",", ":"), sort_keys=True).encode()).hexdigest()
 
 
 def _trace_digest(trace) -> "dict | None":
@@ -97,7 +132,7 @@ def _stats_digest(stats) -> dict:
     }
 
 
-def result_digest(result, cost: float) -> dict:
+def result_digest(result, cost: float, hierarchy_stats: dict) -> dict:
     """Every observable output of one simulation, as a JSON-able dict."""
     apc = result.layer_apc()
     return {
@@ -109,6 +144,8 @@ def result_digest(result, cost: float) -> dict:
         "invalidations": int(result.invalidations),
         "upgrades": int(result.upgrades),
         "dram_writes": int(result.dram_writes),
+        "layer_stats_sha": _sha({k: repr(float(v))
+                                 for k, v in hierarchy_stats.items()}),
         "cores": [{
             "instructions": c.instructions,
             "mem_ops": c.mem_ops,
@@ -132,27 +169,95 @@ def result_digest(result, cost: float) -> dict:
     }
 
 
-def run_case(chip, workload, seed: int) -> dict:
+def run_case(chip, workload, seed: int, *,
+             use_kernel: "bool | None" = None) -> dict:
     """Simulate one golden case and digest it."""
     from repro.sim.cmp import CMPSimulator, simulate_chip_cost
+    from repro.sim.hierarchy import MemoryHierarchy
+    from repro.sim.kernel import kernel_enabled
 
     rng = np.random.default_rng(seed)
     smt = chip.core.smt_threads
-    result = CMPSimulator(chip).run(
-        workload.streams(chip.n_cores * smt, rng))
-    # simulate_chip_cost draws one stream per core (smt=1 chips only).
-    cost = (simulate_chip_cost(chip, workload, seed) if smt == 1
-            else float("nan"))
-    return result_digest(result, cost)
+    simulator = CMPSimulator(chip, use_kernel=use_kernel)
+    result = simulator.run(workload.streams(chip.n_cores * smt, rng))
+    # simulate_chip_cost draws one stream per core (smt=1 chips only);
+    # it follows the ambient kernel toggle, so pin it for the digest.
+    if smt == 1:
+        if use_kernel is None or use_kernel == kernel_enabled():
+            cost = simulate_chip_cost(chip, workload, seed)
+        else:
+            rng = np.random.default_rng(seed)
+            rerun = simulator.run(workload.streams(chip.n_cores, rng))
+            instructions = rerun.total_instructions
+            cost = (float("inf") if instructions == 0
+                    else rerun.exec_cycles / instructions)
+    else:
+        cost = float("nan")
+    return result_digest(result, cost, simulator.last_layer_stats)
 
 
-def main() -> None:
-    golden = {name: run_case(chip, workload, seed)
-              for name, chip, workload, seed in golden_cases()}
+def load_golden() -> dict:
+    """Parse the golden file (schema v2: versioned, cases nested)."""
+    with open(GOLDEN_PATH) as handle:
+        data = json.load(handle)
+    if "cases" not in data:
+        raise ValueError(f"{GOLDEN_PATH} is not a {GOLDEN_SCHEMA} file")
+    return data
+
+
+def generate() -> dict:
+    """Digest every golden case under the current implementation."""
+    from repro.sim.cache_store import SIM_MODEL_VERSION
+
+    cases = {name: run_case(chip, workload, seed)
+             for name, chip, workload, seed in golden_cases()}
+    return {"schema": GOLDEN_SCHEMA,
+            "sim_model_version": SIM_MODEL_VERSION,
+            "cases": cases}
+
+
+def regeneration_error(old: dict, new: dict) -> "str | None":
+    """Why regenerating ``old`` -> ``new`` must be refused (None if OK).
+
+    Changed digests are only acceptable together with a
+    ``SIM_MODEL_VERSION`` bump: the version is folded into every
+    persistent sim-cache key, so silently regenerating the pin would
+    let stale cached costs coexist with new semantics.  New cases and
+    new digest fields may be added freely.
+    """
+    if old.get("sim_model_version") == new["sim_model_version"]:
+        for name, digest in old.get("cases", {}).items():
+            reference = new["cases"].get(name)
+            if reference is None:
+                continue
+            for key, value in digest.items():
+                if key in reference and reference[key] != value:
+                    return (f"case {name!r} field {key!r} changed but "
+                            "SIM_MODEL_VERSION did not: bump "
+                            "repro.sim.cache_store.SIM_MODEL_VERSION "
+                            "before regenerating the golden pin")
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    force = "--force" in args
+    new = generate()
+    if GOLDEN_PATH.exists() and not force:
+        try:
+            old = load_golden()
+        except ValueError:
+            old = {}
+        error = regeneration_error(old, new)
+        if error is not None:
+            print(f"refusing to regenerate: {error}", file=sys.stderr)
+            return 2
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {GOLDEN_PATH} ({len(golden)} cases)")
+    GOLDEN_PATH.write_text(json.dumps(new, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(new['cases'])} cases, "
+          f"model {new['sim_model_version']})")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -2,43 +2,51 @@
 
 ``tests/data/sim_golden.json`` holds digests of every observable output
 (per-core records, exec cycles, coherence counters, per-layer traces,
-layer APC, C-AMAT statistics and ``simulate_chip_cost``) produced by the
-pre-optimization implementation.  The fast-path rework — columnar
-traces, the MSHR retirement heap, the committed-done watermark, the
-list-backed tag stores and the NoC latency table — must reproduce them
-exactly, field for field.
+per-layer statistics, layer APC, C-AMAT statistics and
+``simulate_chip_cost``) produced by the pre-optimization implementation.
+The fast-path rework — columnar traces, the MSHR retirement heap, the
+committed-done watermark, the list-backed tag stores, the NoC latency
+table and the batched epoch kernel (:mod:`repro.sim.kernel`) — must
+reproduce them exactly, field for field, with the kernel enabled *and*
+disabled.
 
 See :mod:`tests.sim.golden_util` for the case matrix and regeneration
-instructions.
+instructions (guarded: digests cannot change without a
+``SIM_MODEL_VERSION`` bump).
 """
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
-from tests.sim.golden_util import GOLDEN_PATH, golden_cases, run_case
+from tests.sim.golden_util import (GOLDEN_SCHEMA, golden_cases, load_golden,
+                                   run_case)
 
 _CASES = golden_cases()
 
 
 @pytest.fixture(scope="module")
 def golden() -> dict:
-    with open(GOLDEN_PATH) as handle:
-        return json.load(handle)
+    return load_golden()
+
+
+def test_golden_file_schema(golden):
+    assert golden["schema"] == GOLDEN_SCHEMA
+    assert golden["sim_model_version"]
 
 
 def test_golden_file_covers_all_cases(golden):
-    assert sorted(golden) == sorted(name for name, *_ in _CASES)
+    assert sorted(golden["cases"]) == sorted(name for name, *_ in _CASES)
 
 
+@pytest.mark.parametrize("use_kernel", [True, False],
+                         ids=["kernel", "scalar"])
 @pytest.mark.parametrize(
     "name,chip,workload,seed", _CASES, ids=[c[0] for c in _CASES])
 def test_bit_identical_to_seed_implementation(golden, name, chip,
-                                              workload, seed):
-    digest = run_case(chip, workload, seed)
-    reference = golden[name]
+                                              workload, seed, use_kernel):
+    digest = run_case(chip, workload, seed, use_kernel=use_kernel)
+    reference = golden["cases"][name]
     # Compare field-by-field for a readable failure before the full
     # equality (which guards any keys the loop might miss).
     for key in reference:
