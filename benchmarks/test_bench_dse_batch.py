@@ -8,20 +8,19 @@ the optimum and the simulation budget — the determinism contract of
 ``docs/DSE_PERFORMANCE.md`` — and the batched path must be at least 5×
 faster (typically 10-100×; the 5× floor absorbs CI jitter).
 
-Wall times and the speedup land in ``results/BENCH_dse_batch.json``.
+Wall times and the speedup fold into the harness record,
+``results/BENCH_test_dse_batch_speedup.json``.
 """
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
-from conftest import run_once
+from conftest import run_once, update_bench_record
 
 from repro.dse import BudgetedEvaluator, SurrogateEvaluator, is_feasible
 from repro.experiments.fig12_aps import fluidanimate_profile, fluidanimate_space
-from repro.obs import MANIFEST_SCHEMA, git_sha, package_version
 
 MIN_SPEEDUP = 5.0
 
@@ -65,21 +64,16 @@ def test_dse_batch_speedup(benchmark, results_dir):
     assert np.isfinite(batched.best_cost)
 
     speedup = sequential_s / batched_s
-    record = {
-        "schema": MANIFEST_SCHEMA,
-        "experiment": "dse_batch_speedup",
-        "package_version": package_version(),
-        "git_sha": git_sha(),
-        "space_size": space.size,
-        "evaluations": batched.evaluations,
-        "skipped_infeasible": batched.skipped_infeasible,
-        "sequential_s": sequential_s,
-        "batched_s": batched_s,
-        "speedup": speedup,
-        "min_speedup": MIN_SPEEDUP,
-    }
-    path = results_dir / "BENCH_dse_batch.json"
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    path = update_bench_record(
+        benchmark.name,
+        space_size=space.size,
+        evaluations=batched.evaluations,
+        skipped_infeasible=batched.skipped_infeasible,
+        sequential_s=sequential_s,
+        batched_s=batched_s,
+        speedup=speedup,
+        min_speedup=MIN_SPEEDUP,
+    )
     print(f"\nsequential {sequential_s:.3f}s  batched {batched_s:.3f}s  "
           f"speedup {speedup:.1f}x  -> {path}")
 

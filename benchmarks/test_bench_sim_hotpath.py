@@ -17,22 +17,21 @@ A second phase re-runs a small design sweep against a warm persistent
 simulation-free: ``sim.runs`` stays 0 while every cost is answered
 bit-identically from disk.
 
-Wall times, the speedup and the warm-cache counters land in
-``results/BENCH_sim_hotpath.json``.
+Wall times, the speedup and the warm-cache counters fold into the
+harness record, ``results/BENCH_test_sim_hotpath_speedup.json``.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import replace
 
 import numpy as np
-from conftest import run_once
+from conftest import run_once, update_bench_record
 from legacy_sim import legacy_analysis, legacy_simulate
 
 from repro.dse.evaluate import SimulatorEvaluator
-from repro.obs import MANIFEST_SCHEMA, get_registry, git_sha, package_version
+from repro.obs import get_registry
 from repro.sim.cache_store import SimCacheStore
 from repro.sim.cmp import CMPSimulator
 from repro.sim.config import SimulatedChip
@@ -155,27 +154,22 @@ def test_sim_hotpath_speedup(benchmark, results_dir, tmp_path):
     assert warm_hits == len(warm_costs)
 
     speedup = legacy_s / optimized_s
-    record = {
-        "schema": MANIFEST_SCHEMA,
-        "experiment": "sim_hotpath_speedup",
-        "package_version": package_version(),
-        "git_sha": git_sha(),
-        "n_cores": chip.n_cores,
-        "n_ops_per_core": N_OPS,
-        "legacy_s": legacy_s,
-        "optimized_s": optimized_s,
-        "speedup": speedup,
-        "min_speedup": MIN_SPEEDUP,
-        "measure_rounds": rounds,
-        "warm_cache": {
+    path = update_bench_record(
+        benchmark.name,
+        n_cores=chip.n_cores,
+        n_ops_per_core=N_OPS,
+        legacy_s=legacy_s,
+        optimized_s=optimized_s,
+        speedup=speedup,
+        min_speedup=MIN_SPEEDUP,
+        measure_rounds=rounds,
+        warm_cache={
             "sweep_points": len(cold_costs),
             "cold_sim_runs": cold_runs,
             "warm_sim_runs": warm_runs,
             "warm_cache_hits": warm_hits,
         },
-    }
-    path = results_dir / "BENCH_sim_hotpath.json"
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    )
     print(f"\nlegacy {legacy_s:.3f}s  optimized {optimized_s:.3f}s  "
           f"speedup {speedup:.1f}x  warm-cache runs {warm_runs}  -> {path}")
 

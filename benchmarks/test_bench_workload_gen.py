@@ -1,0 +1,121 @@
+"""Perf-smoke: vectorized address-stream generation must stay vectorized.
+
+The Table I workload generators (:class:`~repro.workloads.spmv.BandSpMV`,
+:class:`~repro.workloads.matmul.TiledMatMul`) build their streams in
+single NumPy broadcasts.  This bench regenerates both streams through
+deliberately naive per-access Python loops — the shape the code must
+never regress back into — and asserts the shipped generators are
+bit-identical and at least 5× faster (typically 30-100×).
+
+Wall times and speedups fold into the harness record,
+``results/BENCH_test_workload_gen_speedup.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import run_once, update_bench_record
+
+from repro.workloads.matmul import TiledMatMul
+from repro.workloads.spmv import BandSpMV
+
+MIN_SPEEDUP = 5.0
+
+SPMV_N = 4096
+SPMV_B = 8
+TMM_N = 48
+TMM_TILE = 8
+
+
+def _naive_spmv_stream(wl: BandSpMV) -> np.ndarray:
+    """Per-access Python-loop twin of ``BandSpMV.address_stream``."""
+    n, b, eb = wl.n, wl.b, wl.element_bytes
+    width = 2 * b + 1
+    base_a = 0
+    base_x = n * width * eb
+    base_y = base_x + n * eb
+    out = []
+    for i in range(n):
+        for lane in range(width):
+            col = min(max(i + lane - b, 0), n - 1)
+            out.append(base_a + (i * width + lane) * eb)
+            out.append(base_x + col * eb)
+        out.append(base_y + i * eb)
+    return np.array(out, dtype=np.int64)
+
+
+def _naive_tmm_stream(wl: TiledMatMul) -> np.ndarray:
+    """Per-access Python-loop twin of ``TiledMatMul.address_stream``."""
+    p = wl.params
+    n, t, eb = p.n, p.tile, p.element_bytes
+    base_a = 0
+    base_b = n * n * eb
+    base_c = 2 * n * n * eb
+    nt = n // t
+    out = []
+    for ii in range(nt):
+        for jj in range(nt):
+            for kk in range(nt):
+                for i_in in range(t):
+                    for j_in in range(t):
+                        for k_in in range(t):
+                            i = ii * t + i_in
+                            j = jj * t + j_in
+                            k = kk * t + k_in
+                            out.append(base_a + (i * n + k) * eb)
+                            out.append(base_b + (k * n + j) * eb)
+                            out.append(base_c + (i * n + j) * eb)
+    return np.array(out, dtype=np.int64)
+
+
+def _vectorized_streams(spmv: BandSpMV,
+                        tmm: TiledMatMul) -> "tuple[np.ndarray, np.ndarray]":
+    rng = np.random.default_rng(0)      # streams are rng-independent
+    return spmv.address_stream(rng), tmm.address_stream(rng)
+
+
+def test_workload_gen_speedup(benchmark, results_dir):
+    spmv = BandSpMV(n=SPMV_N, half_bandwidth=SPMV_B)
+    tmm = TiledMatMul(n=TMM_N, tile=TMM_TILE)
+
+    naive_s = vec_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        naive_spmv = _naive_spmv_stream(spmv)
+        naive_tmm = _naive_tmm_stream(tmm)
+        naive_s = min(naive_s, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        vec_spmv, vec_tmm = _vectorized_streams(spmv, tmm)
+        vec_s = min(vec_s, time.perf_counter() - t0)
+        if naive_s / vec_s >= MIN_SPEEDUP:
+            break
+
+    # One harness pass for the canonical record.
+    run_once(benchmark, _vectorized_streams, spmv, tmm)
+
+    # Same addresses, same order, same dtype — vectorization changes
+    # wall time only (the golden simulation digests ride on this).
+    assert vec_spmv.dtype == naive_spmv.dtype
+    assert vec_tmm.dtype == naive_tmm.dtype
+    assert np.array_equal(vec_spmv, naive_spmv)
+    assert np.array_equal(vec_tmm, naive_tmm)
+
+    speedup = naive_s / vec_s
+    path = update_bench_record(
+        benchmark.name,
+        spmv_entries=int(vec_spmv.size),
+        tmm_entries=int(vec_tmm.size),
+        naive_s=naive_s,
+        vectorized_s=vec_s,
+        speedup=speedup,
+        min_speedup=MIN_SPEEDUP,
+    )
+    print(f"\nnaive {naive_s:.3f}s  vectorized {vec_s:.4f}s  "
+          f"speedup {speedup:.1f}x  -> {path}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized stream generation only {speedup:.1f}x faster than "
+        f"per-access loops (floor {MIN_SPEEDUP}x); see {path}")

@@ -20,7 +20,13 @@ It also checks the structural anchors the whole scheme rests on:
 - ``SIM_MODEL_VERSION`` is still a literal string (a computed version
   could differ across processes sharing one store);
 - ``dse/evaluate.py::canonical_key`` still sorts the config items, so
-  budget-cache identity is insertion-order independent.
+  budget-cache identity is insertion-order independent;
+- the sweep fabric's shard identity stays *derived from the key*:
+  ``SHARD_PREFIX_LEN`` is a literal int, ``SHARD_COUNT`` equals
+  ``16 ** SHARD_PREFIX_LEN``, ``shard_of_key`` parses exactly that hex
+  prefix, ``path_for`` carves directories by the same constant (no
+  re-introduced magic width), and ``sim_cache_key`` still emits
+  SHA-256 *hex* — the property the prefix arithmetic rests on.
 """
 
 from __future__ import annotations
@@ -102,6 +108,33 @@ def _find_function(tree: ast.Module, name: str) -> "ast.FunctionDef | None":
     return None
 
 
+def _find_method(tree: ast.Module, name: str) -> "ast.FunctionDef | None":
+    """First method called ``name`` in any top-level class."""
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                return stmt
+    return None
+
+
+def _names_in(node: ast.AST) -> "set[str]":
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def _parses_hex_prefix(node: ast.AST) -> bool:
+    """True if ``node`` contains an ``int(..., 16)`` call."""
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Call)
+                and dotted_name(sub.func) == "int"
+                and len(sub.args) == 2
+                and isinstance(sub.args[1], ast.Constant)
+                and sub.args[1].value == 16):
+            return True
+    return False
+
+
 def _calls_in(node: ast.AST) -> "set[str]":
     """Leaf names of every call target inside ``node``."""
     out: set[str] = set()
@@ -110,6 +143,10 @@ def _calls_in(node: ast.AST) -> "set[str]":
             name = dotted_name(sub.func)
             if name is not None:
                 out.add(name.split(".")[-1])
+            elif isinstance(sub.func, ast.Attribute):
+                # e.g. ``sha256(...).hexdigest()`` — the base is a call,
+                # not a name chain, but the method leaf still matters.
+                out.add(sub.func.attr)
     return out
 
 
@@ -129,6 +166,7 @@ class CacheKeyRule(Rule):
 
         yield from self._check_schema(config, store)
         yield from self._check_anchors(store)
+        yield from self._check_shards(store)
         evaluate = project.file_ending_with("dse/evaluate.py")
         if evaluate is not None and evaluate.tree is not None:
             yield from self._check_canonical_key(evaluate)
@@ -210,6 +248,75 @@ class CacheKeyRule(Rule):
                 store, fingerprint,
                 "fingerprint() no longer sorts generic-object attributes; "
                 "workload fingerprints would depend on dict order")
+
+    def _check_shards(self, store: SourceFile) -> "Iterable[Diagnostic]":
+        assert store.tree is not None
+        prefix = _top_level_assign(store.tree, "SHARD_PREFIX_LEN")
+        prefix_ok = (isinstance(prefix, ast.Constant)
+                     and type(prefix.value) is int)
+        if not prefix_ok:
+            yield self.diag(
+                store, prefix or store.tree,
+                "SHARD_PREFIX_LEN must be a literal int: every process "
+                "sharing a store must carve identical shard directories")
+        count = _top_level_assign(store.tree, "SHARD_COUNT")
+        if not (isinstance(count, ast.Constant)
+                and type(count.value) is int):
+            yield self.diag(
+                store, count or store.tree,
+                "SHARD_COUNT must be a literal int so fabric ownership "
+                "ranges can be checked statically")
+        elif prefix_ok and count.value != 16 ** prefix.value:
+            yield self.diag(
+                store, count,
+                f"SHARD_COUNT is {count.value} but a {prefix.value}-char "
+                f"hex prefix spans 16 ** {prefix.value} = "
+                f"{16 ** prefix.value} shards; keys would map outside the "
+                f"fabric's owned ranges")
+        shard_fn = _find_function(store.tree, "shard_of_key")
+        if shard_fn is None:
+            yield self.diag(
+                store, store.tree,
+                "sim/cache_store.py must define shard_of_key(); shard "
+                "identity has to stay derived from the key, never stored")
+        else:
+            if "SHARD_PREFIX_LEN" not in _names_in(shard_fn):
+                yield self.diag(
+                    store, shard_fn,
+                    "shard_of_key() no longer references "
+                    "SHARD_PREFIX_LEN; a hardcoded prefix width drifts "
+                    "silently when the constant changes")
+            if not _parses_hex_prefix(shard_fn):
+                yield self.diag(
+                    store, shard_fn,
+                    "shard_of_key() must parse the key prefix with "
+                    "int(..., 16); any other derivation breaks the "
+                    "prefix <-> shard-directory correspondence")
+        key_fn = _find_function(store.tree, "sim_cache_key")
+        if key_fn is None:
+            yield self.diag(
+                store, store.tree,
+                "sim/cache_store.py must define sim_cache_key(); the "
+                "content-hash entry point has moved or been renamed")
+        elif not {"sha256", "hexdigest"} <= _calls_in(key_fn):
+            yield self.diag(
+                store, key_fn,
+                "sim_cache_key() must produce sha256(...).hexdigest(): "
+                "shard_of_key()'s int(prefix, 16) is only uniform over "
+                "hex digests")
+        path_fn = _find_method(store.tree, "path_for")
+        if path_fn is None:
+            yield self.diag(
+                store, store.tree,
+                "SimCacheStore.path_for() is gone; the shard-directory "
+                "disk layout has moved or been renamed",
+                severity=Severity.WARNING)
+        elif "SHARD_PREFIX_LEN" not in _names_in(path_fn):
+            yield self.diag(
+                store, path_fn,
+                "path_for() must slice the shard directory with "
+                "SHARD_PREFIX_LEN, not a magic width — the disk layout "
+                "would drift from shard_of_key()")
 
     def _check_canonical_key(
             self, evaluate: SourceFile) -> "Iterable[Diagnostic]":

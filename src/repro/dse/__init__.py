@@ -19,6 +19,10 @@
   every search method rides on (``evaluate_batch`` protocol, process
   pool, ``--workers``/``--batch-size`` defaults); contract in
   ``docs/DSE_PERFORMANCE.md``.
+- :mod:`repro.dse.fabric` — the sharded work-stealing sweep fabric
+  (``--fabric``): deterministic shard ownership over the simulation
+  store's hash ranges, idle-worker stealing for stragglers, and
+  bit-identical results under any steal schedule.
 """
 
 from repro.dse.space import DesignSpace, Parameter
@@ -37,10 +41,12 @@ from repro.dse.batch import (
     ParallelEvaluator,
     chunked,
     get_batch_defaults,
+    make_pool_evaluator,
     resolve_batch_size,
     resolve_workers,
     set_batch_defaults,
 )
+from repro.dse.fabric import FabricEvaluator, config_shard
 from repro.dse.brute import brute_force_search
 from repro.dse.aps import APSExplorer, APSResult
 from repro.dse.ann import ANNPredictorSearch, MLPRegressor
@@ -56,10 +62,13 @@ __all__ = [
     "SimulatorEvaluator",
     "SurrogateEvaluator",
     "ParallelEvaluator",
+    "FabricEvaluator",
     "BatchDefaults",
     "batch_evaluate",
     "canonical_key",
     "chunked",
+    "config_shard",
+    "make_pool_evaluator",
     "get_batch_defaults",
     "set_batch_defaults",
     "resolve_batch_size",

@@ -51,7 +51,7 @@ from repro.resilience.policy import RetryPolicy, retry_call
 
 __all__ = ["BatchDefaults", "ParallelEvaluator", "chunked",
            "get_batch_defaults", "set_batch_defaults", "resolve_batch_size",
-           "resolve_workers"]
+           "resolve_workers", "make_pool_evaluator"]
 
 
 def chunked(items: Iterable, size: int) -> Iterator[list]:
@@ -83,10 +83,20 @@ class BatchDefaults:
     workers:
         Process count for :class:`ParallelEvaluator` instances that do
         not pin their own.  ``1`` (the default) means inline, no pool.
+    fabric:
+        Route pooled evaluation through the sharded work-stealing
+        fabric (:class:`~repro.dse.fabric.FabricEvaluator`) instead of
+        fixed chunking — the CLI's ``--fabric`` flag.  Consumed by
+        :func:`make_pool_evaluator`.
+    steal:
+        Work-stealing toggle for fabric evaluators that do not pin
+        their own (the CLI's ``--steal``/``--no-steal``).
     """
 
     batch_size: int = 2048
     workers: int = 1
+    fabric: bool = False
+    steal: bool = True
 
 
 _defaults = BatchDefaults()
@@ -98,10 +108,13 @@ def get_batch_defaults() -> BatchDefaults:
 
 
 def set_batch_defaults(*, batch_size: "int | None" = None,
-                       workers: "int | None" = None) -> BatchDefaults:
-    """Update the process-wide knobs (the CLI's ``--batch-size``/``--workers``).
+                       workers: "int | None" = None,
+                       fabric: "bool | None" = None,
+                       steal: "bool | None" = None) -> BatchDefaults:
+    """Update the process-wide knobs (the CLI's ``--batch-size``/``--workers``
+    /``--fabric``/``--steal``).
 
-    Only the arguments given change; both must be >= 1.  Returns the
+    Only the arguments given change; sizes must be >= 1.  Returns the
     defaults object for convenience.
     """
     if batch_size is not None:
@@ -113,6 +126,10 @@ def set_batch_defaults(*, batch_size: "int | None" = None,
         if workers < 1:
             raise DesignSpaceError(f"workers must be >= 1, got {workers}")
         _defaults.workers = int(workers)
+    if fabric is not None:
+        _defaults.fabric = bool(fabric)
+    if steal is not None:
+        _defaults.steal = bool(steal)
     return _defaults
 
 
@@ -132,6 +149,29 @@ def resolve_workers(workers: "int | None") -> int:
     if workers < 1:
         raise DesignSpaceError(f"workers must be >= 1, got {workers}")
     return int(workers)
+
+
+def make_pool_evaluator(inner, *, workers: "int | None" = None,
+                        fabric: "bool | None" = None,
+                        steal: "bool | None" = None, **kwargs):
+    """The pooled wrapper the process-wide defaults call for.
+
+    ``fabric``/``steal``/``workers`` default to :class:`BatchDefaults`
+    (what the CLI flags install); extra keyword arguments pass through
+    to the chosen wrapper.  Returns a
+    :class:`~repro.dse.fabric.FabricEvaluator` when the fabric is on,
+    else a :class:`ParallelEvaluator` — both are drop-in
+    batch evaluators with identical results, so call sites never branch.
+    """
+    if fabric is None:
+        fabric = _defaults.fabric
+    if fabric:
+        # Imported lazily — fabric.py imports from this module.
+        from repro.dse.fabric import FabricEvaluator
+        if steal is None:
+            steal = _defaults.steal
+        return FabricEvaluator(inner, workers=workers, steal=steal, **kwargs)
+    return ParallelEvaluator(inner, workers=workers, **kwargs)
 
 
 def _evaluate_chunk(evaluator,

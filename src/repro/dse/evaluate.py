@@ -189,7 +189,10 @@ class BudgetedEvaluator:
             if opened is None:
                 return
             self._journal, entries = opened
-        elif isinstance(checkpoint, CheckpointJournal):
+        elif hasattr(checkpoint, "append_evals"):
+            # Any live journal-shaped object attaches directly: a
+            # CheckpointJournal, the fabric's per-shard ShardedJournal,
+            # or a test double — the budget path only ever appends.
             self._journal = checkpoint
         elif resume:
             self._journal, entries, _states = CheckpointJournal.open_resume(
@@ -530,6 +533,25 @@ class SimulatorEvaluator:
             l2_slice=replace(self.base_chip.l2_slice,
                              size_kib=max(l2_kib, 2.0)),
         )
+
+    def cache_key_for(self, config: dict) -> str:
+        """Content address of this configuration's simulation result.
+
+        The same key :func:`~repro.sim.cache_store.sim_cache_key`
+        derives inside the cached evaluation path, exposed so the sweep
+        fabric can shard design points by the *store's* own hash ranges
+        — fabric ownership and disk-shard ownership then coincide, and
+        the owning worker is the only writer of its shard directories.
+        Computable whether or not a store is attached.
+        """
+        from repro.sim.cache_store import sim_cache_key
+        return sim_cache_key(self.chip_for(config), self.workload, self.seed)
+
+    def cache_provenance(self) -> dict:
+        """The provenance fields a persisted entry carries (see
+        :func:`~repro.sim.cache_store.cached_simulate_chip_cost`)."""
+        return {"seed": int(self.seed),
+                "workload": type(self.workload).__qualname__}
 
     def evaluate(self, config: dict) -> float:
         chip = self.chip_for(config)

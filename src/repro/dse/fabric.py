@@ -1,0 +1,458 @@
+"""Sharded sweep fabric: ownership-partitioned scheduling + work-stealing.
+
+:class:`~repro.dse.batch.ParallelEvaluator` carves a batch into
+fixed-size ordered chunks, so one slow chunk serializes the tail of a
+sweep — the exact straggler pathology the paper's own
+concurrency-over-capacity lens (C-AMAT) warns about in memory systems.
+:class:`FabricEvaluator` replaces the fixed carving with *ownership plus
+stealing*:
+
+1. **Deterministic sharding** — every configuration hashes to one of
+   the :data:`~repro.sim.cache_store.SHARD_COUNT` shards
+   (:func:`config_shard`).  When the inner evaluator exposes
+   ``cache_key_for`` (the simulator path) the shard is the *store's own*
+   hash prefix, so fabric ownership coincides with disk-shard ownership:
+   each worker slot owns a contiguous shard range
+   (:func:`owner_of_shard`) and is the only writer of those shard
+   directories — single-writer by construction, no cross-process locks.
+2. **Work-stealing** — each slot drains its own backlog in input order;
+   an idle slot steals the *tail half* of the largest remaining backlog
+   (``dse.fabric.steals`` counter, ``dse.fabric.steal`` trace events),
+   so a straggler shard is finished by everyone instead of serializing
+   the sweep.
+3. **Ordered reassembly** — results land by original batch index, so
+   costs are bit-identical for any steal schedule, worker count, or
+   crash/recovery sequence (every evaluator is a pure function of the
+   configuration).  ``tests/dse/test_fabric.py`` and
+   ``scripts/fabric_equivalence_check.py`` prove workers=1 ≡ workers=N ≡
+   forced-steal ≡ kill-and-resume.
+
+Tiered-cache integration: each slot receives the inner evaluator with
+its store re-scoped (:meth:`~repro.sim.cache_store.SimCacheStore.scoped`)
+to ``owned_shards`` of that slot plus write-behind buffering, and the
+worker task flushes the buffer before returning.  Results a thief
+computed for shards it does not own are persisted by the *parent* after
+reassembly (``dse.fabric.reconciled``) — the parent is owner of last
+resort, still a single writer per entry at a time.
+
+Fault tolerance mirrors the pool evaluator: a lost unit (worker crash,
+transient error) is re-queued at the front of its owner's backlog on a
+rebuilt pool up to ``retry_policy.max_attempts`` attempts, then degrades
+to exact serial in-parent evaluation — all through the existing
+``resilience.*`` counters.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dse.evaluate import batch_evaluate, canonical_key, is_feasible
+from repro.errors import (
+    DesignSpaceError,
+    FatalError,
+    ReproError,
+    TransientError,
+)
+from repro.obs import get_registry, get_tracer
+from repro.resilience.policy import RetryPolicy, retry_call
+from repro.sim.cache_store import (
+    SHARD_COUNT,
+    SHARD_PREFIX_LEN,
+    SimCacheStore,
+    shard_of_key,
+)
+
+__all__ = ["FabricEvaluator", "config_shard", "owner_of_shard",
+           "owned_shards_of"]
+
+
+def config_shard(evaluator, config: dict) -> int:
+    """Deterministic shard index of a configuration under an evaluator.
+
+    Prefers the evaluator's own content address (``cache_key_for``, the
+    simulator path) so fabric ownership and disk-shard ownership agree.
+    Evaluators without the hook fall back to hashing the canonical
+    configuration key — just as deterministic, merely unrelated to any
+    on-disk layout.
+    """
+    hook = getattr(evaluator, "cache_key_for", None)
+    if hook is not None:
+        return shard_of_key(hook(config))
+    payload = repr(canonical_key(config)).encode()
+    return int(hashlib.sha256(payload).hexdigest()[:SHARD_PREFIX_LEN], 16)
+
+
+def owner_of_shard(shard: int, workers: int) -> int:
+    """The worker slot owning a shard: contiguous ranges, load-balanced.
+
+    Slot ``w`` owns shards ``[ceil(w*S/W), ceil((w+1)*S/W))`` — every
+    shard has exactly one owner for any worker count.
+    """
+    return shard * workers // SHARD_COUNT
+
+
+def owned_shards_of(slot: int, workers: int) -> "frozenset[int]":
+    """The shard range a worker slot owns (inverse of
+    :func:`owner_of_shard`)."""
+    return frozenset(s for s in range(SHARD_COUNT)
+                     if owner_of_shard(s, workers) == slot)
+
+
+def _evaluate_unit(evaluator,
+                   configs: list) -> "tuple[list[float], float, float]":
+    """Worker-side unit of work: scalar-evaluate in order, then flush.
+
+    Module-level so the pool can pickle it.  The trailing flush matters:
+    slot evaluators carry a write-behind store whose buffer would die
+    with the task otherwise.  Returns ``(costs, t_start, exec_s)`` like
+    :func:`repro.dse.batch._evaluate_chunk` so the parent can decompose
+    latency into the same ``dse.chunk.*`` spans.
+    """
+    t_start = time.perf_counter()
+    costs = [float(evaluator.evaluate(c)) for c in configs]
+    store = getattr(evaluator, "cache", None)
+    flush = getattr(store, "flush", None)
+    if flush is not None:
+        flush()
+    return costs, t_start, time.perf_counter() - t_start
+
+
+class FabricEvaluator:
+    """Shard-owned, work-stealing process-pool evaluator.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped evaluator (pickled with each unit; must be picklable
+        when ``workers > 1``).
+    workers:
+        Worker-slot count; ``None`` resolves against
+        :func:`~repro.dse.batch.get_batch_defaults`.  With one worker
+        batches run inline (no pool, no shards — still bit-identical).
+    steal:
+        Enable work-stealing (default).  Disabled, each slot only ever
+        drains its own shard range — stragglers serialize again, which
+        is exactly the degraded leg the equivalence suite compares.
+    unit_size:
+        Configurations per pool task.  ``None`` picks
+        ``ceil(len(batch) / (16 * workers))`` — small units keep steals
+        meaningful.  ``1`` forces maximal stealing (the differential
+        suite's adversarial leg).
+    write_behind:
+        Write-behind buffer size handed to each slot's scoped store
+        (``0`` restores write-through in the workers).
+    retry_policy, sleep:
+        Lost-unit resubmission policy and injectable backoff hook, as on
+        :class:`~repro.dse.batch.ParallelEvaluator`.
+    """
+
+    def __init__(self, inner, *, workers: "int | None" = None,
+                 steal: bool = True, unit_size: "int | None" = None,
+                 write_behind: int = 64,
+                 retry_policy: "RetryPolicy | None" = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        # Imported here: batch.py's factory imports this module lazily,
+        # and a top-level import either way would be circular-prone.
+        from repro.dse.batch import resolve_workers
+
+        self.inner = inner
+        self.workers = resolve_workers(workers)
+        if unit_size is not None and unit_size < 1:
+            raise DesignSpaceError(
+                f"unit size must be >= 1, got {unit_size}")
+        if write_behind < 0:
+            raise DesignSpaceError(
+                f"write_behind must be >= 0, got {write_behind}")
+        self.steal = bool(steal)
+        self.unit_size = unit_size
+        self.write_behind = int(write_behind)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        self._sleep = sleep
+        self._pool: "ProcessPoolExecutor | None" = None
+        self._slot_evaluators: dict = {}
+        registry = get_registry()
+        self._ctr_steals = registry.counter("dse.fabric.steals")
+        self._ctr_units = registry.counter("dse.fabric.units")
+        self._ctr_reconciled = registry.counter("dse.fabric.reconciled")
+        self._ctr_crashes = registry.counter("resilience.worker_crashes")
+        self._ctr_rebuilds = registry.counter("resilience.pool_rebuilds")
+        self._ctr_serial = registry.counter("resilience.serial_fallbacks")
+        self._ctr_retries = registry.counter("resilience.retries")
+
+    # ---- evaluator protocol ----------------------------------------------
+
+    def evaluate(self, config: dict) -> float:
+        """Scalar pass-through (no pool round-trip for one point)."""
+        return retry_call(lambda: float(self.inner.evaluate(config)),
+                          policy=self.retry_policy, sleep=self._sleep,
+                          what="scalar evaluation")
+
+    def is_feasible(self, config: dict) -> bool:
+        """Delegates to the wrapped evaluator's design-rule check."""
+        return is_feasible(self.inner, config)
+
+    def evaluate_batch(self, configs: Sequence[dict]) -> np.ndarray:
+        """Costs of ``configs`` in input order, fabric-scheduled."""
+        configs = list(configs)
+        if not configs:
+            return np.empty(0, dtype=float)
+        if self.workers == 1:
+            return retry_call(lambda: batch_evaluate(self.inner, configs),
+                              policy=self.retry_policy, sleep=self._sleep,
+                              what="inline fabric batch")
+        shards = [config_shard(self.inner, c) for c in configs]
+        return self._run_fabric(configs, shards)
+
+    # ---- scheduling core --------------------------------------------------
+
+    def _run_fabric(self, configs: list, shards: "list[int]") -> np.ndarray:
+        policy = self.retry_policy
+        tracer = get_tracer()
+        n = len(configs)
+        out = np.empty(n, dtype=float)
+        unit = self.unit_size
+        if unit is None:
+            unit = max(1, -(-n // (16 * self.workers)))
+        backlogs: "list[deque[int]]" = [deque() for _ in range(self.workers)]
+        for i, shard in enumerate(shards):
+            backlogs[owner_of_shard(shard, self.workers)].append(i)
+        attempts = [0] * n
+        serial_queue: "list[int]" = []
+        executed: "list[tuple[int, list[int]]]" = []
+        free = set(range(self.workers))
+        inflight: dict = {}
+        t_done: dict = {}
+        round_no = 0
+        pool = self._ensure_pool()
+        while True:
+            for slot in sorted(free):
+                indices = self._next_unit(slot, backlogs, unit, tracer)
+                if not indices:
+                    continue
+                t_submit = time.perf_counter()
+                fut = pool.submit(_evaluate_unit, self._slot_evaluator(slot),
+                                  [configs[i] for i in indices])
+                fut.add_done_callback(
+                    lambda f: t_done.setdefault(f, time.perf_counter()))
+                inflight[fut] = (slot, indices, t_submit)
+                free.discard(slot)
+                self._ctr_units.inc()
+            if not inflight:
+                break
+            done, _pending = wait(list(inflight),
+                                  return_when=FIRST_COMPLETED)
+            lost: "list[list[int]]" = []
+            need_rebuild = False
+            for fut in done:
+                slot, indices, t_submit = inflight.pop(fut)
+                free.add(slot)
+                try:
+                    costs, t_start, exec_s = fut.result()
+                except BrokenExecutor:
+                    self._ctr_crashes.inc()
+                    tracer.event("resilience.chunk_lost", chunk=slot,
+                                 reason="crash")
+                    lost.append(indices)
+                    need_rebuild = True
+                    continue
+                except TransientError:
+                    tracer.event("resilience.chunk_lost", chunk=slot,
+                                 reason="transient")
+                    lost.append(indices)
+                    continue
+                except FatalError:
+                    raise
+                for i, cost in zip(indices, costs):
+                    out[i] = cost
+                executed.append((slot, indices))
+                self._record_unit_timing(slot, len(indices), t_submit,
+                                         t_done.get(fut), t_start, exec_s)
+            if need_rebuild:
+                self._teardown_pool(kill=True)
+                self._ctr_rebuilds.inc()
+                pool = self._ensure_pool()
+            if lost:
+                round_no += 1
+                requeued = 0
+                for indices in lost:
+                    for i in indices:
+                        attempts[i] += 1
+                    retry_idx = [i for i in indices
+                                 if attempts[i] < policy.max_attempts]
+                    serial_queue.extend(
+                        i for i in indices
+                        if attempts[i] >= policy.max_attempts)
+                    # Lost work goes back to the FRONT of its owner's
+                    # backlog (reversed extendleft preserves order), so
+                    # recovery never reorders evaluation within a shard.
+                    for i in reversed(retry_idx):
+                        backlogs[owner_of_shard(
+                            shards[i], self.workers)].appendleft(i)
+                    requeued += len(retry_idx)
+                if requeued:
+                    self._ctr_retries.inc()
+                    with tracer.span("resilience.backoff", round=round_no,
+                                     chunks=requeued):
+                        self._sleep(policy.delay(round_no))
+        if serial_queue:
+            order = sorted(set(serial_queue))
+            self._ctr_serial.inc()
+            tracer.event("resilience.serial_fallback", chunk=-1,
+                         attempts=policy.max_attempts)
+            costs = retry_call(
+                lambda: batch_evaluate(self.inner,
+                                       [configs[i] for i in order]),
+                policy=policy, sleep=self._sleep,
+                what="fabric serial fallback")
+            for i, cost in zip(order, costs):
+                out[i] = cost
+        self._reconcile(configs, shards, executed, out)
+        return out
+
+    def _next_unit(self, slot: int, backlogs: "list[deque[int]]",
+                   unit: int, tracer) -> "list[int]":
+        """Pop the next unit for a slot, stealing first when idle.
+
+        Stealing takes the *tail* half of the largest backlog (ties →
+        lowest victim slot), so the victim keeps draining its head in
+        input order while the thief works the far end.
+        """
+        own = backlogs[slot]
+        if not own and self.steal:
+            victim = -1
+            largest = 0
+            for v, backlog in enumerate(backlogs):
+                if v != slot and len(backlog) > largest:
+                    largest = len(backlog)
+                    victim = v
+            if victim >= 0:
+                move = max(1, largest // 2)
+                stolen = [backlogs[victim].pop() for _ in range(move)]
+                stolen.reverse()
+                own.extend(stolen)
+                self._ctr_steals.inc()
+                tracer.event("dse.fabric.steal", thief=slot, victim=victim,
+                             moved=move)
+        take = min(unit, len(own))
+        return [own.popleft() for _ in range(take)]
+
+    def _slot_evaluator(self, slot: int):
+        """The inner evaluator as shipped to one worker slot.
+
+        When the inner evaluator carries a
+        :class:`~repro.sim.cache_store.SimCacheStore`, the slot gets a
+        shallow copy whose store is scoped to the slot's owned shards
+        with write-behind buffering — the tiered cache's single-writer
+        discipline.  Other evaluators ship as-is.
+        """
+        cached = self._slot_evaluators.get(slot)
+        if cached is not None:
+            return cached
+        evaluator = self.inner
+        store = getattr(evaluator, "cache", None)
+        if isinstance(store, SimCacheStore):
+            evaluator = copy.copy(evaluator)
+            evaluator.cache = store.scoped(
+                owned_shards=owned_shards_of(slot, self.workers),
+                write_behind=self.write_behind)
+        self._slot_evaluators[slot] = evaluator
+        return evaluator
+
+    def _reconcile(self, configs: list, shards: "list[int]",
+                   executed: "list[tuple[int, list[int]]]",
+                   out: np.ndarray) -> None:
+        """Persist stolen-work results the executing slot could not.
+
+        A thief's scoped store refuses disk writes outside its owned
+        shards (``sim.cache.shard_denied``), so the cost came back to
+        the parent unpersisted.  The parent re-puts it here — after
+        reassembly, off every worker's critical path — as the owner of
+        last resort (atomic + idempotent, so a concurrent future owner
+        write is harmless).
+        """
+        store = getattr(self.inner, "cache", None)
+        key_for = getattr(self.inner, "cache_key_for", None)
+        if not isinstance(store, SimCacheStore) or key_for is None:
+            return
+        provenance_hook = getattr(self.inner, "cache_provenance", None)
+        provenance = provenance_hook() if provenance_hook is not None else {}
+        reconciled = 0
+        for slot, indices in executed:
+            owned = owned_shards_of(slot, self.workers)
+            for i in indices:
+                if shards[i] not in owned and np.isfinite(out[i]):
+                    store.put(key_for(configs[i]), float(out[i]),
+                              **provenance)
+                    reconciled += 1
+        if reconciled:
+            self._ctr_reconciled.inc(reconciled)
+
+    def _record_unit_timing(self, slot: int, size: int, t_submit: float,
+                            t_done: "float | None", t_start: float,
+                            exec_s: float) -> None:
+        """Same latency decomposition as the pool evaluator's chunks —
+        the profiler buckets (queue_wait / simulation / ipc) apply to
+        fabric units unchanged."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        queue_wait = max(0.0, t_start - t_submit)
+        exec_s = max(0.0, exec_s)
+        tracer.record_span("dse.chunk.queue_wait", queue_wait,
+                           chunk=slot, size=size)
+        tracer.record_span("dse.chunk.execute", exec_s,
+                           chunk=slot, size=size)
+        if t_done is not None:
+            ipc = max(0.0, (t_done - t_submit) - queue_wait - exec_s)
+            tracer.record_span("dse.chunk.ipc", ipc,
+                               chunk=slot, size=size)
+
+    # ---- pool lifecycle ---------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _teardown_pool(self, *, kill: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if kill:
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                if proc.is_alive():
+                    proc.terminate()
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except (OSError, RuntimeError):
+            pass
+
+    def close(self) -> None:
+        """Shut the pool down and flush the parent-side store buffer."""
+        self._teardown_pool()
+        store = getattr(self.inner, "cache", None)
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
+
+    def __enter__(self) -> "FabricEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-time best effort
+        try:
+            self.close()
+        except (ReproError, OSError, RuntimeError):
+            pass

@@ -15,6 +15,10 @@ the three layers that make that true:
   (schema ``c2bound.checkpoint/1``) of every charged evaluation, and
   the replay-based resume every search method inherits through
   :class:`~repro.dse.evaluate.BudgetedEvaluator`;
+- :mod:`repro.resilience.shard_ledger` — the sweep fabric's per-shard
+  exactly-once ledger: the same journal wire format fanned out over
+  ``shard-XXXX.jsonl`` files so a sweep that loses workers mid-flight
+  resumes bit-identically without a single-file serialization point;
 - :mod:`repro.resilience.faults` — the seeded fault-injection harness
   (worker crashes, delays, transient/fatal raises, cache corruption)
   behind ``tests/resilience`` and the chaos CI job.
@@ -44,6 +48,11 @@ from repro.resilience.checkpoint import (
     read_journal_headers,
     set_checkpoint_defaults,
 )
+from repro.resilience.shard_ledger import (
+    DEFAULT_LEDGER_SHARDS,
+    ShardedJournal,
+    shard_of_canonical_key,
+)
 from repro.resilience.faults import (
     CRASH_EXIT_STATUS,
     ExitAfter,
@@ -70,6 +79,9 @@ __all__ = [
     "get_checkpoint_defaults",
     "set_checkpoint_defaults",
     "journal_for_method",
+    "DEFAULT_LEDGER_SHARDS",
+    "ShardedJournal",
+    "shard_of_canonical_key",
     "CRASH_EXIT_STATUS",
     "Fault",
     "FaultPlan",

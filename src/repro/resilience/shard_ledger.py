@@ -1,0 +1,208 @@
+"""Per-shard exactly-once evaluation ledger for the sweep fabric.
+
+The PR 5 checkpoint journal (:mod:`repro.resilience.checkpoint`) is one
+append-only file per search.  Under the sweep fabric a sweep's charged
+evaluations arrive from many worker slots, and a single shared file
+would make the journal a serialization point again.  A
+:class:`ShardedJournal` keeps the same wire format — a directory of
+ordinary ``c2bound.checkpoint/1`` journals, one per ledger shard::
+
+    <dir>/shard-0000.jsonl
+    <dir>/shard-0001.jsonl
+    ...
+
+Every canonical configuration key routes to exactly one shard
+(:func:`shard_of_canonical_key` — a content hash over the journal wire
+encoding, so the mapping is identical across processes, platforms and
+runs).  That gives the exactly-once property a *local* form: a charged
+evaluation appears on exactly one shard file, duplicates are impossible
+by construction, and a crash can tear at most the final line of each
+shard (healed independently on resume by the underlying journal's
+torn-tail logic).
+
+:meth:`ShardedJournal.open_resume` restores the union of all shard
+ledgers; :class:`~repro.dse.evaluate.BudgetedEvaluator` replays them
+through its existing warm-cache machinery, so a sweep that lost workers
+mid-flight resumes bit-identically — costs *and* ``dse.evaluations``.
+
+Shard files remain individually valid journals:
+:func:`~repro.resilience.checkpoint.load_journal` reads any one of
+them, and manifest lineage picks their headers up like any other
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    _encode_key,
+    new_run_id,
+)
+
+__all__ = ["DEFAULT_LEDGER_SHARDS", "ShardedJournal",
+           "shard_of_canonical_key"]
+
+#: Default ledger fan-out.  Sixteen files keep per-shard append streams
+#: short without turning a checkpoint directory into directory spam; the
+#: count is recorded in every shard header and validated on resume.
+DEFAULT_LEDGER_SHARDS = 16
+
+
+def shard_of_canonical_key(key: tuple,
+                           shard_count: int = DEFAULT_LEDGER_SHARDS) -> int:
+    """Stable ledger shard of a canonical configuration key.
+
+    Hashes the checkpoint *wire encoding* of the key (floats exact via
+    ``repr``) so the key→shard mapping survives pickling, process
+    boundaries and resumes — the same bytes that would appear in the
+    journal decide where they go.
+    """
+    payload = json.dumps(_encode_key(key), separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:4], "big") % shard_count
+
+
+def _shard_name(shard: int) -> str:
+    return f"shard-{shard:04x}.jsonl"
+
+
+class ShardedJournal:
+    """A directory of per-shard checkpoint journals with one ledger API.
+
+    Mirrors the :class:`~repro.resilience.checkpoint.CheckpointJournal`
+    writing surface (``append_eval`` / ``append_evals`` / ``close``), so
+    a :class:`~repro.dse.evaluate.BudgetedEvaluator` accepts it as its
+    ``checkpoint=`` without knowing about shards.  Construct through
+    :meth:`create` or :meth:`open_resume`.
+    """
+
+    def __init__(self, directory: "str | Path", *,
+                 method: "str | None" = None,
+                 run_id: "str | None" = None,
+                 shard_count: int = DEFAULT_LEDGER_SHARDS) -> None:
+        if shard_count < 1:
+            raise CheckpointError(
+                f"ledger shard count must be >= 1, got {shard_count}")
+        self.directory = Path(directory)
+        self.method = method
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.shard_count = int(shard_count)
+        self._journals: "dict[int, CheckpointJournal]" = {}
+
+    # ---- constructors -----------------------------------------------------
+
+    @classmethod
+    def create(cls, directory: "str | Path", *,
+               method: "str | None" = None, run_id: "str | None" = None,
+               shard_count: int = DEFAULT_LEDGER_SHARDS) -> "ShardedJournal":
+        """Start a fresh ledger (removing any existing shard files)."""
+        ledger = cls(directory, method=method, run_id=run_id,
+                     shard_count=shard_count)
+        ledger.directory.mkdir(parents=True, exist_ok=True)
+        for stale in ledger.directory.glob("shard-*.jsonl"):
+            stale.unlink()
+        return ledger
+
+    @classmethod
+    def open_resume(cls, directory: "str | Path", *,
+                    method: "str | None" = None,
+                    run_id: "str | None" = None,
+                    shard_count: "int | None" = None,
+                    ) -> "tuple[ShardedJournal, list[tuple[tuple, float]]]":
+        """Reopen a ledger directory, restoring every shard's evals.
+
+        Returns ``(ledger, evals)`` — the union of all shard ledgers in
+        shard order (restore order is irrelevant: the budget replay
+        warms a cache keyed by configuration).  Each shard file heals
+        its own torn tail.  A missing or empty directory degenerates to
+        :meth:`create`.  ``shard_count=None`` adopts the count recorded
+        in the shard headers; an explicit mismatching count raises.
+        """
+        directory = Path(directory)
+        paths = sorted(directory.glob("shard-*.jsonl")) \
+            if directory.is_dir() else []
+        if not paths:
+            count = (DEFAULT_LEDGER_SHARDS if shard_count is None
+                     else shard_count)
+            return cls.create(directory, method=method, run_id=run_id,
+                              shard_count=count), []
+        ledger = cls(directory, method=method, run_id=run_id, shard_count=1)
+        evals: "list[tuple[tuple, float]]" = []
+        recorded: "set[int]" = set()
+        for path in paths:
+            shard = int(path.stem.split("-", 1)[1], 16)
+            journal, shard_evals, _states = CheckpointJournal.open_resume(
+                path, method=method)
+            meta = journal.header.get("meta") or {}
+            if "shard_count" in meta:
+                recorded.add(int(meta["shard_count"]))
+            ledger._journals[shard] = journal
+            evals.extend(shard_evals)
+        if len(recorded) > 1:
+            raise CheckpointError(
+                f"ledger {directory} mixes shard counts {sorted(recorded)}")
+        count = recorded.pop() if recorded else (
+            DEFAULT_LEDGER_SHARDS if shard_count is None else shard_count)
+        if shard_count is not None and shard_count != count:
+            raise CheckpointError(
+                f"ledger {directory} was written with {count} shards, "
+                f"asked to resume with {shard_count}")
+        ledger.shard_count = count
+        return ledger, evals
+
+    # ---- writing ----------------------------------------------------------
+
+    def shard_of(self, key: tuple) -> int:
+        """The ledger shard a canonical key routes to."""
+        return shard_of_canonical_key(key, self.shard_count)
+
+    def _journal_for(self, shard: int) -> CheckpointJournal:
+        journal = self._journals.get(shard)
+        if journal is None:
+            path = self.directory / _shard_name(shard)
+            if path.exists():
+                journal, _evals, _states = CheckpointJournal.open_resume(
+                    path, method=self.method)
+            else:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                journal = CheckpointJournal.create(
+                    path, method=self.method, run_id=self.run_id,
+                    meta={"shard": shard, "shard_count": self.shard_count})
+            self._journals[shard] = journal
+        return journal
+
+    def append_eval(self, key: tuple, cost: float) -> None:
+        """Ledger one charged evaluation on its owning shard."""
+        self._journal_for(self.shard_of(key)).append_eval(key, cost)
+
+    def append_evals(self, entries: "list[tuple[tuple, float]]") -> None:
+        """Ledger a batch — grouped by shard, one flush per shard touched."""
+        if not entries:
+            return
+        by_shard: "dict[int, list[tuple[tuple, float]]]" = {}
+        for key, cost in entries:
+            by_shard.setdefault(self.shard_of(key), []).append((key, cost))
+        for shard in sorted(by_shard):
+            self._journal_for(shard).append_evals(by_shard[shard])
+
+    def paths(self) -> "list[Path]":
+        """Existing shard files, sorted (for lineage / auditing)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("shard-*.jsonl"))
+
+    def close(self) -> None:
+        """Flush and close every open shard journal (idempotent)."""
+        for journal in self._journals.values():
+            journal.close()
+
+    def __enter__(self) -> "ShardedJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

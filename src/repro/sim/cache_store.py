@@ -13,6 +13,27 @@ Store layout (two-level fan-out keeps directories small)::
 
     <root>/ab/abcdef....json   {"cost": "<repr>", "model_version": "...", ...}
 
+The hex prefix is also the store's *shard* identity: keys are SHA-256
+hex digests, so the first :data:`SHARD_PREFIX_LEN` characters partition
+the key space into :data:`SHARD_COUNT` uniform shards
+(:func:`shard_of_key`).  The sweep fabric
+(:mod:`repro.dse.fabric`) assigns each worker a contiguous shard range
+and passes ``owned_shards`` so only the owner ever writes a shard's
+directory — single-writer by construction, no cross-process locking on
+any path.
+
+Tiers (hot to cold):
+
+1. **memory front** — per-process LRU (``memory_entries`` capacity);
+   hits cost a dict lookup, no file I/O, no locks
+   (``sim.cache.front_hits``);
+2. **write-behind buffer** — with ``write_behind > 0``, ``put`` only
+   buffers; entries reach disk in batched :meth:`flush` calls
+   (``sim.cache.flush`` spans) so persistence leaves the simulation
+   critical path;
+3. **disk back tier** — content-addressed JSON entries, shared by every
+   process, written atomically.
+
 Guarantees:
 
 - **exactness** — costs are stored as ``repr(float)`` and parsed back
@@ -47,7 +68,8 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.obs import get_registry, get_tracer
 
-__all__ = ["SIM_MODEL_VERSION", "FINGERPRINT_SCHEMA", "SimCacheStore",
+__all__ = ["SIM_MODEL_VERSION", "FINGERPRINT_SCHEMA", "SHARD_PREFIX_LEN",
+           "SHARD_COUNT", "SimCacheStore", "shard_of_key",
            "sim_cache_key", "fingerprint", "cached_simulate_chip_cost",
            "verify_fingerprint_schema", "set_default_store",
            "get_default_store", "resolve_store"]
@@ -167,6 +189,28 @@ def sim_cache_key(chip, workload, seed: int) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Hex characters of a key that name its disk shard (and directory).
+#: ``sim_cache_key`` returns SHA-256 *hex*, so a prefix of this width is
+#: uniform over ``16 ** SHARD_PREFIX_LEN`` values; the ``C2L002`` lint
+#: rule pins the prefix <-> shard mapping to this literal.
+SHARD_PREFIX_LEN = 2
+
+#: Number of disk shards, ``16 ** SHARD_PREFIX_LEN``.  Shard identity is
+#: ownership currency for the sweep fabric: a worker owning shard ``s``
+#: is the only writer of the ``<root>/<s:02x>/`` directory.
+SHARD_COUNT = 256
+
+
+def shard_of_key(key: str) -> int:
+    """Shard index owning ``key``: the integer value of its hex prefix.
+
+    The shard is *derived from the key*, never stored, so the mapping
+    can only drift if :func:`sim_cache_key` stops producing hex digests
+    — which the ``C2L002`` lint rule guards against statically.
+    """
+    return int(key[:SHARD_PREFIX_LEN], 16)
+
+
 class SimCacheStore:
     """On-disk content-addressed cost store with an in-memory LRU front.
 
@@ -178,45 +222,99 @@ class SimCacheStore:
         Capacity of the in-memory front; reads served from memory never
         touch the filesystem.  Disk entries are never evicted by the
         store itself (use :meth:`clear`).
+    write_behind:
+        ``0`` (the default) keeps the historical write-through behavior:
+        every :meth:`put` persists immediately.  ``> 0`` buffers puts
+        and flushes them to disk in batches of this size (and on
+        :meth:`flush`/:meth:`close`), taking file I/O off the simulation
+        critical path.  A crash loses only buffered entries — costs, not
+        correctness, since entries are recomputable and re-``put`` is
+        idempotent.
+    owned_shards:
+        ``None`` (the default) writes any shard.  A set of shard indices
+        restricts *disk* writes to those shards: a ``put`` outside the
+        owned range updates the memory front only and is counted as
+        ``sim.cache.shard_denied``.  Reads are never restricted.
     """
 
-    def __init__(self, root, *, memory_entries: int = 4096) -> None:
+    def __init__(self, root, *, memory_entries: int = 4096,
+                 write_behind: int = 0,
+                 owned_shards: "frozenset[int] | None" = None) -> None:
         if memory_entries < 1:
             raise InvalidParameterError(
                 f"memory_entries must be >= 1, got {memory_entries}")
+        if write_behind < 0:
+            raise InvalidParameterError(
+                f"write_behind must be >= 0, got {write_behind}")
         self.root = Path(root)
         self.memory_entries = memory_entries
+        self.write_behind = int(write_behind)
+        self.owned_shards = (None if owned_shards is None
+                             else frozenset(int(s) for s in owned_shards))
         self._mem: OrderedDict[str, float] = OrderedDict()
+        self._pending: "OrderedDict[str, tuple[float, dict]]" = OrderedDict()
         self.hits = 0
+        self.front_hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.denied = 0
+        self.flushed = 0
         self._bind_counters()
 
     def _bind_counters(self) -> None:
         registry = get_registry()
         self._ctr_hits = registry.counter("sim.cache.hits")
+        self._ctr_front_hits = registry.counter("sim.cache.front_hits")
         self._ctr_misses = registry.counter("sim.cache.misses")
         self._ctr_stores = registry.counter("sim.cache.stores")
         self._ctr_evictions = registry.counter("sim.cache.evictions")
         self._ctr_corrupt = registry.counter("sim.cache.corrupt")
+        self._ctr_denied = registry.counter("sim.cache.shard_denied")
 
     # Pickling ships only the configuration (for process-pool workers);
     # each worker rebuilds its own LRU front and registry counters.
+    # Buffered write-behind entries are flushed by the owner before the
+    # task returns, never pickled.
     def __getstate__(self) -> dict:
-        return {"root": str(self.root), "memory_entries": self.memory_entries}
+        return {"root": str(self.root), "memory_entries": self.memory_entries,
+                "write_behind": self.write_behind,
+                "owned_shards": (None if self.owned_shards is None
+                                 else sorted(self.owned_shards))}
 
     def __setstate__(self, state: dict) -> None:
         self.root = Path(state["root"])
         self.memory_entries = state["memory_entries"]
+        self.write_behind = state.get("write_behind", 0)
+        owned = state.get("owned_shards")
+        self.owned_shards = None if owned is None else frozenset(owned)
         self._mem = OrderedDict()
+        self._pending = OrderedDict()
         self.hits = 0
+        self.front_hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.denied = 0
+        self.flushed = 0
         self._bind_counters()
 
+    def scoped(self, *, owned_shards: "frozenset[int] | None" = None,
+               write_behind: "int | None" = None) -> "SimCacheStore":
+        """A new view over the same root with different tier knobs.
+
+        The sweep fabric hands each worker slot
+        ``scoped(owned_shards=..., write_behind=...)`` so every slot
+        shares the disk tier but owns a disjoint writable shard range.
+        """
+        return SimCacheStore(
+            self.root, memory_entries=self.memory_entries,
+            write_behind=(self.write_behind if write_behind is None
+                          else write_behind),
+            owned_shards=(self.owned_shards if owned_shards is None
+                          else owned_shards))
+
     def path_for(self, key: str) -> Path:
-        """On-disk location of a key's entry."""
-        return self.root / key[:2] / f"{key}.json"
+        """On-disk location of a key's entry (inside its shard dir)."""
+        return self.root / key[:SHARD_PREFIX_LEN] / f"{key}.json"
 
     def _remember(self, key: str, cost: float) -> None:
         mem = self._mem
@@ -264,8 +362,21 @@ class SimCacheStore:
             # and a span per hot-path hit would swamp the trace.
             mem.move_to_end(key)
             self.hits += 1
+            self.front_hits += 1
             self._ctr_hits.inc()
+            self._ctr_front_hits.inc()
             return mem[key]
+        pending = self._pending
+        if key in pending:
+            # Buffered but evicted from the LRU front: still no file
+            # I/O, so it counts as a front hit (and re-promotes).
+            cost = pending[key][0]
+            self._remember(key, cost)
+            self.hits += 1
+            self.front_hits += 1
+            self._ctr_hits.inc()
+            self._ctr_front_hits.inc()
+            return cost
         path = self.path_for(key)
         with get_tracer().span("sim.cache.lookup") as span:
             try:
@@ -293,37 +404,98 @@ class SimCacheStore:
         self._ctr_hits.inc()
         return cost
 
-    def put(self, key: str, cost: float, **provenance) -> None:
-        """Persist a cost (atomic write; concurrent writers are safe)."""
-        cost = float(cost)
+    def _persist(self, key: str, cost: float, provenance: dict) -> None:
+        """Atomic disk write of one entry (concurrent writers are safe)."""
         path = self.path_for(key)
-        with get_tracer().span("sim.cache.store"):
-            path.parent.mkdir(parents=True, exist_ok=True)
-            entry = {"cost": repr(cost),
-                     "model_version": SIM_MODEL_VERSION}
-            entry.update(provenance)
-            payload = json.dumps(entry, sort_keys=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"cost": repr(cost),
+                 "model_version": SIM_MODEL_VERSION}
+        entry.update(provenance)
+        payload = json.dumps(entry, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
             try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(payload)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def put(self, key: str, cost: float, **provenance) -> None:
+        """Record a cost.
+
+        Write-through by default (atomic persist under a
+        ``sim.cache.store`` span).  With ``write_behind > 0`` the entry
+        is buffered and reaches disk in the next batched :meth:`flush`.
+        A key outside ``owned_shards`` updates the memory front only
+        (``sim.cache.shard_denied``) — the shard's owner (or the fabric
+        parent reconciling stolen work) persists it instead.
+        """
+        cost = float(cost)
+        if (self.owned_shards is not None
+                and shard_of_key(key) not in self.owned_shards):
+            self._remember(key, cost)
+            self.denied += 1
+            self._ctr_denied.inc()
+            return
+        if self.write_behind:
+            self._pending[key] = (cost, dict(provenance))
+            self._remember(key, cost)
+            if len(self._pending) >= self.write_behind:
+                self.flush()
+            return
+        with get_tracer().span("sim.cache.store"):
+            self._persist(key, cost, provenance)
         self._remember(key, cost)
         self._ctr_stores.inc()
 
+    def flush(self) -> int:
+        """Drain the write-behind buffer to disk; returns entries written.
+
+        One ``sim.cache.flush`` span covers the whole batch — the point
+        of the buffer is that per-entry I/O (and its tracing) leaves the
+        simulation critical path.
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        n = len(pending)
+        with get_tracer().span("sim.cache.flush", entries=n):
+            while pending:
+                key, (cost, provenance) = pending.popitem(last=False)
+                self._persist(key, cost, provenance)
+                self._ctr_stores.inc()
+        self.flushed += n
+        return n
+
+    def close(self) -> None:
+        """Flush buffered writes (idempotent; also the context exit)."""
+        self.flush()
+
+    def __enter__(self) -> "SimCacheStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def stats(self) -> dict:
-        """Store summary: entry/byte counts plus this instance's hit/miss."""
+        """Store summary with a per-tier breakdown.
+
+        Disk-tier totals (``entries``/``bytes``/``shards_populated``)
+        plus this instance's hit/miss split across the memory front
+        (``front_hits``) and disk (``disk_hits``), the write-behind
+        buffer state and the shard-ownership scope.
+        """
         entries = 0
         total_bytes = 0
+        shard_dirs: set[str] = set()
         if self.root.is_dir():
             for path in self.root.glob("??/*.json"):
                 entries += 1
+                shard_dirs.add(path.parent.name)
                 try:
                     total_bytes += path.stat().st_size
                 except OSError:
@@ -336,10 +508,25 @@ class SimCacheStore:
                 "bytes": total_bytes, "memory_entries": len(self._mem),
                 "hits": self.hits, "misses": self.misses,
                 "corrupt": self.corrupt, "quarantined": quarantined,
+                "front_capacity": self.memory_entries,
+                "front_hits": self.front_hits,
+                "disk_hits": self.hits - self.front_hits,
+                "pending_writes": len(self._pending),
+                "write_behind": self.write_behind,
+                "flushed": self.flushed,
+                "shards_populated": len(shard_dirs),
+                "shard_count": SHARD_COUNT,
+                "owned_shards": (-1 if self.owned_shards is None
+                                 else len(self.owned_shards)),
+                "shard_denied": self.denied,
                 "model_version": SIM_MODEL_VERSION}
 
     def clear(self) -> int:
-        """Delete every persisted entry; returns how many were removed."""
+        """Delete every persisted entry; returns how many were removed.
+
+        Buffered (unflushed) entries are dropped too — ``clear`` means
+        the store forgets everything it has not already served.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("??/*.json"):
@@ -349,6 +536,7 @@ class SimCacheStore:
                 except OSError:
                     pass
         self._mem.clear()
+        self._pending.clear()
         return removed
 
 

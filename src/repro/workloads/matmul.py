@@ -99,20 +99,20 @@ class TiledMatMul(Workload):
         i_in = i_in.ravel()
         j_in = j_in.ravel()
         k_in = k_in.ravel()
-        chunks: list[np.ndarray] = []
-        for ii in range(nt):
-            for jj in range(nt):
-                for kk in range(nt):
-                    i = ii * t + i_in
-                    j = jj * t + j_in
-                    k = kk * t + k_in
-                    a = base_a + (i * n + k) * eb
-                    b = base_b + (k * n + j) * eb
-                    c = base_c + (i * n + j) * eb
-                    # Per inner iteration: load A, load B, update C.
-                    block = np.empty(3 * a.size, dtype=np.int64)
-                    block[0::3] = a
-                    block[1::3] = b
-                    block[2::3] = c
-                    chunks.append(block)
-        return np.concatenate(chunks)
+        # Tile origins of the (ii, jj, kk) outer nest, one per row of a
+        # (tiles, interior) grid — the whole stream in one broadcast,
+        # bit-identical to looping tiles one at a time.
+        oi, oj, ok = np.meshgrid(np.arange(nt), np.arange(nt),
+                                 np.arange(nt), indexing="ij")
+        i = (oi.ravel()[:, None] * t + i_in).astype(np.int64)
+        j = (oj.ravel()[:, None] * t + j_in).astype(np.int64)
+        k = (ok.ravel()[:, None] * t + k_in).astype(np.int64)
+        a = base_a + (i * n + k) * eb
+        b = base_b + (k * n + j) * eb
+        c = base_c + (i * n + j) * eb
+        # Per inner iteration: load A, load B, update C.
+        block = np.empty((a.shape[0], 3 * a.shape[1]), dtype=np.int64)
+        block[:, 0::3] = a
+        block[:, 1::3] = b
+        block[:, 2::3] = c
+        return block.reshape(-1)

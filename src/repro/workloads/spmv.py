@@ -67,20 +67,24 @@ class BandSpMV(Workload):
         return idx % row_len == row_len - 1
 
     def address_stream(self, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized stream: one broadcast over a ``(rows, lane)`` grid.
+
+        Row ``i`` interleaves band-storage loads with the ``x`` window
+        and ends on the ``y[i]`` store — identical layout (and bits) to
+        a per-row loop, built in a single NumPy pass.
+        """
         n, b, eb = self.n, self.b, self.element_bytes
         width = 2 * b + 1
         base_a = 0
         base_x = n * width * eb
         base_y = base_x + n * eb
-        chunks = []
-        cols_rel = np.arange(-b, b + 1, dtype=np.int64)
-        for i in range(n):
-            cols = np.clip(i + cols_rel, 0, n - 1)
-            a_addrs = base_a + (i * width + np.arange(width)) * eb
-            x_addrs = base_x + cols * eb
-            row = np.empty(2 * width + 1, dtype=np.int64)
-            row[0:2 * width:2] = a_addrs
-            row[1:2 * width:2] = x_addrs
-            row[-1] = base_y + i * eb
-            chunks.append(row)
-        return np.concatenate(chunks)
+        rows = np.arange(n, dtype=np.int64)[:, None]
+        lanes = np.arange(width, dtype=np.int64)
+        cols = np.clip(rows + (lanes - b), 0, n - 1)
+        a_addrs = base_a + (rows * width + lanes) * eb
+        x_addrs = base_x + cols * eb
+        out = np.empty((n, 2 * width + 1), dtype=np.int64)
+        out[:, 0:2 * width:2] = a_addrs
+        out[:, 1:2 * width:2] = x_addrs
+        out[:, -1] = base_y + rows[:, 0] * eb
+        return out.reshape(-1)

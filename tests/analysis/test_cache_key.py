@@ -18,6 +18,7 @@ class ChipConfig:
 """
 
 GOOD_STORE = """\
+import hashlib
 from dataclasses import fields
 
 SIM_MODEL_VERSION = "1"
@@ -26,9 +27,25 @@ FINGERPRINT_SCHEMA = {
     "ChipConfig": ("n_cores", "size_kib"),
 }
 
+SHARD_PREFIX_LEN = 2
+SHARD_COUNT = 256
+
 
 def fingerprint(obj):
     return sorted(str(f.name) for f in fields(obj))
+
+
+def sim_cache_key(obj):
+    return hashlib.sha256(repr(fingerprint(obj)).encode()).hexdigest()
+
+
+def shard_of_key(key):
+    return int(key[:SHARD_PREFIX_LEN], 16)
+
+
+class SimCacheStore:
+    def path_for(self, key):
+        return key[:SHARD_PREFIX_LEN] + "/" + key + ".json"
 """
 
 GOOD_EVALUATE = """\
@@ -120,6 +137,65 @@ def test_unsorted_canonical_key_detected(lint_tree):
          "dse/evaluate.py": unsorted},
         rules=["C2L002"])
     assert "canonical_key" in messages(result)
+
+
+def test_computed_shard_prefix_detected(lint_tree):
+    computed = GOOD_STORE.replace("SHARD_PREFIX_LEN = 2",
+                                  "SHARD_PREFIX_LEN = 1 + 1")
+    result = lint_tree(
+        {"sim/config.py": GOOD_CONFIG, "sim/cache_store.py": computed},
+        rules=["C2L002"])
+    assert "SHARD_PREFIX_LEN must be a literal int" in messages(result)
+
+
+def test_shard_count_prefix_mismatch_detected(lint_tree):
+    drifted = GOOD_STORE.replace("SHARD_COUNT = 256", "SHARD_COUNT = 64")
+    result = lint_tree(
+        {"sim/config.py": GOOD_CONFIG, "sim/cache_store.py": drifted},
+        rules=["C2L002"])
+    assert "16 ** 2" in messages(result)
+
+
+def test_shard_of_key_hardcoded_width_detected(lint_tree):
+    magic = GOOD_STORE.replace("int(key[:SHARD_PREFIX_LEN], 16)",
+                               "int(key[:2], 16)")
+    result = lint_tree(
+        {"sim/config.py": GOOD_CONFIG, "sim/cache_store.py": magic},
+        rules=["C2L002"])
+    assert "no longer references SHARD_PREFIX_LEN" in messages(result)
+
+
+def test_shard_of_key_non_hex_parse_detected(lint_tree):
+    broken = GOOD_STORE.replace("int(key[:SHARD_PREFIX_LEN], 16)",
+                                "hash(key[:SHARD_PREFIX_LEN])")
+    result = lint_tree(
+        {"sim/config.py": GOOD_CONFIG, "sim/cache_store.py": broken},
+        rules=["C2L002"])
+    assert "int(..., 16)" in messages(result)
+
+
+def test_non_hex_cache_key_detected(lint_tree):
+    non_hex = GOOD_STORE.replace(
+        "hashlib.sha256(repr(fingerprint(obj)).encode()).hexdigest()",
+        "str(hash(repr(fingerprint(obj))))")
+    result = lint_tree(
+        {"sim/config.py": GOOD_CONFIG, "sim/cache_store.py": non_hex},
+        rules=["C2L002"])
+    assert "sha256" in messages(result)
+
+
+def test_path_for_magic_width_detected(lint_tree):
+    magic = GOOD_STORE.replace(
+        'key[:SHARD_PREFIX_LEN] + "/" + key + ".json"',
+        'key[:2] + "/" + key + ".json"')
+    result = lint_tree(
+        {"sim/config.py": GOOD_CONFIG, "sim/cache_store.py": magic},
+        rules=["C2L002"])
+    assert "path_for() must slice" in messages(result)
+
+
+def test_runtime_shard_constants_consistent():
+    assert cache_store.SHARD_COUNT == 16 ** cache_store.SHARD_PREFIX_LEN
 
 
 def test_partial_tree_skips_cleanly(lint_tree):

@@ -1,0 +1,165 @@
+"""Sharded ledger: stable routing, union resume, per-shard crash healing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dse.evaluate import canonical_key
+from repro.errors import CheckpointError
+from repro.resilience import (
+    DEFAULT_LEDGER_SHARDS,
+    ShardedJournal,
+    load_journal,
+    read_journal_headers,
+    set_checkpoint_defaults,
+    shard_of_canonical_key,
+)
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA
+
+AWKWARD_COSTS = [0.1 + 0.2, 1e-17, 3.141592653589793, 2.0 ** -1074,
+                 math.inf, 123456789.000000001]
+
+
+def _key(i: int) -> tuple:
+    return canonical_key({"a0": 0.1 * i, "n": i, "tag": f"p{i}"})
+
+
+class TestShardRouting:
+    def test_deterministic_and_in_range(self):
+        keys = [_key(i) for i in range(200)]
+        shards = [shard_of_canonical_key(k) for k in keys]
+        assert shards == [shard_of_canonical_key(k) for k in keys]
+        assert all(0 <= s < DEFAULT_LEDGER_SHARDS for s in shards)
+        # 200 keys over 16 shards: the hash actually fans out.
+        assert len(set(shards)) > 1
+
+    def test_float_exactness_distinguishes_keys(self):
+        # Two keys whose floats differ only at the last ulp route (and
+        # ledger) independently — repr-exact hashing, no rounding.
+        a = canonical_key({"x": 0.1 + 0.2})
+        b = canonical_key({"x": 0.3})
+        assert a != b
+        assert isinstance(shard_of_canonical_key(a), int)
+        assert isinstance(shard_of_canonical_key(b), int)
+
+    def test_respects_shard_count(self):
+        key = _key(1)
+        assert shard_of_canonical_key(key, 1) == 0
+        for count in (2, 4, 16, 64):
+            assert 0 <= shard_of_canonical_key(key, count) < count
+
+
+class TestLedgerRoundTrip:
+    def test_union_resume_with_exact_costs(self, tmp_path):
+        directory = tmp_path / "ledger"
+        with ShardedJournal.create(directory, method="aps",
+                                   shard_count=4) as ledger:
+            for i, cost in enumerate(AWKWARD_COSTS):
+                ledger.append_eval(_key(i), cost)
+            ledger.append_evals([(_key(10 + i), float(i)) for i in range(8)])
+        resumed, evals = ShardedJournal.open_resume(directory, method="aps")
+        resumed.close()
+        assert resumed.shard_count == 4
+        by_key = dict(evals)
+        for i, cost in enumerate(AWKWARD_COSTS):
+            got = by_key[_key(i)]
+            assert got == cost and type(got) is float
+        assert len(evals) == len(AWKWARD_COSTS) + 8
+
+    def test_entries_land_on_their_routed_shard(self, tmp_path):
+        directory = tmp_path / "ledger"
+        with ShardedJournal.create(directory, method="ga",
+                                   shard_count=4) as ledger:
+            keys = [_key(i) for i in range(32)]
+            ledger.append_evals([(k, 1.0) for k in keys])
+        for path in sorted(directory.glob("shard-*.jsonl")):
+            shard = int(path.stem.split("-", 1)[1], 16)
+            header, evals, _states = load_journal(path)
+            assert header["meta"] == {"shard": shard, "shard_count": 4}
+            for key, _cost in evals:
+                assert shard_of_canonical_key(key, 4) == shard
+
+    def test_shard_files_are_ordinary_journals(self, tmp_path):
+        directory = tmp_path / "ledger"
+        with ShardedJournal.create(directory, method="aps",
+                                   shard_count=2) as ledger:
+            ledger.append_eval(_key(0), 1.5)
+        headers = read_journal_headers(tmp_path)
+        assert len(headers) == len(list(directory.glob("shard-*.jsonl")))
+        assert all(h["schema"] == CHECKPOINT_SCHEMA for h in headers)
+        assert all(h["method"] == "aps" for h in headers)
+
+    def test_empty_directory_degenerates_to_create(self, tmp_path):
+        ledger, evals = ShardedJournal.open_resume(tmp_path / "fresh",
+                                                   method="aps")
+        ledger.close()
+        assert evals == []
+
+
+class TestLedgerCrashTolerance:
+    def _ledger_with_entries(self, tmp_path) -> "tuple":
+        directory = tmp_path / "ledger"
+        keys = [_key(i) for i in range(24)]
+        with ShardedJournal.create(directory, method="aps",
+                                   shard_count=4) as ledger:
+            ledger.append_evals([(k, float(i)) for i, k in enumerate(keys)])
+        return directory, keys
+
+    def test_torn_tail_on_one_shard_heals_locally(self, tmp_path):
+        directory, keys = self._ledger_with_entries(tmp_path)
+        victim = sorted(directory.glob("shard-*.jsonl"))[0]
+        intact = len(load_journal(victim)[1])
+        with open(victim, "a") as handle:
+            handle.write('{"type": "eval", "k": [["a0", "f", "0.')
+        resumed, evals = ShardedJournal.open_resume(directory, method="aps")
+        resumed.close()
+        # Only the torn line is lost; every other shard is untouched.
+        assert len(evals) == len(keys)
+        assert len(load_journal(victim)[1]) == intact
+
+    def test_method_mismatch_refuses_resume(self, tmp_path):
+        directory, _keys = self._ledger_with_entries(tmp_path)
+        with pytest.raises(CheckpointError):
+            ShardedJournal.open_resume(directory, method="ga")
+
+    def test_shard_count_mismatch_refuses_resume(self, tmp_path):
+        directory, _keys = self._ledger_with_entries(tmp_path)
+        with pytest.raises(CheckpointError):
+            ShardedJournal.open_resume(directory, method="aps",
+                                       shard_count=8)
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            ShardedJournal(tmp_path / "x", shard_count=0)
+
+
+class TestDefaultsWiring:
+    def test_sharded_defaults_route_budget_journaling(self, tmp_path,
+                                                      surrogate, configs):
+        from repro.dse.evaluate import BudgetedEvaluator
+        sweep = configs[:12]
+        set_checkpoint_defaults(directory=tmp_path, sharded=True,
+                                ledger_shards=4)
+        budget = BudgetedEvaluator(surrogate, method="aps")
+        budget.evaluate_batch(sweep)
+        budget.close()
+        shard_files = list((tmp_path / "aps").glob("shard-*.jsonl"))
+        assert shard_files
+
+        # Resume through the same defaults restores the full union and
+        # replays charges exactly-once.
+        set_checkpoint_defaults(directory=tmp_path, resume=True,
+                                sharded=True, ledger_shards=4)
+        resumed = BudgetedEvaluator(surrogate, method="aps")
+        costs = resumed.evaluate_batch(sweep)
+        resumed.close()
+        assert resumed.evaluations == budget.evaluations
+        assert (costs == [surrogate.evaluate(c) for c in sweep]).all()
+        # No double journaling after the resumed replay.
+        _ledger, evals = ShardedJournal.open_resume(tmp_path / "aps",
+                                                    method="aps")
+        _ledger.close()
+        keys = [k for k, _ in evals]
+        assert len(keys) == len(set(keys)) == budget.evaluations

@@ -13,6 +13,8 @@ from repro.errors import InvalidParameterError
 from repro.obs import get_registry
 from repro.sim.cache_store import (
     ENV_VAR,
+    SHARD_COUNT,
+    SHARD_PREFIX_LEN,
     SIM_MODEL_VERSION,
     SimCacheStore,
     cached_simulate_chip_cost,
@@ -20,6 +22,7 @@ from repro.sim.cache_store import (
     get_default_store,
     resolve_store,
     set_default_store,
+    shard_of_key,
     sim_cache_key,
 )
 from repro.sim.config import CoreMicroConfig, SimulatedChip
@@ -156,6 +159,178 @@ def test_concurrent_style_double_put_is_idempotent(tmp_path):
     a.put(key, 2.5)
     b.put(key, 2.5)  # second writer replaces atomically with same value
     assert SimCacheStore(tmp_path / "cache").get(key) == 2.5
+
+
+# ----- tiered semantics: shards, write-behind, ownership -------------------
+def _k(prefix: str, fill: str = "7") -> str:
+    return prefix + fill * (64 - len(prefix))
+
+
+def test_shard_of_key_matches_path_layout(tmp_path):
+    store = SimCacheStore(tmp_path / "cache")
+    for prefix in ("00", "ab", "ff"):
+        key = _k(prefix)
+        shard = shard_of_key(key)
+        assert 0 <= shard < SHARD_COUNT
+        assert shard == int(prefix, 16)
+        assert store.path_for(key).parent.name == key[:SHARD_PREFIX_LEN]
+
+
+def test_front_hit_vs_disk_hit_accounting(tmp_path):
+    registry = get_registry()
+    registry.reset()
+    store = SimCacheStore(tmp_path / "cache")
+    key = _k("aa")
+    store.put(key, 1.25)
+    assert store.get(key) == 1.25            # served by the memory front
+    assert store.front_hits == 1
+    assert registry.counter("sim.cache.front_hits").value == 1
+
+    fresh = SimCacheStore(tmp_path / "cache")
+    assert fresh.get(key) == 1.25            # disk hit: promotes to front
+    assert fresh.front_hits == 0 and fresh.hits == 1
+    assert fresh.get(key) == 1.25            # now a front hit
+    assert fresh.front_hits == 1
+    assert fresh.stats()["disk_hits"] == 1
+
+
+def test_write_behind_buffers_until_batch_flush(tmp_path):
+    registry = get_registry()
+    registry.reset()
+    store = SimCacheStore(tmp_path / "cache", write_behind=3)
+    keys = [_k(f"{i:02d}") for i in range(3)]
+    store.put(keys[0], 0.0)
+    store.put(keys[1], 1.0)
+    # Nothing persisted yet — and the buffered entries still read.
+    assert not list(store.root.glob("??/*.json"))
+    assert store.stats()["pending_writes"] == 2
+    assert store.get(keys[0]) == 0.0
+    store.put(keys[2], 2.0)                  # hits the batch size: flush
+    assert store.stats()["pending_writes"] == 0
+    assert store.flushed == 3
+    assert len(list(store.root.glob("??/*.json"))) == 3
+    assert registry.counter("sim.cache.stores").value == 3
+
+
+def test_write_behind_flushes_on_close_and_context_exit(tmp_path):
+    key = _k("bb")
+    with SimCacheStore(tmp_path / "cache", write_behind=64) as store:
+        store.put(key, 4.5, seed=3)
+        assert not list(store.root.glob("??/*.json"))
+    # Context exit flushed — provenance included.
+    entry = json.loads(store.path_for(key).read_text())
+    assert entry["cost"] == "4.5" and entry["seed"] == 3
+    assert store.close() is None             # idempotent
+
+
+def test_crash_loses_only_buffered_entries(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", write_behind=64)
+    store.put(_k("cc"), 1.0)
+    del store                                # "crash": no flush ran
+    assert SimCacheStore(tmp_path / "cache").get(_k("cc")) in (None, 1.0)
+
+
+def test_pending_entry_survives_front_eviction(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", memory_entries=1,
+                          write_behind=64)
+    first, second = _k("d0"), _k("d1")
+    store.put(first, 1.0)
+    store.put(second, 2.0)                   # evicts `first` from the front
+    assert first not in store._mem
+    # Still answered without file I/O (and re-promoted to the front).
+    assert store.get(first) == 1.0
+    assert store.front_hits == 1
+    assert first in store._mem
+
+
+def test_owned_shards_enforce_single_writer(tmp_path):
+    registry = get_registry()
+    registry.reset()
+    owned, foreign = _k("ab"), _k("cd")
+    store = SimCacheStore(tmp_path / "cache",
+                          owned_shards=frozenset({0xAB}))
+    store.put(owned, 1.0)
+    store.put(foreign, 2.0)                  # denied: memory front only
+    assert store.path_for(owned).exists()
+    assert not store.path_for(foreign).exists()
+    assert store.denied == 1
+    assert registry.counter("sim.cache.shard_denied").value == 1
+    assert store.stats()["shard_denied"] == 1
+    assert store.stats()["owned_shards"] == 1
+    # The denied entry still serves this process from the front...
+    assert store.get(foreign) == 2.0
+    # ...and reads are never restricted: once the true owner persists
+    # it, a fresh scoped instance reads it from disk.
+    SimCacheStore(tmp_path / "cache",
+                  owned_shards=frozenset({0xCD})).put(foreign, 2.0)
+    scoped = SimCacheStore(tmp_path / "cache",
+                           owned_shards=frozenset({0xAB}))
+    assert scoped.get(foreign) == 2.0
+
+
+def test_scoped_view_shares_root_and_overrides_knobs(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", memory_entries=7)
+    view = store.scoped(owned_shards=frozenset({1, 2}), write_behind=5)
+    assert view.root == store.root
+    assert view.memory_entries == 7
+    assert view.write_behind == 5
+    assert view.owned_shards == frozenset({1, 2})
+    # The original is untouched (write-through, unrestricted).
+    assert store.write_behind == 0 and store.owned_shards is None
+    key = _k("01")
+    view.put(key, 3.0)
+    view.flush()
+    assert store.get(key) == 3.0             # same disk tier
+
+
+def test_pickle_carries_tier_configuration(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", write_behind=9,
+                          owned_shards=frozenset({3, 4}))
+    store.put(_k("03", "9"), 1.0)            # buffered, never pickled
+    clone = pickle.loads(pickle.dumps(store))
+    assert clone.write_behind == 9
+    assert clone.owned_shards == frozenset({3, 4})
+    assert len(clone._pending) == 0
+
+
+def test_stats_tier_breakdown(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", write_behind=2)
+    store.put(_k("0a"), 1.0)
+    store.put(_k("1b"), 2.0)                 # flush fires (batch of 2)
+    store.put(_k("2c"), 3.0)                 # buffered
+    store.get(_k("0a"))
+    stats = store.stats()
+    assert stats["front_capacity"] == store.memory_entries
+    assert stats["front_hits"] == 1
+    assert stats["disk_hits"] == 0
+    assert stats["pending_writes"] == 1
+    assert stats["write_behind"] == 2
+    assert stats["flushed"] == 2
+    assert stats["shards_populated"] == 2
+    assert stats["shard_count"] == SHARD_COUNT
+    assert stats["owned_shards"] == -1       # unrestricted
+
+
+def test_quarantine_still_works_with_write_behind(tmp_path):
+    store = SimCacheStore(tmp_path / "cache", write_behind=4)
+    key = _k("ee")
+    path = store.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text("{torn")
+    assert store.get(key) is None
+    assert store.corrupt == 1
+    assert not path.exists()                 # moved aside
+    assert (store.quarantine_dir() / path.name).exists()
+    store.put(key, 5.0)
+    store.flush()
+    assert SimCacheStore(tmp_path / "cache").get(key) == 5.0
+
+
+def test_invalid_tier_knobs_rejected(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        SimCacheStore(tmp_path / "c", memory_entries=0)
+    with pytest.raises(InvalidParameterError):
+        SimCacheStore(tmp_path / "c", write_behind=-1)
 
 
 # ----- default-store resolution -------------------------------------------
