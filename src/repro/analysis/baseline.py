@@ -1,0 +1,92 @@
+"""Finding baselines: land new rules without a mega-fix commit.
+
+``c2bound lint --write-baseline findings.json`` records the current
+findings; a later ``c2bound lint --baseline findings.json`` subtracts
+them, so the run fails only on *new* findings.  Matching is a multiset
+keyed by ``(path, code, message)`` — deliberately line-insensitive, so
+unrelated edits that shift a known finding up or down a file do not
+resurrect it, while a second instance of the same finding in the same
+file is still new.
+
+Schema (``c2bound.lint-baseline/1``)::
+
+    {"schema": "c2bound.lint-baseline/1",
+     "findings": [{"path": ..., "code": ..., "message": ..., "count": N}]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.engine import LintResult
+from repro.errors import AnalysisError
+
+__all__ = ["BASELINE_SCHEMA", "write_baseline", "load_baseline",
+           "apply_baseline"]
+
+BASELINE_SCHEMA = "c2bound.lint-baseline/1"
+
+
+def _key_of(path: str, code: str, message: str) -> "tuple[str, str, str]":
+    return (path, code, message)
+
+
+def write_baseline(result: LintResult, path: Path) -> int:
+    """Record ``result``'s findings at ``path``; returns the count."""
+    counts: "Counter[tuple[str, str, str]]" = Counter(
+        _key_of(d.path, d.code, d.message) for d in result.diagnostics)
+    findings = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    doc = {"schema": BASELINE_SCHEMA, "findings": findings}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: Path) -> "Counter[tuple[str, str, str]]":
+    """Parse a baseline file into its finding multiset."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise AnalysisError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise AnalysisError(
+            f"baseline {path} has unexpected schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else doc!r}; "
+            f"expected {BASELINE_SCHEMA}")
+    counts: "Counter[tuple[str, str, str]]" = Counter()
+    for finding in doc.get("findings", []):
+        key = _key_of(str(finding["path"]), str(finding["code"]),
+                      str(finding["message"]))
+        counts[key] += int(finding.get("count", 1))
+    return counts
+
+
+def apply_baseline(result: LintResult,
+                   baseline: "Counter[tuple[str, str, str]]",
+                   ) -> "tuple[LintResult, int]":
+    """Subtract baselined findings; returns (filtered result, matched).
+
+    Each baseline entry absorbs at most ``count`` matching findings;
+    extra occurrences — and anything not in the baseline — stay.
+    """
+    remaining = Counter(baseline)
+    kept = []
+    matched = 0
+    for diag in result.diagnostics:
+        key = _key_of(diag.path, diag.code, diag.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            kept.append(diag)
+    filtered = LintResult(diagnostics=kept, suppressed=result.suppressed,
+                          files_checked=result.files_checked)
+    return filtered, matched

@@ -2,7 +2,12 @@
 
 Exit codes: ``0`` clean (below the ``--fail-on`` threshold), ``1``
 findings at or above the threshold, ``2`` usage errors (unknown rule,
-missing target, bad catalog path).
+missing target, bad catalog path, bad baseline).
+
+Interprocedural analysis (the C2L2xx rules) is ON by default;
+``--no-flow`` is the per-file fast path for editor/pre-commit loops.
+``--baseline FILE`` subtracts previously recorded findings so only new
+ones fail the run; ``--write-baseline FILE`` records the current state.
 """
 
 from __future__ import annotations
@@ -12,9 +17,11 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.baseline import (apply_baseline, load_baseline,
+                                     write_baseline)
 from repro.analysis.diagnostics import Severity
 from repro.analysis.engine import lint_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.rules import rule_catalog
 from repro.errors import AnalysisError
 
@@ -31,8 +38,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src"],
                         metavar="PATH",
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", "--reporter", dest="format",
+                        choices=("text", "json", "sarif"),
                         default="text", help="report format")
+    parser.add_argument("--flow", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="run the interprocedural C2L2xx rules "
+                             "(default: on; --no-flow is the per-file "
+                             "fast path)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        metavar="FILE",
+                        help="subtract findings recorded in FILE; only "
+                             "new findings are reported and fail the run")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="FILE",
+                        help="record the current findings to FILE and "
+                             "exit 0")
     parser.add_argument("--rules", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
@@ -71,12 +92,28 @@ def main(argv: "Sequence[str] | None" = None) -> int:
              if args.rules else None)
     try:
         result = lint_paths(args.paths, rules=rules, root=args.root,
-                            catalog=args.catalog)
+                            catalog=args.catalog, flow=args.flow)
+        if args.write_baseline is not None:
+            count = write_baseline(result, args.write_baseline)
+            print(f"c2bound lint: baseline with {count} finding(s) "
+                  f"written to {args.write_baseline}")
+            return 0
+        if args.baseline is not None:
+            result, matched = apply_baseline(
+                result, load_baseline(args.baseline))
+            if matched:
+                print(f"c2bound lint: {matched} baselined finding(s) "
+                      f"suppressed via {args.baseline}",
+                      file=sys.stderr)
     except AnalysisError as exc:
         print(f"c2bound lint: error: {exc}", file=sys.stderr)
         return 2
-    report = (render_json(result) if args.format == "json"
-              else render_text(result) + "\n")
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
+    else:
+        report = render_text(result) + "\n"
     sys.stdout.write(report)
     if args.fail_on == "never":
         return 0

@@ -64,7 +64,15 @@ class LintEngine:
         by_path = {source.rel: source for source in project.files}
         raw: list[Diagnostic] = []
         for source in project.files:
-            if source.syntax_error is not None:
+            if source.read_error is not None:
+                os_err = source.read_error
+                detail = os_err.strerror or str(os_err)
+                raw.append(Diagnostic(
+                    path=source.rel, line=0, col=0, code="C2L000",
+                    severity=Severity.ERROR,
+                    message=f"file unreadable "
+                            f"({type(os_err).__name__}): {detail}"))
+            elif source.syntax_error is not None:
                 err = source.syntax_error
                 raw.append(Diagnostic(
                     path=source.rel, line=err.lineno or 0,
@@ -89,7 +97,12 @@ class LintEngine:
 def lint_paths(targets: "Iterable[Path | str]", *,
                rules: "Sequence[str] | None" = None,
                root: "Path | None" = None,
-               catalog: "Path | None" = None) -> LintResult:
-    """One-call API: lint ``targets`` with a rule-code selection."""
-    return LintEngine(make_rules(rules)).run(targets, root=root,
-                                             catalog=catalog)
+               catalog: "Path | None" = None,
+               flow: bool = False) -> LintResult:
+    """One-call API: lint ``targets`` with a rule-code selection.
+
+    ``flow=True`` adds the interprocedural C2L2xx rules to the default
+    selection (the CLI turns this on unless ``--no-flow`` is given).
+    """
+    return LintEngine(make_rules(rules, flow=flow)).run(targets, root=root,
+                                                        catalog=catalog)

@@ -1,9 +1,10 @@
 """Reporters: render a :class:`~repro.analysis.engine.LintResult`.
 
-Two formats: ``text`` (one ``path:line:col: severity code message`` line
-per finding plus a summary line — the human and pre-commit view) and
+Three formats: ``text`` (one ``path:line:col: severity code message``
+line per finding plus a summary line — the human and pre-commit view),
 ``json`` (a stable machine-readable document with schema tag
-``c2bound.lint/1`` — the CI view).
+``c2bound.lint/1`` — the CI view), and ``sarif`` (SARIF 2.1.0 — the
+code-scanning upload format, one run with one result per finding).
 """
 
 from __future__ import annotations
@@ -13,9 +14,14 @@ import json
 from repro.analysis.diagnostics import Severity
 from repro.analysis.engine import LintResult
 
-__all__ = ["render_text", "render_json", "REPORT_SCHEMA"]
+__all__ = ["render_text", "render_json", "render_sarif", "REPORT_SCHEMA",
+           "SARIF_VERSION"]
 
 REPORT_SCHEMA = "c2bound.lint/1"
+SARIF_VERSION = "2.1.0"
+
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                 Severity.INFO: "note"}
 
 
 def _summary_counts(result: LintResult) -> "dict[str, int]":
@@ -45,5 +51,52 @@ def render_json(result: LintResult) -> str:
         "summary": {**_summary_counts(result),
                     "suppressed": result.suppressed},
         "diagnostics": [d.to_dict() for d in result.diagnostics],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document for code-scanning uploads."""
+    from repro.analysis.rules import rule_catalog
+
+    catalog = rule_catalog()
+    seen_codes = sorted({d.code for d in result.diagnostics})
+    rules = []
+    for code in seen_codes:
+        cls = catalog.get(code)
+        rules.append({
+            "id": code,
+            "shortDescription": {
+                "text": cls.description if cls is not None
+                else "file-level failure (unreadable or unparsable)"},
+        })
+    results = []
+    for diag in result.diagnostics:
+        results.append({
+            "ruleId": diag.code,
+            "level": _SARIF_LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(diag.line, 1),
+                               "startColumn": diag.col + 1},
+                },
+            }],
+        })
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "c2bound-lint",
+                "informationUri":
+                    "docs/STATIC_ANALYSIS.md",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
     }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -14,6 +14,12 @@ from typing import Iterable, Sequence, Type
 
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.cache_key import CacheKeyRule
+from repro.analysis.rules.concurrency import (
+    BoundaryEscapeRule,
+    FrontTierHitRule,
+    HotPathPurityRule,
+    SingleWriterRule,
+)
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.hygiene import (
     BareExceptRule,
@@ -29,7 +35,9 @@ from repro.errors import AnalysisError
 __all__ = ["Rule", "DEFAULT_RULES", "make_rules", "rule_catalog",
            "DeterminismRule", "CacheKeyRule", "MetricsCatalogRule",
            "PicklabilityRule", "TraceGuardRule", "BareExceptRule",
-           "MutableDefaultRule", "ExportsRule", "ResilienceRule"]
+           "MutableDefaultRule", "ExportsRule", "ResilienceRule",
+           "SingleWriterRule", "BoundaryEscapeRule", "HotPathPurityRule",
+           "FrontTierHitRule"]
 
 DEFAULT_RULES: "tuple[Type[Rule], ...]" = (
     DeterminismRule,
@@ -41,6 +49,10 @@ DEFAULT_RULES: "tuple[Type[Rule], ...]" = (
     MutableDefaultRule,
     ExportsRule,
     ResilienceRule,
+    SingleWriterRule,
+    BoundaryEscapeRule,
+    HotPathPurityRule,
+    FrontTierHitRule,
 )
 
 
@@ -49,10 +61,17 @@ def rule_catalog() -> "dict[str, Type[Rule]]":
     return {cls.code: cls for cls in DEFAULT_RULES}
 
 
-def make_rules(codes: "Sequence[str] | None" = None) -> "list[Rule]":
-    """Instances of the selected rules (all of them by default)."""
+def make_rules(codes: "Sequence[str] | None" = None, *,
+               flow: bool = False) -> "list[Rule]":
+    """Instances of the selected rules (all of them by default).
+
+    With no explicit selection, rules that need the interprocedural
+    flow analysis are included only when ``flow`` is true.  Explicit
+    codes always win — ``--rules C2L203`` runs the flow pass on its own.
+    """
     if codes is None:
-        return [cls() for cls in DEFAULT_RULES]
+        return [cls() for cls in DEFAULT_RULES
+                if flow or not cls.requires_flow]
     catalog = rule_catalog()
     out: list[Rule] = []
     for code in codes:

@@ -32,6 +32,10 @@ class Rule:
     name: str = "unnamed"
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: rules built on :mod:`repro.analysis.flow` are skipped by the
+    #: default selection unless the run enables interprocedural analysis
+    #: (``c2bound lint --flow``); selecting them by code always works
+    requires_flow: bool = False
 
     def check_file(self, source: SourceFile,
                    project: Project) -> "Iterable[Diagnostic]":

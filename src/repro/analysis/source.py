@@ -77,6 +77,11 @@ class SourceFile:
     tree:
         The parsed :class:`ast.Module`, or ``None`` when the file does
         not parse (the engine reports ``C2L000`` for it).
+    read_error:
+        The :class:`OSError` raised reading the file, or ``None``.  An
+        unreadable file (permissions, vanished mid-run) keeps its slot
+        in the project — the engine reports ``C2L000`` naming the OS
+        error class instead of pretending the file is empty.
     """
 
     def __init__(self, path: Path, root: Path) -> None:
@@ -86,15 +91,20 @@ class SourceFile:
         except ValueError:
             self.rel = str(path)
         self.module_parts = self._derive_module(path, root)
-        self.text = path.read_text(encoding="utf-8")
+        self.read_error: "OSError | None" = None
+        try:
+            self.text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            self.read_error = exc
+            self.text = ""
         self.lines: Sequence[str] = self.text.splitlines()
         self.syntax_error: "SyntaxError | None" = None
-        try:
-            self.tree: "ast.Module | None" = ast.parse(self.text,
-                                                       filename=str(path))
-        except SyntaxError as exc:
-            self.tree = None
-            self.syntax_error = exc
+        self.tree: "ast.Module | None" = None
+        if self.read_error is None:
+            try:
+                self.tree = ast.parse(self.text, filename=str(path))
+            except SyntaxError as exc:
+                self.syntax_error = exc
         self.line_suppressions, self.file_suppressions = (
             _parse_suppressions(self.text))
 

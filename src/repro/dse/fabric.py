@@ -364,6 +364,9 @@ class FabricEvaluator:
             evaluator.cache = store.scoped(
                 owned_shards=owned_shards_of(slot, self.workers),
                 write_behind=self.write_behind)
+            # tag the view with its slot so a sanitizer finding
+            # (C2BOUND_SANITIZE=1) names the offending worker
+            evaluator.cache.sanitize_slot = slot
         self._slot_evaluators[slot] = evaluator
         return evaluator
 

@@ -65,6 +65,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.sanitizer import check_shard_write, sanitize_enabled
 from repro.errors import InvalidParameterError
 from repro.obs import get_registry, get_tracer
 
@@ -259,6 +260,11 @@ class SimCacheStore:
         self.corrupt = 0
         self.denied = 0
         self.flushed = 0
+        #: worker-slot tag for sanitizer findings (set by the fabric)
+        self.sanitize_slot: "int | None" = None
+        # env read once per store; the per-write cost of a disabled
+        # sanitizer is this cached boolean
+        self._sanitize = sanitize_enabled()
         self._bind_counters()
 
     def _bind_counters(self) -> None:
@@ -279,7 +285,8 @@ class SimCacheStore:
         return {"root": str(self.root), "memory_entries": self.memory_entries,
                 "write_behind": self.write_behind,
                 "owned_shards": (None if self.owned_shards is None
-                                 else sorted(self.owned_shards))}
+                                 else sorted(self.owned_shards)),
+                "sanitize_slot": self.sanitize_slot}
 
     def __setstate__(self, state: dict) -> None:
         self.root = Path(state["root"])
@@ -295,6 +302,11 @@ class SimCacheStore:
         self.corrupt = 0
         self.denied = 0
         self.flushed = 0
+        self.sanitize_slot = state.get("sanitize_slot")
+        # re-read the env in the unpickling process: pool workers
+        # inherit the parent's environment, so arming the parent arms
+        # every worker-side clone
+        self._sanitize = sanitize_enabled()
         self._bind_counters()
 
     def scoped(self, *, owned_shards: "frozenset[int] | None" = None,
@@ -405,7 +417,16 @@ class SimCacheStore:
         return cost
 
     def _persist(self, key: str, cost: float, provenance: dict) -> None:
-        """Atomic disk write of one entry (concurrent writers are safe)."""
+        """Atomic disk write of one entry (concurrent writers are safe).
+
+        This is the single choke point every disk write funnels through
+        (write-through ``put``, batched ``flush``), which is what makes
+        the sanitizer check here sufficient: the public ``put`` path
+        denies foreign shards *before* reaching this, so an armed check
+        that fires means ownership was bypassed for real.
+        """
+        if self._sanitize:
+            check_shard_write(self, key, shard_of_key(key))
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"cost": repr(cost),

@@ -14,6 +14,8 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import LintResult, lint_paths
+from repro.analysis.flow import get_flow
+from repro.analysis.source import load_project
 
 
 @pytest.fixture
@@ -32,6 +34,22 @@ def lint_tree(tmp_path):
 
     run.root = tmp_path
     return run
+
+
+@pytest.fixture
+def flow_tree(tmp_path):
+    """``build(files)`` → (Project, FlowAnalysis) over a temp tree."""
+
+    def build(files: "dict[str, str]"):
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        project = load_project([tmp_path], root=tmp_path)
+        return project, get_flow(project)
+
+    build.root = tmp_path
+    return build
 
 
 @pytest.fixture(scope="session")

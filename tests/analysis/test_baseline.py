@@ -1,0 +1,124 @@
+"""Finding baselines: write/load/apply semantics and the CLI flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (BASELINE_SCHEMA, apply_baseline,
+                                     load_baseline, write_baseline)
+from repro.analysis.cli import main
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import LintResult
+from repro.errors import AnalysisError
+
+BAD_CLOCK = """\
+import time
+
+
+def now():
+    return time.time()
+"""
+
+
+def _diag(path="sim/a.py", line=5, code="C2L001",
+          message="non-deterministic call") -> Diagnostic:
+    return Diagnostic(path=path, line=line, col=4, code=code,
+                      severity=Severity.ERROR, message=message)
+
+
+def test_write_then_load_roundtrips(tmp_path):
+    result = LintResult(diagnostics=[_diag(), _diag(line=9)])
+    path = tmp_path / "base.json"
+    assert write_baseline(result, path) == 2
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == BASELINE_SCHEMA
+    counts = load_baseline(path)
+    assert counts[("sim/a.py", "C2L001", "non-deterministic call")] == 2
+
+
+def test_apply_is_line_insensitive(tmp_path):
+    path = tmp_path / "base.json"
+    write_baseline(LintResult(diagnostics=[_diag(line=5)]), path)
+    # The same finding drifted to another line: still baselined.
+    shifted = LintResult(diagnostics=[_diag(line=42)])
+    filtered, matched = apply_baseline(shifted, load_baseline(path))
+    assert matched == 1
+    assert filtered.diagnostics == []
+
+
+def test_apply_is_a_multiset(tmp_path):
+    path = tmp_path / "base.json"
+    write_baseline(LintResult(diagnostics=[_diag()]), path)
+    # Two identical findings against a baseline of one: one survives.
+    doubled = LintResult(diagnostics=[_diag(line=5), _diag(line=9)])
+    filtered, matched = apply_baseline(doubled, load_baseline(path))
+    assert matched == 1
+    assert len(filtered.diagnostics) == 1
+
+
+def test_apply_keeps_new_findings(tmp_path):
+    path = tmp_path / "base.json"
+    write_baseline(LintResult(diagnostics=[_diag()]), path)
+    mixed = LintResult(diagnostics=[_diag(), _diag(code="C2L101",
+                                                   message="other")])
+    filtered, matched = apply_baseline(mixed, load_baseline(path))
+    assert matched == 1
+    assert [d.code for d in filtered.diagnostics] == ["C2L101"]
+
+
+def test_load_rejects_missing_file(tmp_path):
+    with pytest.raises(AnalysisError, match="cannot read baseline"):
+        load_baseline(tmp_path / "nope.json")
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps({"schema": "something/9", "findings": []}))
+    with pytest.raises(AnalysisError, match="unexpected schema"):
+        load_baseline(path)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text("{not json")
+    with pytest.raises(AnalysisError, match="not valid JSON"):
+        load_baseline(path)
+
+
+# ---- CLI --------------------------------------------------------------------
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    target = tmp_path / "sim"
+    target.mkdir()
+    (target / "clock.py").write_text(BAD_CLOCK)
+    return tmp_path
+
+
+def _cli(dirty_tree, *extra):
+    return main([str(dirty_tree), "--root", str(dirty_tree),
+                 "--rules", "C2L001", "--no-flow", *extra])
+
+
+def test_cli_baseline_workflow(dirty_tree, tmp_path, capsys):
+    base = tmp_path / "findings.json"
+    assert _cli(dirty_tree) == 1
+    assert _cli(dirty_tree, "--write-baseline", str(base)) == 0
+    assert "baseline with 1 finding(s)" in capsys.readouterr().out
+    # Baselined: the same findings no longer fail the run.
+    assert _cli(dirty_tree, "--baseline", str(base)) == 0
+    assert "1 baselined finding(s) suppressed" in capsys.readouterr().err
+    # A new finding still fails, and is the only one reported.
+    (dirty_tree / "sim" / "fresh.py").write_text(BAD_CLOCK)
+    assert _cli(dirty_tree, "--baseline", str(base)) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out and "clock.py" not in out
+
+
+def test_cli_bad_baseline_is_a_usage_error(dirty_tree, tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert _cli(dirty_tree, "--baseline", str(missing)) == 2
+    assert "cannot read baseline" in capsys.readouterr().err

@@ -63,6 +63,34 @@ def test_syntax_error_is_a_finding_not_a_crash(lint_tree):
     assert result.diagnostics[0].severity is Severity.ERROR
 
 
+def test_unreadable_file_names_the_os_error(tmp_path, monkeypatch):
+    # chmod tricks don't work for root, so deny the read directly.
+    from pathlib import Path
+
+    target = tmp_path / "sim" / "locked.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("X = 1\n")
+    (tmp_path / "sim" / "ok.py").write_text("Y = 2\n")
+    real_read_text = Path.read_text
+
+    def deny(self, *args, **kwargs):
+        if self == target:
+            raise PermissionError(13, "Permission denied")
+        return real_read_text(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "read_text", deny)
+    result = lint_paths([tmp_path], rules=["C2L001"], root=tmp_path)
+    [diag] = result.diagnostics
+    assert diag.code == "C2L000"
+    assert diag.severity is Severity.ERROR
+    assert diag.path == "sim/locked.py"
+    assert diag.line == 0 and diag.col == 0
+    assert "file unreadable (PermissionError)" in diag.message
+    assert "Permission denied" in diag.message
+    # The rest of the tree is still checked.
+    assert result.files_checked == 2
+
+
 def test_diagnostics_sorted_by_location(lint_tree):
     source = "import time\n\n\ndef f():\n    a = time.time()\n    b = time.time()\n    return a, b\n"
     result = lint_tree({"sim/a.py": source, "sim/b.py": source},

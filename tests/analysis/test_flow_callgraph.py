@@ -1,0 +1,158 @@
+"""Call-graph construction: aliased imports, re-exports, decorators,
+method calls through ``self``, annotation- and attribute-based typing.
+
+One fixture package exercises every resolution path the flow rules lean
+on; the assertions pin resolved *edges* (what the rules consume), not
+resolver internals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PKG = {
+    "pkg/__init__.py": "",
+    "pkg/util.py": '''\
+    """Leaf helpers the rest of the fixture package calls into."""
+
+
+    def helper():
+        return 1
+
+
+    def deco(fn):
+        return fn
+
+
+    class Base:
+        def shared(self):
+            return helper()
+
+
+    class Tool(Base):
+        def __init__(self):
+            self.count = 0
+
+        def run(self):
+            return self.shared()
+    ''',
+    "pkg/api/__init__.py": "from pkg.util import helper as exported\n",
+    "pkg/sub/__init__.py": "",
+    "pkg/sub/mod.py": '''\
+    from ..util import helper as up
+
+
+    def climb():
+        return up()
+    ''',
+    "pkg/core.py": '''\
+    import json
+
+    import pkg.util as u
+    from pkg.api import exported
+
+    from . import util
+    from .util import Tool, deco
+
+
+    @deco
+    def decorated():
+        return util.helper()
+
+
+    def via_alias():
+        return u.helper()
+
+
+    def via_export():
+        return exported()
+
+
+    def calls_decorated():
+        return decorated()
+
+
+    def opaque(x):
+        return json.dumps(x)
+
+
+    class Engine:
+        def __init__(self, tool: "Tool | None" = None):
+            self.tool = tool if tool is not None else Tool()
+
+        def tick(self):
+            return self.tool.run()
+
+        def poke(self, t: Tool):
+            return t.shared()
+    ''',
+}
+
+
+@pytest.fixture
+def flow(flow_tree):
+    _, analysis = flow_tree(PKG)
+    return analysis
+
+
+def test_module_functions_and_methods_indexed(flow):
+    quals = set(flow.graph.functions)
+    assert {"pkg.util.helper", "pkg.core.decorated", "pkg.util.Tool.run",
+            "pkg.core.Engine.tick"} <= quals
+
+
+def test_relative_import_of_module_resolves(flow):
+    # `from . import util` + `util.helper()` inside pkg/core.py
+    assert flow.edges["pkg.core.decorated"] == {"pkg.util.helper"}
+
+
+def test_aliased_absolute_import_resolves(flow):
+    # `import pkg.util as u` + `u.helper()`
+    assert flow.edges["pkg.core.via_alias"] == {"pkg.util.helper"}
+
+
+def test_two_level_relative_import_resolves(flow):
+    # `from ..util import helper as up` inside pkg/sub/mod.py
+    assert flow.graph.modules["pkg.sub.mod"].imports["up"] == \
+        "pkg.util.helper"
+    assert flow.edges["pkg.sub.mod.climb"] == {"pkg.util.helper"}
+
+
+def test_package_reexport_resolves(flow):
+    # pkg/api/__init__.py re-exports helper under a new name
+    assert flow.graph.resolve_export("pkg.api.exported") == \
+        "pkg.util.helper"
+    assert flow.edges["pkg.core.via_export"] == {"pkg.util.helper"}
+
+
+def test_decorated_function_keeps_def_site_identity(flow):
+    assert "pkg.core.decorated" in flow.graph.functions
+    assert flow.edges["pkg.core.calls_decorated"] == {"pkg.core.decorated"}
+
+
+def test_self_method_call_walks_bases(flow):
+    # Tool.run calls self.shared(), defined on Base
+    assert flow.edges["pkg.util.Tool.run"] == {"pkg.util.Base.shared"}
+
+
+def test_attr_type_inferred_through_conditional_ctor(flow):
+    # `self.tool = tool if tool is not None else Tool()` with a
+    # `Tool | None` parameter annotation: both arms agree.
+    engine = flow.graph.classes["pkg.core.Engine"]
+    assert engine.attr_types["tool"] == "pkg.util.Tool"
+    assert flow.edges["pkg.core.Engine.tick"] == {"pkg.util.Tool.run"}
+
+
+def test_constructor_call_edges_to_init(flow):
+    assert "pkg.util.Tool.__init__" in flow.edges["pkg.core.Engine.__init__"]
+
+
+def test_annotated_param_method_call_resolves(flow):
+    # poke(t: Tool) → t.shared() lands on the base-class method
+    assert flow.edges["pkg.core.Engine.poke"] == {"pkg.util.Base.shared"}
+
+
+def test_unresolvable_call_adds_no_edge(flow):
+    # Under-approximation contract: stdlib calls produce no guessed edge.
+    assert flow.edges["pkg.core.opaque"] == set()
+    assert "json.dumps" in flow.summaries["pkg.core.opaque"].unresolved

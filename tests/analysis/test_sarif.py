@@ -1,0 +1,69 @@
+"""SARIF output: document shape, level mapping, region clamping."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import LintResult
+from repro.analysis.reporters import SARIF_VERSION, render_sarif
+
+BAD_CLOCK = """\
+import time
+
+
+def now():
+    return time.time()
+"""
+
+
+def _result():
+    return LintResult(diagnostics=[
+        Diagnostic(path="sim/a.py", line=5, col=4, code="C2L001",
+                   severity=Severity.ERROR, message="bad clock"),
+        Diagnostic(path="sim/b.py", line=0, col=0, code="C2L000",
+                   severity=Severity.ERROR, message="file unreadable"),
+        Diagnostic(path="sim/c.py", line=3, col=0, code="C2L104",
+                   severity=Severity.WARNING, message="unpicklable"),
+    ], files_checked=3)
+
+
+def test_sarif_document_shape():
+    doc = json.loads(render_sarif(_result()))
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"].endswith("sarif-2.1.0.json")
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "c2bound-lint"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == \
+        ["C2L000", "C2L001", "C2L104"]
+    assert len(run["results"]) == 3
+
+
+def test_sarif_level_mapping_and_locations():
+    results = json.loads(render_sarif(_result()))["runs"][0]["results"]
+    by_rule = {r["ruleId"]: r for r in results}
+    assert by_rule["C2L001"]["level"] == "error"
+    assert by_rule["C2L104"]["level"] == "warning"
+    location = by_rule["C2L001"]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "sim/a.py"
+    assert location["region"] == {"startLine": 5, "startColumn": 5}
+
+
+def test_sarif_clamps_file_level_findings_to_line_one():
+    # C2L000 findings sit at line 0; SARIF requires startLine >= 1.
+    results = json.loads(render_sarif(_result()))["runs"][0]["results"]
+    unreadable = next(r for r in results if r["ruleId"] == "C2L000")
+    region = unreadable["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1
+
+
+def test_cli_reporter_sarif_emits_parseable_json(tmp_path, capsys):
+    target = tmp_path / "sim"
+    target.mkdir()
+    (target / "clock.py").write_text(BAD_CLOCK)
+    code = main([str(tmp_path), "--root", str(tmp_path),
+                 "--rules", "C2L001", "--reporter", "sarif"])
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"][0]["ruleId"] == "C2L001"

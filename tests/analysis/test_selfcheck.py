@@ -25,7 +25,16 @@ def test_repo_lints_clean(src_dir: Path) -> None:
     assert result.files_checked > 50
 
 
+def test_repo_lints_clean_with_flow(src_dir: Path) -> None:
+    # The interprocedural C2L2xx rules included (the CI configuration).
+    result = lint_paths([src_dir], flow=True)
+    assert result.diagnostics == [], "\n".join(
+        d.render() for d in result.diagnostics)
+
+
 def test_lint_cli_exits_zero_on_repo(src_dir: Path, capsys) -> None:
+    # The CLI default includes --flow, so this exercises the C2L2xx
+    # rules against the real tree as well.
     assert lint_main([str(src_dir)]) == 0
     out = capsys.readouterr().out
     assert "clean" in out

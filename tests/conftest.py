@@ -5,14 +5,57 @@ generators behind the DSE property/differential tests
 (``tests/dse/test_batch_*.py``): factories that grow randomized design
 spaces and configuration batches from an explicit seed, so every
 "random" case is reproducible from its parametrized seed alone.
+
+``pytest --sanitize`` re-runs any selected suite as a dynamic race
+check: it arms the runtime concurrency sanitizer
+(``C2BOUND_SANITIZE=1``, see :mod:`repro.analysis.sanitizer`) for the
+whole session and fails at teardown if any single-writer violation was
+recorded — so the differential/fuzz/chaos suites double as a race
+detector without changing a single test.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.params import ApplicationProfile, MachineParameters
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="arm the runtime concurrency sanitizer (C2BOUND_SANITIZE=1) "
+             "for the whole session and fail on any recorded finding")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitize_session(request, tmp_path_factory):
+    """Session-wide sanitizer arming behind ``--sanitize``."""
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.analysis.sanitizer import ENV_FLAG, ENV_LOG, load_findings
+
+    log = tmp_path_factory.mktemp("sanitize") / "findings.jsonl"
+    saved = {name: os.environ.get(name) for name in (ENV_FLAG, ENV_LOG)}
+    os.environ[ENV_FLAG] = "1"
+    os.environ[ENV_LOG] = str(log)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    findings = load_findings(log)
+    assert not findings, (
+        f"concurrency sanitizer recorded {len(findings)} finding(s) "
+        f"in {log}:\n"
+        + "\n".join(repr(f) for f in findings[:10]))
 
 
 @pytest.fixture
