@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Type
 
+from repro.analysis.rules.asyncblock import AsyncBlockingRule
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.cache_key import CacheKeyRule
 from repro.analysis.rules.concurrency import (
@@ -37,7 +38,7 @@ __all__ = ["Rule", "DEFAULT_RULES", "make_rules", "rule_catalog",
            "PicklabilityRule", "TraceGuardRule", "BareExceptRule",
            "MutableDefaultRule", "ExportsRule", "ResilienceRule",
            "SingleWriterRule", "BoundaryEscapeRule", "HotPathPurityRule",
-           "FrontTierHitRule"]
+           "FrontTierHitRule", "AsyncBlockingRule"]
 
 DEFAULT_RULES: "tuple[Type[Rule], ...]" = (
     DeterminismRule,
@@ -53,6 +54,7 @@ DEFAULT_RULES: "tuple[Type[Rule], ...]" = (
     BoundaryEscapeRule,
     HotPathPurityRule,
     FrontTierHitRule,
+    AsyncBlockingRule,
 )
 
 

@@ -1,0 +1,119 @@
+"""C2L205 — no blocking calls inside coroutine bodies of the service.
+
+The job server's availability argument rests on one invariant: the
+asyncio event loop never blocks.  A single ``time.sleep``, synchronous
+file read, or pool-future ``.result()`` wait inside a coroutine stalls
+*every* connection — health checks time out, backpressure stops
+responding, and the whole admission story collapses.  The server's own
+convention is to push blocking work through ``loop.run_in_executor``
+into plain synchronous functions; this rule makes that convention
+machine-checked for every module under ``repro.service``.
+
+Only statements *lexically inside* an ``async def`` body count.  Nested
+synchronous ``def``/``lambda`` bodies are exempt — they are exactly the
+functions handed to ``run_in_executor``, where blocking is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import (
+    Rule,
+    resolve_call_name,
+    walk_imports,
+)
+from repro.analysis.source import Project, SourceFile
+
+__all__ = ["AsyncBlockingRule"]
+
+#: Canonical dotted names (after import-alias resolution) that block.
+_BLOCKING_CALLS = {
+    "time.sleep": "sleeps the whole event loop",
+    "open": "synchronous file I/O",
+    "io.open": "synchronous file I/O",
+    "os.system": "blocks on a subprocess",
+    "os.popen": "blocks on a subprocess",
+    "os.makedirs": "synchronous filesystem call",
+    "os.replace": "synchronous filesystem call",
+    "os.remove": "synchronous filesystem call",
+    "os.rename": "synchronous filesystem call",
+    "subprocess.run": "blocks on a subprocess",
+    "subprocess.call": "blocks on a subprocess",
+    "subprocess.check_call": "blocks on a subprocess",
+    "subprocess.check_output": "blocks on a subprocess",
+    "subprocess.Popen": "spawns with blocking pipes",
+    "shutil.rmtree": "synchronous filesystem call",
+    "shutil.copy": "synchronous filesystem call",
+    "shutil.copytree": "synchronous filesystem call",
+    "shutil.move": "synchronous filesystem call",
+    "urllib.request.urlopen": "synchronous network I/O",
+    "socket.create_connection": "synchronous network I/O",
+}
+
+#: Method names that block regardless of receiver: pool/future waits
+#: and the pathlib file-I/O surface.  ``.replace``/``.open`` are left
+#: out on purpose — ``str.replace`` collisions would drown the signal.
+_BLOCKING_METHODS = {
+    "result": "waits on a pool future",
+    "read_text": "synchronous file I/O",
+    "read_bytes": "synchronous file I/O",
+    "write_text": "synchronous file I/O",
+    "write_bytes": "synchronous file I/O",
+    "mkdir": "synchronous filesystem call",
+    "rmdir": "synchronous filesystem call",
+    "unlink": "synchronous filesystem call",
+    "touch": "synchronous filesystem call",
+}
+
+
+def _own_nodes(fn: ast.AsyncFunctionDef) -> "Iterator[ast.AST]":
+    """Nodes lexically inside ``fn``'s body, excluding nested function
+    scopes (each ``async def`` is visited on its own; nested sync
+    ``def``/``lambda`` bodies are the executor's domain)."""
+    stack: "list[ast.AST]" = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncBlockingRule(Rule):
+    """C2L205: coroutine bodies in ``repro.service`` never block."""
+
+    code = "C2L205"
+    name = "async-blocking"
+    description = ("no blocking calls (time.sleep, sync file I/O, pool "
+                   ".result() waits) inside coroutine bodies under "
+                   "repro.service; route them through "
+                   "loop.run_in_executor")
+
+    def check_file(self, source: SourceFile,
+                   project: Project) -> "Iterable[Diagnostic]":
+        if source.tree is None or "service" not in source.module_parts:
+            return
+        aliases = walk_imports(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in _own_nodes(node):
+                if not isinstance(inner, ast.Call):
+                    continue
+                name = resolve_call_name(inner.func, aliases)
+                why = _BLOCKING_CALLS.get(name) if name is not None else None
+                if why is None and isinstance(inner.func, ast.Attribute):
+                    why = _BLOCKING_METHODS.get(inner.func.attr)
+                    name = inner.func.attr
+                if why is None:
+                    continue
+                yield self.diag(
+                    source, inner,
+                    f"{name}() {why} inside coroutine "
+                    f"'{node.name}'; the event loop must never block — "
+                    "move the call into a sync helper and await "
+                    "loop.run_in_executor(...)")

@@ -161,7 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         help="experiment id, 'list', 'all', "
                              "'characterize', 'cache', 'lint', "
-                             "'report', 'diff', or 'tail'")
+                             "'report', 'diff', 'tail', or 'serve'")
     parser.add_argument("subcommand", nargs="?", default=None,
                         help="subcommand for 'cache' (stats | clear)")
     parser.add_argument("--out", type=Path, default=None,
@@ -232,6 +232,10 @@ def main(argv: "list[str] | None" = None) -> int:
         # Run-analysis subcommands likewise own their flags.
         from repro.obs.report import cli_main as analysis_main
         return analysis_main(raw)
+    if raw and raw[0] == "serve":
+        # The job server owns its flag set too (see docs/SERVICE.md).
+        from repro.service.cli import main as serve_main
+        return serve_main(raw[1:])
     args = _build_parser().parse_args(raw)
     reporter = Reporter(quiet=args.quiet)
 

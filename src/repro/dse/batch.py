@@ -41,13 +41,14 @@ import numpy as np
 
 from repro.dse.evaluate import batch_evaluate, is_feasible
 from repro.errors import (
+    DeadlineExceededError,
     DesignSpaceError,
     FatalError,
     ReproError,
     TransientError,
 )
 from repro.obs import get_registry, get_tracer
-from repro.resilience.policy import RetryPolicy, retry_call
+from repro.resilience.policy import Deadline, RetryPolicy, retry_call
 
 __all__ = ["BatchDefaults", "ParallelEvaluator", "chunked",
            "get_batch_defaults", "set_batch_defaults", "resolve_batch_size",
@@ -221,6 +222,11 @@ class ParallelEvaluator:
     sleep:
         Backoff hook between recovery rounds — injectable so tests run
         instantly while recording the deterministic schedule.
+    deadline:
+        Optional overall time budget (a job's, when the server runs
+        sweeps): retry backoffs are clamped to it and recovery rounds
+        stop at expiry with :class:`~repro.errors.DeadlineExceededError`
+        instead of sleeping past it.
 
     The pool is created lazily on the first parallel batch and reused
     until :meth:`close` (also a context manager).  Results are
@@ -242,8 +248,10 @@ class ParallelEvaluator:
                  chunk_size: "int | None" = None,
                  retry_policy: "RetryPolicy | None" = None,
                  chunk_timeout: "float | None" = None,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 deadline: "Deadline | None" = None) -> None:
         self.inner = inner
+        self.deadline = deadline
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
             raise DesignSpaceError(
@@ -272,7 +280,7 @@ class ParallelEvaluator:
         """
         return retry_call(lambda: float(self.inner.evaluate(config)),
                           policy=self.retry_policy, sleep=self._sleep,
-                          what="scalar evaluation")
+                          deadline=self.deadline, what="scalar evaluation")
 
     def is_feasible(self, config: dict) -> bool:
         """Delegates to the wrapped evaluator's design-rule check."""
@@ -299,7 +307,7 @@ class ParallelEvaluator:
         """In-parent batch with transient-failure retries."""
         return retry_call(lambda: batch_evaluate(self.inner, configs),
                           policy=self.retry_policy, sleep=self._sleep,
-                          what=what)
+                          deadline=self.deadline, what=what)
 
     def _run_chunks(self, chunks: "list[list[dict]]") -> "list[list[float]]":
         """Dispatch chunks to the pool, recovering lost or failed ones.
@@ -387,6 +395,13 @@ class ParallelEvaluator:
                                        what=f"serial fallback chunk {i}"))
             remaining = retry_now
             if remaining:
+                if self.deadline is not None and self.deadline.expired:
+                    raise DeadlineExceededError(
+                        f"job deadline expired with {len(remaining)} "
+                        "chunk(s) still recovering",
+                        timeout_s=self.deadline.timeout_s
+                        if self.deadline.timeout_s is not None
+                        else float("nan"))
                 with tracer.span("resilience.backoff", round=round_no,
                                  chunks=len(remaining)):
                     self._sleep(policy.delay(round_no))
@@ -447,8 +462,14 @@ class ParallelEvaluator:
             pass
 
     def close(self) -> None:
-        """Shut the pool down (idempotent, broken-pool safe)."""
+        """Shut the pool down and flush the inner evaluator's cache
+        buffer (idempotent, broken-pool safe) — a graceful stop must
+        not strand write-behind entries in memory."""
         self._teardown_pool()
+        store = getattr(self.inner, "cache", None)
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
 
     def __enter__(self) -> "ParallelEvaluator":
         return self

@@ -21,7 +21,10 @@ __all__ = [
     "WorkerCrashError",
     "EvaluationTimeoutError",
     "RetryExhaustedError",
+    "DeadlineExceededError",
     "CheckpointError",
+    "ServiceError",
+    "AdmissionError",
 ]
 
 
@@ -141,5 +144,42 @@ class RetryExhaustedError(FatalError):
         self.last_error = last_error
 
 
+class DeadlineExceededError(FatalError):
+    """A job's overall time budget ran out before the work completed.
+
+    Attributes
+    ----------
+    timeout_s:
+        The total budget that expired (``nan`` if unknown).
+    """
+
+    def __init__(self, message: str, *, timeout_s: float = float("nan")) -> None:
+        super().__init__(message)
+        self.timeout_s = float(timeout_s)
+
+
 class CheckpointError(ResilienceError, ValueError):
     """A checkpoint journal is malformed, mismatched, or unusable."""
+
+
+class ServiceError(ReproError):
+    """Base class for job-server (:mod:`repro.service`) failures."""
+
+
+class AdmissionError(ServiceError):
+    """A job was refused at the admission gate (quota or backpressure).
+
+    Attributes
+    ----------
+    retry_after_s:
+        Suggested client back-off before resubmitting, in seconds.
+    reason:
+        Machine-readable cause (``"queue_full"``, ``"tenant_quota"``,
+        ``"memory_watermark"``, ...).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0,
+                 reason: str = "queue_full") -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.reason = str(reason)

@@ -58,7 +58,7 @@ REPORT_SCHEMA = "c2bound.report/1"
 #: accounting).  ``diff_runs`` reports them as deltas instead of
 #: identity failures.
 VOLATILE_METRIC_PREFIXES = ("resilience.", "sim.cache.", "obs.stream.",
-                            "profile.", "report.")
+                            "profile.", "report.", "service.")
 
 #: Manifest ``config`` keys that describe the *invocation*, not the
 #: computation: output/trace/checkpoint locations and the resume flag.

@@ -19,6 +19,10 @@ the three layers that make that true:
   exactly-once ledger: the same journal wire format fanned out over
   ``shard-XXXX.jsonl`` files so a sweep that loses workers mid-flight
   resumes bit-identically without a single-file serialization point;
+- :mod:`repro.resilience.job_registry` — the job server's durable
+  ledger (schema ``c2bound.jobs/1``): admitted jobs and their terminal
+  outcomes, replayed on restart so in-flight jobs resume with their
+  original admission order and budgets are charged exactly once;
 - :mod:`repro.resilience.faults` — the seeded fault-injection harness
   (worker crashes, delays, transient/fatal raises, cache corruption)
   behind ``tests/resilience`` and the chaos CI job.
@@ -47,6 +51,12 @@ from repro.resilience.checkpoint import (
     new_run_id,
     read_journal_headers,
     set_checkpoint_defaults,
+)
+from repro.resilience.job_registry import (
+    JOBS_SCHEMA,
+    JobRegistry,
+    RegistryReplay,
+    replay_registry,
 )
 from repro.resilience.shard_ledger import (
     DEFAULT_LEDGER_SHARDS,
@@ -79,6 +89,10 @@ __all__ = [
     "get_checkpoint_defaults",
     "set_checkpoint_defaults",
     "journal_for_method",
+    "JOBS_SCHEMA",
+    "JobRegistry",
+    "RegistryReplay",
+    "replay_registry",
     "DEFAULT_LEDGER_SHARDS",
     "ShardedJournal",
     "shard_of_canonical_key",

@@ -198,8 +198,10 @@ def retry_call(fn: "Callable[[], _T]", *,
         Delay hook — injectable so tests (and the fault harness) run
         instantly while recording the deterministic schedule.
     deadline:
-        Optional overall time budget; once expired, no further attempts
-        are made.
+        Optional overall time budget.  Backoff sleeps are clamped to
+        the remaining budget, and once the budget cannot cover another
+        backoff the loop gives up immediately instead of sleeping past
+        the deadline.
     on_retry:
         Called as ``on_retry(attempt, error)`` before each backoff.
     what:
@@ -216,6 +218,7 @@ def retry_call(fn: "Callable[[], _T]", *,
     retries = registry.counter("resilience.retries")
     giveups = registry.counter("resilience.giveups")
     last_error: "BaseException | None" = None
+    attempt = 0
     for attempt in range(1, policy.max_attempts + 1):
         try:
             return fn()
@@ -223,18 +226,23 @@ def retry_call(fn: "Callable[[], _T]", *,
             if not policy.retryable(exc):
                 raise
             last_error = exc
-        out_of_time = deadline is not None and deadline.expired
-        if attempt >= policy.max_attempts or out_of_time:
+        if attempt >= policy.max_attempts:
             break
+        delay = policy.delay(attempt)
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None and delay >= remaining:
+                # Sleeping would outlive the job's budget: give up now
+                # rather than waking up past the deadline.
+                break
         retries.inc()
         if on_retry is not None:
             on_retry(attempt, last_error)
         with get_tracer().span("resilience.backoff", attempt=attempt,
                                what=what):
-            sleep(policy.delay(attempt))
+            sleep(delay)
     giveups.inc()
     raise RetryExhaustedError(
-        f"{what} failed after {policy.max_attempts} attempt(s): "
-        f"{last_error!r}",
-        attempts=policy.max_attempts, last_error=last_error,
+        f"{what} failed after {attempt} attempt(s): {last_error!r}",
+        attempts=attempt, last_error=last_error,
     ) from last_error

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — alias for ``c2bound serve``."""
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

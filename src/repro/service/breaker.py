@@ -1,0 +1,112 @@
+"""Circuit breaker guarding the simulation tier.
+
+Repeated :class:`~repro.errors.WorkerCrashError` / timeout failures
+mean the simulator tier is unhealthy — OOM-killing workers, a hung
+filesystem — and hammering it with more jobs makes recovery slower
+("When parallel speedups hit the memory wall", PAPERS.md: past
+saturation, added load only adds contention).  The breaker converts
+that into an explicit state machine:
+
+- **CLOSED** — healthy; failures count against ``failure_threshold``;
+- **OPEN** — tripped; simulator jobs are served *degraded* (cache hits
+  + analytic answers, marked ``degraded: true``) instead of erroring;
+- **HALF_OPEN** — after ``reset_after_s`` one probe job may try the
+  real tier; success closes the breaker, failure re-opens it.
+
+The clock is injectable, so tests (and the Hypothesis harness) drive
+every transition deterministically.  Trips are counted as
+``service.breaker.trips``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+from repro.obs import get_registry
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with a timed half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip CLOSED → OPEN.
+    reset_after_s:
+        Seconds in OPEN before one HALF_OPEN probe is allowed.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_after_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise InvalidParameterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_after_s <= 0:
+            raise InvalidParameterError(
+                f"reset_after_s must be > 0, got {reset_after_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+        self._ctr_trips = get_registry().counter("service.breaker.trips")
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (OPEN decays to HALF_OPEN after the reset)."""
+        if self._state is BreakerState.OPEN \
+                and self._clock() - self._opened_at >= self.reset_after_s:
+            self._state = BreakerState.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the guarded tier may be attempted right now."""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        """A guarded call succeeded: close and reset the failure count."""
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """A guarded call failed: count it, tripping when the threshold
+        is reached (HALF_OPEN probes re-open immediately)."""
+        state = self.state
+        if state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._failures += 1
+        if state is BreakerState.CLOSED \
+                and self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self.trips += 1
+        self._ctr_trips.inc()
+
+    def snapshot(self) -> dict:
+        """Breaker state for ``/healthz``."""
+        return {"state": self.state.value, "failures": self._failures,
+                "trips": self.trips,
+                "failure_threshold": self.failure_threshold}

@@ -1,0 +1,148 @@
+"""Bounded priority admission queue with explicit backpressure.
+
+The server never buffers without bound: admission fails *loudly* (an
+:class:`~repro.errors.AdmissionError`, surfaced as HTTP 429 +
+``Retry-After``) the moment queue depth or the pending-bytes watermark
+would be exceeded.  Gunther's universal-scalability reading of Amdahl
+(PAPERS.md) is the design argument: past the contention knee, queueing
+more work only grows latency for everyone — shedding is the scalable
+response.
+
+Ordering is a pure function of ``(priority, seq)`` — priority first
+(0 = most urgent), then durable arrival sequence — with no wall-clock
+input, so the schedule a restarted server replays from its registry is
+the schedule the crashed server would have run.
+:meth:`AdmissionQueue.pop_runnable` additionally skips entries whose
+tenant is at its concurrency cap, taking the *earliest eligible* entry;
+skipped entries keep their position (deterministic fair scheduling, not
+starvation-prone strict priority per tenant).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AdmissionError, InvalidParameterError
+from repro.obs import get_registry
+
+__all__ = ["AdmissionQueue", "QueueEntry"]
+
+
+@dataclass(order=True, frozen=True)
+class QueueEntry:
+    """One queued job, ordered by ``(priority, seq)``."""
+
+    priority: int
+    seq: int
+    tenant: str = field(compare=False)
+    job_id: str = field(compare=False)
+    size_bytes: int = field(compare=False, default=0)
+
+
+class AdmissionQueue:
+    """A bounded binary heap of :class:`QueueEntry`.
+
+    Parameters
+    ----------
+    max_depth:
+        Hard cap on queued jobs; offers beyond it shed with 429.
+    max_pending_bytes:
+        Watermark on the summed spec sizes of queued jobs — the memory
+        a malicious or runaway client could otherwise pin.
+    """
+
+    def __init__(self, *, max_depth: int = 64,
+                 max_pending_bytes: int = 8 << 20) -> None:
+        if max_depth < 1:
+            raise InvalidParameterError(
+                f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self.max_pending_bytes = int(max_pending_bytes)
+        self._heap: "list[QueueEntry]" = []
+        self._cancelled: "set[str]" = set()
+        self.pending_bytes = 0
+        registry = get_registry()
+        self._ctr_shed = registry.counter("service.admission.shed")
+        self._gauge_depth = registry.gauge("service.queue.depth")
+
+    @property
+    def depth(self) -> int:
+        """Queued (non-cancelled) entries."""
+        return len(self._heap) - len(self._cancelled)
+
+    def retry_after_s(self) -> float:
+        """Suggested client back-off, scaled to current depth.
+
+        Deterministic in the queue state (no clock): a fuller queue
+        asks clients to stay away longer.
+        """
+        return round(1.0 + 0.05 * self.depth, 3)
+
+    def offer(self, entry: QueueEntry) -> None:
+        """Admit one entry or shed with :class:`~repro.errors.AdmissionError`."""
+        if self.depth >= self.max_depth:
+            self._ctr_shed.inc()
+            raise AdmissionError(
+                f"queue full ({self.depth}/{self.max_depth} jobs)",
+                reason="queue_full", retry_after_s=self.retry_after_s())
+        if self.pending_bytes + entry.size_bytes > self.max_pending_bytes:
+            self._ctr_shed.inc()
+            raise AdmissionError(
+                f"pending specs exceed the {self.max_pending_bytes}-byte "
+                "watermark", reason="memory_watermark",
+                retry_after_s=self.retry_after_s())
+        heapq.heappush(self._heap, entry)
+        self.pending_bytes += entry.size_bytes
+        self._gauge_depth.set(self.depth)
+
+    def restore(self, entry: QueueEntry) -> None:
+        """Re-admit a replayed entry, bypassing the backpressure gates.
+
+        Recovery must never shed a job the crashed server already
+        acknowledged — admission was charged once, at original submit
+        time.
+        """
+        heapq.heappush(self._heap, entry)
+        self.pending_bytes += entry.size_bytes
+        self._gauge_depth.set(self.depth)
+
+    def cancel(self, job_id: str) -> bool:
+        """Drop a queued entry by id (lazy: removed when it surfaces)."""
+        if any(e.job_id == job_id for e in self._heap) \
+                and job_id not in self._cancelled:
+            self._cancelled.add(job_id)
+            self._gauge_depth.set(self.depth)
+            return True
+        return False
+
+    def pop_runnable(self, can_run: "Callable[[str], bool]") -> "QueueEntry | None":
+        """The earliest ``(priority, seq)`` entry whose tenant may run.
+
+        Entries of tenants at their concurrency cap are skipped but
+        keep their position.  Returns ``None`` when nothing is eligible.
+        """
+        skipped: "list[QueueEntry]" = []
+        found: "QueueEntry | None" = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.job_id in self._cancelled:
+                self._cancelled.discard(entry.job_id)
+                self.pending_bytes -= entry.size_bytes
+                continue
+            if can_run(entry.tenant):
+                found = entry
+                self.pending_bytes -= entry.size_bytes
+                break
+            skipped.append(entry)
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        self._gauge_depth.set(self.depth)
+        return found
+
+    def snapshot(self) -> dict:
+        """Queue state for ``/healthz``."""
+        return {"depth": self.depth, "max_depth": self.max_depth,
+                "pending_bytes": self.pending_bytes,
+                "max_pending_bytes": self.max_pending_bytes}

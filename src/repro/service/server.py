@@ -1,0 +1,393 @@
+"""The asyncio HTTP shell of ``c2bound serve``.
+
+Stdlib only: :func:`asyncio.start_server` plus a minimal HTTP/1.1
+request parser — no web framework is baked into the image, and none is
+needed for a JSON job API.  The shell is deliberately thin: every
+decision lives in the synchronous
+:class:`~repro.service.state.ServiceState` core, and every *blocking*
+operation (running a job, reading a trace file, writing the discovery
+file) is pushed through ``loop.run_in_executor`` — the ``C2L205`` lint
+rule statically forbids blocking calls inside coroutine bodies in this
+package, so the event loop provably never stalls behind a sweep.
+
+Endpoints::
+
+    POST   /v1/jobs            submit (202; 429 + Retry-After on shed)
+    GET    /v1/jobs            list jobs
+    GET    /v1/jobs/<id>       status + result document
+    DELETE /v1/jobs/<id>       cancel a queued job
+    GET    /v1/jobs/<id>/trace the job's c2bound.trace/1 progress stream
+    GET    /healthz            queue/breaker/tenant/pool state
+    GET    /readyz             200 while a queue slot is free, else 503
+
+On start the bound port is written to ``<state_dir>/server.json`` (so
+``--port 0`` callers — tests, the chaos harness — can discover it).
+Graceful stop (SIGTERM/SIGINT) drains write-behind caches and closes
+the registry; SIGKILL is the *tested* path: restart with the same
+state directory and every acknowledged job resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from functools import partial
+from pathlib import Path
+
+from repro.dse.jobs import run_job
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.obs import get_registry
+from repro.obs.events import JsonlWriter
+from repro.resilience.policy import Deadline
+from repro.service.state import ServiceState
+from repro.service.wire import canonical_json, parse_job_request
+
+__all__ = ["JobServer", "serve_until_signalled"]
+
+#: Submission bodies larger than this are rejected outright (413) —
+#: backpressure must bind before a request is even buffered whole.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+def _write_discovery(path: Path, info: dict) -> None:
+    """Atomically publish the bound address (runs in an executor)."""
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(info, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _read_file_bytes(path: Path) -> "bytes | None":
+    try:
+        return path.read_bytes()
+    except OSError:
+        return None
+
+
+def _execute_job(state: ServiceState, job, *, degraded: bool,
+                 workers: int) -> dict:
+    """One job, start to finish — runs in an executor thread.
+
+    Checkpointed into the job's own ``c2bound.checkpoint/1`` journal
+    (``resume=True`` always: a fresh job has no journal to restore, a
+    resumed one replays to bit-identical results), with progress
+    streamed as ``c2bound.trace/1`` events into the job directory.
+    """
+    job_dir = state.job_dir(job.job_id)
+    job_dir.mkdir(parents=True, exist_ok=True)
+    deadline = Deadline(job.deadline_s) if job.deadline_s else None
+    trace = JsonlWriter(job_dir / "trace.jsonl", run_name="service.job",
+                        job=job.job_id, tenant=job.tenant,
+                        resumed=job.resumed)
+
+    def on_progress(evaluated: int) -> None:
+        trace.write({"type": "event", "name": "service.job.progress",
+                     "ts": time.time(), "span": None,
+                     "attrs": {"evaluated": evaluated}})
+
+    t_wall, t0 = time.time(), time.perf_counter()
+    status = "done"
+    try:
+        return run_job(job.spec, checkpoint_path=job_dir / "checkpoint.jsonl",
+                       resume=True, workers=workers, deadline=deadline,
+                       degraded=degraded, on_progress=on_progress)
+    except BaseException as exc:
+        status = ("timeout" if isinstance(exc, DeadlineExceededError)
+                  else "failed")
+        raise
+    finally:
+        dur = time.perf_counter() - t0
+        trace.write({"type": "span", "name": "service.job.run", "id": 1,
+                     "parent": None, "ts": t_wall, "dur_s": dur,
+                     "attrs": {"job": job.job_id, "status": status,
+                               "degraded": degraded}})
+        trace.close()
+        get_registry().histogram("service.job.seconds").observe(dur)
+
+
+class JobServer:
+    """The asyncio shell over one :class:`~repro.service.state.ServiceState`.
+
+    Parameters
+    ----------
+    state:
+        The orchestration core (owns queue, tenants, breaker, registry).
+    host, port:
+        Bind address; ``port=0`` picks a free port (published in
+        ``server.json``).
+    max_running:
+        Global cap on concurrently executing jobs (executor threads).
+    job_workers:
+        Process-pool width *inside* each job (1 = inline evaluation).
+    """
+
+    def __init__(self, state: ServiceState, *, host: str = "127.0.0.1",
+                 port: int = 0, max_running: int = 2,
+                 job_workers: int = 1) -> None:
+        if max_running < 1:
+            raise InvalidParameterError(
+                f"max_running must be >= 1, got {max_running}")
+        self.state = state
+        self.host = host
+        self.port = port
+        self.max_running = int(max_running)
+        self.job_workers = int(job_workers)
+        self.started_at = time.time()
+        self._server: "asyncio.base_events.Server | None" = None
+        self._wake: "asyncio.Event | None" = None
+        self._stopping = False
+        self._scheduler_task: "asyncio.Task | None" = None
+        self._job_tasks: "set[asyncio.Task]" = set()
+        self._ctr_requests = get_registry().counter("service.requests")
+
+    # ---- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, publish discovery, and start the scheduler."""
+        loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        await loop.run_in_executor(
+            None, _write_discovery, self.state.state_dir / "server.json",
+            {"host": self.host, "port": self.port, "pid": os.getpid()})
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+
+    async def stop(self) -> None:
+        """Graceful stop: close the listener, let running jobs finish,
+        flush caches and close the durable registry."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._wake is not None:
+            self._wake.set()
+        if self._scheduler_task is not None:
+            await self._scheduler_task
+        if self._job_tasks:
+            await asyncio.gather(*self._job_tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        from repro.sim.cache_store import flush_all_stores
+        await loop.run_in_executor(None, flush_all_stores)
+        await loop.run_in_executor(None, self.state.close)
+
+    # ---- scheduling -------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        """Dispatch runnable jobs while slots are free; park otherwise."""
+        assert self._wake is not None
+        while not self._stopping:
+            while (self.state.running_count() < self.max_running
+                   and not self._stopping):
+                job = self.state.next_job()
+                if job is None:
+                    break
+                task = asyncio.create_task(self._run_job(job))
+                self._job_tasks.add(task)
+                task.add_done_callback(self._job_tasks.discard)
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=0.25)
+            except asyncio.TimeoutError:
+                continue
+
+    async def _run_job(self, job) -> None:
+        """Execute one job with breaker-driven graceful degradation."""
+        assert self._wake is not None
+        loop = asyncio.get_running_loop()
+        breaker = self.state.breaker
+        sim_tier = job.spec.get("evaluator", {}).get("type") == "simulator"
+        degraded = bool(sim_tier and not breaker.allow())
+        try:
+            try:
+                result = await loop.run_in_executor(
+                    None, partial(_execute_job, self.state, job,
+                                  degraded=degraded,
+                                  workers=self.job_workers))
+            except DeadlineExceededError as exc:
+                self.state.fail(job.job_id, status="timeout",
+                                error=repr(exc))
+                return
+            except Exception as exc:
+                # Broad on purpose: whatever a job raises, it must land
+                # in a terminal state — a stuck "running" record would
+                # pin its tenant's concurrency slot forever.
+                if sim_tier and not degraded:
+                    breaker.record_failure()
+                    if not breaker.allow():
+                        # Tier just tripped (or re-tripped): serve this
+                        # job from the degradation ladder instead of
+                        # surfacing the tier's failure to the client.
+                        try:
+                            result = await loop.run_in_executor(
+                                None, partial(_execute_job, self.state, job,
+                                              degraded=True,
+                                              workers=self.job_workers))
+                        except Exception as exc2:
+                            self.state.fail(job.job_id, error=repr(exc2))
+                            return
+                        self.state.complete(job.job_id, result,
+                                            degraded=True)
+                        return
+                self.state.fail(job.job_id, error=repr(exc))
+                return
+            if sim_tier and not degraded:
+                breaker.record_success()
+            self.state.complete(job.job_id, result, degraded=degraded)
+        finally:
+            self._wake.set()
+
+    # ---- HTTP -------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._ctr_requests.inc()
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            status, payload, headers = await self._route(method, path, body)
+        except _HttpError as exc:
+            status, payload, headers = exc.status, {"error": exc.message}, {}
+        except (ReproError, ValueError, asyncio.IncompleteReadError) as exc:
+            status, payload, headers = 500, {"error": repr(exc)}, {}
+        if isinstance(payload, bytes):
+            body_bytes = payload
+            content_type = headers.pop("Content-Type", "application/jsonl")
+        else:
+            body_bytes = (canonical_json(payload) + "\n").encode()
+            content_type = "application/json"
+        reason = _REASONS.get(status, "")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body_bytes)}\r\n"
+                "Connection: close\r\n")
+        for key, value in headers.items():
+            head += f"{key}: {value}\r\n"
+        writer.write(head.encode() + b"\r\n" + body_bytes)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise _HttpError(400, "bad Content-Length") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, target, body
+
+    async def _route(self, method: str, path: str, body: bytes):
+        """Dispatch one request → ``(status, payload, extra headers)``."""
+        if path == "/healthz" and method == "GET":
+            health = self.state.health()
+            health["uptime_s"] = round(time.time() - self.started_at, 3)
+            health["max_running"] = self.max_running
+            return 200, health, {}
+        if path == "/readyz" and method == "GET":
+            ready = self.state.ready()
+            return (200 if ready else 503), {"ready": ready}, {}
+        if path == "/v1/jobs" and method == "POST":
+            return self._submit(body)
+        if path == "/v1/jobs" and method == "GET":
+            jobs = [self.state.jobs[k].public()
+                    for k in sorted(self.state.jobs)]
+            return 200, {"jobs": jobs}, {}
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/trace") and method == "GET":
+                return await self._serve_trace(rest[:-len("/trace")])
+            job = self.state.jobs.get(rest)
+            if job is None:
+                raise _HttpError(404, f"unknown job {rest!r}")
+            if method == "GET":
+                return 200, job.public(), {}
+            if method == "DELETE":
+                if self.state.cancel(rest):
+                    return 200, self.state.jobs[rest].public(), {}
+                raise _HttpError(409, f"job {rest!r} is not cancellable "
+                                      f"(status {job.status!r})")
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _submit(self, body: bytes):
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        try:
+            request = parse_job_request(payload)
+        except InvalidParameterError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        try:
+            job = self.state.submit(request)
+        except AdmissionError as exc:
+            return 429, {"error": str(exc), "reason": exc.reason}, \
+                {"Retry-After": f"{exc.retry_after_s:g}"}
+        assert self._wake is not None
+        self._wake.set()
+        return 202, job.public(), {}
+
+    async def _serve_trace(self, job_id: str):
+        job = self.state.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        loop = asyncio.get_running_loop()
+        data = await loop.run_in_executor(
+            None, _read_file_bytes,
+            self.state.job_dir(job_id) / "trace.jsonl")
+        if data is None:
+            raise _HttpError(404, f"job {job_id!r} has no trace yet")
+        return 200, data, {}
+
+
+class _HttpError(ReproError):
+    """Internal: carries an HTTP status through the handler."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def serve_until_signalled(server: JobServer) -> None:
+    """Run the server until SIGTERM/SIGINT, then stop gracefully."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    await server.start()
+    await stop.wait()
+    await server.stop()

@@ -1,0 +1,291 @@
+"""The job server's synchronous orchestration core.
+
+:class:`ServiceState` ties the admission queue, tenant accounts,
+circuit breaker and the durable
+:class:`~repro.resilience.job_registry.JobRegistry` into one state
+machine with **no asyncio in it** — every transition is a plain method
+call, so the whole recovery/accounting surface is drivable from unit
+and Hypothesis property tests without an event loop.  The asyncio
+shell (:mod:`repro.service.server`) owns scheduling and I/O; this
+module owns *truth*:
+
+- admission (:meth:`submit`) — tenant gates, then queue backpressure,
+  then the durable ``submit`` record; a job is only acknowledged after
+  it is journaled;
+- scheduling (:meth:`next_job`) — deterministic ``(priority, seq)``
+  order filtered by per-tenant concurrency;
+- completion (:meth:`complete` / :meth:`fail`) — terminal registry
+  record plus exactly-once budget settlement;
+- recovery (construction) — replaying the registry rebuilds finished
+  results, re-charges settled budgets idempotently, and re-enqueues
+  in-flight jobs with their *original* admission order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import AdmissionError, ServiceError
+from repro.obs import get_registry
+from repro.resilience.checkpoint import new_run_id
+from repro.resilience.job_registry import JobRegistry
+from repro.service.breaker import CircuitBreaker
+from repro.service.queue import AdmissionQueue, QueueEntry
+from repro.service.tenants import TenantAccounts, TenantQuota
+from repro.service.wire import JobRequest
+
+__all__ = ["JobRecord", "ServiceConfig", "ServiceState", "TERMINAL_STATES"]
+
+#: Job lifecycle: queued → running → one of the terminal states.
+TERMINAL_STATES = ("done", "failed", "timeout", "cancelled")
+
+
+@dataclass
+class JobRecord:
+    """One job's live view (the registry holds the durable one)."""
+
+    job_id: str
+    tenant: str
+    priority: int
+    seq: int
+    spec: dict
+    deadline_s: "float | None" = None
+    status: str = "queued"
+    result: "dict | None" = None
+    charged: int = 0
+    error: "str | None" = None
+    resumed: bool = False
+
+    def public(self) -> dict:
+        """The JSON the HTTP layer serves for this job."""
+        out = {"job_id": self.job_id, "tenant": self.tenant,
+               "priority": self.priority, "seq": self.seq,
+               "status": self.status, "charged": self.charged,
+               "resumed": self.resumed}
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the orchestration core (the CLI populates this)."""
+
+    max_depth: int = 64
+    max_pending_bytes: int = 8 << 20
+    quotas: "dict[str, TenantQuota]" = field(default_factory=dict)
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
+
+
+class ServiceState:
+    """Queue + tenants + breaker + durable registry, crash-recoverable.
+
+    Parameters
+    ----------
+    state_dir:
+        Holds ``jobs.jsonl`` (the registry) and one subdirectory per
+        job (checkpoint journal, trace).  Reusing a directory *is* the
+        recovery path: the registry is replayed before anything else.
+    config:
+        Quotas and backpressure knobs.
+    clock:
+        Monotonic source handed to the breaker (injectable for tests).
+    """
+
+    def __init__(self, state_dir: "str | Path",
+                 config: "ServiceConfig | None" = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.state_dir = Path(state_dir)
+        self.config = config if config is not None else ServiceConfig()
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.queue = AdmissionQueue(
+            max_depth=self.config.max_depth,
+            max_pending_bytes=self.config.max_pending_bytes)
+        self.accounts = TenantAccounts(self.config.quotas,
+                                       self.config.default_quota)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_after_s=self.config.breaker_reset_s, clock=clock)
+        self.jobs: "dict[str, JobRecord]" = {}
+        registry = get_registry()
+        self._ctr_submitted = registry.counter("service.jobs.submitted")
+        self._ctr_completed = registry.counter("service.jobs.completed")
+        self._ctr_failed = registry.counter("service.jobs.failed")
+        self._ctr_cancelled = registry.counter("service.jobs.cancelled")
+        self._ctr_resumed = registry.counter("service.jobs.resumed")
+        self._ctr_rejected = registry.counter("service.jobs.rejected")
+        self._ctr_degraded = registry.counter("service.degraded.jobs")
+        self.registry, replay = JobRegistry.open_resume(
+            self.state_dir / "jobs.jsonl")
+        self._seq = replay.next_seq
+        self._recover(replay)
+
+    # ---- recovery ---------------------------------------------------------
+
+    def _recover(self, replay) -> None:
+        """Rebuild live state from the registry's replay view.
+
+        Terminal jobs come back servable with their recorded results
+        and settle their budgets through the same idempotent path live
+        completions use.  Pending jobs re-enter the queue with their
+        original ``(priority, seq)``, so the resumed schedule extends
+        the durable admission order.
+        """
+        for record in replay.submits:
+            job = JobRecord(
+                job_id=record["job"], tenant=record["tenant"],
+                priority=int(record["priority"]), seq=int(record["seq"]),
+                spec=dict(record["spec"]),
+                deadline_s=record["spec"].get("deadline_s"))
+            terminal = replay.terminal.get(job.job_id)
+            if terminal is not None:
+                job.status = str(terminal.get("status", "done"))
+                job.result = terminal.get("result")
+                job.charged = int(terminal.get("charged", 0))
+                self.accounts.settle(job.tenant, job.job_id, job.charged)
+            else:
+                job.resumed = True
+                self.accounts.on_queued(job.tenant)
+                self.queue.restore(QueueEntry(
+                    priority=job.priority, seq=job.seq, tenant=job.tenant,
+                    job_id=job.job_id, size_bytes=0))
+                self._ctr_resumed.inc()
+            self.jobs[job.job_id] = job
+
+    # ---- admission --------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> JobRecord:
+        """Admit one job (or raise :class:`~repro.errors.AdmissionError`).
+
+        Gate order: tenant quotas first (cheap, per-client), then the
+        shared queue's backpressure.  The durable ``submit`` record is
+        appended *before* the job is acknowledged, so every job the
+        client ever saw accepted survives a crash.
+        """
+        try:
+            self.accounts.admit(request.tenant)
+            entry = QueueEntry(
+                priority=request.priority, seq=self._seq,
+                tenant=request.tenant, job_id=new_run_id(),
+                size_bytes=request.size_bytes())
+            self.queue.offer(entry)
+        except AdmissionError:
+            self._ctr_rejected.inc()
+            raise
+        self._seq += 1
+        spec = dict(request.spec)
+        if request.deadline_s is not None:
+            spec["deadline_s"] = request.deadline_s
+        job = JobRecord(job_id=entry.job_id, tenant=request.tenant,
+                        priority=entry.priority, seq=entry.seq, spec=spec,
+                        deadline_s=request.deadline_s)
+        self.registry.append_submit(
+            job_id=job.job_id, tenant=job.tenant, priority=job.priority,
+            seq=job.seq, spec=spec)
+        self.accounts.on_queued(job.tenant)
+        self.jobs[job.job_id] = job
+        self._ctr_submitted.inc()
+        return job
+
+    # ---- scheduling -------------------------------------------------------
+
+    def next_job(self) -> "JobRecord | None":
+        """Dequeue the next runnable job (deterministic fair order)."""
+        entry = self.queue.pop_runnable(self.accounts.can_run)
+        if entry is None:
+            return None
+        job = self.jobs[entry.job_id]
+        self.accounts.on_dequeued(job.tenant)
+        self.accounts.on_started(job.tenant)
+        job.status = "running"
+        return job
+
+    # ---- completion -------------------------------------------------------
+
+    def _require(self, job_id: str) -> JobRecord:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def complete(self, job_id: str, result: dict, *,
+                 degraded: bool = False) -> JobRecord:
+        """A job finished: journal the terminal record, settle budgets."""
+        job = self._require(job_id)
+        job.status = "done"
+        job.result = dict(result)
+        job.charged = int(result.get("evaluations", 0))
+        self.registry.append_done(job_id=job.job_id, status="done",
+                                  charged=job.charged, result=job.result)
+        self.accounts.on_finished(job.tenant)
+        self.accounts.settle(job.tenant, job.job_id, job.charged)
+        self._ctr_completed.inc()
+        if degraded:
+            self._ctr_degraded.inc()
+        return job
+
+    def fail(self, job_id: str, *, status: str = "failed",
+             error: "str | None" = None, charged: int = 0) -> JobRecord:
+        """A job ended without a result (failure, timeout)."""
+        if status not in ("failed", "timeout"):
+            raise ServiceError(f"fail() got non-failure status {status!r}")
+        job = self._require(job_id)
+        job.status = status
+        job.error = error
+        job.charged = int(charged)
+        self.registry.append_done(job_id=job.job_id, status=status,
+                                  charged=job.charged, result=None)
+        self.accounts.on_finished(job.tenant)
+        self.accounts.settle(job.tenant, job.job_id, job.charged)
+        self._ctr_failed.inc()
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job (running jobs finish)."""
+        job = self._require(job_id)
+        if job.status != "queued" or not self.queue.cancel(job_id):
+            return False
+        job.status = "cancelled"
+        self.registry.append_cancel(job_id=job_id)
+        self.accounts.on_dequeued(job.tenant)
+        self.accounts.settle(job.tenant, job_id, 0)
+        self._ctr_cancelled.inc()
+        return True
+
+    # ---- paths & introspection -------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        """Per-job artifact directory (checkpoint journal, trace)."""
+        return self.state_dir / "jobs" / job_id
+
+    def running_count(self) -> int:
+        """Jobs currently executing (all tenants)."""
+        return sum(self.accounts.running.values())
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: queue, breaker, tenants, jobs."""
+        by_status: "dict[str, int]" = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {"ok": True, "queue": self.queue.snapshot(),
+                "breaker": self.breaker.snapshot(),
+                "tenants": self.accounts.snapshot(),
+                "jobs": dict(sorted(by_status.items())),
+                "running": self.running_count()}
+
+    def ready(self) -> bool:
+        """Whether new submissions currently have a queue slot."""
+        return self.queue.depth < self.queue.max_depth
+
+    def close(self) -> None:
+        """Close the durable registry (idempotent)."""
+        self.registry.close()

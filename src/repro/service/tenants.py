@@ -1,0 +1,141 @@
+"""Per-tenant quotas and exactly-once budget settlement.
+
+Three quotas bound what one tenant can do to the service:
+
+- ``max_concurrency`` — jobs running at once (enforced by the
+  scheduler through :meth:`TenantAccounts.can_run`);
+- ``max_queued`` — jobs waiting in the admission queue;
+- ``budget`` — total *fresh evaluations* (the Fig. 12
+  ``dse.evaluations`` meter) the tenant may ever charge; ``None`` is
+  unbounded.
+
+Settlement is **exactly-once by job id**: :meth:`TenantAccounts.settle`
+is idempotent, and a restarted server replays terminal registry records
+through the same method — so a job that completed just before a crash
+is charged once, not twice, and a job that was in flight (no terminal
+record) is charged only when its resumed run completes.  The Hypothesis
+property tests in ``tests/service`` drive arbitrary
+submit/crash/restart interleavings against exactly this invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError, InvalidParameterError
+from repro.obs import get_registry
+
+__all__ = ["TenantQuota", "TenantAccounts"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant."""
+
+    max_concurrency: int = 2
+    max_queued: int = 16
+    budget: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise InvalidParameterError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}")
+        if self.max_queued < 1:
+            raise InvalidParameterError(
+                f"max_queued must be >= 1, got {self.max_queued}")
+        if self.budget is not None and self.budget < 0:
+            raise InvalidParameterError(
+                f"budget must be >= 0 or None, got {self.budget}")
+
+
+class TenantAccounts:
+    """Live per-tenant counters against a quota table.
+
+    Parameters
+    ----------
+    quotas:
+        Tenant name → :class:`TenantQuota`; unknown tenants fall back
+        to ``default``.
+    default:
+        Quota for tenants without an explicit entry.
+    """
+
+    def __init__(self, quotas: "dict[str, TenantQuota] | None" = None,
+                 default: "TenantQuota | None" = None) -> None:
+        self.quotas = dict(quotas) if quotas else {}
+        self.default = default if default is not None else TenantQuota()
+        self.queued: "dict[str, int]" = {}
+        self.running: "dict[str, int]" = {}
+        self.charged: "dict[str, int]" = {}
+        self._settled: "set[str]" = set()
+        self._ctr_charged = get_registry()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant``."""
+        return self.quotas.get(tenant, self.default)
+
+    def admit(self, tenant: str) -> None:
+        """Check the per-tenant gates (queue slot, budget not exhausted).
+
+        Raises :class:`~repro.errors.AdmissionError` with a
+        machine-readable reason; passing means the caller may offer the
+        job to the admission queue.
+        """
+        quota = self.quota_for(tenant)
+        if self.queued.get(tenant, 0) >= quota.max_queued:
+            raise AdmissionError(
+                f"tenant {tenant!r} has {quota.max_queued} queued jobs",
+                reason="tenant_quota", retry_after_s=2.0)
+        if quota.budget is not None \
+                and self.charged.get(tenant, 0) >= quota.budget:
+            raise AdmissionError(
+                f"tenant {tenant!r} exhausted its evaluation budget "
+                f"({quota.budget})", reason="budget_exhausted",
+                retry_after_s=60.0)
+
+    def can_run(self, tenant: str) -> bool:
+        """Whether the tenant has a free concurrency slot."""
+        return self.running.get(tenant, 0) \
+            < self.quota_for(tenant).max_concurrency
+
+    # ---- lifecycle bookkeeping -------------------------------------------
+
+    def on_queued(self, tenant: str) -> None:
+        self.queued[tenant] = self.queued.get(tenant, 0) + 1
+
+    def on_dequeued(self, tenant: str) -> None:
+        self.queued[tenant] = max(0, self.queued.get(tenant, 0) - 1)
+
+    def on_started(self, tenant: str) -> None:
+        self.running[tenant] = self.running.get(tenant, 0) + 1
+
+    def on_finished(self, tenant: str) -> None:
+        self.running[tenant] = max(0, self.running.get(tenant, 0) - 1)
+
+    def settle(self, tenant: str, job_id: str, evaluations: int) -> bool:
+        """Charge one finished job's evaluations — exactly once.
+
+        Returns ``True`` when the charge was applied, ``False`` when
+        this ``job_id`` was already settled (replayed terminal records,
+        double completion races).  The replay path and the live path
+        both funnel through here, which is the whole exactly-once
+        argument.
+        """
+        if job_id in self._settled:
+            return False
+        self._settled.add(job_id)
+        if evaluations:
+            self.charged[tenant] = (self.charged.get(tenant, 0)
+                                    + int(evaluations))
+            self._ctr_charged.counter("service.tenant.charged",
+                                      tenant=tenant).inc(int(evaluations))
+        return True
+
+    def snapshot(self) -> dict:
+        """Accounting state for ``/healthz`` (sorted for stability)."""
+        tenants = sorted(set(self.queued) | set(self.running)
+                         | set(self.charged))
+        return {t: {"queued": self.queued.get(t, 0),
+                    "running": self.running.get(t, 0),
+                    "charged": self.charged.get(t, 0)}
+                for t in tenants}

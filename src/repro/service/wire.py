@@ -1,0 +1,115 @@
+"""Wire schemas of the job server.
+
+Two documents cross the wire:
+
+``c2bound.job/1`` — a submission::
+
+    {"schema": "c2bound.job/1", "tenant": "acme", "priority": 1,
+     "deadline_s": 30.0,
+     "job": {"kind": "sweep", "method": "brute",
+             "space": {"params": [{"name": "a0", "values": […]}, …]},
+             "evaluator": {"type": "surrogate", …},
+             "batch_size": 64}}
+
+``c2bound.job-result/1`` — the result document
+:func:`repro.dse.jobs.run_job` produces.  Results are rendered with
+:func:`canonical_json` (sorted keys, minimal separators, costs as
+``repr(float)`` strings), so "bit-identical resume" is a byte equality
+over this encoding — the property the chaos gate asserts.
+
+Validation errors raise :class:`~repro.errors.InvalidParameterError`;
+the HTTP layer maps them to 400s.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.dse.jobs import RESULT_SCHEMA
+from repro.errors import InvalidParameterError
+
+__all__ = ["JOB_SCHEMA", "RESULT_SCHEMA", "JobRequest", "canonical_json",
+           "parse_job_request"]
+
+JOB_SCHEMA = "c2bound.job/1"
+
+#: Priorities are small ints; 0 is most urgent.  A narrow range keeps
+#: the admission order legible in the registry and forecloses priority
+#: inflation arms races between tenants.
+MAX_PRIORITY = 9
+
+
+def canonical_json(obj) -> str:
+    """The byte-stable JSON encoding job results are compared in."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated submission, ready for admission.
+
+    Attributes
+    ----------
+    tenant:
+        Quota identity; every job belongs to exactly one tenant.
+    priority:
+        ``0`` (most urgent) … ``MAX_PRIORITY``; ties break by arrival
+        sequence, so scheduling is a deterministic function of
+        ``(priority, seq)``.
+    deadline_s:
+        The job's overall time budget (``None`` = unbounded), enforced
+        end to end: between batches, and clamped into retry backoffs.
+    spec:
+        The :func:`repro.dse.jobs.run_job` spec (kind/space/evaluator).
+    """
+
+    tenant: str
+    priority: int
+    deadline_s: "float | None"
+    spec: dict
+
+    @property
+    def evaluator_type(self) -> str:
+        """Which tier the job runs on (drives the circuit breaker)."""
+        return str((self.spec.get("evaluator") or {}).get("type",
+                                                          "surrogate"))
+
+    def size_bytes(self) -> int:
+        """The spec's canonical encoded size (memory-watermark unit)."""
+        return len(canonical_json(self.spec).encode())
+
+
+def parse_job_request(payload) -> JobRequest:
+    """Validate one ``c2bound.job/1`` submission payload."""
+    if not isinstance(payload, dict):
+        raise InvalidParameterError("job submission must be a JSON object")
+    schema = payload.get("schema", JOB_SCHEMA)
+    if schema != JOB_SCHEMA:
+        raise InvalidParameterError(
+            f"unknown submission schema {schema!r} (expected {JOB_SCHEMA})")
+    tenant = payload.get("tenant")
+    if not isinstance(tenant, str) or not tenant:
+        raise InvalidParameterError("submission needs a non-empty 'tenant'")
+    priority = payload.get("priority", MAX_PRIORITY // 2)
+    if not isinstance(priority, int) or isinstance(priority, bool) \
+            or not 0 <= priority <= MAX_PRIORITY:
+        raise InvalidParameterError(
+            f"priority must be an int in [0, {MAX_PRIORITY}], "
+            f"got {priority!r}")
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) \
+                or isinstance(deadline_s, bool) or deadline_s <= 0:
+            raise InvalidParameterError(
+                f"deadline_s must be > 0 or null, got {deadline_s!r}")
+        deadline_s = float(deadline_s)
+    spec = payload.get("job")
+    if not isinstance(spec, dict):
+        raise InvalidParameterError("submission needs a 'job' spec object")
+    if not isinstance(spec.get("space"), dict):
+        raise InvalidParameterError("job spec needs a 'space' object")
+    if "evaluator" in spec and not isinstance(spec["evaluator"], dict):
+        raise InvalidParameterError("job 'evaluator' must be an object")
+    return JobRequest(tenant=tenant, priority=int(priority),
+                      deadline_s=deadline_s, spec=spec)

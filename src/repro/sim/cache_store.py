@@ -55,10 +55,13 @@ Hits/misses/stores and in-memory evictions are published as
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
+import signal
 import tempfile
+import weakref
 from collections import OrderedDict
 from dataclasses import fields, is_dataclass
 from pathlib import Path
@@ -66,14 +69,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.sanitizer import check_shard_write, sanitize_enabled
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ReproError
 from repro.obs import get_registry, get_tracer
 
 __all__ = ["SIM_MODEL_VERSION", "FINGERPRINT_SCHEMA", "SHARD_PREFIX_LEN",
            "SHARD_COUNT", "SimCacheStore", "shard_of_key",
            "sim_cache_key", "fingerprint", "cached_simulate_chip_cost",
            "verify_fingerprint_schema", "set_default_store",
-           "get_default_store", "resolve_store"]
+           "get_default_store", "resolve_store", "flush_all_stores",
+           "install_signal_flush"]
 
 #: Salt folded into every cache key.  Bump on ANY intentional change to
 #: simulator semantics (i.e. whenever ``tests/data/sim_golden.json`` is
@@ -212,6 +216,69 @@ def shard_of_key(key: str) -> int:
     return int(key[:SHARD_PREFIX_LEN], 16)
 
 
+# ----- flush-on-exit safety net --------------------------------------------
+#
+# A write-behind store that is never explicitly closed (a process that
+# exits through ``sys.exit``, a SIGTERM'd server) would silently drop
+# its buffered entries.  Every write-behind store registers itself in a
+# weak set; a one-time ``atexit`` hook — plus an opt-in SIGTERM chain
+# for long-lived processes — drains whatever is still buffered.  Entries
+# are recomputable and re-``put`` is idempotent, so this is a cost
+# optimization, not a correctness requirement; losing it only on
+# SIGKILL is the contract.
+_live_stores: "weakref.WeakSet" = weakref.WeakSet()
+_atexit_installed = False
+
+
+def flush_all_stores() -> int:
+    """Flush every live write-behind buffer; returns entries written.
+
+    The ``atexit``/SIGTERM safety net calls this, and tests may call it
+    directly.  A store whose flush fails (filesystem gone mid-teardown)
+    is skipped — exit paths must not raise.
+    """
+    written = 0
+    for store in list(_live_stores):
+        try:
+            written += store.flush()
+        except (ReproError, OSError, RuntimeError):
+            continue
+    return written
+
+
+def _register_store(store: "SimCacheStore") -> None:
+    global _atexit_installed
+    _live_stores.add(store)
+    if not _atexit_installed:
+        atexit.register(flush_all_stores)
+        _atexit_installed = True
+
+
+def install_signal_flush(*signums: int) -> None:
+    """Chain a buffer flush onto termination signals (SIGTERM default).
+
+    For long-lived processes (the job server, sweep CLIs under a
+    supervisor) whose graceful stop arrives as a signal rather than a
+    normal interpreter exit.  The previous handler is chained: a
+    callable handler runs after the flush; the default disposition is
+    re-raised so the process still terminates.
+    """
+    if not signums:
+        signums = (signal.SIGTERM,)
+    for signum in signums:
+        previous = signal.getsignal(signum)
+
+        def _handler(num, frame, _previous=previous):
+            flush_all_stores()
+            if callable(_previous):
+                _previous(num, frame)
+            else:
+                signal.signal(num, signal.SIG_DFL)
+                os.kill(os.getpid(), num)
+
+        signal.signal(signum, _handler)
+
+
 class SimCacheStore:
     """On-disk content-addressed cost store with an in-memory LRU front.
 
@@ -266,6 +333,8 @@ class SimCacheStore:
         # sanitizer is this cached boolean
         self._sanitize = sanitize_enabled()
         self._bind_counters()
+        if self.write_behind:
+            _register_store(self)
 
     def _bind_counters(self) -> None:
         registry = get_registry()
@@ -308,6 +377,8 @@ class SimCacheStore:
         # every worker-side clone
         self._sanitize = sanitize_enabled()
         self._bind_counters()
+        if self.write_behind:
+            _register_store(self)
 
     def scoped(self, *, owned_shards: "frozenset[int] | None" = None,
                write_behind: "int | None" = None) -> "SimCacheStore":

@@ -1,0 +1,161 @@
+"""C2L205: no blocking calls inside coroutine bodies of the service."""
+
+from __future__ import annotations
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def messages(result):
+    return " | ".join(d.message for d in result.diagnostics)
+
+
+def test_time_sleep_in_coroutine_flagged(lint_tree):
+    source = """\
+    import time
+
+
+    async def handler():
+        time.sleep(0.1)
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == ["C2L205"]
+    assert "run_in_executor" in messages(result)
+
+
+def test_open_and_aliased_import_flagged(lint_tree):
+    source = """\
+    from time import sleep as snooze
+
+
+    async def handler():
+        snooze(1)
+        with open("x") as fh:
+            fh.read()
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == ["C2L205", "C2L205"]
+
+
+def test_future_result_wait_flagged(lint_tree):
+    source = """\
+    async def handler(pool):
+        fut = pool.submit(len, "x")
+        return fut.result()
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == ["C2L205"]
+    assert "pool future" in messages(result)
+
+
+def test_pathlib_io_flagged(lint_tree):
+    source = """\
+    from pathlib import Path
+
+
+    async def handler(path: Path):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path.read_text()
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == ["C2L205", "C2L205"]
+
+
+def test_subprocess_and_os_flagged(lint_tree):
+    source = """\
+    import os
+    import subprocess
+
+
+    async def handler():
+        subprocess.run(["true"])
+        os.replace("a", "b")
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == ["C2L205", "C2L205"]
+
+
+def test_sync_function_not_flagged(lint_tree):
+    source = """\
+    import time
+    from pathlib import Path
+
+
+    def helper(path: Path):
+        time.sleep(0.1)
+        return path.read_text()
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == []
+
+
+def test_nested_sync_def_is_executor_domain(lint_tree):
+    source = """\
+    import asyncio
+
+
+    async def handler(path):
+        def blocking_read():
+            with open(path) as fh:
+                return fh.read()
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, blocking_read)
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == []
+
+
+def test_nested_lambda_exempt(lint_tree):
+    source = """\
+    async def handler(loop, path):
+        return await loop.run_in_executor(
+            None, lambda: open(path).read())
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == []
+
+
+def test_nested_async_def_still_checked(lint_tree):
+    source = """\
+    import time
+
+
+    async def outer():
+        async def inner():
+            time.sleep(1)
+        await inner()
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == ["C2L205"]
+
+
+def test_str_replace_not_flagged(lint_tree):
+    # .replace/.open are deliberately outside the method blocklist:
+    # str.replace would drown the signal in false positives.
+    source = """\
+    async def handler(name: str):
+        return name.replace("-", "_")
+    """
+    result = lint_tree({"service/a.py": source}, rules=["C2L205"])
+    assert codes(result) == []
+
+
+def test_out_of_scope_module_ignored(lint_tree):
+    source = """\
+    import time
+
+
+    async def handler():
+        time.sleep(1.0)
+    """
+    result = lint_tree({"dse/a.py": source}, rules=["C2L205"])
+    assert codes(result) == []
+
+
+def test_src_tree_is_clean(repo_root):
+    from repro.analysis import lint_paths
+
+    result = lint_paths([repo_root / "src"], rules=["C2L205"])
+    assert codes(result) == []

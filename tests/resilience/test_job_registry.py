@@ -1,0 +1,126 @@
+"""The c2bound.jobs/1 registry: replay, torn tails, refusal to guess."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import JOBS_SCHEMA, JobRegistry, replay_registry
+
+
+def submit(reg, job_id, seq, *, tenant="t", priority=5, spec=None):
+    reg.append_submit(job_id=job_id, tenant=tenant, priority=priority,
+                      seq=seq, spec=spec or {"kind": "sweep"})
+
+
+class TestRoundTrip:
+    def test_create_and_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg = JobRegistry.create(path, meta={"port": 1})
+        submit(reg, "a", 0)
+        submit(reg, "b", 1)
+        reg.append_done(job_id="a", status="done", charged=5,
+                        result={"best_cost": "1.0"})
+        reg.close()
+
+        replay = replay_registry(path)
+        assert [s["job"] for s in replay.submits] == ["a", "b"]
+        assert [s["job"] for s in replay.pending] == ["b"]
+        assert replay.terminal["a"]["charged"] == 5
+        assert replay.next_seq == 2
+
+    def test_cancel_is_terminal(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg = JobRegistry.create(path)
+        submit(reg, "a", 0)
+        reg.append_cancel(job_id="a")
+        reg.close()
+        replay = replay_registry(path)
+        assert replay.pending == []
+        assert replay.terminal["a"]["status"] == "cancelled"
+        assert replay.terminal["a"]["charged"] == 0
+
+    def test_open_resume_missing_file_creates(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg, replay = JobRegistry.open_resume(path)
+        assert replay.submits == [] and replay.next_seq == 0
+        submit(reg, "a", 0)
+        reg.close()
+        assert path.exists()
+
+    def test_open_resume_appends_after_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg = JobRegistry.create(path)
+        submit(reg, "a", 0)
+        reg.close()
+
+        reg2, replay = JobRegistry.open_resume(path)
+        assert replay.next_seq == 1
+        submit(reg2, "b", replay.next_seq)
+        reg2.close()
+        final = replay_registry(path)
+        assert [s["seq"] for s in final.submits] == [0, 1]
+
+    def test_non_terminal_status_refused(self, tmp_path):
+        reg = JobRegistry.create(tmp_path / "jobs.jsonl")
+        with pytest.raises(CheckpointError):
+            reg.append_done(job_id="a", status="running", charged=0,
+                            result=None)
+        reg.close()
+
+
+class TestCrashSafety:
+    def test_torn_tail_healed(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg = JobRegistry.create(path)
+        submit(reg, "a", 0)
+        submit(reg, "b", 1)
+        reg.close()
+        with open(path, "a") as fh:
+            fh.write('{"type": "done", "job": "a", "stat')  # torn write
+
+        reg2, replay = JobRegistry.open_resume(path)
+        reg2.close()
+        # The torn record is dropped: "a" is still pending…
+        assert [s["job"] for s in replay.pending] == ["a", "b"]
+        # …and the file itself was healed (every line parses now).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_corrupt_middle_refused(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg = JobRegistry.create(path)
+        submit(reg, "a", 0)
+        reg.close()
+        text = path.read_text().splitlines()
+        text.insert(1, "not json at all")
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(CheckpointError):
+            replay_registry(path)
+
+    def test_missing_header_refused(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"type": "submit", "job": "a", "seq": 0}\n')
+        with pytest.raises(CheckpointError):
+            replay_registry(path)
+
+    def test_wrong_schema_refused(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(json.dumps(
+            {"type": "header", "schema": "c2bound.checkpoint/1"}) + "\n")
+        with pytest.raises(CheckpointError):
+            replay_registry(path)
+
+    def test_unknown_record_type_refused(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        reg = JobRegistry.create(path)
+        reg.close()
+        with open(path, "a") as fh:
+            fh.write('{"type": "mystery"}\n')
+        with pytest.raises(CheckpointError):
+            replay_registry(path)
+
+    def test_schema_constant(self):
+        assert JOBS_SCHEMA == "c2bound.jobs/1"

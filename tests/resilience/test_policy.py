@@ -167,3 +167,71 @@ class TestRetryCall:
             retry_call(flaky, policy=policy, sleep=lambda s: None,
                        on_retry=lambda k, e: seen.append((k, str(e))))
         assert seen == [(1, "again"), (2, "again")]
+
+
+class TestDeadlineAwareBackoff:
+    """Backoff sleeps are clamped to the job's remaining deadline:
+    retry_call gives up *before* a sleep that would outlive it."""
+
+    def test_no_sleep_past_deadline(self, fresh_registry):
+        now = [0.0]
+        sleeps: list[float] = []
+
+        def tick_sleep(s):
+            sleeps.append(s)
+            now[0] += s
+
+        def flaky():
+            now[0] += 1.0  # each attempt costs one second
+            raise TransientError("busy")
+
+        # 3.5 s budget, 2 s backoff: attempt(1s) + sleep(2s) + attempt(1s)
+        # leaves 0.5 s < 2 s — the second sleep must never happen.
+        deadline = Deadline(3.5, clock=lambda: now[0])
+        policy = RetryPolicy(max_attempts=10, base_delay=2.0,
+                             multiplier=1.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as err:
+            retry_call(flaky, policy=policy, sleep=tick_sleep,
+                       deadline=deadline)
+        assert sleeps == [2.0]
+        assert err.value.attempts == 2
+        # Every recorded sleep fit inside the budget at the time it ran.
+        assert now[0] <= 3.5 + 2.0  # attempts may spill, sleeps may not
+        assert fresh_registry.snapshot()["counters"][
+            "resilience.giveups"] == 1
+
+    def test_gives_up_instead_of_first_sleep(self):
+        now = [0.0]
+        sleeps: list[float] = []
+
+        def flaky():
+            raise TransientError("busy")
+
+        deadline = Deadline(1.0, clock=lambda: now[0])
+        policy = RetryPolicy(max_attempts=5, base_delay=5.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as err:
+            retry_call(flaky, policy=policy, sleep=sleeps.append,
+                       deadline=deadline)
+        assert sleeps == []  # 5 s backoff >= 1 s budget: never slept
+        assert err.value.attempts == 1
+
+    def test_unlimited_deadline_never_clamps(self):
+        sleeps: list[float] = []
+
+        def flaky():
+            raise TransientError("busy")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            retry_call(flaky, policy=policy, sleep=sleeps.append,
+                       deadline=Deadline(None))
+        assert sleeps == [0.5, 1.0]
+
+    def test_c2l006_requires_injected_sleep(self):
+        # The clamp path must stay lint-clean: retry_call's module may
+        # not call time.sleep directly (C2L006).
+        from repro.analysis.engine import lint_paths
+
+        result = lint_paths(["src/repro/resilience/policy.py"],
+                            rules=["C2L006"])
+        assert not result.diagnostics

@@ -1,0 +1,97 @@
+"""Circuit breaker transitions under an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_after_s=10.0,
+                          clock=clock)
+
+
+class TestTransitions:
+    def test_starts_closed(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_decays_to_half_open(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()  # probe failed → straight back to OPEN
+        assert breaker._state is BreakerState.OPEN
+        assert breaker.trips == 2
+        clock.now = 19.9
+        assert not breaker.allow()  # reset timer restarted at re-trip
+        clock.now = 20.0
+        assert breaker.allow()
+
+    def test_half_open_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        clock.now = 0.0  # closed state does not depend on the clock
+        assert breaker.allow()
+
+
+class TestValidation:
+    def test_bad_threshold(self, clock):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+    def test_bad_reset(self, clock):
+        with pytest.raises(InvalidParameterError):
+            CircuitBreaker(reset_after_s=0.0, clock=clock)
+
+    def test_snapshot(self, breaker):
+        snap = breaker.snapshot()
+        assert snap == {"state": "closed", "failures": 0, "trips": 0,
+                        "failure_threshold": 3}

@@ -1,0 +1,186 @@
+"""Hypothesis properties: exactly-once budgets, deterministic order.
+
+The two service-level invariants the chaos gate relies on, checked
+over *arbitrary* interleavings rather than the handful of scripted
+ones in ``test_state.py``:
+
+1. However submit / start / complete / fail / cancel / crash+restart
+   interleave, each tenant is charged each job's evaluations **exactly
+   once** — replay never double-charges and never forgets a settled
+   charge.
+2. Queue ordering is a pure function of ``(priority, seq)``: any
+   offer permutation, with or without a mid-stream crash/restart,
+   drains in the same order.  No wall-clock input exists to disagree.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionError
+from repro.service import AdmissionQueue, JobRequest, QueueEntry, ServiceState
+
+SPEC = {"kind": "sweep",
+        "space": {"params": [{"name": "n", "values": [1]}]}}
+
+TENANTS = ("alice", "bob", "carol")
+
+# One abstract action per draw; indices are resolved modulo the live
+# population at apply time so every generated program is valid.
+ACTIONS = st.one_of(
+    st.tuples(st.just("submit"), st.sampled_from(TENANTS),
+              st.integers(0, 9)),
+    st.tuples(st.just("start"), st.just(None), st.just(None)),
+    st.tuples(st.just("complete"), st.integers(0, 50), st.integers(0, 7)),
+    st.tuples(st.just("fail"), st.just(None), st.integers(0, 7)),
+    st.tuples(st.just("cancel"), st.just(None), st.integers(0, 7)),
+    st.tuples(st.just("crash"), st.just(None), st.just(None)),
+)
+
+
+class Driver:
+    """Applies an abstract action program to a real ServiceState."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.state = ServiceState(root)
+        self.running: "list[str]" = []
+        self.queued: "list[str]" = []
+        self.expected: "dict[str, int]" = {}
+
+    def apply(self, action) -> None:
+        kind, a, b = action
+        getattr(self, kind)(a, b)
+
+    def submit(self, tenant, priority) -> None:
+        try:
+            job = self.state.submit(JobRequest(
+                tenant=tenant, priority=priority, deadline_s=None,
+                spec=dict(SPEC)))
+        except AdmissionError:
+            return
+        self.queued.append(job.job_id)
+
+    def start(self, _a, _b) -> None:
+        job = self.state.next_job()
+        if job is not None:
+            self.queued.remove(job.job_id)
+            self.running.append(job.job_id)
+
+    def complete(self, evaluations, index) -> None:
+        if not self.running:
+            return
+        job_id = self.running.pop(index % len(self.running))
+        job = self.state.jobs[job_id]
+        self.state.complete(job_id, {"evaluations": evaluations})
+        self.expected[job.tenant] = (self.expected.get(job.tenant, 0)
+                                     + evaluations)
+
+    def fail(self, _a, index) -> None:
+        if not self.running:
+            return
+        job_id = self.running.pop(index % len(self.running))
+        self.state.fail(job_id, error="boom")
+
+    def cancel(self, _a, index) -> None:
+        if not self.queued:
+            return
+        job_id = self.queued[index % len(self.queued)]
+        if self.state.cancel(job_id):
+            self.queued.remove(job_id)
+
+    def crash(self, _a, _b) -> None:
+        """SIGKILL analogue: drop all live state, replay the registry."""
+        self.state.registry.close()
+        self.state = ServiceState(self.root)
+        # Whatever was running died with the process; replay re-queues
+        # every non-terminal job.
+        self.queued = [j.job_id for j in self.state.jobs.values()
+                       if j.status == "queued"]
+        self.running = []
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(ACTIONS, min_size=1, max_size=40))
+def test_no_interleaving_double_charges(program):
+    with tempfile.TemporaryDirectory() as tmp:
+        driver = Driver(Path(tmp) / "state")
+        for action in program:
+            driver.apply(action)
+        # A final crash/replay must not change a single charge…
+        driver.crash(None, None)
+        assert driver.state.accounts.charged == {
+            t: n for t, n in driver.expected.items() if n}
+        # …and draining the survivors to completion charges each of
+        # them exactly once too.
+        while True:
+            driver.start(None, None)
+            if not driver.running:
+                break
+            driver.complete(5, 0)
+        driver.crash(None, None)
+        assert driver.state.accounts.charged == {
+            t: n for t, n in driver.expected.items() if n}
+        driver.state.close()
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.permutations(list(range(12))),
+       st.lists(st.tuples(st.integers(0, 9), st.sampled_from(TENANTS)),
+                min_size=12, max_size=12))
+def test_queue_order_is_pure_in_priority_and_seq(perm, meta):
+    entries = [QueueEntry(priority=meta[i][0], seq=i, tenant=meta[i][1],
+                          job_id=f"job-{i}") for i in range(12)]
+    queue = AdmissionQueue(max_depth=64)
+    for index in perm:
+        queue.offer(entries[index])
+    drained = []
+    while True:
+        entry = queue.pop_runnable(lambda tenant: True)
+        if entry is None:
+            break
+        drained.append((entry.priority, entry.seq))
+    assert drained == sorted((e.priority, e.seq) for e in entries)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.sampled_from(TENANTS), st.integers(0, 9)),
+                min_size=1, max_size=12),
+       st.integers(0, 11))
+def test_restart_preserves_schedule(submissions, cut):
+    """The drain order of a restarted server equals the uninterrupted
+    drain order — scheduling depends on durable state only."""
+    def drain(state, limit=None):
+        order = []
+        while limit is None or len(order) < limit:
+            job = state.next_job()
+            if job is None:
+                break
+            order.append(job.seq)
+            state.complete(job.job_id, {"evaluations": 1})
+        return order
+
+    with tempfile.TemporaryDirectory() as tmp:
+        one = ServiceState(Path(tmp) / "uninterrupted")
+        two = ServiceState(Path(tmp) / "crashed")
+        for tenant, priority in submissions:
+            for state in (one, two):
+                state.submit(JobRequest(tenant=tenant, priority=priority,
+                                        deadline_s=None, spec=dict(SPEC)))
+        baseline = drain(one)
+        one.close()
+
+        # Crash the twin after an arbitrary number of completions; the
+        # revived instance must finish the exact same schedule.
+        prefix = drain(two, limit=cut)
+        two.registry.close()
+        revived = ServiceState(Path(tmp) / "crashed")
+        assert prefix + drain(revived) == baseline
+        revived.close()

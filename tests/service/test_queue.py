@@ -1,0 +1,88 @@
+"""Admission queue: backpressure, determinism, fair skipping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service import AdmissionQueue, QueueEntry
+
+
+def entry(seq, *, priority=5, tenant="t", job_id=None, size=0):
+    return QueueEntry(priority=priority, seq=seq, tenant=tenant,
+                      job_id=job_id or f"job-{seq}", size_bytes=size)
+
+
+class TestBackpressure:
+    def test_depth_limit_sheds(self):
+        queue = AdmissionQueue(max_depth=2)
+        queue.offer(entry(0))
+        queue.offer(entry(1))
+        with pytest.raises(AdmissionError) as err:
+            queue.offer(entry(2))
+        assert err.value.reason == "queue_full"
+        assert err.value.retry_after_s > 0
+
+    def test_memory_watermark_sheds(self):
+        queue = AdmissionQueue(max_depth=10, max_pending_bytes=100)
+        queue.offer(entry(0, size=80))
+        with pytest.raises(AdmissionError) as err:
+            queue.offer(entry(1, size=30))
+        assert err.value.reason == "memory_watermark"
+
+    def test_restore_bypasses_gates(self):
+        queue = AdmissionQueue(max_depth=1)
+        queue.offer(entry(0))
+        queue.restore(entry(1))  # recovery must never shed
+        assert queue.depth == 2
+
+    def test_pop_releases_bytes(self):
+        queue = AdmissionQueue(max_depth=10, max_pending_bytes=100)
+        queue.offer(entry(0, size=80))
+        assert queue.pop_runnable(lambda t: True).seq == 0
+        queue.offer(entry(1, size=90))  # fits again
+
+
+class TestOrdering:
+    def test_priority_then_seq(self):
+        queue = AdmissionQueue()
+        queue.offer(entry(0, priority=5))
+        queue.offer(entry(1, priority=1))
+        queue.offer(entry(2, priority=1))
+        order = [queue.pop_runnable(lambda t: True).seq for _ in range(3)]
+        assert order == [1, 2, 0]
+
+    def test_capped_tenant_skipped_but_keeps_position(self):
+        queue = AdmissionQueue()
+        queue.offer(entry(0, priority=1, tenant="busy"))
+        queue.offer(entry(1, priority=5, tenant="idle"))
+        popped = queue.pop_runnable(lambda t: t != "busy")
+        assert popped.tenant == "idle"
+        # Once "busy" frees a slot its job is first again.
+        assert queue.pop_runnable(lambda t: True).tenant == "busy"
+
+    def test_nothing_eligible_returns_none(self):
+        queue = AdmissionQueue()
+        queue.offer(entry(0, tenant="busy"))
+        assert queue.pop_runnable(lambda t: False) is None
+        assert queue.depth == 1
+
+
+class TestCancel:
+    def test_cancelled_entry_never_pops(self):
+        queue = AdmissionQueue()
+        queue.offer(entry(0, job_id="a"))
+        queue.offer(entry(1, job_id="b"))
+        assert queue.cancel("a")
+        assert queue.depth == 1
+        assert queue.pop_runnable(lambda t: True).job_id == "b"
+
+    def test_cancel_unknown_is_false(self):
+        queue = AdmissionQueue()
+        assert not queue.cancel("nope")
+
+    def test_double_cancel_is_false(self):
+        queue = AdmissionQueue()
+        queue.offer(entry(0, job_id="a"))
+        assert queue.cancel("a")
+        assert not queue.cancel("a")

@@ -1,0 +1,190 @@
+"""ServiceState: the sync orchestration core, including crash recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service import (
+    JobRequest,
+    ServiceConfig,
+    ServiceState,
+    TenantQuota,
+)
+
+SPEC = {"kind": "sweep",
+        "space": {"params": [{"name": "n", "values": [1, 2]}]}}
+
+
+def request(tenant="alice", priority=5, deadline_s=None):
+    return JobRequest(tenant=tenant, priority=priority,
+                      deadline_s=deadline_s, spec=dict(SPEC))
+
+
+@pytest.fixture()
+def state(tmp_path):
+    service = ServiceState(tmp_path / "state")
+    yield service
+    service.close()
+
+
+class TestLifecycle:
+    def test_submit_to_done(self, state):
+        job = state.submit(request())
+        assert job.status == "queued"
+        running = state.next_job()
+        assert running.job_id == job.job_id
+        assert running.status == "running"
+        state.complete(job.job_id, {"evaluations": 4, "best_cost": "1.0"})
+        assert job.status == "done"
+        assert job.charged == 4
+        assert state.accounts.charged["alice"] == 4
+
+    def test_fail_and_timeout(self, state):
+        job = state.submit(request())
+        state.next_job()
+        state.fail(job.job_id, status="timeout", error="deadline")
+        assert job.status == "timeout"
+        assert job.error == "deadline"
+        assert state.accounts.charged.get("alice", 0) == 0
+        with pytest.raises(ServiceError):
+            state.fail("nope", error="x")
+
+    def test_fail_rejects_non_failure_status(self, state):
+        job = state.submit(request())
+        state.next_job()
+        with pytest.raises(ServiceError):
+            state.fail(job.job_id, status="done")
+
+    def test_cancel_queued_only(self, state):
+        job = state.submit(request())
+        assert state.cancel(job.job_id)
+        assert job.status == "cancelled"
+        assert not state.cancel(job.job_id)
+        job2 = state.submit(request())
+        state.next_job()
+        assert not state.cancel(job2.job_id)  # already running
+
+    def test_deadline_threaded_into_spec(self, state):
+        job = state.submit(request(deadline_s=4.0))
+        assert job.deadline_s == 4.0
+        assert job.spec["deadline_s"] == 4.0
+
+    def test_public_document(self, state):
+        job = state.submit(request())
+        doc = job.public()
+        assert doc["status"] == "queued"
+        assert doc["job_id"] == job.job_id
+        assert "result" not in doc
+
+
+class TestAdmission:
+    def test_queue_backpressure(self, tmp_path):
+        config = ServiceConfig(max_depth=1)
+        state = ServiceState(tmp_path / "s", config)
+        state.submit(request())
+        with pytest.raises(AdmissionError) as err:
+            state.submit(request(tenant="bob"))
+        assert err.value.reason == "queue_full"
+        state.close()
+
+    def test_tenant_quota_before_queue(self, tmp_path):
+        config = ServiceConfig(
+            quotas={"alice": TenantQuota(max_queued=1)})
+        state = ServiceState(tmp_path / "s", config)
+        state.submit(request())
+        with pytest.raises(AdmissionError) as err:
+            state.submit(request())
+        assert err.value.reason == "tenant_quota"
+        state.submit(request(tenant="bob"))  # queue itself has room
+        state.close()
+
+    def test_rejected_submission_not_journaled(self, tmp_path):
+        config = ServiceConfig(max_depth=1)
+        state = ServiceState(tmp_path / "s", config)
+        state.submit(request())
+        with pytest.raises(AdmissionError):
+            state.submit(request())
+        state.close()
+        reopened = ServiceState(tmp_path / "s", config)
+        assert len(reopened.jobs) == 1
+        reopened.close()
+
+
+class TestScheduling:
+    def test_priority_order(self, state):
+        low = state.submit(request(priority=7))
+        high = state.submit(request(tenant="bob", priority=0))
+        assert state.next_job().job_id == high.job_id
+        assert state.next_job().job_id == low.job_id
+
+    def test_tenant_cap_respected(self, tmp_path):
+        config = ServiceConfig(
+            quotas={"alice": TenantQuota(max_concurrency=1)})
+        state = ServiceState(tmp_path / "s", config)
+        a1 = state.submit(request(priority=0))
+        state.submit(request(priority=0))
+        b1 = state.submit(request(tenant="bob", priority=9))
+        assert state.next_job().job_id == a1.job_id
+        # alice is at her cap: bob's lower-priority job runs instead.
+        assert state.next_job().job_id == b1.job_id
+        state.complete(a1.job_id, {"evaluations": 1})
+        assert state.next_job().tenant == "alice"
+        state.close()
+
+
+class TestRecovery:
+    def test_terminal_jobs_survive_with_results(self, tmp_path):
+        state = ServiceState(tmp_path / "s")
+        job = state.submit(request())
+        state.next_job()
+        state.complete(job.job_id, {"evaluations": 3, "best_cost": "2.0"})
+        state.close()
+
+        revived = ServiceState(tmp_path / "s")
+        back = revived.jobs[job.job_id]
+        assert back.status == "done"
+        assert back.result["best_cost"] == "2.0"
+        assert revived.accounts.charged["alice"] == 3
+        assert revived.next_job() is None
+        revived.close()
+
+    def test_inflight_jobs_requeued_in_order(self, tmp_path):
+        state = ServiceState(tmp_path / "s")
+        j1 = state.submit(request(priority=5))
+        j2 = state.submit(request(tenant="bob", priority=1))
+        j3 = state.submit(request(tenant="carol", priority=5))
+        state.next_job()  # j2 starts running, then the process "dies"
+        state.close()
+
+        revived = ServiceState(tmp_path / "s")
+        assert all(revived.jobs[j.job_id].resumed
+                   for j in (j1, j2, j3))
+        order = [revived.next_job().job_id for _ in range(3)]
+        assert order == [j2.job_id, j1.job_id, j3.job_id]
+        revived.close()
+
+    def test_seq_continues_after_restart(self, tmp_path):
+        state = ServiceState(tmp_path / "s")
+        first = state.submit(request())
+        state.close()
+        revived = ServiceState(tmp_path / "s")
+        second = revived.submit(request())
+        assert second.seq == first.seq + 1
+        revived.close()
+
+    def test_double_restart_charges_once(self, tmp_path):
+        state = ServiceState(tmp_path / "s")
+        job = state.submit(request())
+        state.next_job()
+        state.complete(job.job_id, {"evaluations": 7})
+        state.close()
+        for _ in range(3):
+            revived = ServiceState(tmp_path / "s")
+            assert revived.accounts.charged["alice"] == 7
+            revived.close()
+
+    def test_health_and_ready(self, state):
+        doc = state.health()
+        assert doc["ok"] and doc["running"] == 0
+        assert state.ready()

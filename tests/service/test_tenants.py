@@ -1,0 +1,87 @@
+"""Tenant quotas: admission gates and exactly-once settlement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, InvalidParameterError
+from repro.service import TenantAccounts, TenantQuota
+
+
+class TestQuotaValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_concurrency": 0},
+        {"max_queued": 0},
+        {"budget": -1},
+    ])
+    def test_bad_quota_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            TenantQuota(**kwargs)
+
+
+class TestAdmission:
+    def test_queue_quota(self):
+        accounts = TenantAccounts({"a": TenantQuota(max_queued=1)})
+        accounts.admit("a")
+        accounts.on_queued("a")
+        with pytest.raises(AdmissionError) as err:
+            accounts.admit("a")
+        assert err.value.reason == "tenant_quota"
+
+    def test_unknown_tenant_uses_default(self):
+        accounts = TenantAccounts(default=TenantQuota(max_queued=1))
+        accounts.on_queued("stranger")
+        with pytest.raises(AdmissionError):
+            accounts.admit("stranger")
+
+    def test_budget_gate(self):
+        accounts = TenantAccounts({"a": TenantQuota(budget=10)})
+        accounts.settle("a", "job-1", 10)
+        with pytest.raises(AdmissionError) as err:
+            accounts.admit("a")
+        assert err.value.reason == "budget_exhausted"
+        # Other tenants are unaffected.
+        accounts.admit("b")
+
+    def test_zero_budget_admits_nothing(self):
+        accounts = TenantAccounts({"a": TenantQuota(budget=0)})
+        with pytest.raises(AdmissionError) as err:
+            accounts.admit("a")
+        assert err.value.reason == "budget_exhausted"
+
+
+class TestConcurrency:
+    def test_can_run_tracks_running(self):
+        accounts = TenantAccounts({"a": TenantQuota(max_concurrency=1)})
+        assert accounts.can_run("a")
+        accounts.on_started("a")
+        assert not accounts.can_run("a")
+        accounts.on_finished("a")
+        assert accounts.can_run("a")
+
+
+class TestSettlement:
+    def test_exactly_once_by_job_id(self):
+        accounts = TenantAccounts()
+        assert accounts.settle("a", "job-1", 7)
+        assert not accounts.settle("a", "job-1", 7)
+        assert not accounts.settle("a", "job-1", 99)
+        assert accounts.charged["a"] == 7
+
+    def test_distinct_jobs_accumulate(self):
+        accounts = TenantAccounts()
+        accounts.settle("a", "j1", 3)
+        accounts.settle("a", "j2", 4)
+        assert accounts.charged["a"] == 7
+
+    def test_zero_charge_still_settles(self):
+        accounts = TenantAccounts()
+        assert accounts.settle("a", "j", 0)
+        assert not accounts.settle("a", "j", 5)
+        assert accounts.charged.get("a", 0) == 0
+
+    def test_snapshot_sorted(self):
+        accounts = TenantAccounts()
+        accounts.on_queued("b")
+        accounts.on_started("a")
+        assert list(accounts.snapshot()) == ["a", "b"]

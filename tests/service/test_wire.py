@@ -1,0 +1,66 @@
+"""Request parsing and the canonical JSON encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.service import JOB_SCHEMA, canonical_json, parse_job_request
+
+
+def make_payload(**over):
+    payload = {
+        "schema": JOB_SCHEMA,
+        "tenant": "alice",
+        "priority": 3,
+        "job": {
+            "kind": "sweep",
+            "space": {"params": [{"name": "n", "values": [1, 2]}]},
+        },
+    }
+    payload.update(over)
+    return payload
+
+
+class TestParse:
+    def test_roundtrip(self):
+        request = parse_job_request(make_payload())
+        assert request.tenant == "alice"
+        assert request.priority == 3
+        assert request.deadline_s is None
+        assert request.spec["kind"] == "sweep"
+
+    def test_deadline_accepted(self):
+        request = parse_job_request(make_payload(deadline_s=2.5))
+        assert request.deadline_s == 2.5
+
+    @pytest.mark.parametrize("patch", [
+        {"schema": "nope"},
+        {"tenant": ""},
+        {"tenant": 7},
+        {"priority": -1},
+        {"priority": 10},
+        {"priority": True},
+        {"priority": "high"},
+        {"deadline_s": 0},
+        {"deadline_s": -1.0},
+        {"job": None},
+        {"job": {"kind": "sweep"}},
+        {"job": {"kind": "sweep", "space": []}},
+    ])
+    def test_rejections(self, patch):
+        with pytest.raises(InvalidParameterError):
+            parse_job_request(make_payload(**patch))
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            parse_job_request([1, 2, 3])
+
+
+class TestCanonicalJson:
+    def test_key_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": [2, {"y": 0, "x": 1}]}) == \
+            canonical_json({"a": [2, {"x": 1, "y": 0}], "b": 1})
+
+    def test_compact(self):
+        assert canonical_json({"a": 1, "b": 2}) == '{"a":1,"b":2}'
